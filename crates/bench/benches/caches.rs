@@ -1,0 +1,97 @@
+//! BTB and I-cache benchmarks: raw access throughput and the
+//! Figure 7/8/9 geometry sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rebalance_bench::bench_trace;
+use rebalance_frontend::{Btb, BtbConfig, BtbSim, CacheConfig, ICache, ICacheSim};
+use rebalance_isa::Addr;
+
+fn bench_raw_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raw_access");
+    let n = 64 * 1024u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("btb_2k_8w", |b| {
+        b.iter(|| {
+            let mut btb = Btb::new(BtbConfig::new(2048, 8));
+            let mut hits = 0u64;
+            for i in 0..n {
+                let pc = Addr::new(0x400000 + (i % 4096) * 24);
+                if btb.lookup(pc).is_some() {
+                    hits += 1;
+                } else {
+                    btb.insert(pc, Addr::new(0x500000 + i));
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("icache_32k_64B", |b| {
+        b.iter(|| {
+            let mut cache = ICache::new(CacheConfig::new(32 * 1024, 64, 4));
+            let mut hits = 0u64;
+            for i in 0..n {
+                let addr = Addr::new(0x400000 + (i % 1024) * 64);
+                if cache.access(addr, 0, 4) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7 harness: the nine BTB geometries over one workload.
+fn bench_fig7(c: &mut Criterion) {
+    let trace = bench_trace("gcc");
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("nine_btbs_gcc", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for entries in [256usize, 512, 1024] {
+                for assoc in [2usize, 4, 8] {
+                    let mut sim = BtbSim::new(BtbConfig::new(entries, assoc));
+                    trace.replay(&mut sim);
+                    total += sim.report().total().mpki();
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+/// Figure 8/9 harness: I-cache geometry sweeps over one workload.
+fn bench_fig8_fig9(c: &mut Criterion) {
+    let trace = bench_trace("fma3d");
+    let mut g = c.benchmark_group("fig8_fig9");
+    g.sample_size(10);
+    g.bench_function("size_sweep_fma3d", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for size_kb in [8usize, 16, 32] {
+                let mut sim = ICacheSim::new(CacheConfig::new(size_kb * 1024, 64, 4));
+                trace.replay(&mut sim);
+                total += sim.report().total().mpki();
+            }
+            total
+        })
+    });
+    // Ablation: line width (DESIGN.md ablation #3).
+    g.bench_function("line_sweep_fma3d", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for line in [32usize, 64, 128] {
+                let mut sim = ICacheSim::new(CacheConfig::new(16 * 1024, line, 8));
+                trace.replay(&mut sim);
+                total += sim.report().total().mpki();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_structures, bench_fig7, bench_fig8_fig9);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! CMP-level benches: the four Figure 10 floorplans, plus the
+//! serial-placement ablation (DESIGN.md ablation #5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebalance_bench::{workload, BENCH_SCALE};
+use rebalance_coresim::CmpSim;
+use rebalance_mcpat::CmpFloorplan;
+
+fn bench_fig10_floorplans(c: &mut Criterion) {
+    let w = workload("CoEVP");
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for floorplan in CmpFloorplan::figure10_set() {
+        let label = floorplan.name.clone();
+        let sim = CmpSim::new(floorplan);
+        g.bench_function(&label, |b| {
+            b.iter(|| sim.simulate(&w, BENCH_SCALE).unwrap().time_s)
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: where should serial sections run? The asymmetric CMP pins
+/// them to the baseline core; an all-tailored chip cannot.
+fn bench_serial_placement_ablation(c: &mut Criterion) {
+    let w = workload("CoEVP"); // 35% serial: placement matters most
+    let mut g = c.benchmark_group("ablation_serial_placement");
+    g.sample_size(10);
+    let tailored = CmpSim::new(CmpFloorplan::tailored(8));
+    let asymmetric = CmpSim::new(CmpFloorplan::asymmetric(1, 7));
+    g.bench_function("all_tailored_master", |b| {
+        b.iter(|| tailored.simulate(&w, BENCH_SCALE).unwrap().serial_time_s)
+    });
+    g.bench_function("baseline_master", |b| {
+        b.iter(|| asymmetric.simulate(&w, BENCH_SCALE).unwrap().serial_time_s)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10_floorplans,
+    bench_serial_placement_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Component microbenchmarks: synthesizer, interpreter, and the
+//! characterization pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rebalance_bench::{bench_trace, workload, BENCH_SCALE};
+use rebalance_pintools::characterize;
+use rebalance_trace::NullTool;
+
+fn bench_synthesize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesize");
+    for name in ["CG", "CoEVP", "gcc"] {
+        let w = workload(name);
+        g.bench_function(name, |b| {
+            b.iter(|| rebalance_workloads::synthesize(w.name(), w.profile()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    for name in ["swim", "gobmk"] {
+        let trace = bench_trace(name);
+        let insts = trace.schedule().total_instructions();
+        g.throughput(Throughput::Elements(insts));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| {
+                    let mut tool = NullTool;
+                    t.replay(&mut tool)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("characterize");
+    g.sample_size(10);
+    for name in ["FT", "xalancbmk"] {
+        let trace = workload(name).trace(BENCH_SCALE).unwrap();
+        let insts = trace.schedule().total_instructions();
+        g.throughput(Throughput::Elements(insts));
+        g.bench_function(name, |b| b.iter(|| characterize(&trace)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthesize,
+    bench_interpreter,
+    bench_characterize
+);
+criterion_main!(benches);

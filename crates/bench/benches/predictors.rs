@@ -1,0 +1,107 @@
+//! Branch predictor benchmarks: raw update throughput per family
+//! (Table II configurations) and the Figure 5/6 harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rebalance_bench::bench_trace;
+use rebalance_frontend::predictor::{Gshare, PredictorSim, Tage, TageConfig, Tournament, WithLoop};
+use rebalance_frontend::{PredictorChoice, PredictorSize};
+use rebalance_isa::Addr;
+
+/// Synthetic (pc, outcome) stream exercising mixed biases.
+fn stream(n: usize) -> Vec<(Addr, bool)> {
+    (0..n)
+        .map(|i| {
+            let pc = Addr::new(0x40_0000 + ((i * 37) % 4096) as u64 * 16);
+            let taken = match i % 7 {
+                0..=3 => true,
+                4 => i % 13 < 6,
+                _ => false,
+            };
+            (pc, taken)
+        })
+        .collect()
+}
+
+fn bench_predictor_throughput(c: &mut Criterion) {
+    let events = stream(64 * 1024);
+    let mut g = c.benchmark_group("predictor_throughput");
+    g.throughput(Throughput::Elements(events.len() as u64));
+
+    macro_rules! bench_one {
+        ($label:expr, $mk:expr) => {
+            g.bench_function($label, |b| {
+                b.iter(|| {
+                    let mut p = $mk;
+                    let mut hits = 0u64;
+                    for &(pc, taken) in &events {
+                        use rebalance_frontend::predictor::DirectionPredictor;
+                        if p.predict(pc) == taken {
+                            hits += 1;
+                        }
+                        p.update(pc, taken);
+                    }
+                    hits
+                })
+            });
+        };
+    }
+    bench_one!("gshare-small", Gshare::new(13));
+    bench_one!("gshare-big", Gshare::new(16));
+    bench_one!("tournament-small", Tournament::new(10, 8));
+    bench_one!("tournament-big", Tournament::new(12, 14));
+    bench_one!("tage-small", Tage::new(TageConfig::small()));
+    bench_one!("tage-big", Tage::new(TageConfig::big()));
+    bench_one!("L-gshare-small", WithLoop::new(Gshare::new(13)));
+    g.finish();
+}
+
+/// Figure 5 harness regression: the nine-config sweep over one workload.
+fn bench_fig5_one_workload(c: &mut Criterion) {
+    let trace = bench_trace("CG");
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("nine_configs_CG", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for choice in PredictorChoice::figure5_set() {
+                let mut sim = PredictorSim::new(choice.build());
+                trace.replay(&mut sim);
+                total += sim.report().total().mpki();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the loop BP's cost/benefit on the small tournament (the
+/// tailored core's predictor) — DESIGN.md ablation #1.
+fn bench_lbp_ablation(c: &mut Criterion) {
+    let trace = bench_trace("imagick");
+    let mut g = c.benchmark_group("ablation_loop_bp");
+    g.sample_size(10);
+    for with_loop in [false, true] {
+        let label = if with_loop { "with_lbp" } else { "without_lbp" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let choice = PredictorChoice::new(
+                    rebalance_frontend::PredictorClass::Tournament,
+                    PredictorSize::Small,
+                    with_loop,
+                );
+                let mut sim = PredictorSim::new(choice.build());
+                trace.replay(&mut sim);
+                sim.report().total().mpki()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictor_throughput,
+    bench_fig5_one_workload,
+    bench_lbp_ablation
+);
+criterion_main!(benches);

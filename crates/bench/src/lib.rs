@@ -1,0 +1,23 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The benches live in `benches/`: one group per paper exhibit
+//! (regression-guarding the figure regenerators) plus component
+//! microbenchmarks for the simulators themselves.
+
+use rebalance_trace::SyntheticTrace;
+use rebalance_workloads::{Scale, Workload};
+
+/// Tiny scale used inside benches so Criterion iterations stay fast.
+pub const BENCH_SCALE: Scale = Scale::Custom(0.01);
+
+/// Fetches a roster workload (panics on unknown names — bench-only).
+pub fn workload(name: &str) -> Workload {
+    rebalance_workloads::find(name).expect("bench workload in roster")
+}
+
+/// Synthesizes a bench-scale trace for a roster workload.
+pub fn bench_trace(name: &str) -> SyntheticTrace {
+    workload(name)
+        .trace(BENCH_SCALE)
+        .expect("valid roster profile")
+}

@@ -1,0 +1,248 @@
+//! The recommendation engine: characterization → front-end sizing.
+//!
+//! Encodes the paper's implications as explicit rules:
+//!
+//! * **Implication 1** — strongly biased, loop-dominated branches allow a
+//!   small predictor, and a loop BP is essential for HPC code;
+//! * **Implication 2** — few branch sites need few BTB entries (keep the
+//!   associativity high);
+//! * **Implication 3** — a small dynamic footprint with long basic
+//!   blocks allows a smaller I-cache with wider lines.
+
+use rebalance_frontend::{
+    BtbConfig, CacheConfig, FrontendConfig, PredictorChoice, PredictorClass, PredictorSize,
+};
+use rebalance_pintools::Characterization;
+use serde::{Deserialize, Serialize};
+
+/// Decision thresholds, exposed so studies can probe sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommenderThresholds {
+    /// Dynamic (99%) footprint below which a 16 KB I-cache suffices.
+    pub small_footprint_kb: f64,
+    /// Average basic-block bytes above which 128 B lines stay useful.
+    pub long_block_bytes: f64,
+    /// Strongly-biased share above which a 2 KB predictor suffices.
+    pub biased_fraction: f64,
+    /// Backward-taken share above which a loop BP is worth its 512 B.
+    pub backward_fraction: f64,
+    /// Distinct conditional sites below which 256 BTB entries suffice.
+    pub few_branch_sites: u64,
+}
+
+impl Default for RecommenderThresholds {
+    fn default() -> Self {
+        RecommenderThresholds {
+            small_footprint_kb: 24.0,
+            long_block_bytes: 48.0,
+            biased_fraction: 0.70,
+            backward_fraction: 0.60,
+            few_branch_sites: 1024,
+        }
+    }
+}
+
+/// A recommended front-end plus the reasoning behind each choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The recommended configuration.
+    pub frontend: FrontendConfig,
+    /// One sentence per sizing decision.
+    pub rationale: Vec<String>,
+}
+
+impl Recommendation {
+    /// `true` if every structure was downsized relative to the baseline
+    /// (the paper's full *tailored* design).
+    pub fn is_fully_tailored(&self) -> bool {
+        let t = FrontendConfig::tailored();
+        self.frontend == t
+    }
+}
+
+/// Sizes a core front-end from measured workload characteristics.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance::{characterize, Recommender, Scale};
+///
+/// let w = rebalance::workloads::find("swim").unwrap();
+/// let c = characterize(&w.trace(Scale::Smoke).unwrap());
+/// let rec = Recommender::new().recommend(&c);
+/// // A tight HPC kernel earns the full tailored front-end.
+/// assert!(rec.frontend.predictor.with_loop);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recommender {
+    thresholds: RecommenderThresholds,
+}
+
+impl Recommender {
+    /// A recommender with the paper's thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recommender with custom thresholds.
+    pub fn with_thresholds(thresholds: RecommenderThresholds) -> Self {
+        Recommender { thresholds }
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> &RecommenderThresholds {
+        &self.thresholds
+    }
+
+    /// Produces a front-end recommendation for a characterized workload.
+    pub fn recommend(&self, c: &Characterization) -> Recommendation {
+        let t = &self.thresholds;
+        let mut rationale = Vec::new();
+
+        // --- I-cache (Implication 3). ---
+        let dyn99_kb = c.footprint.total.dyn99_kb();
+        let bbl = c.basic_blocks.total().avg_block_bytes();
+        let small_footprint = dyn99_kb <= t.small_footprint_kb;
+        let long_blocks = bbl >= t.long_block_bytes;
+        let icache = if small_footprint && long_blocks {
+            rationale.push(format!(
+                "99% of dynamic instructions fit in {dyn99_kb:.1} KB and basic blocks average \
+                 {bbl:.0} B: a 16 KB I-cache with 128 B lines keeps misses and \
+                 fragmentation low"
+            ));
+            CacheConfig::new(16 * 1024, 128, 8)
+        } else if small_footprint {
+            rationale.push(format!(
+                "99% footprint is small ({dyn99_kb:.1} KB) but blocks are short \
+                 ({bbl:.0} B): halve the I-cache but keep 64 B lines"
+            ));
+            CacheConfig::new(16 * 1024, 64, 8)
+        } else {
+            rationale.push(format!(
+                "dynamic footprint {dyn99_kb:.1} KB exceeds {:.0} KB: keep the baseline \
+                 32 KB I-cache",
+                t.small_footprint_kb
+            ));
+            CacheConfig::new(32 * 1024, 64, 4)
+        };
+
+        // --- Branch predictor (Implication 1). ---
+        let biased = c.bias.total.strongly_biased_fraction();
+        let backward = c.direction.total().backward_fraction();
+        let size = if biased >= t.biased_fraction {
+            rationale.push(format!(
+                "{:.0}% of dynamic conditionals are strongly biased: a 2 KB predictor \
+                 matches a 16 KB one",
+                biased * 100.0
+            ));
+            PredictorSize::Small
+        } else {
+            rationale.push(format!(
+                "only {:.0}% of conditionals are strongly biased: keep the 16 KB predictor",
+                biased * 100.0
+            ));
+            PredictorSize::Big
+        };
+        let with_loop = backward >= t.backward_fraction;
+        if with_loop {
+            rationale.push(format!(
+                "{:.0}% of taken conditionals jump backward (loops): add the 512 B loop BP",
+                backward * 100.0
+            ));
+        }
+        let predictor = PredictorChoice::new(PredictorClass::Tournament, size, with_loop);
+
+        // --- BTB (Implication 2). ---
+        let sites = c.bias.total.static_sites;
+        let btb = if sites <= t.few_branch_sites {
+            rationale.push(format!(
+                "{sites} conditional sites: 256 BTB entries at 8-way associativity suffice"
+            ));
+            BtbConfig::new(256, 8)
+        } else {
+            rationale.push(format!(
+                "{sites} conditional sites exceed {}: keep the 2K-entry BTB",
+                t.few_branch_sites
+            ));
+            BtbConfig::new(2048, 8)
+        };
+
+        Recommendation {
+            frontend: FrontendConfig {
+                icache,
+                predictor,
+                btb,
+            },
+            rationale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_pintools::characterize;
+    use rebalance_workloads::{find, Scale};
+
+    fn recommend_for(name: &str) -> Recommendation {
+        recommend_at(name, Scale::Smoke)
+    }
+
+    /// Desktop footprints need longer traces to be sampled fully.
+    fn recommend_at(name: &str, scale: Scale) -> Recommendation {
+        let w = find(name).unwrap();
+        let c = characterize(&w.trace(scale).unwrap());
+        Recommender::new().recommend(&c)
+    }
+
+    #[test]
+    fn hpc_kernels_get_the_tailored_front_end() {
+        for name in ["swim", "BT", "LU", "ilbdc"] {
+            let rec = recommend_for(name);
+            assert_eq!(rec.frontend.icache.size_bytes, 16 * 1024, "{name}");
+            assert_eq!(rec.frontend.icache.line_bytes, 128, "{name}");
+            assert_eq!(rec.frontend.predictor.size, PredictorSize::Small, "{name}");
+            assert!(rec.frontend.predictor.with_loop, "{name}");
+            assert_eq!(rec.frontend.btb.entries, 256, "{name}");
+            assert!(rec.rationale.len() >= 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn desktop_code_keeps_the_baseline_structures() {
+        for name in ["gcc", "xalancbmk"] {
+            let rec = recommend_at(name, Scale::Quick);
+            assert_eq!(rec.frontend.icache.size_bytes, 32 * 1024, "{name}");
+            assert_eq!(rec.frontend.btb.entries, 2048, "{name}");
+        }
+    }
+
+    #[test]
+    fn rationale_mentions_measured_numbers() {
+        let rec = recommend_for("CG");
+        let text = rec.rationale.join("\n");
+        assert!(text.contains("KB"));
+        assert!(text.contains("%"));
+    }
+
+    #[test]
+    fn thresholds_are_adjustable() {
+        let w = find("swim").unwrap();
+        let c = characterize(&w.trace(Scale::Smoke).unwrap());
+        let strict = Recommender::with_thresholds(RecommenderThresholds {
+            small_footprint_kb: 0.5,
+            ..Default::default()
+        });
+        let rec = strict.recommend(&c);
+        assert_eq!(rec.frontend.icache.size_bytes, 32 * 1024);
+        assert_eq!(strict.thresholds().small_footprint_kb, 0.5);
+    }
+
+    #[test]
+    fn fully_tailored_detection() {
+        let rec = recommend_for("ilbdc");
+        assert!(rec.is_fully_tailored());
+        let rec = recommend_at("gcc", Scale::Quick);
+        assert!(!rec.is_fully_tailored());
+    }
+}

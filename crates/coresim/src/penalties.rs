@@ -1,0 +1,50 @@
+//! Pipeline penalty constants for the interval model.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle penalties charged per front-end event on the lean core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Penalties {
+    /// Branch misprediction flush (the paper's Table III caption: the
+    /// BP has a 12-cycle miss penalty).
+    pub branch_mispredict: f64,
+    /// Taken branch whose target missed in the BTB (fetch redirect after
+    /// decode).
+    pub btb_miss: f64,
+    /// Return-address stack misprediction (full flush, like a branch).
+    pub ras_miss: f64,
+    /// I-cache miss serviced by the private L2.
+    pub icache_miss: f64,
+}
+
+impl Penalties {
+    /// Cortex-A9-class defaults at the paper's design point.
+    pub fn lean_core() -> Self {
+        Penalties {
+            branch_mispredict: 12.0,
+            btb_miss: 8.0,
+            ras_miss: 12.0,
+            icache_miss: 20.0,
+        }
+    }
+}
+
+impl Default for Penalties {
+    fn default() -> Self {
+        Penalties::lean_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_design_point() {
+        let p = Penalties::default();
+        assert_eq!(p.branch_mispredict, 12.0);
+        assert!(p.btb_miss < p.branch_mispredict);
+        assert!(p.icache_miss > p.branch_mispredict);
+        assert_eq!(p, Penalties::lean_core());
+    }
+}

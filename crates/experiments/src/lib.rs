@@ -1,0 +1,45 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each exhibit has a `run` function returning a serializable result and
+//! a text rendering that mirrors the paper's rows/series, with the
+//! paper's reported values alongside where the paper gives them:
+//!
+//! | module | exhibits |
+//! |---|---|
+//! | [`characterization`] | Figures 1–4, Table I (one trace pass) |
+//! | [`predictors`] | Table II, Figures 5 and 6 |
+//! | [`caches`] | Figures 7, 8, 9 |
+//! | [`cmp`] | Table III, Figures 10 and 11 |
+//! | [`ablations`] | design-choice ablations + the thread-scaling study |
+//! | [`detail`] | per-benchmark characterization rows |
+//!
+//! The `repro` binary drives them:
+//!
+//! ```text
+//! repro all --scale quick
+//! repro fig5 table3 --scale full --json results/
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use rebalance_experiments::characterization;
+//! use rebalance_workloads::Scale;
+//!
+//! let set = characterization::run(Scale::Smoke);
+//! // 3 HPC suites x (total/serial/parallel) + SPEC CPU INT (total only).
+//! assert_eq!(set.fig1.rows.len(), 3 * 3 + 1);
+//! println!("{}", set.fig1.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod caches;
+pub mod characterization;
+pub mod cmp;
+pub mod detail;
+pub mod paper;
+pub mod predictors;
+pub mod util;

@@ -1,0 +1,330 @@
+//! Table II and Figures 5–6: branch-predictor evaluation.
+
+use rebalance_frontend::predictor::{DirectionPredictor, PredictorReport, PredictorSim};
+use rebalance_frontend::{PredictorChoice, PredictorClass, PredictorSize};
+use rebalance_trace::MultiTool;
+use rebalance_workloads::{Scale, Suite, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::paper;
+use crate::util::{f2, for_all_workloads, mean, TextTable};
+
+/// Table II: the evaluated predictor parameterizations and their
+/// realized hardware budgets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// `(label, budget_bytes)` per configuration.
+    pub rows: Vec<(String, u64)>,
+}
+
+/// Builds Table II from the actual implementations.
+pub fn table2() -> Table2 {
+    let rows = PredictorChoice::figure5_set()
+        .into_iter()
+        .map(|c| (c.label(), c.build().budget_bits() / 8))
+        .collect();
+    Table2 { rows }
+}
+
+impl Table2 {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["configuration", "budget (bytes)", "class"]);
+        for (label, bytes) in &self.rows {
+            let class = if label.contains("big") {
+                "~16KB"
+            } else {
+                "~2KB"
+            };
+            t.row(vec![label.clone(), bytes.to_string(), class.to_string()]);
+        }
+        format!(
+            "Table II: predictor configurations at matched hardware cost\n{}",
+            t.render()
+        )
+    }
+}
+
+/// One Figure 5 row: per-suite branch MPKI for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Configuration label (paper legend order).
+    pub config: String,
+    /// Mean MPKI per suite, in [`Suite::ALL`] order.
+    pub mpki: [f64; 4],
+}
+
+/// Figure 5: branch MPKI across predictors and suites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Rows in the paper's legend order.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// MPKI for a config/suite pair.
+    pub fn mpki(&self, config: &str, suite: Suite) -> Option<f64> {
+        let idx = Suite::ALL.iter().position(|s| *s == suite)?;
+        self.rows
+            .iter()
+            .find(|r| r.config == config)
+            .map(|r| r.mpki[idx])
+    }
+
+    /// Text rendering with the paper's gshare-big row for comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["config", "ExMatEx", "SPEC OMP", "NPB", "SPEC CPU INT"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.config.clone(),
+                f2(r.mpki[0]),
+                f2(r.mpki[1]),
+                f2(r.mpki[2]),
+                f2(r.mpki[3]),
+            ]);
+        }
+        let paper_row: Vec<String> = Suite::ALL
+            .iter()
+            .map(|s| f2(paper::gshare_big_mpki(*s)))
+            .collect();
+        format!(
+            "Figure 5: branch MPKI per predictor configuration\n{}\npaper gshare-big: {} / {} / {} / {}\n",
+            t.render(),
+            paper_row[0],
+            paper_row[1],
+            paper_row[2],
+            paper_row[3]
+        )
+    }
+}
+
+/// Runs Figure 5: all nine predictor configurations over every workload
+/// in one trace pass per workload.
+pub fn fig5(scale: Scale) -> Fig5 {
+    let configs = PredictorChoice::figure5_set();
+    let results: Vec<(Workload, Vec<PredictorReport>)> = for_all_workloads(|w| {
+        let trace = w.trace(scale).expect("valid roster profile");
+        let mut sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = configs
+            .iter()
+            .map(|c| PredictorSim::new(c.build()))
+            .collect();
+        {
+            let mut multi = MultiTool::new();
+            for sim in &mut sims {
+                multi.push(sim);
+            }
+            trace.replay(&mut multi);
+        }
+        sims.iter().map(|s| s.report()).collect()
+    });
+
+    let rows = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let mut mpki = [0.0; 4];
+            for (si, suite) in Suite::ALL.iter().enumerate() {
+                mpki[si] = mean(
+                    results
+                        .iter()
+                        .filter(|(w, _)| w.suite() == *suite)
+                        .map(|(_, reports)| reports[ci].total().mpki()),
+                );
+            }
+            Fig5Row {
+                config: c.label(),
+                mpki,
+            }
+        })
+        .collect();
+    Fig5 { rows }
+}
+
+/// The benchmarks Figure 6 highlights.
+pub const FIG6_WORKLOADS: [&str; 9] = [
+    "CoEVP",
+    "CoMD",
+    "botsspar",
+    "imagick",
+    "EP",
+    "FT",
+    "astar",
+    "gobmk",
+    "xalancbmk",
+];
+
+/// One Figure 6 bar: misprediction breakdown for one gshare variant on
+/// one benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// MPKI from actually-not-taken branches.
+    pub not_taken: f64,
+    /// MPKI from taken-backward branches.
+    pub taken_backward: f64,
+    /// MPKI from taken-forward branches.
+    pub taken_forward: f64,
+}
+
+impl Fig6Row {
+    /// Total MPKI of the bar.
+    pub fn total(&self) -> f64 {
+        self.not_taken + self.taken_backward + self.taken_forward
+    }
+}
+
+/// Figure 6: gshare misprediction breakdown on highlighted benchmarks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Rows grouped by workload, three bars each.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6 {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "workload",
+            "config",
+            "not-taken",
+            "taken-bwd",
+            "taken-fwd",
+            "total",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.config.clone(),
+                f2(r.not_taken),
+                f2(r.taken_backward),
+                f2(r.taken_forward),
+                f2(r.total()),
+            ]);
+        }
+        format!(
+            "Figure 6: gshare branch MPKI breakdown (mispredictions by actual trajectory)\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Runs Figure 6 over the highlighted subset.
+pub fn fig6(scale: Scale) -> Fig6 {
+    let configs = [
+        PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Big, false),
+        PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, false),
+        PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, true),
+    ];
+    let subset: Vec<Workload> = FIG6_WORKLOADS
+        .iter()
+        .map(|n| rebalance_workloads::find(n).expect("figure 6 roster name"))
+        .collect();
+    let results = crate::util::par_map(subset, |w| {
+        let trace = w.trace(scale).expect("valid roster profile");
+        let mut rows = Vec::new();
+        for c in configs {
+            let mut sim = PredictorSim::new(c.build());
+            trace.replay(&mut sim);
+            let rep = sim.report();
+            let total = rep.total();
+            let scale_mpki = |n: u64| {
+                if total.insts == 0 {
+                    0.0
+                } else {
+                    n as f64 * 1000.0 / total.insts as f64
+                }
+            };
+            rows.push(Fig6Row {
+                workload: w.name().to_owned(),
+                config: c.label(),
+                not_taken: scale_mpki(total.breakdown.not_taken),
+                taken_backward: scale_mpki(total.breakdown.taken_backward),
+                taken_forward: scale_mpki(total.breakdown.taken_forward),
+            });
+        }
+        rows
+    });
+    Fig6 {
+        rows: results.into_iter().flatten().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_budgets_match_classes() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 9);
+        for (label, bytes) in &t.rows {
+            if label.contains("big") {
+                assert!((10_000..=17_000).contains(bytes), "{label}: {bytes}");
+            } else {
+                assert!((1_000..=2_700).contains(bytes), "{label}: {bytes}");
+            }
+        }
+        assert!(t.render().contains("gshare-big"));
+    }
+
+    #[test]
+    fn fig5_shape_holds_at_smoke_scale() {
+        let f = fig5(Scale::Smoke);
+        assert_eq!(f.rows.len(), 9);
+        // Desktop worst for every configuration.
+        for r in &f.rows {
+            assert!(
+                r.mpki[3] > r.mpki[1] && r.mpki[3] > r.mpki[2],
+                "{}: {:?}",
+                r.config,
+                r.mpki
+            );
+        }
+        // The loop BP helps HPC suites on the small gshare.
+        let small = f.mpki("gshare-small", Suite::Npb).unwrap();
+        let with_loop = f.mpki("L-gshare-small", Suite::Npb).unwrap();
+        assert!(with_loop <= small + 0.05, "{with_loop} vs {small}");
+        assert!(f.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn fig6_covers_the_paper_subset() {
+        // The loop BP needs several completed loop executions per site
+        // to become confident; smoke-scale traces are too short.
+        let f = fig6(Scale::Custom(0.12));
+        assert_eq!(f.rows.len(), 9 * 3);
+        // imagick/botsspar: the loop BP should remove most taken-backward
+        // misses (constant trip counts).
+        for name in ["imagick", "botsspar"] {
+            let small = f
+                .rows
+                .iter()
+                .find(|r| r.workload == name && r.config == "gshare-small")
+                .unwrap();
+            let lbp = f
+                .rows
+                .iter()
+                .find(|r| r.workload == name && r.config == "L-gshare-small")
+                .unwrap();
+            // Direction check: the steady-state elimination the paper
+            // reports needs billion-instruction runs; at this scale we
+            // verify the LBP strictly reduces taken-backward misses.
+            assert!(
+                lbp.taken_backward < small.taken_backward,
+                "{name}: L {:.2} vs small {:.2}",
+                lbp.taken_backward,
+                small.taken_backward
+            );
+            assert!(
+                lbp.total() <= small.total() + 0.05,
+                "{name}: LBP must not hurt overall ({:.2} vs {:.2})",
+                lbp.total(),
+                small.total()
+            );
+        }
+        assert!(f.render().contains("astar"));
+    }
+}

@@ -1,0 +1,453 @@
+//! TAGE: tagged geometric-history-length prediction (Seznec & Michaud).
+
+use rebalance_isa::Addr;
+
+use super::{Bimodal, DirectionPredictor};
+
+/// Geometry of a [`Tage`] predictor.
+///
+/// The paper evaluates two configurations derived from the L-TAGE
+/// championship predictor (its original 32 KB budget halved for *big*,
+/// and cut to two tagged tables for *small*, per the paper's footnote):
+///
+/// * [`TageConfig::big`] — 12 tagged tables, ~14 KB;
+/// * [`TageConfig::small`] — 2 tagged tables (history lengths 4 and 16),
+///   ~1.5 KB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of bimodal (base predictor) entries.
+    pub bimodal_bits: u32,
+    /// log2 of entries per tagged table.
+    pub table_bits: u32,
+    /// Global history length per tagged table, ascending.
+    pub histories: Vec<u32>,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl TageConfig {
+    /// The ~16 KB *big* configuration: 12 tagged tables with geometric
+    /// history lengths, 512 entries each.
+    pub fn big() -> Self {
+        TageConfig {
+            bimodal_bits: 13,
+            table_bits: 9,
+            histories: vec![4, 7, 11, 18, 30, 49, 81, 134, 221, 365, 512, 640],
+            tag_bits: 11,
+        }
+    }
+
+    /// The ~2 KB *small* configuration: two tagged tables with history
+    /// lengths 4 and 16, roughly 3× fewer entries per table.
+    pub fn small() -> Self {
+        TageConfig {
+            bimodal_bits: 12,
+            table_bits: 7,
+            histories: vec![4, 16],
+            tag_bits: 9,
+        }
+    }
+
+    /// Validates geometry.
+    fn check(&self) {
+        assert!(
+            (1..=20).contains(&self.bimodal_bits),
+            "bimodal_bits out of range"
+        );
+        assert!(
+            (1..=16).contains(&self.table_bits),
+            "table_bits out of range"
+        );
+        assert!(!self.histories.is_empty(), "need at least one tagged table");
+        assert!(
+            self.histories.windows(2).all(|w| w[0] < w[1]),
+            "histories must ascend"
+        );
+        assert!(
+            *self.histories.last().unwrap() <= MAX_HISTORY as u32,
+            "history exceeds ring capacity"
+        );
+        assert!((4..=14).contains(&self.tag_bits), "tag_bits out of range");
+    }
+}
+
+const MAX_HISTORY: usize = 1024;
+/// Useful-bit aging period (updates between `u` clears).
+const U_RESET_PERIOD: u64 = 256 * 1024;
+
+/// Folded (compressed) history register — incrementally maintains
+/// `fold(history[0..orig_len], out_len)` as bits shift in and out.
+#[derive(Debug, Clone)]
+struct Folded {
+    comp: u64,
+    orig_len: u32,
+    out_len: u32,
+    outpoint: u32,
+}
+
+impl Folded {
+    fn new(orig_len: u32, out_len: u32) -> Self {
+        Folded {
+            comp: 0,
+            orig_len,
+            out_len,
+            outpoint: orig_len % out_len,
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, new_bit: u64, old_bit: u64) {
+        self.comp = (self.comp << 1) | new_bit;
+        self.comp ^= old_bit << self.outpoint;
+        self.comp ^= self.comp >> self.out_len;
+        self.comp &= (1u64 << self.out_len) - 1;
+        let _ = self.orig_len;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    /// Signed 3-bit counter in [-4, 3]; >= 0 predicts taken.
+    ctr: i8,
+    /// 2-bit usefulness.
+    useful: u8,
+}
+
+/// The TAGE predictor: a bimodal base plus tagged tables indexed with
+/// geometrically increasing global-history lengths. The longest matching
+/// table provides the prediction; allocation on mispredictions steals
+/// entries whose useful bits have decayed.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::predictor::{DirectionPredictor, Tage, TageConfig};
+///
+/// let small = Tage::new(TageConfig::small());
+/// assert!(small.budget_bits() / 8 <= 2048); // fits the 2KB budget
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    base: Bimodal,
+    tables: Vec<Vec<TageEntry>>,
+    // Global history ring.
+    ghist: Vec<u8>,
+    ghist_pos: usize,
+    // Folded histories per table: index fold and two tag folds.
+    fold_idx: Vec<Folded>,
+    fold_tag0: Vec<Folded>,
+    fold_tag1: Vec<Folded>,
+    updates: u64,
+}
+
+impl Tage {
+    /// Builds a predictor with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (see [`TageConfig`]).
+    pub fn new(cfg: TageConfig) -> Self {
+        cfg.check();
+        let entries = 1usize << cfg.table_bits;
+        let tables = vec![vec![TageEntry::default(); entries]; cfg.histories.len()];
+        let fold_idx = cfg
+            .histories
+            .iter()
+            .map(|&h| Folded::new(h, cfg.table_bits))
+            .collect();
+        let fold_tag0 = cfg
+            .histories
+            .iter()
+            .map(|&h| Folded::new(h, cfg.tag_bits))
+            .collect();
+        let fold_tag1 = cfg
+            .histories
+            .iter()
+            .map(|&h| Folded::new(h, cfg.tag_bits - 1))
+            .collect();
+        Tage {
+            base: Bimodal::new(cfg.bimodal_bits),
+            tables,
+            ghist: vec![0; MAX_HISTORY],
+            ghist_pos: 0,
+            fold_idx,
+            fold_tag0,
+            fold_tag1,
+            updates: 0,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn table_index(&self, t: usize, pc: Addr) -> usize {
+        let pc = pc.as_u64() >> 1;
+        let idx = pc ^ (pc >> self.cfg.table_bits) ^ self.fold_idx[t].comp ^ (t as u64);
+        (idx & ((1u64 << self.cfg.table_bits) - 1)) as usize
+    }
+
+    #[inline]
+    fn table_tag(&self, t: usize, pc: Addr) -> u16 {
+        let pc = pc.as_u64() >> 1;
+        let tag = pc ^ self.fold_tag0[t].comp ^ (self.fold_tag1[t].comp << 1);
+        (tag & ((1u64 << self.cfg.tag_bits) - 1)) as u16
+    }
+
+    /// Finds (provider, alternate) matching table indices, longest first.
+    fn find_matches(&self, pc: Addr) -> (Option<usize>, Option<usize>) {
+        let mut provider = None;
+        let mut alt = None;
+        for t in (0..self.tables.len()).rev() {
+            let e = &self.tables[t][self.table_index(t, pc)];
+            if e.tag == self.table_tag(t, pc) {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt = Some(t);
+                    break;
+                }
+            }
+        }
+        (provider, alt)
+    }
+
+    fn component_prediction(&mut self, pc: Addr, t: Option<usize>) -> bool {
+        match t {
+            Some(t) => self.tables[t][self.table_index(t, pc)].ctr >= 0,
+            None => self.base.predict(pc),
+        }
+    }
+}
+
+impl DirectionPredictor for Tage {
+    fn predict(&mut self, pc: Addr) -> bool {
+        let (provider, alt) = self.find_matches(pc);
+        match provider {
+            Some(t) => {
+                let idx = self.table_index(t, pc);
+                let e = self.tables[t][idx];
+                // Weak, never-useful entries defer to the alternate.
+                if (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+                    self.component_prediction(pc, alt)
+                } else {
+                    e.ctr >= 0
+                }
+            }
+            None => self.base.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        self.updates += 1;
+        // Capture what was predicted BEFORE any state changes.
+        let final_pred = self.predict(pc);
+        let (provider, alt) = self.find_matches(pc);
+        let provider_pred = self.component_prediction(pc, provider);
+        let alt_pred = self.component_prediction(pc, alt);
+
+        match provider {
+            Some(t) => {
+                let idx = self.table_index(t, pc);
+                let e = &mut self.tables[t][idx];
+                e.ctr = if taken {
+                    (e.ctr + 1).min(3)
+                } else {
+                    (e.ctr - 1).max(-4)
+                };
+                if provider_pred != alt_pred {
+                    if provider_pred == taken {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+            None => self.base.update(pc, taken),
+        }
+
+        // Allocate a longer-history entry on a misprediction.
+        if final_pred != taken {
+            let start = provider.map_or(0, |t| t + 1);
+            let mut allocated = false;
+            for t in start..self.tables.len() {
+                let idx = self.table_index(t, pc);
+                if self.tables[t][idx].useful == 0 {
+                    let tag = self.table_tag(t, pc);
+                    self.tables[t][idx] = TageEntry {
+                        tag,
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                for t in start..self.tables.len() {
+                    let idx = self.table_index(t, pc);
+                    let e = &mut self.tables[t][idx];
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+
+        // Periodic useful-bit aging.
+        if self.updates.is_multiple_of(U_RESET_PERIOD) {
+            for table in &mut self.tables {
+                for e in table.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+
+        // Shift the outcome into the global history and folded registers.
+        let new_bit = u64::from(taken);
+        self.ghist_pos = (self.ghist_pos + 1) % MAX_HISTORY;
+        self.ghist[self.ghist_pos] = taken as u8;
+        for t in 0..self.cfg.histories.len() {
+            let h = self.cfg.histories[t] as usize;
+            let old_pos = (self.ghist_pos + MAX_HISTORY - h) % MAX_HISTORY;
+            let old_bit = u64::from(self.ghist[old_pos]);
+            self.fold_idx[t].update(new_bit, old_bit);
+            self.fold_tag0[t].update(new_bit, old_bit);
+            self.fold_tag1[t].update(new_bit, old_bit);
+        }
+    }
+
+    fn budget_bits(&self) -> u64 {
+        let entry_bits = u64::from(self.cfg.tag_bits) + 3 + 2;
+        let tagged: u64 = self.tables.len() as u64 * (1u64 << self.cfg.table_bits) * entry_bits;
+        self.base.budget_bits() + tagged
+    }
+
+    fn name(&self) -> &'static str {
+        "tage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_paper_classes() {
+        let small = Tage::new(TageConfig::small());
+        let big = Tage::new(TageConfig::big());
+        assert!(
+            small.budget_bits() / 8 <= 2048,
+            "small {}",
+            small.budget_bits() / 8
+        );
+        assert!(small.budget_bits() / 8 >= 1024);
+        let big_kb = big.budget_bits() as f64 / 8.0 / 1024.0;
+        assert!((12.0..=16.0).contains(&big_kb), "big {big_kb} KB");
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut t = Tage::new(TageConfig::small());
+        let pc = Addr::new(0x4000);
+        for _ in 0..64 {
+            t.update(pc, true);
+        }
+        assert!(t.predict(pc));
+    }
+
+    #[test]
+    fn learns_fixed_trip_count_loops() {
+        // A loop taken 7 times then not-taken once: TAGE's history
+        // tables capture the exit when control is regular (paper,
+        // Section IV-A discussion of Figure 6).
+        let mut t = Tage::new(TageConfig::big());
+        let pc = Addr::new(0x4000);
+        let run = |t: &mut Tage, train: bool, rounds: usize| -> (u64, u64) {
+            let mut correct = 0;
+            let mut total = 0;
+            for _ in 0..rounds {
+                for i in 0..8 {
+                    let taken = i != 7;
+                    if !train {
+                        if t.predict(pc) == taken {
+                            correct += 1;
+                        }
+                        total += 1;
+                    }
+                    t.update(pc, taken);
+                }
+            }
+            (correct, total)
+        };
+        run(&mut t, true, 500);
+        let (correct, total) = run(&mut t, false, 100);
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "TAGE should learn an 8-iteration loop: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn small_tage_beats_equal_budget_bimodal_on_loop_exits() {
+        use super::super::Bimodal;
+        // A hot loop taken 5 of every 6 executions: a pure per-PC
+        // counter misses every exit, TAGE's short-history table learns
+        // the exit context exactly.
+        let mut tage = Tage::new(TageConfig::small());
+        let mut bimodal = Bimodal::new(13); // 2KB, same budget class
+        let pc = Addr::new(0x5000);
+        let mut tage_miss = 0u64;
+        let mut bimodal_miss = 0u64;
+        for round in 0..500 {
+            for i in 0..6 {
+                let taken = i != 5;
+                if round >= 200 {
+                    if tage.predict(pc) != taken {
+                        tage_miss += 1;
+                    }
+                    if bimodal.predict(pc) != taken {
+                        bimodal_miss += 1;
+                    }
+                }
+                tage.update(pc, taken);
+                bimodal.update(pc, taken);
+            }
+        }
+        assert!(
+            bimodal_miss >= 290,
+            "bimodal misses nearly every exit: {bimodal_miss}"
+        );
+        assert!(
+            tage_miss < bimodal_miss / 4,
+            "tage {tage_miss} vs bimodal {bimodal_miss}"
+        );
+    }
+
+    #[test]
+    fn folded_history_stays_in_range() {
+        let mut f = Folded::new(100, 9);
+        for i in 0..1000u64 {
+            f.update(i & 1, (i >> 1) & 1);
+            assert!(f.comp < (1 << 9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "histories must ascend")]
+    fn rejects_unordered_histories() {
+        let mut cfg = TageConfig::small();
+        cfg.histories = vec![16, 4];
+        let _ = Tage::new(cfg);
+    }
+
+    #[test]
+    fn config_accessor() {
+        let t = Tage::new(TageConfig::small());
+        assert_eq!(t.config().histories, vec![4, 16]);
+        assert_eq!(t.name(), "tage");
+    }
+}

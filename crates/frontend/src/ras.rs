@@ -1,0 +1,115 @@
+//! A small hardware return-address stack (RAS).
+
+use rebalance_isa::Addr;
+
+/// Circular return-address stack, as found in lean cores (the
+/// Cortex-A9 has an 8-entry RAS). Calls push their fall-through address;
+/// returns pop and compare. Overflow silently wraps (overwriting the
+/// oldest entry), which is what produces return mispredictions on deep
+/// call chains.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::ReturnAddressStack;
+/// use rebalance_isa::Addr;
+///
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(Addr::new(0x100));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x100)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    slots: Vec<Addr>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or above 1024.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            (1..=1024).contains(&capacity),
+            "capacity must be in 1..=1024"
+        );
+        ReturnAddressStack {
+            slots: vec![Addr::NULL; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address; wraps over the oldest entry when full.
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.slots.len();
+        self.slots[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.slots.len());
+    }
+
+    /// Pops the predicted return address, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.slots[self.top];
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current number of valid entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        for i in 1..=3 {
+            ras.push(Addr::new(i * 0x10));
+        }
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x10)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_corrupts_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Addr::new(0x1));
+        ras.push(Addr::new(0x2));
+        ras.push(Addr::new(0x3)); // overwrites 0x1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(Addr::new(0x3)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x2)));
+        assert_eq!(ras.pop(), None, "0x1 was lost to the wrap");
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(ReturnAddressStack::new(8).capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

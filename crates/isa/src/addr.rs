@@ -1,0 +1,281 @@
+//! Instruction addresses and static jump directions.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the synthetic program's text segment.
+///
+/// `Addr` is a transparent newtype over `u64` so that instruction
+/// addresses cannot be confused with byte counts or table indices.
+/// Arithmetic that makes sense for code layout (`addr + bytes`,
+/// `addr - addr`) is provided; anything else requires an explicit
+/// round-trip through [`Addr::as_u64`].
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_isa::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// let b = a + 16;
+/// assert_eq!(b.as_u64(), 0x1010);
+/// assert_eq!(b - a, 16);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address; used as a sentinel for "no target".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte offset.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the containing cache-line address for a line of
+    /// `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> Addr {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Addr(self.0 & !(line_bytes - 1))
+    }
+
+    /// Returns the offset of this address within a `line_bytes` line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line_offset(self, line_bytes: u64) -> u64 {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        self.0 & (line_bytes - 1)
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    #[inline]
+    pub fn checked_sub(self, other: Addr) -> Option<u64> {
+        self.0.checked_sub(other.0)
+    }
+
+    /// Absolute byte distance between two addresses.
+    #[inline]
+    pub fn distance(self, other: Addr) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, bytes: u64) {
+        self.0 += bytes;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    /// Byte distance from `other` up to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other > self` (underflow).
+    #[inline]
+    fn sub(self, other: Addr) -> u64 {
+        self.0 - other.0
+    }
+}
+
+/// Static direction of a taken control transfer.
+///
+/// The paper's Table I splits taken branches into *backward* (target below
+/// the branch PC — overwhelmingly loop back-edges in HPC code) and
+/// *forward* ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Target address is strictly lower than the branch address.
+    Backward,
+    /// Target address is at or above the branch address.
+    Forward,
+}
+
+impl Direction {
+    /// Classifies a jump from `pc` to `target`.
+    ///
+    /// ```
+    /// use rebalance_isa::{Addr, Direction};
+    ///
+    /// assert_eq!(Direction::of_jump(Addr::new(100), Addr::new(40)), Direction::Backward);
+    /// assert_eq!(Direction::of_jump(Addr::new(100), Addr::new(200)), Direction::Forward);
+    /// ```
+    #[inline]
+    pub fn of_jump(pc: Addr, target: Addr) -> Direction {
+        if target < pc {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        }
+    }
+
+    /// `true` for [`Direction::Backward`].
+    #[inline]
+    pub fn is_backward(self) -> bool {
+        matches!(self, Direction::Backward)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Backward => f.write_str("backward"),
+            Direction::Forward => f.write_str("forward"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.as_u64(), 0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Addr::from(7u64), Addr::new(7));
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(0x1000);
+        assert_eq!((a + 0x10).as_u64(), 0x1010);
+        assert_eq!(a + 0x10 - a, 0x10);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b, Addr::new(0x1004));
+    }
+
+    #[test]
+    fn addr_line_math() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.line(64), Addr::new(0x1200));
+        assert_eq!(a.line_offset(64), 0x34);
+        assert_eq!(a.line(1), a);
+        assert_eq!(a.line_offset(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_line_requires_power_of_two() {
+        Addr::new(0x1000).line(48);
+    }
+
+    #[test]
+    fn addr_distance_symmetric() {
+        let a = Addr::new(10);
+        let b = Addr::new(250);
+        assert_eq!(a.distance(b), 240);
+        assert_eq!(b.distance(a), 240);
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn addr_checked_sub() {
+        assert_eq!(Addr::new(5).checked_sub(Addr::new(2)), Some(3));
+        assert_eq!(Addr::new(2).checked_sub(Addr::new(5)), None);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(0x40_1000).to_string(), "0x401000");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+    }
+
+    #[test]
+    fn direction_classification() {
+        let pc = Addr::new(0x400);
+        assert_eq!(
+            Direction::of_jump(pc, Addr::new(0x3ff)),
+            Direction::Backward
+        );
+        assert_eq!(Direction::of_jump(pc, Addr::new(0x400)), Direction::Forward);
+        assert_eq!(Direction::of_jump(pc, Addr::new(0x401)), Direction::Forward);
+        assert!(Direction::Backward.is_backward());
+        assert!(!Direction::Forward.is_backward());
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::Backward.to_string(), "backward");
+        assert_eq!(Direction::Forward.to_string(), "forward");
+    }
+
+    #[test]
+    fn addr_ordering() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert_eq!(Addr::NULL, Addr::new(0));
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+}

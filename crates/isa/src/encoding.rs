@@ -1,0 +1,193 @@
+//! x86-like variable instruction-length model.
+//!
+//! Footprints (Figure 3), basic-block lengths (Figure 4), and I-cache
+//! line usefulness are all measured in **bytes**, so the synthesizer needs
+//! a realistic instruction-length distribution. Compiled x86-64 code from
+//! `gcc -O3` averages close to 4 bytes per instruction; we use a small
+//! deterministic mixture over 2..=8 bytes with that mean.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::{BranchKind, InstClass};
+
+/// Minimum instruction length produced by the model, in bytes.
+pub const MIN_INST_LEN: u8 = 2;
+/// Maximum instruction length produced by the model, in bytes.
+pub const MAX_INST_LEN: u8 = 8;
+
+/// Deterministic instruction-length assignment.
+///
+/// The model is a pure function of an instruction's sequence number and
+/// class, so a program synthesized twice has byte-identical layout — a
+/// property the trace interpreter and the resume-able experiments rely on.
+///
+/// Branch classes get the lengths of their x86 encodings (e.g. `ret` is
+/// 1–3 bytes, `jcc rel32` is 6, `call rel32` is 5), while non-branch
+/// instructions cycle through a mixture with a ~4-byte mean.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_isa::{InstClass, LengthModel};
+///
+/// let model = LengthModel::default();
+/// let len = model.length(42, InstClass::Other);
+/// assert!((2..=8).contains(&len));
+/// // Deterministic: same inputs, same answer.
+/// assert_eq!(len, model.length(42, InstClass::Other));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LengthModel {
+    /// Cyclic mixture of non-branch instruction lengths. The default mix
+    /// averages 4.0 bytes.
+    mix: [u8; 8],
+}
+
+impl LengthModel {
+    /// Creates a model from an explicit 8-entry length mixture for
+    /// non-branch instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is outside `MIN_INST_LEN..=MAX_INST_LEN`.
+    pub fn new(mix: [u8; 8]) -> Self {
+        for &len in &mix {
+            assert!(
+                (MIN_INST_LEN..=MAX_INST_LEN).contains(&len),
+                "length {len} outside {MIN_INST_LEN}..={MAX_INST_LEN}"
+            );
+        }
+        LengthModel { mix }
+    }
+
+    /// Length in bytes of the `seq`-th instruction of the given class.
+    pub fn length(&self, seq: u64, class: InstClass) -> u8 {
+        match class {
+            InstClass::Branch(kind) => Self::branch_length(kind),
+            InstClass::Other => self.mix[(seq % self.mix.len() as u64) as usize],
+        }
+    }
+
+    /// Fixed lengths for branch encodings (x86-64 shapes).
+    pub fn branch_length(kind: BranchKind) -> u8 {
+        match kind {
+            // jcc rel32: 0F 8x + imm32
+            BranchKind::CondDirect => 6,
+            // jmp rel32: E9 + imm32
+            BranchKind::UncondDirect => 5,
+            // call rel32: E8 + imm32
+            BranchKind::Call => 5,
+            // call *r/m: FF /2 (+ modrm/sib)
+            BranchKind::IndirectCall => 3,
+            // jmp *r/m: FF /4
+            BranchKind::IndirectBranch => 3,
+            // ret
+            BranchKind::Return => 2,
+            // syscall: 0F 05
+            BranchKind::Syscall => 2,
+        }
+    }
+
+    /// Mean length of the non-branch mixture, in bytes.
+    pub fn mean_other_len(&self) -> f64 {
+        self.mix.iter().map(|&l| f64::from(l)).sum::<f64>() / self.mix.len() as f64
+    }
+}
+
+impl Default for LengthModel {
+    /// The default mixture `[3,4,2,5,4,6,4,4]` has a mean of 4.0 bytes,
+    /// matching compiled x86-64 HPC code.
+    fn default() -> Self {
+        LengthModel::new([3, 4, 2, 5, 4, 6, 4, 4])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mean_is_four_bytes() {
+        let m = LengthModel::default();
+        assert!((m.mean_other_len() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lengths_in_bounds() {
+        let m = LengthModel::default();
+        for seq in 0..64 {
+            let len = m.length(seq, InstClass::Other);
+            assert!((MIN_INST_LEN..=MAX_INST_LEN).contains(&len));
+        }
+    }
+
+    #[test]
+    fn branch_lengths_are_fixed() {
+        let m = LengthModel::default();
+        for kind in BranchKind::ALL {
+            let a = m.length(0, InstClass::Branch(kind));
+            let b = m.length(12345, InstClass::Branch(kind));
+            assert_eq!(a, b, "branch length must not depend on seq");
+            assert_eq!(a, LengthModel::branch_length(kind));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_sequence() {
+        let m = LengthModel::default();
+        let first: Vec<u8> = (0..32).map(|s| m.length(s, InstClass::Other)).collect();
+        let second: Vec<u8> = (0..32).map(|s| m.length(s, InstClass::Other)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn mixture_cycles() {
+        let m = LengthModel::default();
+        assert_eq!(m.length(0, InstClass::Other), m.length(8, InstClass::Other));
+        assert_eq!(
+            m.length(3, InstClass::Other),
+            m.length(11, InstClass::Other)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_mix() {
+        LengthModel::new([1, 4, 4, 4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn custom_mix_mean() {
+        let m = LengthModel::new([2, 2, 2, 2, 2, 2, 2, 2]);
+        assert!((m.mean_other_len() - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_seq_any_class_is_bounded(seq in any::<u64>()) {
+            let m = LengthModel::default();
+            for class in [
+                InstClass::Other,
+                InstClass::Branch(BranchKind::CondDirect),
+                InstClass::Branch(BranchKind::Return),
+            ] {
+                let len = m.length(seq, class);
+                prop_assert!((1..=MAX_INST_LEN).contains(&len));
+            }
+        }
+
+        #[test]
+        fn valid_mixes_accepted(mix in proptest::array::uniform8(MIN_INST_LEN..=MAX_INST_LEN)) {
+            let m = LengthModel::new(mix);
+            let mean = m.mean_other_len();
+            prop_assert!(mean >= f64::from(MIN_INST_LEN));
+            prop_assert!(mean <= f64::from(MAX_INST_LEN));
+        }
+    }
+}

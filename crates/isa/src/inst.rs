@@ -1,0 +1,389 @@
+//! Instruction and branch classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, Direction};
+
+/// Coarse instruction class.
+///
+/// The characterization only needs to distinguish branches (by
+/// [`BranchKind`]) from everything else; non-branch instructions are kept
+/// as a single `Other` class carrying no operand information. This mirrors
+/// the paper's pintools, which instrument *every* instruction but only
+/// record detail for control transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum InstClass {
+    /// Any non-control-flow instruction (ALU, load, store, FP, SIMD...).
+    #[default]
+    Other,
+    /// A control transfer of the given kind.
+    Branch(BranchKind),
+}
+
+impl InstClass {
+    /// Returns the branch kind if this is a control transfer.
+    #[inline]
+    pub fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            InstClass::Branch(k) => Some(k),
+            InstClass::Other => None,
+        }
+    }
+
+    /// `true` if this instruction is any control transfer.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, InstClass::Branch(_))
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstClass::Other => f.write_str("other"),
+            InstClass::Branch(k) => write!(f, "branch({k})"),
+        }
+    }
+}
+
+/// The branch taxonomy used by the paper's Figure 1.
+///
+/// The paper's dynamic branch breakdown distinguishes `call`,
+/// `indirect call`, `direct branch` (conditional and unconditional),
+/// `indirect branch`, `syscall`, and `return`. We additionally separate
+/// conditional from unconditional direct branches internally because the
+/// bias analysis (Figure 2) and the predictors only observe conditional
+/// ones; the two are merged back for the Figure 1 presentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch (e.g. `jcc rel32`).
+    CondDirect,
+    /// Unconditional direct branch (e.g. `jmp rel32`).
+    UncondDirect,
+    /// Direct call (`call rel32`).
+    Call,
+    /// Indirect call through a register or memory (`call *r/m`).
+    IndirectCall,
+    /// Indirect jump through a register or memory (`jmp *r/m`).
+    IndirectBranch,
+    /// Function return (`ret`).
+    Return,
+    /// System call (`syscall`).
+    Syscall,
+}
+
+impl BranchKind {
+    /// All kinds, in the paper's Figure 1 legend order (with the direct
+    /// branch split kept adjacent).
+    pub const ALL: [BranchKind; 7] = [
+        BranchKind::Call,
+        BranchKind::IndirectCall,
+        BranchKind::CondDirect,
+        BranchKind::UncondDirect,
+        BranchKind::IndirectBranch,
+        BranchKind::Syscall,
+        BranchKind::Return,
+    ];
+
+    /// `true` if the branch may fall through (only conditional direct
+    /// branches can be not-taken).
+    #[inline]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::CondDirect)
+    }
+
+    /// `true` if the target is not encoded in the instruction
+    /// (indirect jump/call and returns).
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectCall | BranchKind::IndirectBranch | BranchKind::Return
+        )
+    }
+
+    /// `true` for either flavour of call.
+    #[inline]
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall)
+    }
+
+    /// `true` if a BTB would be consulted to supply the target when the
+    /// branch is predicted taken. Syscalls trap; everything else needs a
+    /// target.
+    #[inline]
+    pub fn uses_btb(self) -> bool {
+        !matches!(self, BranchKind::Syscall)
+    }
+
+    /// Short label used in reports (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            BranchKind::Call => "call",
+            BranchKind::IndirectCall => "indirect call",
+            BranchKind::CondDirect => "direct branch (cond)",
+            BranchKind::UncondDirect => "direct branch (uncond)",
+            BranchKind::IndirectBranch => "indirect branch",
+            BranchKind::Syscall => "syscall",
+            BranchKind::Return => "return",
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Dynamic outcome of one executed branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The branch fell through to the next sequential instruction.
+    NotTaken,
+    /// The branch redirected fetch to its target.
+    Taken,
+}
+
+impl Outcome {
+    /// Builds an outcome from a boolean `taken` flag.
+    #[inline]
+    pub fn from_taken(taken: bool) -> Outcome {
+        if taken {
+            Outcome::Taken
+        } else {
+            Outcome::NotTaken
+        }
+    }
+
+    /// `true` if taken.
+    #[inline]
+    pub fn is_taken(self) -> bool {
+        matches!(self, Outcome::Taken)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::NotTaken => f.write_str("not-taken"),
+            Outcome::Taken => f.write_str("taken"),
+        }
+    }
+}
+
+/// Full trajectory of a dynamic branch: outcome plus, when taken, the
+/// static direction of the jump. Used by the misprediction breakdown of
+/// Figure 6 (not-taken / taken-backward / taken-forward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchTrajectory {
+    /// Fell through.
+    NotTaken,
+    /// Taken towards a lower address (loop back-edge shape).
+    TakenBackward,
+    /// Taken towards a higher address.
+    TakenForward,
+}
+
+impl BranchTrajectory {
+    /// Classifies a dynamic branch.
+    ///
+    /// ```
+    /// use rebalance_isa::{Addr, BranchTrajectory, Outcome};
+    ///
+    /// let t = BranchTrajectory::classify(
+    ///     Outcome::Taken,
+    ///     Addr::new(0x100),
+    ///     Some(Addr::new(0x80)),
+    /// );
+    /// assert_eq!(t, BranchTrajectory::TakenBackward);
+    /// ```
+    #[inline]
+    pub fn classify(outcome: Outcome, pc: Addr, target: Option<Addr>) -> BranchTrajectory {
+        match (outcome, target) {
+            (Outcome::NotTaken, _) => BranchTrajectory::NotTaken,
+            (Outcome::Taken, Some(t)) => match Direction::of_jump(pc, t) {
+                Direction::Backward => BranchTrajectory::TakenBackward,
+                Direction::Forward => BranchTrajectory::TakenForward,
+            },
+            // A taken branch with no recorded target (syscall) is treated
+            // as forward: control leaves the code downwards.
+            (Outcome::Taken, None) => BranchTrajectory::TakenForward,
+        }
+    }
+
+    /// The taken direction, if taken.
+    #[inline]
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            BranchTrajectory::NotTaken => None,
+            BranchTrajectory::TakenBackward => Some(Direction::Backward),
+            BranchTrajectory::TakenForward => Some(Direction::Forward),
+        }
+    }
+}
+
+impl fmt::Display for BranchTrajectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchTrajectory::NotTaken => f.write_str("not-taken"),
+            BranchTrajectory::TakenBackward => f.write_str("taken-backward"),
+            BranchTrajectory::TakenForward => f.write_str("taken-forward"),
+        }
+    }
+}
+
+/// A static instruction: address, byte length, and class.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_isa::{Addr, BranchKind, InstClass, Instruction};
+///
+/// let inst = Instruction::new(Addr::new(0x1000), 5, InstClass::Branch(BranchKind::Call));
+/// assert_eq!(inst.end(), Addr::new(0x1005));
+/// assert!(inst.class.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Start address.
+    pub addr: Addr,
+    /// Encoded length in bytes (1..=15 on x86; we synthesize 2..=8).
+    pub len: u8,
+    /// Instruction class.
+    pub class: InstClass,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn new(addr: Addr, len: u8, class: InstClass) -> Self {
+        assert!(len > 0, "instruction length must be non-zero");
+        Instruction { addr, len, class }
+    }
+
+    /// Address one past the last byte of this instruction — the
+    /// fall-through PC.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.addr + u64::from(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kind_predicates() {
+        assert!(BranchKind::CondDirect.is_conditional());
+        assert!(!BranchKind::UncondDirect.is_conditional());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(BranchKind::IndirectBranch.is_indirect());
+        assert!(!BranchKind::Call.is_indirect());
+        assert!(BranchKind::Call.is_call());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(!BranchKind::Return.is_call());
+        assert!(!BranchKind::Syscall.uses_btb());
+        assert!(BranchKind::CondDirect.uses_btb());
+    }
+
+    #[test]
+    fn branch_kind_all_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in BranchKind::ALL {
+            assert!(seen.insert(k), "duplicate kind {k:?}");
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn inst_class_accessors() {
+        assert_eq!(InstClass::Other.branch_kind(), None);
+        assert_eq!(
+            InstClass::Branch(BranchKind::Return).branch_kind(),
+            Some(BranchKind::Return)
+        );
+        assert!(InstClass::Branch(BranchKind::Call).is_branch());
+        assert!(!InstClass::Other.is_branch());
+        assert_eq!(InstClass::default(), InstClass::Other);
+    }
+
+    #[test]
+    fn outcome_conversions() {
+        assert_eq!(Outcome::from_taken(true), Outcome::Taken);
+        assert_eq!(Outcome::from_taken(false), Outcome::NotTaken);
+        assert!(Outcome::Taken.is_taken());
+        assert!(!Outcome::NotTaken.is_taken());
+    }
+
+    #[test]
+    fn trajectory_classification() {
+        let pc = Addr::new(0x100);
+        assert_eq!(
+            BranchTrajectory::classify(Outcome::NotTaken, pc, Some(Addr::new(0x80))),
+            BranchTrajectory::NotTaken
+        );
+        assert_eq!(
+            BranchTrajectory::classify(Outcome::Taken, pc, Some(Addr::new(0x80))),
+            BranchTrajectory::TakenBackward
+        );
+        assert_eq!(
+            BranchTrajectory::classify(Outcome::Taken, pc, Some(Addr::new(0x180))),
+            BranchTrajectory::TakenForward
+        );
+        assert_eq!(
+            BranchTrajectory::classify(Outcome::Taken, pc, None),
+            BranchTrajectory::TakenForward
+        );
+    }
+
+    #[test]
+    fn trajectory_direction() {
+        use crate::addr::Direction;
+        assert_eq!(BranchTrajectory::NotTaken.direction(), None);
+        assert_eq!(
+            BranchTrajectory::TakenBackward.direction(),
+            Some(Direction::Backward)
+        );
+        assert_eq!(
+            BranchTrajectory::TakenForward.direction(),
+            Some(Direction::Forward)
+        );
+    }
+
+    #[test]
+    fn instruction_end() {
+        let i = Instruction::new(Addr::new(100), 7, InstClass::Other);
+        assert_eq!(i.end(), Addr::new(107));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn instruction_rejects_zero_length() {
+        Instruction::new(Addr::new(0), 0, InstClass::Other);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(BranchKind::Call.to_string(), "call");
+        assert_eq!(BranchKind::IndirectBranch.to_string(), "indirect branch");
+        assert_eq!(Outcome::Taken.to_string(), "taken");
+        assert_eq!(
+            BranchTrajectory::TakenBackward.to_string(),
+            "taken-backward"
+        );
+        assert_eq!(InstClass::Other.to_string(), "other");
+        assert_eq!(
+            InstClass::Branch(BranchKind::Syscall).to_string(),
+            "branch(syscall)"
+        );
+    }
+}

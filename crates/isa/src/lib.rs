@@ -1,0 +1,36 @@
+//! Instruction-set model for the front-end rebalancing study.
+//!
+//! This crate defines the *vocabulary* shared by every other crate in the
+//! workspace: instruction addresses ([`Addr`]), instruction classes
+//! ([`InstClass`] and [`BranchKind`]), dynamic branch outcomes
+//! ([`Direction`] and [`BranchTrajectory`]), and an x86-like variable
+//! instruction-length model ([`LengthModel`]).
+//!
+//! The paper instruments x86 binaries compiled with `gcc -O3` on a Sandy
+//! Bridge host; all of its footprint and line-usefulness metrics are
+//! expressed in *bytes*, so instruction byte lengths matter while opcode
+//! semantics do not. We therefore model instructions as `(address, length,
+//! class)` triples and branches additionally carry a dynamic outcome.
+//!
+//! # Examples
+//!
+//! ```
+//! use rebalance_isa::{Addr, BranchKind, Direction};
+//!
+//! let pc = Addr::new(0x40_1000);
+//! let target = Addr::new(0x40_0f80);
+//! // A conditional branch jumping to a lower address is a backward branch.
+//! assert_eq!(Direction::of_jump(pc, target), Direction::Backward);
+//! assert!(BranchKind::CondDirect.is_conditional());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod encoding;
+mod inst;
+
+pub use addr::{Addr, Direction};
+pub use encoding::{LengthModel, MAX_INST_LEN, MIN_INST_LEN};
+pub use inst::{BranchKind, BranchTrajectory, InstClass, Instruction, Outcome};

@@ -1,0 +1,206 @@
+//! CMP-level aggregation: the paper's four chip configurations.
+
+use rebalance_frontend::CoreKind;
+use serde::{Deserialize, Serialize};
+
+use crate::core_model::CoreEstimate;
+use crate::structures::{l2_estimate, StructureEstimate};
+
+/// A chip floorplan: per-core kinds plus private L2s.
+///
+/// Shared resources (L3, interconnect) are identical across every
+/// configuration the paper compares and are therefore excluded, exactly
+/// as in Figure 10 ("we analyse only cores and L2 caches").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmpFloorplan {
+    /// Display name (e.g. `"Baseline CMP (8B cores)"`).
+    pub name: String,
+    /// Kind of each core on the chip.
+    pub cores: Vec<CoreKind>,
+    /// Private L2 size per core, in KB (256 in the paper's setup).
+    pub l2_kb_per_core: usize,
+}
+
+impl CmpFloorplan {
+    /// `n` baseline cores — the paper's *Baseline CMP*.
+    pub fn baseline(n: usize) -> Self {
+        CmpFloorplan {
+            name: format!("Baseline CMP ({n}B cores)"),
+            cores: vec![CoreKind::Baseline; n],
+            l2_kb_per_core: 256,
+        }
+    }
+
+    /// `n` tailored cores — the paper's *Tailored CMP*.
+    pub fn tailored(n: usize) -> Self {
+        CmpFloorplan {
+            name: format!("Tailored CMP ({n}T cores)"),
+            cores: vec![CoreKind::Tailored; n],
+            l2_kb_per_core: 256,
+        }
+    }
+
+    /// `nb` baseline + `nt` tailored cores (master first) — the paper's
+    /// *Asymmetric* (1B+7T) and *Asymmetric++* (1B+8T) CMPs.
+    pub fn asymmetric(nb: usize, nt: usize) -> Self {
+        let mut cores = vec![CoreKind::Baseline; nb];
+        cores.extend(std::iter::repeat_n(CoreKind::Tailored, nt));
+        CmpFloorplan {
+            name: format!("Asymmetric CMP ({nb}B+{nt}T cores)"),
+            cores,
+            l2_kb_per_core: 256,
+        }
+    }
+
+    /// The four Figure 10 configurations, in presentation order.
+    pub fn figure10_set() -> Vec<CmpFloorplan> {
+        vec![
+            Self::baseline(8),
+            Self::tailored(8),
+            Self::asymmetric(1, 7),
+            Self::asymmetric(1, 8),
+        ]
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Estimates the floorplan's silicon cost.
+    pub fn estimate(&self) -> CmpEstimate {
+        let cores: Vec<CoreEstimate> = self
+            .cores
+            .iter()
+            .map(|&k| CoreEstimate::for_core(k))
+            .collect();
+        let l2 = l2_estimate(self.l2_kb_per_core);
+        CmpEstimate { cores, l2 }
+    }
+}
+
+/// Aggregated CMP estimate (cores + private L2s).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmpEstimate {
+    cores: Vec<CoreEstimate>,
+    l2: StructureEstimate,
+}
+
+impl CmpEstimate {
+    /// Per-core estimates.
+    pub fn cores(&self) -> &[CoreEstimate] {
+        &self.cores
+    }
+
+    /// Total core area (the paper's area-budget argument is at the core
+    /// level; L2s are identical per core across configurations).
+    pub fn core_area_mm2(&self) -> f64 {
+        self.cores.iter().map(|c| c.area_mm2()).sum()
+    }
+
+    /// Total area including private L2s.
+    pub fn area_mm2(&self) -> f64 {
+        self.core_area_mm2() + self.l2.area_mm2 * self.cores.len() as f64
+    }
+
+    /// Chip power given one activity factor per core (idle cores leak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activities.len() != self.cores().len()`.
+    pub fn power_at(&self, activities: &[f64]) -> f64 {
+        assert_eq!(
+            activities.len(),
+            self.cores.len(),
+            "one activity factor per core"
+        );
+        let cores: f64 = self
+            .cores
+            .iter()
+            .zip(activities)
+            .map(|(c, &a)| c.power_at(a))
+            .sum();
+        cores + self.l2.power_w * self.cores.len() as f64
+    }
+
+    /// Chip power with every core at nominal activity.
+    pub fn nominal_power_w(&self) -> f64 {
+        let ones = vec![1.0; self.cores.len()];
+        self.power_at(&ones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_set_shapes() {
+        let set = CmpFloorplan::figure10_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].num_cores(), 8);
+        assert_eq!(set[1].num_cores(), 8);
+        assert_eq!(set[2].num_cores(), 8);
+        assert_eq!(set[3].num_cores(), 9);
+        assert!(set[2].cores[0] == CoreKind::Baseline);
+        assert!(set[2].cores[1..].iter().all(|&k| k == CoreKind::Tailored));
+        assert!(set[0].name.contains("Baseline"));
+        assert!(set[3].name.contains("1B+8T"));
+    }
+
+    #[test]
+    fn asymmetric_pp_fits_the_baseline_core_area_budget() {
+        // The paper's headline: 16% core-area savings buy an extra
+        // tailored core under the same area budget.
+        let baseline = CmpFloorplan::baseline(8).estimate();
+        let asym_pp = CmpFloorplan::asymmetric(1, 8).estimate();
+        assert!(
+            asym_pp.core_area_mm2() <= baseline.core_area_mm2(),
+            "asym++ {} vs baseline {}",
+            asym_pp.core_area_mm2(),
+            baseline.core_area_mm2()
+        );
+    }
+
+    #[test]
+    fn tailored_cmp_uses_less_power() {
+        let baseline = CmpFloorplan::baseline(8).estimate();
+        let tailored = CmpFloorplan::tailored(8).estimate();
+        assert!(tailored.nominal_power_w() < baseline.nominal_power_w());
+    }
+
+    #[test]
+    fn asymmetric_pp_power_is_modestly_higher() {
+        // Paper: Asymmetric++ demands ~4% more power than Baseline CMP.
+        let baseline = CmpFloorplan::baseline(8).estimate();
+        let asym_pp = CmpFloorplan::asymmetric(1, 8).estimate();
+        let ratio = asym_pp.nominal_power_w() / baseline.nominal_power_w();
+        assert!(
+            (1.0..=1.10).contains(&ratio),
+            "power ratio {ratio} (paper: ~1.04)"
+        );
+    }
+
+    #[test]
+    fn idle_cores_reduce_power() {
+        let est = CmpFloorplan::baseline(2).estimate();
+        let busy = est.power_at(&[1.0, 1.0]);
+        let half = est.power_at(&[1.0, 0.0]);
+        assert!(half < busy);
+        assert!(half > busy / 2.0, "idle core still leaks");
+    }
+
+    #[test]
+    #[should_panic(expected = "one activity factor per core")]
+    fn activity_length_checked() {
+        let est = CmpFloorplan::baseline(2).estimate();
+        let _ = est.power_at(&[1.0]);
+    }
+
+    #[test]
+    fn area_includes_l2() {
+        let est = CmpFloorplan::baseline(4).estimate();
+        assert!(est.area_mm2() > est.core_area_mm2());
+        assert_eq!(est.cores().len(), 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Whole-core area/power estimates (Table III totals).
+
+use rebalance_frontend::{CoreKind, FrontendConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::structures::{btb_estimate, icache_estimate, predictor_estimate, StructureEstimate};
+use crate::technology::Technology;
+
+/// Everything in the Cortex-A9-class core that is *not* one of the three
+/// front-end structures under study: 2.49 − (0.31 + 0.14 + 0.125) mm²
+/// and 0.85 − (0.075 + 0.032 + 0.017) W, from Table III.
+const REST_OF_CORE: StructureEstimate = StructureEstimate {
+    area_mm2: 1.915,
+    power_w: 0.726,
+};
+
+/// Per-structure breakdown of a core estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreBreakdown {
+    /// Instruction cache.
+    pub icache: StructureEstimate,
+    /// Branch predictor (including the loop BP when configured).
+    pub predictor: StructureEstimate,
+    /// Branch target buffer.
+    pub btb: StructureEstimate,
+    /// Everything else (back-end, L1D, TLBs, clocking...).
+    pub rest: StructureEstimate,
+}
+
+/// Area/power estimate of one core.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::CoreKind;
+/// use rebalance_mcpat::CoreEstimate;
+///
+/// let b = CoreEstimate::for_core(CoreKind::Baseline);
+/// assert!((b.area_mm2() - 2.49).abs() < 0.03); // Table III total
+/// assert!((b.power_w() - 0.85).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreEstimate {
+    breakdown: CoreBreakdown,
+    tech: Technology,
+}
+
+impl CoreEstimate {
+    /// Estimates a core with the given front-end configuration.
+    pub fn for_frontend(cfg: &FrontendConfig) -> Self {
+        CoreEstimate {
+            breakdown: CoreBreakdown {
+                icache: icache_estimate(&cfg.icache),
+                predictor: predictor_estimate(&cfg.predictor),
+                btb: btb_estimate(&cfg.btb),
+                rest: REST_OF_CORE,
+            },
+            tech: Technology::n40(),
+        }
+    }
+
+    /// Estimates one of the paper's two core designs.
+    pub fn for_core(kind: CoreKind) -> Self {
+        Self::for_frontend(&FrontendConfig::for_core(kind))
+    }
+
+    /// The per-structure breakdown.
+    pub fn breakdown(&self) -> &CoreBreakdown {
+        &self.breakdown
+    }
+
+    /// Total core area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        let b = &self.breakdown;
+        b.icache.area_mm2 + b.predictor.area_mm2 + b.btb.area_mm2 + b.rest.area_mm2
+    }
+
+    /// Total core power at nominal activity, in watts.
+    pub fn power_w(&self) -> f64 {
+        let b = &self.breakdown;
+        b.icache.power_w + b.predictor.power_w + b.btb.power_w + b.rest.power_w
+    }
+
+    /// Core power at an activity factor (1.0 = nominal IPC; idle cores
+    /// still leak).
+    pub fn power_at(&self, activity: f64) -> f64 {
+        let b = &self.breakdown;
+        b.icache.power_at(&self.tech, activity)
+            + b.predictor.power_at(&self.tech, activity)
+            + b.btb.power_at(&self.tech, activity)
+            + b.rest.power_at(&self.tech, activity)
+    }
+
+    /// The technology point used.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Front-end (I-cache + BP + BTB) share of core area.
+    pub fn frontend_area_fraction(&self) -> f64 {
+        let b = &self.breakdown;
+        let fe = b.icache.area_mm2 + b.predictor.area_mm2 + b.btb.area_mm2;
+        fe / self.area_mm2()
+    }
+
+    /// Front-end share of core power.
+    pub fn frontend_power_fraction(&self) -> f64 {
+        let b = &self.breakdown;
+        let fe = b.icache.power_w + b.predictor.power_w + b.btb.power_w;
+        fe / self.power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_totals_match_table_iii() {
+        let b = CoreEstimate::for_core(CoreKind::Baseline);
+        assert!((b.area_mm2() - 2.49).abs() < 0.02, "{}", b.area_mm2());
+        assert!((b.power_w() - 0.85).abs() < 0.01, "{}", b.power_w());
+    }
+
+    #[test]
+    fn tailored_totals_match_table_iii() {
+        let t = CoreEstimate::for_core(CoreKind::Tailored);
+        // Paper: 2.11 mm² (84%) and 0.79 W (93%).
+        assert!((t.area_mm2() - 2.11).abs() < 0.03, "{}", t.area_mm2());
+        assert!((t.power_w() - 0.79).abs() < 0.015, "{}", t.power_w());
+    }
+
+    #[test]
+    fn headline_savings_match_the_abstract() {
+        let b = CoreEstimate::for_core(CoreKind::Baseline);
+        let t = CoreEstimate::for_core(CoreKind::Tailored);
+        let area_saving = 1.0 - t.area_mm2() / b.area_mm2();
+        let power_saving = 1.0 - t.power_w() / b.power_w();
+        assert!(
+            (0.14..=0.18).contains(&area_saving),
+            "area saving {area_saving} (paper: 16%)"
+        );
+        assert!(
+            (0.05..=0.09).contains(&power_saving),
+            "power saving {power_saving} (paper: 7%)"
+        );
+    }
+
+    #[test]
+    fn frontend_shares_match_the_motivation() {
+        // The paper motivates the study with lean cores spending ~25% of
+        // area and a significant power share on instruction delivery.
+        let b = CoreEstimate::for_core(CoreKind::Baseline);
+        assert!(
+            (0.18..=0.30).contains(&b.frontend_area_fraction()),
+            "{}",
+            b.frontend_area_fraction()
+        );
+        assert!(
+            (0.10..=0.20).contains(&b.frontend_power_fraction()),
+            "{}",
+            b.frontend_power_fraction()
+        );
+    }
+
+    #[test]
+    fn idle_core_still_leaks() {
+        let b = CoreEstimate::for_core(CoreKind::Baseline);
+        let idle = b.power_at(0.0);
+        assert!(idle > 0.2 * b.power_w());
+        assert!(idle < b.power_w());
+        assert!((b.power_at(1.0) - b.power_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_totals() {
+        let t = CoreEstimate::for_core(CoreKind::Tailored);
+        let b = t.breakdown();
+        let sum = b.icache.area_mm2 + b.predictor.area_mm2 + b.btb.area_mm2 + b.rest.area_mm2;
+        assert!((sum - t.area_mm2()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Energy and energy-delay helpers (Figure 10c/d).
+
+/// Energy in joules from average power and execution time.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_mcpat::energy_joules;
+///
+/// assert_eq!(energy_joules(2.0, 3.0), 6.0);
+/// ```
+pub fn energy_joules(power_w: f64, seconds: f64) -> f64 {
+    power_w * seconds
+}
+
+/// Energy-delay product (J·s).
+pub fn ed_product(power_w: f64, seconds: f64) -> f64 {
+    energy_joules(power_w, seconds) * seconds
+}
+
+/// Energy-delay² product (J·s²).
+pub fn ed2_product(power_w: f64, seconds: f64) -> f64 {
+    ed_product(power_w, seconds) * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definitions() {
+        assert_eq!(energy_joules(4.0, 0.5), 2.0);
+        assert_eq!(ed_product(4.0, 0.5), 1.0);
+        assert_eq!(ed2_product(4.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn faster_and_slightly_hungrier_wins_on_ed() {
+        // The Asymmetric++ trade-off: +4% power, -12% time.
+        let base = ed_product(1.0, 1.0);
+        let asym = ed_product(1.04, 0.88);
+        assert!(asym < base);
+        // ...and on energy too.
+        assert!(energy_joules(1.04, 0.88) < energy_joules(1.0, 1.0));
+    }
+}

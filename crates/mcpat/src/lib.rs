@@ -1,0 +1,48 @@
+//! McPAT-lite: area, power, and energy models at 40 nm, calibrated to
+//! the paper's Table III (ARM Cortex-A9-class core, McPAT + CACTI).
+//!
+//! The paper's absolute numbers are the calibration anchors:
+//!
+//! | structure | config | area (mm²) | power (W) |
+//! |---|---|---|---|
+//! | total core | baseline | 2.49 | 0.85 |
+//! | I-cache | 32 KB, 64 B line | 0.31 | 0.075 |
+//! | branch predictor | 16 KB tournament | 0.14 | 0.032 |
+//! | BTB | 2K entries | 0.125 | 0.017 |
+//! | I-cache | 16 KB, 128 B line | 0.14 | 0.049 |
+//! | BP + loop BP | 2.5 KB | 0.04 | 0.011 |
+//! | BTB | 256 entries | 0.022 | 0.002 |
+//!
+//! Each structure family uses a two-parameter linear model
+//! (`per-bit slope + fixed overhead`) fitted *exactly* through its two
+//! anchor configurations, so Table III is reproduced by construction and
+//! intermediate geometries interpolate sensibly.
+//!
+//! # Examples
+//!
+//! ```
+//! use rebalance_frontend::CoreKind;
+//! use rebalance_mcpat::CoreEstimate;
+//!
+//! let baseline = CoreEstimate::for_core(CoreKind::Baseline);
+//! let tailored = CoreEstimate::for_core(CoreKind::Tailored);
+//! let area_saving = 1.0 - tailored.area_mm2() / baseline.area_mm2();
+//! assert!((0.13..=0.19).contains(&area_saving)); // paper: 16%
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cmp;
+mod core_model;
+mod energy;
+mod structures;
+mod technology;
+
+pub use cmp::{CmpEstimate, CmpFloorplan};
+pub use core_model::{CoreBreakdown, CoreEstimate};
+pub use energy::{ed2_product, ed_product, energy_joules};
+pub use structures::{
+    btb_estimate, icache_estimate, l2_estimate, predictor_estimate, StructureEstimate,
+};
+pub use technology::Technology;

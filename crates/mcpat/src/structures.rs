@@ -1,0 +1,262 @@
+//! Per-structure area/power estimators, two-point calibrated to
+//! Table III.
+
+use rebalance_frontend::predictor::DirectionPredictor;
+use rebalance_frontend::{BtbConfig, CacheConfig, PredictorChoice};
+use serde::{Deserialize, Serialize};
+
+use crate::technology::Technology;
+
+/// Estimated silicon cost of one hardware structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StructureEstimate {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Total power in watts at nominal activity.
+    pub power_w: f64,
+}
+
+impl StructureEstimate {
+    /// Static (leakage) share of the power.
+    pub fn static_w(&self, tech: &Technology) -> f64 {
+        self.power_w * tech.static_power_fraction
+    }
+
+    /// Dynamic power at the given activity factor (1.0 = nominal).
+    pub fn dynamic_w(&self, tech: &Technology, activity: f64) -> f64 {
+        self.power_w * (1.0 - tech.static_power_fraction) * activity
+    }
+
+    /// Power at an activity factor.
+    pub fn power_at(&self, tech: &Technology, activity: f64) -> f64 {
+        self.static_w(tech) + self.dynamic_w(tech, activity)
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &StructureEstimate) -> StructureEstimate {
+        StructureEstimate {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_w: self.power_w + other.power_w,
+        }
+    }
+}
+
+// --- I-cache fit -----------------------------------------------------
+// Anchors: 32KB/64B -> (0.31 mm², 0.075 W); 16KB/128B -> (0.14, 0.049).
+// Model: area = A_BIT * data_and_tag_bits + A_LINE * lines
+//        power = P_FIX + P_BIT * data_and_tag_bits
+const ICACHE_TAG_BITS: f64 = 22.0;
+const ICACHE_A_BIT: f64 = 9.5367431640625e-7;
+const ICACHE_A_LINE: f64 = 9.62154e-5;
+const ICACHE_P_FIX: f64 = 2.40504e-2;
+const ICACHE_P_BIT: f64 = 1.86353e-7;
+
+fn icache_bits(cfg: &CacheConfig) -> f64 {
+    let data_bits = cfg.size_bytes as f64 * 8.0;
+    let tag_bits = cfg.lines() as f64 * ICACHE_TAG_BITS;
+    data_bits + tag_bits
+}
+
+/// Area/power of an instruction cache.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::CacheConfig;
+/// use rebalance_mcpat::icache_estimate;
+///
+/// let baseline = icache_estimate(&CacheConfig::new(32 * 1024, 64, 4));
+/// assert!((baseline.area_mm2 - 0.31).abs() < 0.01); // Table III
+/// assert!((baseline.power_w - 0.075).abs() < 0.003);
+/// ```
+pub fn icache_estimate(cfg: &CacheConfig) -> StructureEstimate {
+    let bits = icache_bits(cfg);
+    StructureEstimate {
+        area_mm2: ICACHE_A_BIT * bits + ICACHE_A_LINE * cfg.lines() as f64,
+        power_w: ICACHE_P_FIX + ICACHE_P_BIT * bits,
+    }
+}
+
+// --- Branch predictor fit ---------------------------------------------
+// Anchors: 16KB (131072 bits) -> (0.14, 0.032);
+//          2.5KB small+LBP (20480 bits) -> (0.04, 0.011).
+const BP_A_BIT: f64 = 9.0422e-7;
+const BP_A_FIX: f64 = 2.1482e-2;
+const BP_P_BIT: f64 = 1.8989e-7;
+const BP_P_FIX: f64 = 7.1119e-3;
+
+/// Area/power of a branch predictor from its hardware budget in bits.
+pub fn predictor_estimate_bits(budget_bits: u64) -> StructureEstimate {
+    let bits = budget_bits as f64;
+    StructureEstimate {
+        area_mm2: BP_A_BIT * bits + BP_A_FIX,
+        power_w: BP_P_BIT * bits + BP_P_FIX,
+    }
+}
+
+/// Area/power of one of the paper's predictor configurations.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::{PredictorChoice, PredictorClass, PredictorSize};
+/// use rebalance_mcpat::predictor_estimate;
+///
+/// let big = PredictorChoice::new(PredictorClass::Tournament, PredictorSize::Big, false);
+/// let e = predictor_estimate(&big);
+/// assert!((e.area_mm2 - 0.14).abs() < 0.01); // Table III
+/// ```
+pub fn predictor_estimate(choice: &PredictorChoice) -> StructureEstimate {
+    predictor_estimate_bits(choice.build().budget_bits())
+}
+
+// --- BTB fit -----------------------------------------------------------
+// Entry ≈ tag + target = 52 bits.
+// Anchors: 2K entries (106496 bits) -> (0.125, 0.017);
+//          256 entries (13312 bits) -> (0.022, 0.002).
+const BTB_ENTRY_BITS: f64 = 52.0;
+const BTB_A_BIT: f64 = 1.1053e-6;
+const BTB_A_FIX: f64 = 7.2861e-3;
+const BTB_P_BIT: f64 = 1.6096e-7;
+const BTB_P_FIX: f64 = -1.4286e-4;
+
+/// Area/power of a branch target buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_frontend::BtbConfig;
+/// use rebalance_mcpat::btb_estimate;
+///
+/// let big = btb_estimate(&BtbConfig::new(2048, 8));
+/// assert!((big.area_mm2 - 0.125).abs() < 0.005); // Table III
+/// ```
+pub fn btb_estimate(cfg: &BtbConfig) -> StructureEstimate {
+    let bits = cfg.entries as f64 * BTB_ENTRY_BITS;
+    StructureEstimate {
+        area_mm2: BTB_A_BIT * bits + BTB_A_FIX,
+        power_w: (BTB_P_BIT * bits + BTB_P_FIX).max(0.0),
+    }
+}
+
+// --- L2 ------------------------------------------------------------------
+// The private 256KB L2 is identical across every configuration the paper
+// compares; McPAT-class constants for a 40nm 256KB SRAM bank.
+const L2_AREA_PER_KB: f64 = 0.0078; // mm²/KB
+const L2_POWER_PER_KB: f64 = 5.5e-4; // W/KB (leakage-dominated)
+
+/// Area/power of a private unified L2 of `kb` kilobytes.
+pub fn l2_estimate(kb: usize) -> StructureEstimate {
+    StructureEstimate {
+        area_mm2: L2_AREA_PER_KB * kb as f64,
+        power_w: L2_POWER_PER_KB * kb as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_frontend::{PredictorClass, PredictorSize};
+
+    #[test]
+    fn icache_hits_both_anchors() {
+        let base = icache_estimate(&CacheConfig::new(32 * 1024, 64, 4));
+        assert!((base.area_mm2 - 0.31).abs() < 0.01, "{}", base.area_mm2);
+        assert!((base.power_w - 0.075).abs() < 0.002, "{}", base.power_w);
+        let tail = icache_estimate(&CacheConfig::new(16 * 1024, 128, 8));
+        assert!((tail.area_mm2 - 0.14).abs() < 0.01, "{}", tail.area_mm2);
+        assert!((tail.power_w - 0.049).abs() < 0.002, "{}", tail.power_w);
+    }
+
+    #[test]
+    fn icache_monotone_in_size() {
+        let sizes = [8, 16, 32, 64];
+        let mut last = 0.0;
+        for kb in sizes {
+            let e = icache_estimate(&CacheConfig::new(kb * 1024, 64, 4));
+            assert!(e.area_mm2 > last);
+            last = e.area_mm2;
+        }
+    }
+
+    #[test]
+    fn wider_lines_cost_less_tag_overhead() {
+        let narrow = icache_estimate(&CacheConfig::new(16 * 1024, 32, 4));
+        let wide = icache_estimate(&CacheConfig::new(16 * 1024, 128, 4));
+        assert!(wide.area_mm2 < narrow.area_mm2);
+    }
+
+    #[test]
+    fn predictor_hits_both_anchors() {
+        // Big tournament = 16KB = 131072 bits.
+        let big = predictor_estimate_bits(131072);
+        assert!((big.area_mm2 - 0.14).abs() < 0.005);
+        assert!((big.power_w - 0.032).abs() < 0.002);
+        // Small tournament + LBP ≈ 2.5KB = 20480 bits.
+        let small = predictor_estimate_bits(20480);
+        assert!((small.area_mm2 - 0.04).abs() < 0.005);
+        assert!((small.power_w - 0.011).abs() < 0.002);
+    }
+
+    #[test]
+    fn predictor_choice_estimates_track_budgets() {
+        let big = PredictorChoice::new(PredictorClass::Tournament, PredictorSize::Big, false);
+        let small = PredictorChoice::new(PredictorClass::Tournament, PredictorSize::Small, true);
+        let e_big = predictor_estimate(&big);
+        let e_small = predictor_estimate(&small);
+        assert!(e_big.area_mm2 > 2.0 * e_small.area_mm2);
+        assert!((e_big.area_mm2 - 0.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn btb_hits_both_anchors() {
+        let big = btb_estimate(&BtbConfig::new(2048, 8));
+        assert!((big.area_mm2 - 0.125).abs() < 0.003, "{}", big.area_mm2);
+        assert!((big.power_w - 0.017).abs() < 0.001);
+        let small = btb_estimate(&BtbConfig::new(256, 8));
+        assert!((small.area_mm2 - 0.022).abs() < 0.003, "{}", small.area_mm2);
+        assert!((small.power_w - 0.002).abs() < 0.001);
+    }
+
+    #[test]
+    fn btb_power_never_negative() {
+        let tiny = btb_estimate(&BtbConfig::new(2, 2));
+        assert!(tiny.power_w >= 0.0);
+    }
+
+    #[test]
+    fn l2_scales_linearly() {
+        let l2 = l2_estimate(256);
+        assert!((l2.area_mm2 - 2.0).abs() < 0.5);
+        assert!((0.1..=0.2).contains(&l2.power_w));
+        assert!((l2_estimate(512).area_mm2 - 2.0 * l2.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_scaling() {
+        let tech = Technology::n40();
+        let e = StructureEstimate {
+            area_mm2: 1.0,
+            power_w: 1.0,
+        };
+        assert!((e.static_w(&tech) - 0.4).abs() < 1e-12);
+        assert!((e.power_at(&tech, 1.0) - 1.0).abs() < 1e-12);
+        assert!((e.power_at(&tech, 0.5) - 0.7).abs() < 1e-12);
+        assert!((e.power_at(&tech, 0.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_combines() {
+        let a = StructureEstimate {
+            area_mm2: 0.1,
+            power_w: 0.2,
+        };
+        let b = StructureEstimate {
+            area_mm2: 0.3,
+            power_w: 0.4,
+        };
+        let c = a.add(&b);
+        assert!((c.area_mm2 - 0.4).abs() < 1e-12);
+        assert!((c.power_w - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! Technology constants (40 nm planar, matching the paper's McPAT runs).
+
+use serde::{Deserialize, Serialize};
+
+/// Process technology parameters.
+///
+/// Only 40 nm is calibrated (the paper's node); the struct exists so the
+/// calibration source is explicit and future nodes could scale from it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Feature size in nanometres.
+    pub node_nm: u32,
+    /// Fraction of structure power that is static (leakage) at this
+    /// node; the remainder scales with activity.
+    pub static_power_fraction: f64,
+    /// Nominal clock frequency in Hz for the lean-core design point.
+    pub frequency_hz: f64,
+}
+
+impl Technology {
+    /// The paper's 40 nm design point (Cortex-A9 class, 2 GHz McPAT
+    /// configuration).
+    pub fn n40() -> Self {
+        Technology {
+            node_nm: 40,
+            static_power_fraction: 0.40,
+            frequency_hz: 2.0e9,
+        }
+    }
+
+    /// Cycle time in seconds.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::n40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n40_constants() {
+        let t = Technology::n40();
+        assert_eq!(t.node_nm, 40);
+        assert!((t.static_power_fraction - 0.4).abs() < 1e-12);
+        assert!((t.cycle_seconds() - 0.5e-9).abs() < 1e-21);
+        assert_eq!(Technology::default(), t);
+    }
+}

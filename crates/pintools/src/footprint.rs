@@ -1,0 +1,231 @@
+//! Figure 3: static instruction footprint and the memory needed to hold
+//! 99% of dynamic instructions.
+
+use std::collections::HashMap;
+
+use rebalance_trace::{Pintool, Program, Section, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+use rebalance_trace::BySection;
+
+/// Footprint numbers for one section (or the total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FootprintNumbers {
+    /// Bytes of distinct instructions ever executed (the *touched*
+    /// footprint).
+    pub touched_bytes: u64,
+    /// Bytes needed to hold 99% of dynamic instructions.
+    pub dyn99_bytes: u64,
+    /// Dynamic instructions observed.
+    pub instructions: u64,
+}
+
+impl FootprintNumbers {
+    /// `dyn99` in KB.
+    pub fn dyn99_kb(&self) -> f64 {
+        self.dyn99_bytes as f64 / 1024.0
+    }
+
+    /// Touched footprint in KB.
+    pub fn touched_kb(&self) -> f64 {
+        self.touched_bytes as f64 / 1024.0
+    }
+}
+
+/// Full report, including the whole-program static footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FootprintReport {
+    /// Per-section dynamic footprints.
+    pub sections: BySection<FootprintNumbers>,
+    /// Combined dynamic footprint.
+    pub total: FootprintNumbers,
+    /// Static code bytes of the whole program (Figure 3's second series).
+    pub static_bytes: u64,
+}
+
+impl FootprintReport {
+    /// Static footprint in KB.
+    pub fn static_kb(&self) -> f64 {
+        self.static_bytes as f64 / 1024.0
+    }
+}
+
+/// The Figure 3 pintool: per-PC execution counting.
+///
+/// Equivalent to the paper's basic-block counting pintool: afterwards,
+/// instructions are sorted by execution count and accumulated until the
+/// requested coverage is reached.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_pintools::FootprintTool;
+///
+/// let tool = FootprintTool::new();
+/// assert_eq!(tool.dynamic_footprint(0.99).total.instructions, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct FootprintTool {
+    /// pc -> (count, len, section of first execution).
+    counts: HashMap<u64, (u64, u8, Section)>,
+}
+
+impl FootprintTool {
+    /// Creates an empty tool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes footprints at the given dynamic coverage (the paper uses
+    /// `0.99`), without static information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is not within `(0, 1]`.
+    pub fn dynamic_footprint(&self, coverage: f64) -> FootprintReport {
+        assert!(
+            coverage > 0.0 && coverage <= 1.0,
+            "coverage must be in (0,1], got {coverage}"
+        );
+        let mut per_section: BySection<Vec<(u64, u8)>> = BySection::default();
+        let mut all: Vec<(u64, u8)> = Vec::with_capacity(self.counts.len());
+        for &(count, len, section) in self.counts.values() {
+            per_section.get_mut(section).push((count, len));
+            all.push((count, len));
+        }
+        let sections = per_section.map(|v| summarize(v.clone(), coverage));
+        let total = summarize(all, coverage);
+        FootprintReport {
+            sections,
+            total,
+            static_bytes: 0,
+        }
+    }
+
+    /// Computes the full report including the program's static footprint.
+    pub fn report(&self, program: &Program, coverage: f64) -> FootprintReport {
+        let mut r = self.dynamic_footprint(coverage);
+        r.static_bytes = program.static_bytes();
+        r
+    }
+
+    /// Number of distinct instructions observed.
+    pub fn distinct_instructions(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+fn summarize(mut entries: Vec<(u64, u8)>, coverage: f64) -> FootprintNumbers {
+    let instructions: u64 = entries.iter().map(|(c, _)| *c).sum();
+    let touched_bytes: u64 = entries.iter().map(|(_, l)| u64::from(*l)).sum();
+    // Total order (count desc, len desc): equal pairs are interchangeable,
+    // so the cut-off is deterministic despite HashMap iteration order.
+    entries.sort_unstable_by(|a, b| b.cmp(a));
+    let target = instructions as f64 * coverage;
+    let mut covered = 0u64;
+    let mut bytes = 0u64;
+    for (count, len) in entries {
+        if covered as f64 >= target {
+            break;
+        }
+        covered += count;
+        bytes += u64::from(len);
+    }
+    FootprintNumbers {
+        touched_bytes,
+        dyn99_bytes: bytes,
+        instructions,
+    }
+}
+
+impl Pintool for FootprintTool {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        let entry = self
+            .counts
+            .entry(ev.pc.as_u64())
+            .or_insert((0, ev.len, ev.section));
+        entry.0 += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_isa::{Addr, InstClass};
+
+    fn ev(pc: u64, len: u8, section: Section) -> TraceEvent {
+        TraceEvent {
+            pc: Addr::new(pc),
+            len,
+            class: InstClass::Other,
+            branch: None,
+            section,
+        }
+    }
+
+    #[test]
+    fn hot_instructions_dominate_the_99_footprint() {
+        let mut t = FootprintTool::new();
+        // Hot instruction: 990 executions, 4 bytes.
+        for _ in 0..990 {
+            t.on_inst(&ev(0x100, 4, Section::Parallel));
+        }
+        // Ten cold instructions: 1 execution each, 8 bytes each.
+        for i in 0..10 {
+            t.on_inst(&ev(0x200 + i * 8, 8, Section::Parallel));
+        }
+        let r = t.dynamic_footprint(0.99);
+        let p = r.sections.parallel;
+        assert_eq!(p.instructions, 1000);
+        assert_eq!(p.touched_bytes, 4 + 80);
+        // 990 of 1000 < 990 target? target = 990. covered after hot = 990
+        // >= 990, so exactly the hot instruction suffices.
+        assert_eq!(p.dyn99_bytes, 4);
+    }
+
+    #[test]
+    fn full_coverage_equals_touched() {
+        let mut t = FootprintTool::new();
+        for i in 0..5 {
+            t.on_inst(&ev(i * 4, 4, Section::Serial));
+        }
+        let r = t.dynamic_footprint(1.0);
+        assert_eq!(r.sections.serial.dyn99_bytes, 20);
+        assert_eq!(r.sections.serial.touched_bytes, 20);
+        assert_eq!(r.sections.serial.dyn99_kb(), 20.0 / 1024.0);
+    }
+
+    #[test]
+    fn sections_tracked_separately() {
+        let mut t = FootprintTool::new();
+        for _ in 0..10 {
+            t.on_inst(&ev(0x100, 4, Section::Serial));
+            t.on_inst(&ev(0x900, 6, Section::Parallel));
+        }
+        let r = t.dynamic_footprint(0.99);
+        assert_eq!(r.sections.serial.touched_bytes, 4);
+        assert_eq!(r.sections.parallel.touched_bytes, 6);
+        assert_eq!(r.total.touched_bytes, 10);
+        assert_eq!(r.total.instructions, 20);
+        assert_eq!(t.distinct_instructions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn invalid_coverage_panics() {
+        FootprintTool::new().dynamic_footprint(0.0);
+    }
+
+    #[test]
+    fn report_includes_static_bytes() {
+        use rebalance_trace::{ProgramBuilder, Terminator};
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        b.add_block(r, 4, Terminator::Exit);
+        let program = b.build().unwrap();
+        let t = FootprintTool::new();
+        let rep = t.report(&program, 0.99);
+        assert_eq!(rep.static_bytes, program.static_bytes());
+        assert!(rep.static_kb() > 0.0);
+    }
+}

@@ -1,0 +1,685 @@
+//! Incremental construction and byte-accurate layout of [`Program`]s.
+
+use rebalance_isa::{Addr, InstClass, LengthModel};
+
+use crate::error::{BuildError, BuildErrorKind};
+use crate::program::{
+    BasicBlock, BlockId, CondBehavior, IterCount, Program, Region, RegionId, Terminator,
+};
+
+/// Default base address of the first region (typical ELF text base).
+const DEFAULT_TEXT_BASE: u64 = 0x40_0000;
+/// Regions are aligned to this boundary (a page).
+const REGION_ALIGN: u64 = 4096;
+
+/// Builds a [`Program`] block by block, then validates and lays it out.
+///
+/// Blocks may be *reserved* first (to allow forward references in
+/// terminators) and *defined* later. Within a region, blocks are laid out
+/// in the order they were reserved; every fall-through edge must point to
+/// the next block of the same region so that "not taken" means "continue
+/// sequentially" — [`ProgramBuilder::build`] enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::{CondBehavior, ProgramBuilder, Terminator};
+///
+/// let mut b = ProgramBuilder::new();
+/// let r = b.region("main");
+/// let head = b.reserve_block();
+/// let tail = b.reserve_block();
+/// b.define_block(head, r, 4, Terminator::Cond {
+///     taken: head,
+///     fall: tail,
+///     behavior: CondBehavior::Bernoulli { p_taken: 0.9 },
+/// });
+/// b.define_block(tail, r, 2, Terminator::Exit);
+/// let program = b.build()?;
+/// assert_eq!(program.num_blocks(), 2);
+/// # Ok::<(), rebalance_trace::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    blocks: Vec<Option<PendingBlock>>,
+    regions: Vec<PendingRegion>,
+    length_model: LengthModel,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    region: RegionId,
+    body_insts: u32,
+    terminator: Terminator,
+}
+
+#[derive(Debug)]
+struct PendingRegion {
+    name: String,
+    base: Option<Addr>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the default x86-like [`LengthModel`].
+    pub fn new() -> Self {
+        Self::with_length_model(LengthModel::default())
+    }
+
+    /// Creates a builder with a custom instruction-length model.
+    pub fn with_length_model(length_model: LengthModel) -> Self {
+        ProgramBuilder {
+            blocks: Vec::new(),
+            regions: Vec::new(),
+            length_model,
+        }
+    }
+
+    /// Declares a region laid out after all previously declared regions,
+    /// page-aligned.
+    pub fn region(&mut self, name: &str) -> RegionId {
+        self.regions.push(PendingRegion {
+            name: name.to_owned(),
+            base: None,
+        });
+        RegionId((self.regions.len() - 1) as u32)
+    }
+
+    /// Declares a region at an explicit base address.
+    ///
+    /// Layout validates that explicit bases do not overlap earlier
+    /// regions.
+    pub fn region_at(&mut self, name: &str, base: Addr) -> RegionId {
+        self.regions.push(PendingRegion {
+            name: name.to_owned(),
+            base: Some(base),
+        });
+        RegionId((self.regions.len() - 1) as u32)
+    }
+
+    /// Reserves a block id for later definition (enables forward
+    /// references).
+    pub fn reserve_block(&mut self) -> BlockId {
+        self.blocks.push(None);
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Reserves `n` block ids at once, returned in order.
+    pub fn reserve_blocks(&mut self, n: usize) -> Vec<BlockId> {
+        (0..n).map(|_| self.reserve_block()).collect()
+    }
+
+    /// Defines a previously reserved block.
+    ///
+    /// `body_insts` is the number of non-branch instructions; the
+    /// terminator's branch instruction (if any) is appended automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not reserved by this builder or if the region is
+    /// unknown. Defining the same block twice is reported by
+    /// [`ProgramBuilder::build`].
+    pub fn define_block(
+        &mut self,
+        id: BlockId,
+        region: RegionId,
+        body_insts: u32,
+        terminator: Terminator,
+    ) -> &mut Self {
+        assert!(
+            id.index() < self.blocks.len(),
+            "block {id} was never reserved"
+        );
+        assert!(
+            region.index() < self.regions.len(),
+            "unknown region {region:?}"
+        );
+        let slot = &mut self.blocks[id.index()];
+        if slot.is_some() {
+            // Remember the double definition; build() reports it.
+            *slot = Some(PendingBlock {
+                region,
+                body_insts: u32::MAX, // marker checked in build()
+                terminator,
+            });
+        } else {
+            *slot = Some(PendingBlock {
+                region,
+                body_insts,
+                terminator,
+            });
+        }
+        self
+    }
+
+    /// Reserves and defines a block in one call. Forward references are
+    /// impossible this way, so it is mostly useful for straight-line tails.
+    pub fn add_block(
+        &mut self,
+        region: RegionId,
+        body_insts: u32,
+        terminator: Terminator,
+    ) -> BlockId {
+        let id = self.reserve_block();
+        self.define_block(id, region, body_insts, terminator);
+        id
+    }
+
+    /// Number of blocks reserved so far.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validates the control-flow graph and lays the program out in
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if any block is undefined or defined
+    /// twice, a terminator references an unknown block, a fall-through
+    /// successor is not adjacent, a probability or trip count is invalid,
+    /// or the program is empty.
+    pub fn build(self) -> Result<Program, BuildError> {
+        if self.blocks.is_empty() {
+            return Err(BuildError::new(BuildErrorKind::EmptyProgram));
+        }
+        let num_blocks = self.blocks.len();
+
+        // All blocks defined exactly once.
+        let mut pending = Vec::with_capacity(num_blocks);
+        for (i, slot) in self.blocks.into_iter().enumerate() {
+            match slot {
+                None => {
+                    return Err(BuildError::new(BuildErrorKind::UndefinedBlock(BlockId(
+                        i as u32,
+                    ))))
+                }
+                Some(b) if b.body_insts == u32::MAX => {
+                    return Err(BuildError::new(BuildErrorKind::Redefined(BlockId(
+                        i as u32,
+                    ))))
+                }
+                Some(b) => pending.push(b),
+            }
+        }
+
+        // Reference and semantic validation.
+        let check_ref = |from: usize, to: BlockId| -> Result<(), BuildError> {
+            if to.index() >= num_blocks {
+                Err(BuildError::new(BuildErrorKind::DanglingReference {
+                    from: BlockId(from as u32),
+                    to,
+                }))
+            } else {
+                Ok(())
+            }
+        };
+        for (i, blk) in pending.iter().enumerate() {
+            match &blk.terminator {
+                Terminator::FallThrough { next } | Terminator::Syscall { next } => {
+                    check_ref(i, *next)?
+                }
+                Terminator::Cond {
+                    taken,
+                    fall,
+                    behavior,
+                } => {
+                    check_ref(i, *taken)?;
+                    check_ref(i, *fall)?;
+                    match behavior {
+                        CondBehavior::Bernoulli { p_taken } => {
+                            if !(0.0..=1.0).contains(p_taken) || p_taken.is_nan() {
+                                return Err(BuildError::new(BuildErrorKind::InvalidProbability {
+                                    block: BlockId(i as u32),
+                                    p: *p_taken,
+                                }));
+                            }
+                        }
+                        CondBehavior::Loop { count } => {
+                            let bad = match count {
+                                IterCount::Fixed(n) => *n == 0,
+                                IterCount::Uniform { lo, hi } => *lo == 0 || lo > hi,
+                                IterCount::Geometric { mean } => {
+                                    !(mean.is_finite() && *mean >= 1.0)
+                                }
+                            };
+                            if bad {
+                                return Err(BuildError::new(BuildErrorKind::InvalidIterCount {
+                                    block: BlockId(i as u32),
+                                }));
+                            }
+                        }
+                        CondBehavior::Periodic {
+                            taken: t,
+                            not_taken: n,
+                        } => {
+                            if *t == 0 && *n == 0 {
+                                return Err(BuildError::new(BuildErrorKind::InvalidIterCount {
+                                    block: BlockId(i as u32),
+                                }));
+                            }
+                        }
+                    }
+                }
+                Terminator::Jump { target } => check_ref(i, *target)?,
+                Terminator::Call { callee, ret_to } => {
+                    check_ref(i, *callee)?;
+                    check_ref(i, *ret_to)?;
+                }
+                Terminator::IndirectCall { callees, ret_to } => {
+                    if callees.is_empty() {
+                        return Err(BuildError::new(BuildErrorKind::EmptyTargetSet {
+                            block: BlockId(i as u32),
+                        }));
+                    }
+                    for c in callees {
+                        check_ref(i, *c)?;
+                    }
+                    check_ref(i, *ret_to)?;
+                }
+                Terminator::IndirectJump { targets } => {
+                    if targets.is_empty() {
+                        return Err(BuildError::new(BuildErrorKind::EmptyTargetSet {
+                            block: BlockId(i as u32),
+                        }));
+                    }
+                    for t in targets {
+                        check_ref(i, *t)?;
+                    }
+                }
+                Terminator::Return | Terminator::Exit => {}
+            }
+        }
+
+        // Fall-through adjacency: the successor must be the next reserved
+        // block of the same region.
+        let mut next_in_region: Vec<Option<BlockId>> = vec![None; num_blocks];
+        let mut last_seen: Vec<Option<usize>> = vec![None; self.regions.len()];
+        for (i, blk) in pending.iter().enumerate() {
+            if let Some(prev) = last_seen[blk.region.index()] {
+                next_in_region[prev] = Some(BlockId(i as u32));
+            }
+            last_seen[blk.region.index()] = Some(i);
+        }
+        for (i, blk) in pending.iter().enumerate() {
+            if let Some(fall) = blk.terminator.fallthrough_successor() {
+                if next_in_region[i] != Some(fall) {
+                    return Err(BuildError::new(BuildErrorKind::NonAdjacentFallthrough {
+                        from: BlockId(i as u32),
+                        to: fall,
+                    }));
+                }
+            }
+        }
+
+        // Layout: regions in declaration order, blocks in id order within
+        // a region, instructions packed contiguously.
+        let mut blocks: Vec<BasicBlock> = pending
+            .into_iter()
+            .map(|p| BasicBlock {
+                region: p.region,
+                body_insts: p.body_insts,
+                terminator: p.terminator,
+                start: Addr::NULL,
+                size_bytes: 0,
+                inst_offsets: Vec::new(),
+            })
+            .collect();
+
+        let mut regions: Vec<Region> = Vec::with_capacity(self.regions.len());
+        let mut cursor = DEFAULT_TEXT_BASE;
+        let mut seq: u64 = 0;
+        let mut static_insts: u64 = 0;
+        for (ri, pr) in self.regions.iter().enumerate() {
+            let base = match pr.base {
+                Some(b) => {
+                    assert!(
+                        b.as_u64() >= cursor || regions.is_empty(),
+                        "region `{}` base {b} overlaps earlier regions",
+                        pr.name
+                    );
+                    b.as_u64().max(cursor)
+                }
+                None => align_up(cursor, REGION_ALIGN),
+            };
+            let mut pos = base;
+            for blk in blocks.iter_mut().filter(|b| b.region.index() == ri) {
+                blk.start = Addr::new(pos);
+                let mut offsets = Vec::with_capacity(blk.body_insts as usize + 1);
+                let mut off: u32 = 0;
+                for _ in 0..blk.body_insts {
+                    let len = self.length_model.length(seq, InstClass::Other);
+                    offsets.push((off, len));
+                    off += u32::from(len);
+                    seq += 1;
+                }
+                if let Some(kind) = blk.terminator.branch_kind() {
+                    let len = LengthModel::branch_length(kind);
+                    offsets.push((off, len));
+                    off += u32::from(len);
+                    seq += 1;
+                }
+                static_insts += offsets.len() as u64;
+                blk.size_bytes = off;
+                blk.inst_offsets = offsets;
+                pos += u64::from(off);
+            }
+            regions.push(Region {
+                name: pr.name.clone(),
+                base: Addr::new(base),
+                end: Addr::new(pos),
+            });
+            cursor = pos;
+        }
+
+        let static_bytes = blocks.iter().map(|b| u64::from(b.size_bytes)).sum();
+        Ok(Program {
+            blocks,
+            regions,
+            length_model: self.length_model,
+            static_bytes,
+            static_insts,
+        })
+    }
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn behavior() -> CondBehavior {
+        CondBehavior::Bernoulli { p_taken: 0.5 }
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let b = ProgramBuilder::new();
+        assert_eq!(*b.build().unwrap_err().kind(), BuildErrorKind::EmptyProgram);
+    }
+
+    #[test]
+    fn undefined_block_rejected() {
+        let mut b = ProgramBuilder::new();
+        let _r = b.region("r");
+        let _id = b.reserve_block();
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::UndefinedBlock(_)
+        ));
+    }
+
+    #[test]
+    fn redefined_block_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let id = b.reserve_block();
+        b.define_block(id, r, 1, Terminator::Exit);
+        b.define_block(id, r, 2, Terminator::Exit);
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::Redefined(_)
+        ));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let id = b.reserve_block();
+        b.define_block(
+            id,
+            r,
+            1,
+            Terminator::Jump {
+                target: BlockId(99),
+            },
+        );
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::DanglingReference { .. }
+        ));
+    }
+
+    #[test]
+    fn non_adjacent_fallthrough_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let ids = b.reserve_blocks(3);
+        // ids[0] falls through to ids[2], skipping ids[1]: invalid.
+        b.define_block(ids[0], r, 1, Terminator::FallThrough { next: ids[2] });
+        b.define_block(ids[1], r, 1, Terminator::Exit);
+        b.define_block(ids[2], r, 1, Terminator::Exit);
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::NonAdjacentFallthrough { .. }
+        ));
+    }
+
+    #[test]
+    fn cross_region_fallthrough_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r1 = b.region("a");
+        let r2 = b.region("b");
+        let x = b.reserve_block();
+        let y = b.reserve_block();
+        b.define_block(x, r1, 1, Terminator::FallThrough { next: y });
+        b.define_block(y, r2, 1, Terminator::Exit);
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::NonAdjacentFallthrough { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        for p in [-0.1, 1.1, f64::NAN] {
+            let mut b = ProgramBuilder::new();
+            let r = b.region("r");
+            let ids = b.reserve_blocks(2);
+            b.define_block(
+                ids[0],
+                r,
+                1,
+                Terminator::Cond {
+                    taken: ids[0],
+                    fall: ids[1],
+                    behavior: CondBehavior::Bernoulli { p_taken: p },
+                },
+            );
+            b.define_block(ids[1], r, 1, Terminator::Exit);
+            assert!(
+                matches!(
+                    b.build().unwrap_err().kind(),
+                    BuildErrorKind::InvalidProbability { .. }
+                ),
+                "p = {p} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_iter_counts_rejected() {
+        let bad_counts = [
+            IterCount::Fixed(0),
+            IterCount::Uniform { lo: 0, hi: 3 },
+            IterCount::Uniform { lo: 5, hi: 2 },
+            IterCount::Geometric { mean: 0.5 },
+            IterCount::Geometric { mean: f64::NAN },
+        ];
+        for count in bad_counts {
+            let mut b = ProgramBuilder::new();
+            let r = b.region("r");
+            let ids = b.reserve_blocks(2);
+            b.define_block(
+                ids[0],
+                r,
+                1,
+                Terminator::Cond {
+                    taken: ids[0],
+                    fall: ids[1],
+                    behavior: CondBehavior::Loop { count },
+                },
+            );
+            b.define_block(ids[1], r, 1, Terminator::Exit);
+            assert!(matches!(
+                b.build().unwrap_err().kind(),
+                BuildErrorKind::InvalidIterCount { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_indirect_targets_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let id = b.reserve_block();
+        b.define_block(id, r, 1, Terminator::IndirectJump { targets: vec![] });
+        assert!(matches!(
+            b.build().unwrap_err().kind(),
+            BuildErrorKind::EmptyTargetSet { .. }
+        ));
+    }
+
+    #[test]
+    fn layout_packs_blocks_contiguously_within_region() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let ids = b.reserve_blocks(3);
+        b.define_block(ids[0], r, 4, Terminator::FallThrough { next: ids[1] });
+        b.define_block(ids[1], r, 2, Terminator::FallThrough { next: ids[2] });
+        b.define_block(ids[2], r, 1, Terminator::Exit);
+        let p = b.build().unwrap();
+        let b0 = p.block(ids[0]);
+        let b1 = p.block(ids[1]);
+        let b2 = p.block(ids[2]);
+        assert_eq!(b0.start() + u64::from(b0.size_bytes()), b1.start());
+        assert_eq!(b1.start() + u64::from(b1.size_bytes()), b2.start());
+        assert_eq!(b0.start(), Addr::new(0x40_0000));
+    }
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new();
+        let r1 = b.region("hot");
+        let r2 = b.region("lib");
+        let x = b.add_block(r1, 10, Terminator::Exit);
+        let y = b.add_block(r2, 10, Terminator::Exit);
+        let p = b.build().unwrap();
+        let (b1, e1) = p.region_range(RegionId(0));
+        let (b2, _e2) = p.region_range(RegionId(1));
+        assert!(e1 <= b2);
+        assert_eq!(b2.as_u64() % 4096, 0);
+        assert!(p.block(x).start() >= b1);
+        assert!(p.block(y).start() >= b2);
+    }
+
+    #[test]
+    fn explicit_region_base_honoured() {
+        let mut b = ProgramBuilder::new();
+        let r1 = b.region("main");
+        let r2 = b.region_at("lib", Addr::new(0x7f00_0000));
+        b.add_block(r1, 3, Terminator::Exit);
+        let y = b.add_block(r2, 3, Terminator::Exit);
+        let p = b.build().unwrap();
+        assert_eq!(p.block(y).start(), Addr::new(0x7f00_0000));
+    }
+
+    #[test]
+    fn static_footprint_accounts_branch_instructions() {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("r");
+        let ids = b.reserve_blocks(2);
+        b.define_block(
+            ids[0],
+            r,
+            2,
+            Terminator::Cond {
+                taken: ids[0],
+                fall: ids[1],
+                behavior: behavior(),
+            },
+        );
+        b.define_block(ids[1], r, 1, Terminator::Exit);
+        let p = b.build().unwrap();
+        // bb0 has 2 body + 1 cond branch; bb1 has 1 body + no branch.
+        assert_eq!(p.block(ids[0]).num_insts(), 3);
+        assert_eq!(p.block(ids[1]).num_insts(), 1);
+        assert_eq!(p.static_insts(), 4);
+        let expected_bytes: u64 = (0..3)
+            .map(|i| u64::from(p.block(ids[0]).instruction(i).len))
+            .sum::<u64>()
+            + u64::from(p.block(ids[1]).instruction(0).len);
+        assert_eq!(p.static_bytes(), expected_bytes);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let make = || {
+            let mut b = ProgramBuilder::new();
+            let r = b.region("r");
+            let ids = b.reserve_blocks(4);
+            b.define_block(
+                ids[0],
+                r,
+                5,
+                Terminator::Cond {
+                    taken: ids[2],
+                    fall: ids[1],
+                    behavior: behavior(),
+                },
+            );
+            b.define_block(ids[1], r, 3, Terminator::Jump { target: ids[3] });
+            b.define_block(ids[2], r, 7, Terminator::FallThrough { next: ids[3] });
+            b.define_block(ids[3], r, 1, Terminator::Exit);
+            b.build().unwrap()
+        };
+        assert_eq!(make(), make());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Straight-line programs of arbitrary block sizes always lay out
+        /// contiguously with sizes matching instruction lengths.
+        #[test]
+        fn straight_line_layout(sizes in proptest::collection::vec(1u32..20, 1..20)) {
+            let mut b = ProgramBuilder::new();
+            let r = b.region("r");
+            let ids = b.reserve_blocks(sizes.len());
+            for (i, (&id, &sz)) in ids.iter().zip(&sizes).enumerate() {
+                let term = if i + 1 == sizes.len() {
+                    Terminator::Exit
+                } else {
+                    Terminator::FallThrough { next: ids[i + 1] }
+                };
+                b.define_block(id, r, sz, term);
+            }
+            let p = b.build().unwrap();
+            let mut cursor = p.block(ids[0]).start();
+            let mut total_bytes = 0u64;
+            for &id in &ids {
+                let blk = p.block(id);
+                prop_assert_eq!(blk.start(), cursor);
+                cursor += u64::from(blk.size_bytes());
+                total_bytes += u64::from(blk.size_bytes());
+            }
+            prop_assert_eq!(p.static_bytes(), total_bytes);
+            let total_insts: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+            prop_assert_eq!(p.static_insts(), total_insts);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Serial/parallel accumulator pairs.
+
+use crate::section::Section;
+use serde::{Deserialize, Serialize};
+
+/// A pair of per-section accumulators plus derived totals, mirroring the
+/// `total`/`serial`/`parallel` bars of the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::{BySection, Section};
+///
+/// let mut counts: BySection<u64> = BySection::default();
+/// *counts.get_mut(Section::Serial) += 2;
+/// *counts.get_mut(Section::Parallel) += 5;
+/// assert_eq!(*counts.get(Section::Serial), 2);
+/// assert_eq!(*counts.get(Section::Parallel), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BySection<T> {
+    /// Serial-section accumulator.
+    pub serial: T,
+    /// Parallel-section accumulator.
+    pub parallel: T,
+}
+
+impl<T> BySection<T> {
+    /// Creates from explicit parts.
+    pub fn new(serial: T, parallel: T) -> Self {
+        BySection { serial, parallel }
+    }
+
+    /// Accessor by section.
+    pub fn get(&self, section: Section) -> &T {
+        match section {
+            Section::Serial => &self.serial,
+            Section::Parallel => &self.parallel,
+        }
+    }
+
+    /// Mutable accessor by section.
+    pub fn get_mut(&mut self, section: Section) -> &mut T {
+        match section {
+            Section::Serial => &mut self.serial,
+            Section::Parallel => &mut self.parallel,
+        }
+    }
+
+    /// Maps both sides.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> BySection<U> {
+        BySection {
+            serial: f(&self.serial),
+            parallel: f(&self.parallel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_route_by_section() {
+        let mut b: BySection<Vec<u32>> = BySection::default();
+        b.get_mut(Section::Serial).push(1);
+        b.get_mut(Section::Parallel).push(2);
+        b.get_mut(Section::Parallel).push(3);
+        assert_eq!(b.get(Section::Serial).len(), 1);
+        assert_eq!(b.get(Section::Parallel).len(), 2);
+    }
+
+    #[test]
+    fn map_applies_to_both() {
+        let b = BySection::new(2u64, 5u64);
+        let doubled = b.map(|x| x * 2);
+        assert_eq!(doubled.serial, 4);
+        assert_eq!(doubled.parallel, 10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Program construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::program::BlockId;
+
+/// Why a [`ProgramBuilder`](crate::ProgramBuilder) rejected a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildErrorKind {
+    /// A reserved block was never defined.
+    UndefinedBlock(BlockId),
+    /// A terminator references a block id that was never reserved.
+    DanglingReference {
+        /// The referencing block.
+        from: BlockId,
+        /// The missing target.
+        to: BlockId,
+    },
+    /// A fall-through successor is not the next block in layout order.
+    NonAdjacentFallthrough {
+        /// The falling-through block.
+        from: BlockId,
+        /// The successor that should have been adjacent.
+        to: BlockId,
+    },
+    /// A conditional branch probability is outside `[0, 1]` or NaN.
+    InvalidProbability {
+        /// The offending block.
+        block: BlockId,
+        /// The probability supplied.
+        p: f64,
+    },
+    /// A loop trip count is degenerate (zero mean or inverted bounds).
+    InvalidIterCount {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// An indirect terminator has no candidate targets.
+    EmptyTargetSet {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// The program has no blocks.
+    EmptyProgram,
+    /// A block was defined twice.
+    Redefined(BlockId),
+}
+
+/// Error type returned by [`ProgramBuilder::build`](crate::ProgramBuilder::build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    kind: BuildErrorKind,
+}
+
+impl BuildError {
+    pub(crate) fn new(kind: BuildErrorKind) -> Self {
+        BuildError { kind }
+    }
+
+    /// The specific validation failure.
+    pub fn kind(&self) -> &BuildErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            BuildErrorKind::UndefinedBlock(b) => {
+                write!(f, "block {b} was reserved but never defined")
+            }
+            BuildErrorKind::DanglingReference { from, to } => {
+                write!(f, "block {from} references unknown block {to}")
+            }
+            BuildErrorKind::NonAdjacentFallthrough { from, to } => write!(
+                f,
+                "fall-through successor of {from} must be the next block in its region, got {to}"
+            ),
+            BuildErrorKind::InvalidProbability { block, p } => {
+                write!(f, "block {block} has invalid taken probability {p}")
+            }
+            BuildErrorKind::InvalidIterCount { block } => {
+                write!(f, "block {block} has a degenerate loop trip count")
+            }
+            BuildErrorKind::EmptyTargetSet { block } => {
+                write!(f, "indirect terminator of block {block} has no targets")
+            }
+            BuildErrorKind::EmptyProgram => f.write_str("program has no blocks"),
+            BuildErrorKind::Redefined(b) => write!(f, "block {b} defined twice"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BuildError::new(BuildErrorKind::UndefinedBlock(BlockId(3)));
+        assert!(e.to_string().contains("bb3"));
+        let e = BuildError::new(BuildErrorKind::NonAdjacentFallthrough {
+            from: BlockId(1),
+            to: BlockId(5),
+        });
+        assert!(e.to_string().contains("bb1"));
+        assert!(e.to_string().contains("bb5"));
+        let e = BuildError::new(BuildErrorKind::InvalidProbability {
+            block: BlockId(0),
+            p: 1.5,
+        });
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_exposes_kind() {
+        let e = BuildError::new(BuildErrorKind::EmptyProgram);
+        assert_eq!(*e.kind(), BuildErrorKind::EmptyProgram);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildError>();
+    }
+}

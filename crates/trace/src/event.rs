@@ -1,0 +1,120 @@
+//! The dynamic instruction event delivered to analysis tools.
+
+use rebalance_isa::{Addr, BranchKind, BranchTrajectory, InstClass, Outcome};
+use serde::{Deserialize, Serialize};
+
+use crate::section::Section;
+
+/// Dynamic information about one executed branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchEvent {
+    /// Static branch kind.
+    pub kind: BranchKind,
+    /// Taken or not-taken. Unconditional transfers are always taken.
+    pub outcome: Outcome,
+    /// Target address. For conditional branches this is the *would-be*
+    /// target even when not taken (it is statically encoded), which the
+    /// BTB model needs. `None` only for syscalls.
+    pub target: Option<Addr>,
+}
+
+impl BranchEvent {
+    /// The not-taken / taken-backward / taken-forward classification used
+    /// by the paper's Figure 6, relative to the branch PC.
+    #[inline]
+    pub fn trajectory(&self, pc: Addr) -> BranchTrajectory {
+        BranchTrajectory::classify(self.outcome, pc, self.target)
+    }
+}
+
+/// One executed instruction as observed by a [`Pintool`](crate::Pintool).
+///
+/// This is the complete information Pin would hand an analysis routine for
+/// the instrumentation used in the paper: instruction address and size,
+/// class, branch outcome/target, and the executing section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Instruction class.
+    pub class: InstClass,
+    /// Branch-specific payload; `Some` iff `class` is a branch.
+    pub branch: Option<BranchEvent>,
+    /// Section the instruction executed in.
+    pub section: Section,
+}
+
+impl TraceEvent {
+    /// Fall-through address (next sequential PC).
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        self.pc + u64::from(self.len)
+    }
+
+    /// `true` if this is a taken control transfer.
+    #[inline]
+    pub fn is_taken_branch(&self) -> bool {
+        self.branch.is_some_and(|b| b.outcome.is_taken())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_isa::BranchTrajectory;
+
+    fn branch_event(taken: bool, pc: u64, target: u64) -> TraceEvent {
+        TraceEvent {
+            pc: Addr::new(pc),
+            len: 6,
+            class: InstClass::Branch(BranchKind::CondDirect),
+            branch: Some(BranchEvent {
+                kind: BranchKind::CondDirect,
+                outcome: Outcome::from_taken(taken),
+                target: Some(Addr::new(target)),
+            }),
+            section: Section::Parallel,
+        }
+    }
+
+    #[test]
+    fn next_pc_advances_by_len() {
+        let ev = branch_event(true, 0x100, 0x80);
+        assert_eq!(ev.next_pc(), Addr::new(0x106));
+    }
+
+    #[test]
+    fn taken_branch_detection() {
+        assert!(branch_event(true, 0x100, 0x80).is_taken_branch());
+        assert!(!branch_event(false, 0x100, 0x80).is_taken_branch());
+        let plain = TraceEvent {
+            pc: Addr::new(0),
+            len: 4,
+            class: InstClass::Other,
+            branch: None,
+            section: Section::Serial,
+        };
+        assert!(!plain.is_taken_branch());
+    }
+
+    #[test]
+    fn trajectory_uses_branch_pc() {
+        let ev = branch_event(true, 0x100, 0x80);
+        assert_eq!(
+            ev.branch.unwrap().trajectory(ev.pc),
+            BranchTrajectory::TakenBackward
+        );
+        let fwd = branch_event(true, 0x100, 0x200);
+        assert_eq!(
+            fwd.branch.unwrap().trajectory(fwd.pc),
+            BranchTrajectory::TakenForward
+        );
+        let nt = branch_event(false, 0x100, 0x80);
+        assert_eq!(
+            nt.branch.unwrap().trajectory(nt.pc),
+            BranchTrajectory::NotTaken
+        );
+    }
+}

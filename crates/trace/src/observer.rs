@@ -1,0 +1,278 @@
+//! The `Pintool` observer interface and combinators.
+
+use crate::event::TraceEvent;
+use crate::section::Section;
+
+/// An analysis tool attached to the instruction stream — the equivalent of
+/// a pintool's analysis routine.
+///
+/// Implementations receive every executed instruction via
+/// [`Pintool::on_inst`]. Tools that care about phase boundaries can
+/// override [`Pintool::on_section_start`].
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::{Pintool, TraceEvent};
+///
+/// #[derive(Default)]
+/// struct TakenCounter {
+///     taken: u64,
+/// }
+///
+/// impl Pintool for TakenCounter {
+///     fn on_inst(&mut self, ev: &TraceEvent) {
+///         if ev.is_taken_branch() {
+///             self.taken += 1;
+///         }
+///     }
+/// }
+/// ```
+pub trait Pintool {
+    /// Called for every executed instruction, in program order.
+    fn on_inst(&mut self, ev: &TraceEvent);
+
+    /// Called when execution enters a new serial/parallel section.
+    fn on_section_start(&mut self, section: Section) {
+        let _ = section;
+    }
+}
+
+impl<T: Pintool + ?Sized> Pintool for &mut T {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        (**self).on_inst(ev);
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        (**self).on_section_start(section);
+    }
+}
+
+impl<T: Pintool + ?Sized> Pintool for Box<T> {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        (**self).on_inst(ev);
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        (**self).on_section_start(section);
+    }
+}
+
+macro_rules! impl_pintool_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Pintool),+> Pintool for ($($name,)+) {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                $(self.$idx.on_inst(ev);)+
+            }
+
+            fn on_section_start(&mut self, section: Section) {
+                $(self.$idx.on_section_start(section);)+
+            }
+        }
+    };
+}
+
+impl_pintool_tuple!(A: 0);
+impl_pintool_tuple!(A: 0, B: 1);
+impl_pintool_tuple!(A: 0, B: 1, C: 2);
+impl_pintool_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_pintool_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_pintool_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// A tool that ignores everything; useful to drive the interpreter for
+/// its [`RunSummary`](crate::RunSummary) alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTool;
+
+impl Pintool for NullTool {
+    #[inline]
+    fn on_inst(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Adapts a closure into a [`Pintool`].
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::{FnTool, Pintool, TraceEvent};
+///
+/// let mut count = 0u64;
+/// let mut tool = FnTool::new(|_ev: &TraceEvent| count += 1);
+/// # let _ = &mut tool;
+/// ```
+#[derive(Debug)]
+pub struct FnTool<F> {
+    f: F,
+}
+
+impl<F: FnMut(&TraceEvent)> FnTool<F> {
+    /// Wraps a closure.
+    pub fn new(f: F) -> Self {
+        FnTool { f }
+    }
+}
+
+impl<F: FnMut(&TraceEvent)> Pintool for FnTool<F> {
+    #[inline]
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        (self.f)(ev);
+    }
+}
+
+/// A dynamically-composed set of tools sharing one trace replay.
+///
+/// Prefer tuples of concrete tools (statically dispatched) in hot paths;
+/// `MultiTool` trades a virtual call per instruction per tool for runtime
+/// flexibility, exactly like running several pintools in one Pin session.
+#[derive(Default)]
+pub struct MultiTool<'a> {
+    tools: Vec<&'a mut dyn Pintool>,
+}
+
+impl std::fmt::Debug for MultiTool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiTool")
+            .field("tools", &self.tools.len())
+            .finish()
+    }
+}
+
+impl<'a> MultiTool<'a> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MultiTool { tools: Vec::new() }
+    }
+
+    /// Adds a tool; returns `self` for chaining.
+    pub fn with(mut self, tool: &'a mut dyn Pintool) -> Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Adds a tool in place.
+    pub fn push(&mut self, tool: &'a mut dyn Pintool) {
+        self.tools.push(tool);
+    }
+
+    /// Number of attached tools.
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// `true` if no tools are attached.
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+}
+
+impl Pintool for MultiTool<'_> {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        for t in &mut self.tools {
+            t.on_inst(ev);
+        }
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        for t in &mut self.tools {
+            t.on_section_start(section);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_isa::{Addr, InstClass};
+
+    fn ev() -> TraceEvent {
+        TraceEvent {
+            pc: Addr::new(0x100),
+            len: 4,
+            class: InstClass::Other,
+            branch: None,
+            section: Section::Serial,
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        insts: u64,
+        sections: Vec<Section>,
+    }
+
+    impl Pintool for Recorder {
+        fn on_inst(&mut self, _ev: &TraceEvent) {
+            self.insts += 1;
+        }
+
+        fn on_section_start(&mut self, section: Section) {
+            self.sections.push(section);
+        }
+    }
+
+    #[test]
+    fn tuple_composition_dispatches_to_all() {
+        let mut pair = (Recorder::default(), Recorder::default());
+        pair.on_inst(&ev());
+        pair.on_section_start(Section::Parallel);
+        assert_eq!(pair.0.insts, 1);
+        assert_eq!(pair.1.insts, 1);
+        assert_eq!(pair.0.sections, vec![Section::Parallel]);
+        assert_eq!(pair.1.sections, vec![Section::Parallel]);
+    }
+
+    #[test]
+    fn mut_ref_and_box_forward() {
+        let mut r = Recorder::default();
+        {
+            let mut as_ref = &mut r;
+            <&mut Recorder as Pintool>::on_inst(&mut as_ref, &ev());
+        }
+        assert_eq!(r.insts, 1);
+        let mut boxed: Box<dyn Pintool> = Box::new(Recorder::default());
+        boxed.on_inst(&ev());
+        boxed.on_section_start(Section::Serial);
+    }
+
+    #[test]
+    fn multi_tool_runs_all() {
+        let mut a = Recorder::default();
+        let mut b = Recorder::default();
+        {
+            let mut multi = MultiTool::new().with(&mut a).with(&mut b);
+            assert_eq!(multi.len(), 2);
+            assert!(!multi.is_empty());
+            multi.on_inst(&ev());
+            multi.on_inst(&ev());
+            multi.on_section_start(Section::Serial);
+        }
+        assert_eq!(a.insts, 2);
+        assert_eq!(b.insts, 2);
+        assert_eq!(a.sections.len(), 1);
+    }
+
+    #[test]
+    fn multi_tool_empty_is_fine() {
+        let mut multi = MultiTool::new();
+        assert!(multi.is_empty());
+        multi.on_inst(&ev());
+    }
+
+    #[test]
+    fn fn_tool_invokes_closure() {
+        let mut n = 0;
+        {
+            let mut tool = FnTool::new(|_: &TraceEvent| n += 1);
+            tool.on_inst(&ev());
+            tool.on_inst(&ev());
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn null_tool_ignores() {
+        let mut t = NullTool;
+        t.on_inst(&ev());
+        t.on_section_start(Section::Parallel);
+    }
+}

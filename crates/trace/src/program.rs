@@ -1,0 +1,497 @@
+//! Static program model: regions, basic blocks, terminators, and layout.
+
+use std::fmt;
+
+use rebalance_isa::{Addr, BranchKind, InstClass, Instruction, LengthModel};
+use serde::{Deserialize, Serialize};
+
+use crate::exec::Interpreter;
+
+/// Index of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Index of a code region (a contiguous chunk of the text segment).
+///
+/// Regions let the synthesizer place hot loop nests, cold init code, and
+/// external library code at widely separated addresses, which is what
+/// creates realistic I-cache and BTB conflict behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub(crate) u32);
+
+impl RegionId {
+    /// Creates a region id from a raw index (valid indices are
+    /// `0..program.num_regions()`).
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        RegionId(index)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How many iterations a counted loop executes per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IterCount {
+    /// Always exactly `n` iterations — the pattern a loop branch
+    /// predictor captures perfectly.
+    Fixed(u32),
+    /// Uniformly drawn from `lo..=hi` at each loop entry.
+    Uniform {
+        /// Inclusive lower bound (≥ 1).
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Geometrically distributed with the given mean (≥ 1): models
+    /// data-dependent `while` loops.
+    Geometric {
+        /// Mean iteration count.
+        mean: f64,
+    },
+}
+
+impl IterCount {
+    /// Expected number of iterations.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            IterCount::Fixed(n) => f64::from(n),
+            IterCount::Uniform { lo, hi } => f64::from(lo + hi) / 2.0,
+            IterCount::Geometric { mean } => mean,
+        }
+    }
+
+    /// `true` if the trip count never varies (perfectly loop-predictable).
+    pub fn is_constant(&self) -> bool {
+        matches!(self, IterCount::Fixed(_))
+            || matches!(self, IterCount::Uniform { lo, hi } if lo == hi)
+    }
+}
+
+/// Dynamic behaviour of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CondBehavior {
+    /// Independently taken with probability `p_taken` each execution.
+    Bernoulli {
+        /// Probability of being taken, in `[0, 1]`.
+        p_taken: f64,
+    },
+    /// A loop back-edge: for a trip count of `n` drawn at loop entry, the
+    /// branch is taken `n - 1` times then falls through once.
+    Loop {
+        /// Trip-count distribution.
+        count: IterCount,
+    },
+    /// Deterministic repeating pattern: taken for `taken` executions, then
+    /// not-taken for `not_taken` executions. Models regular alternating
+    /// control flow that global-history predictors learn but a bimodal
+    /// counter cannot.
+    Periodic {
+        /// Consecutive taken executions per period.
+        taken: u16,
+        /// Consecutive not-taken executions per period.
+        not_taken: u16,
+    },
+}
+
+impl CondBehavior {
+    /// Long-run probability of the branch being taken.
+    pub fn expected_taken_rate(&self) -> f64 {
+        match *self {
+            CondBehavior::Bernoulli { p_taken } => p_taken,
+            CondBehavior::Loop { count } => {
+                let m = count.mean().max(1.0);
+                (m - 1.0) / m
+            }
+            CondBehavior::Periodic { taken, not_taken } => {
+                let t = f64::from(taken);
+                let n = f64::from(not_taken);
+                if t + n == 0.0 {
+                    0.0
+                } else {
+                    t / (t + n)
+                }
+            }
+        }
+    }
+}
+
+/// How a basic block transfers control.
+///
+/// Fall-through successors (`fall`, `next`, `ret_to`) must be laid out
+/// immediately after the block; [`ProgramBuilder`](crate::ProgramBuilder)
+/// validates this so that "not taken" always means "continue fetching
+/// sequentially", which the I-cache fetch model depends on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// No branch instruction; execution continues at `next`, which must be
+    /// the next block in layout order.
+    FallThrough {
+        /// Adjacent successor.
+        next: BlockId,
+    },
+    /// Conditional direct branch.
+    Cond {
+        /// Target when taken.
+        taken: BlockId,
+        /// Adjacent successor when not taken.
+        fall: BlockId,
+        /// Dynamic behaviour.
+        behavior: CondBehavior,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Direct call; the callee eventually `Return`s to `ret_to`, which
+    /// must be the next block in layout order (the code after the call).
+    Call {
+        /// Entry block of the callee.
+        callee: BlockId,
+        /// Adjacent continuation block.
+        ret_to: BlockId,
+    },
+    /// Indirect call through a function pointer; the callee is drawn
+    /// uniformly from `callees` each execution.
+    IndirectCall {
+        /// Candidate entry blocks (non-empty).
+        callees: Vec<BlockId>,
+        /// Adjacent continuation block.
+        ret_to: BlockId,
+    },
+    /// Indirect jump (switch table, computed goto); the target is drawn
+    /// uniformly from `targets` each execution.
+    IndirectJump {
+        /// Candidate targets (non-empty).
+        targets: Vec<BlockId>,
+    },
+    /// Return to the most recent caller's continuation.
+    Return,
+    /// System call, then continue at `next` (adjacent).
+    Syscall {
+        /// Adjacent successor.
+        next: BlockId,
+    },
+    /// End of the phase's work; the interpreter restarts at the phase
+    /// entry block (modelling the application's outer time loop).
+    Exit,
+}
+
+impl Terminator {
+    /// The branch instruction kind this terminator appends to its block,
+    /// if any (`FallThrough` and `Exit` append none).
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        match self {
+            Terminator::FallThrough { .. } | Terminator::Exit => None,
+            Terminator::Cond { .. } => Some(BranchKind::CondDirect),
+            Terminator::Jump { .. } => Some(BranchKind::UncondDirect),
+            Terminator::Call { .. } => Some(BranchKind::Call),
+            Terminator::IndirectCall { .. } => Some(BranchKind::IndirectCall),
+            Terminator::IndirectJump { .. } => Some(BranchKind::IndirectBranch),
+            Terminator::Return => Some(BranchKind::Return),
+            Terminator::Syscall { .. } => Some(BranchKind::Syscall),
+        }
+    }
+
+    /// The successor that must be laid out immediately after the block.
+    pub fn fallthrough_successor(&self) -> Option<BlockId> {
+        match *self {
+            Terminator::FallThrough { next } | Terminator::Syscall { next } => Some(next),
+            Terminator::Cond { fall, .. } => Some(fall),
+            Terminator::Call { ret_to, .. } | Terminator::IndirectCall { ret_to, .. } => {
+                Some(ret_to)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A basic block: a run of straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    pub(crate) region: RegionId,
+    /// Number of non-branch instructions before the terminator.
+    pub(crate) body_insts: u32,
+    pub(crate) terminator: Terminator,
+    /// Assigned at layout time.
+    pub(crate) start: Addr,
+    pub(crate) size_bytes: u32,
+    /// Per-instruction (offset, length) pairs assigned at layout.
+    pub(crate) inst_offsets: Vec<(u32, u8)>,
+}
+
+impl BasicBlock {
+    /// Start address (valid after layout).
+    #[inline]
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// Total size in bytes, including the terminator branch if any.
+    #[inline]
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Number of instructions, including the terminator branch if any.
+    #[inline]
+    pub fn num_insts(&self) -> usize {
+        self.inst_offsets.len()
+    }
+
+    /// The block's terminator.
+    #[inline]
+    pub fn terminator(&self) -> &Terminator {
+        &self.terminator
+    }
+
+    /// Region this block belongs to.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The `i`-th instruction of the block (valid after layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_insts()`.
+    pub fn instruction(&self, i: usize) -> Instruction {
+        let (off, len) = self.inst_offsets[i];
+        let class = if i + 1 == self.inst_offsets.len() {
+            match self.terminator.branch_kind() {
+                Some(kind) => InstClass::Branch(kind),
+                None => InstClass::Other,
+            }
+        } else {
+            InstClass::Other
+        };
+        Instruction::new(self.start + u64::from(off), len, class)
+    }
+}
+
+/// Named region descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Region {
+    pub(crate) name: String,
+    pub(crate) base: Addr,
+    pub(crate) end: Addr,
+}
+
+/// A complete laid-out synthetic program.
+///
+/// Construct with [`ProgramBuilder`](crate::ProgramBuilder); execute with
+/// [`Program::interpreter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub(crate) blocks: Vec<BasicBlock>,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) length_model: LengthModel,
+    pub(crate) static_bytes: u64,
+    pub(crate) static_insts: u64,
+}
+
+impl Program {
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Access a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterate over all blocks with their ids.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total static code size in bytes (sum of block sizes; this is the
+    /// "static instruction footprint" of the paper's Figure 3).
+    #[inline]
+    pub fn static_bytes(&self) -> u64 {
+        self.static_bytes
+    }
+
+    /// Total number of static instructions.
+    #[inline]
+    pub fn static_insts(&self) -> u64 {
+        self.static_insts
+    }
+
+    /// Name of a region.
+    pub fn region_name(&self, id: RegionId) -> &str {
+        &self.regions[id.index()].name
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Address range `[base, end)` of a region after layout.
+    pub fn region_range(&self, id: RegionId) -> (Addr, Addr) {
+        let r = &self.regions[id.index()];
+        (r.base, r.end)
+    }
+
+    /// Creates a deterministic interpreter over this program.
+    ///
+    /// The same `seed` always produces the identical event stream.
+    pub fn interpreter(&self, seed: u64) -> Interpreter<'_> {
+        Interpreter::new(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn iter_count_means() {
+        assert_eq!(IterCount::Fixed(10).mean(), 10.0);
+        assert_eq!(IterCount::Uniform { lo: 2, hi: 4 }.mean(), 3.0);
+        assert_eq!(IterCount::Geometric { mean: 7.5 }.mean(), 7.5);
+        assert!(IterCount::Fixed(3).is_constant());
+        assert!(IterCount::Uniform { lo: 5, hi: 5 }.is_constant());
+        assert!(!IterCount::Uniform { lo: 1, hi: 5 }.is_constant());
+        assert!(!IterCount::Geometric { mean: 4.0 }.is_constant());
+    }
+
+    #[test]
+    fn cond_behavior_taken_rates() {
+        assert_eq!(
+            CondBehavior::Bernoulli { p_taken: 0.25 }.expected_taken_rate(),
+            0.25
+        );
+        let loop10 = CondBehavior::Loop {
+            count: IterCount::Fixed(10),
+        };
+        assert!((loop10.expected_taken_rate() - 0.9).abs() < 1e-12);
+        let per = CondBehavior::Periodic {
+            taken: 3,
+            not_taken: 1,
+        };
+        assert!((per.expected_taken_rate() - 0.75).abs() < 1e-12);
+        let degenerate = CondBehavior::Periodic {
+            taken: 0,
+            not_taken: 0,
+        };
+        assert_eq!(degenerate.expected_taken_rate(), 0.0);
+    }
+
+    #[test]
+    fn terminator_branch_kinds() {
+        let b0 = BlockId(0);
+        assert_eq!(Terminator::Exit.branch_kind(), None);
+        assert_eq!(Terminator::FallThrough { next: b0 }.branch_kind(), None);
+        assert_eq!(
+            Terminator::Jump { target: b0 }.branch_kind(),
+            Some(BranchKind::UncondDirect)
+        );
+        assert_eq!(Terminator::Return.branch_kind(), Some(BranchKind::Return));
+        assert_eq!(
+            Terminator::Syscall { next: b0 }.branch_kind(),
+            Some(BranchKind::Syscall)
+        );
+    }
+
+    #[test]
+    fn terminator_fallthrough_successors() {
+        let (a, b) = (BlockId(7), BlockId(8));
+        assert_eq!(
+            Terminator::Cond {
+                taken: a,
+                fall: b,
+                behavior: CondBehavior::Bernoulli { p_taken: 0.5 }
+            }
+            .fallthrough_successor(),
+            Some(b)
+        );
+        assert_eq!(
+            Terminator::Call {
+                callee: a,
+                ret_to: b
+            }
+            .fallthrough_successor(),
+            Some(b)
+        );
+        assert_eq!(Terminator::Jump { target: a }.fallthrough_successor(), None);
+        assert_eq!(Terminator::Return.fallthrough_successor(), None);
+        assert_eq!(Terminator::Exit.fallthrough_successor(), None);
+    }
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("main");
+        let entry = b.reserve_block();
+        let exit = b.reserve_block();
+        b.define_block(entry, r, 3, Terminator::FallThrough { next: exit });
+        b.define_block(exit, r, 1, Terminator::Exit);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = tiny_program();
+        assert_eq!(p.num_blocks(), 2);
+        assert_eq!(p.num_regions(), 1);
+        assert_eq!(p.region_name(RegionId(0)), "main");
+        assert!(p.static_bytes() > 0);
+        assert_eq!(p.static_insts(), 4); // 3 body + 1 body, no branch insts
+        assert_eq!(p.blocks().count(), 2);
+    }
+
+    #[test]
+    fn block_instructions_are_contiguous() {
+        let p = tiny_program();
+        let blk = p.block(BlockId(0));
+        let mut expected = blk.start();
+        for i in 0..blk.num_insts() {
+            let inst = blk.instruction(i);
+            assert_eq!(inst.addr, expected);
+            expected = inst.end();
+        }
+        assert_eq!(expected, blk.start() + u64::from(blk.size_bytes()));
+    }
+
+    #[test]
+    fn region_range_covers_blocks() {
+        let p = tiny_program();
+        let (base, end) = p.region_range(RegionId(0));
+        for (_, blk) in p.blocks() {
+            assert!(blk.start() >= base);
+            assert!(blk.start() + u64::from(blk.size_bytes()) <= end);
+        }
+    }
+}

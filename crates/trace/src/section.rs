@@ -1,0 +1,71 @@
+//! Serial vs. parallel code sections.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which kind of code section an instruction executed in.
+///
+/// The paper's central observation is that *serial* sections of HPC
+/// applications (code the master thread runs between parallel regions)
+/// behave like desktop code while *parallel* sections do not, motivating
+/// asymmetric CMPs. Every [`TraceEvent`](crate::TraceEvent) carries its
+/// section so every analysis can report `total`, `serial`, and `parallel`
+/// bars like the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Section {
+    /// Code executed by the master thread outside any parallel region.
+    Serial,
+    /// Code executed inside a parallel region.
+    Parallel,
+}
+
+impl Section {
+    /// Both sections, in presentation order.
+    pub const ALL: [Section; 2] = [Section::Serial, Section::Parallel];
+
+    /// `true` for [`Section::Serial`].
+    #[inline]
+    pub fn is_serial(self) -> bool {
+        matches!(self, Section::Serial)
+    }
+
+    /// Index used by per-section accumulator arrays (`Serial == 0`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Section::Serial => 0,
+            Section::Parallel => 1,
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Serial => f.write_str("serial"),
+            Section::Parallel => f.write_str("parallel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(Section::Serial.index(), 0);
+        assert_eq!(Section::Parallel.index(), 1);
+        assert_eq!(Section::ALL[0], Section::Serial);
+        assert_eq!(Section::ALL[1], Section::Parallel);
+    }
+
+    #[test]
+    fn predicates_and_display() {
+        assert!(Section::Serial.is_serial());
+        assert!(!Section::Parallel.is_serial());
+        assert_eq!(Section::Serial.to_string(), "serial");
+        assert_eq!(Section::Parallel.to_string(), "parallel");
+    }
+}

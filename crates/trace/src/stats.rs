@@ -1,0 +1,364 @@
+//! Small streaming-statistics helpers shared by the analysis crates.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/sum/min/max/mean over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// s.push(2.0);
+/// s.push(4.0);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a sample with an integer weight (equivalent to pushing it
+    /// `w` times).
+    pub fn push_weighted(&mut self, x: f64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        self.count += w;
+        self.sum += x * w as f64;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A ratio accumulator (`hits / total`) that never divides by zero.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::stats::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.record(true);
+/// r.record(false);
+/// r.record(true);
+/// assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Adds `hits` out of `total` observations at once.
+    pub fn add(&mut self, hits: u64, total: u64) {
+        assert!(hits <= total, "hits cannot exceed total");
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `hits / total`, or `0.0` when empty.
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another ratio into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// Events-per-kilo-instruction metric (MPKI-style).
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::stats::PerKilo;
+///
+/// let mut m = PerKilo::new();
+/// m.add_events(5);
+/// m.add_insts(10_000);
+/// assert_eq!(m.per_kilo(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerKilo {
+    events: u64,
+    insts: u64,
+}
+
+impl PerKilo {
+    /// Creates an empty metric.
+    pub fn new() -> Self {
+        PerKilo::default()
+    }
+
+    /// Records `n` events.
+    pub fn add_events(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Records `n` committed instructions.
+    pub fn add_insts(&mut self, n: u64) {
+        self.insts += n;
+    }
+
+    /// Event count.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Instruction count.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Events per 1000 instructions; `0.0` when no instructions recorded.
+    pub fn per_kilo(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1000.0 / self.insts as f64
+        }
+    }
+
+    /// Merges another metric into this one.
+    pub fn merge(&mut self, other: &PerKilo) {
+        self.events += other.events;
+        self.insts += other.insts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        s.push(1.0);
+        s.push(3.0);
+        s.push(2.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 6.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn online_stats_weighted() {
+        let mut s = OnlineStats::new();
+        s.push_weighted(10.0, 4);
+        s.push_weighted(0.0, 0); // no-op
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 10.0);
+        assert_eq!(s.min(), Some(10.0));
+    }
+
+    #[test]
+    fn online_stats_merge() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let mut b = OnlineStats::new();
+        b.push(5.0);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), Some(5.0));
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(true);
+        r.record(false);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.total(), 3);
+        r.add(3, 7);
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hits cannot exceed total")]
+    fn ratio_rejects_inverted_add() {
+        Ratio::new().add(5, 3);
+    }
+
+    #[test]
+    fn ratio_merge() {
+        let mut a = Ratio::new();
+        a.add(1, 2);
+        let mut b = Ratio::new();
+        b.add(3, 8);
+        a.merge(&b);
+        assert_eq!(a.value(), 0.4);
+    }
+
+    #[test]
+    fn per_kilo_basics() {
+        let mut m = PerKilo::new();
+        assert_eq!(m.per_kilo(), 0.0);
+        m.add_events(3);
+        m.add_insts(1500);
+        assert_eq!(m.events(), 3);
+        assert_eq!(m.insts(), 1500);
+        assert!((m.per_kilo() - 2.0).abs() < 1e-12);
+        let mut other = PerKilo::new();
+        other.add_events(1);
+        other.add_insts(500);
+        m.merge(&other);
+        assert!((m.per_kilo() - 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mean_is_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let mean = s.mean();
+            prop_assert!(mean >= s.min().unwrap() - 1e-9);
+            prop_assert!(mean <= s.max().unwrap() + 1e-9);
+            prop_assert_eq!(s.count(), xs.len() as u64);
+        }
+
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..50),
+            ys in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ) {
+            let mut merged = OnlineStats::new();
+            for &x in &xs { merged.push(x); }
+            let mut other = OnlineStats::new();
+            for &y in &ys { other.push(y); }
+            merged.merge(&other);
+
+            let mut seq = OnlineStats::new();
+            for &v in xs.iter().chain(&ys) { seq.push(v); }
+
+            prop_assert_eq!(merged.count(), seq.count());
+            prop_assert!((merged.sum() - seq.sum()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn ratio_value_in_unit_interval(obs in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let mut r = Ratio::new();
+            for &o in &obs { r.record(o); }
+            let v = r.value();
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

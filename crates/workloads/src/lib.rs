@@ -1,0 +1,38 @@
+//! Benchmark roster, statistical profiles, and the CFG synthesizer.
+//!
+//! This crate is the study's stand-in for the benchmark binaries: 29 HPC
+//! applications (ExMatEx, SPEC OMP 2012, NPB) and 12 desktop applications
+//! (SPEC CPU INT 2006), each described by a [`WorkloadProfile`] calibrated
+//! to the paper's measured characteristics, plus a synthesizer that turns
+//! a profile into a deterministic [`SyntheticTrace`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rebalance_workloads::{Scale, Suite, Workload};
+//!
+//! let roster = rebalance_workloads::all();
+//! assert_eq!(roster.len(), 41);
+//! let comd = rebalance_workloads::find("CoMD").expect("CoMD is in the roster");
+//! assert_eq!(comd.suite(), Suite::ExMatEx);
+//! let trace = comd.trace(Scale::Smoke).expect("valid profile");
+//! assert!(trace.schedule().total_instructions() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod profile;
+mod registry;
+mod roster;
+mod suite;
+mod synth;
+
+pub use profile::{BackendProfile, BiasMix, BranchMix, LoopSpec, SectionProfile, WorkloadProfile};
+pub use registry::{all, by_suite, find, hpc, Scale, Workload};
+pub use suite::Suite;
+pub use synth::synthesize;
+
+// Re-exported so downstream crates rarely need a direct dependency on the
+// trace crate just to consume workloads.
+pub use rebalance_trace::{Section, SyntheticTrace};

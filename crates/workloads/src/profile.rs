@@ -1,0 +1,652 @@
+//! Per-benchmark statistical profiles: the calibration knobs the CFG
+//! synthesizer turns into a concrete program.
+
+use rebalance_isa::LengthModel;
+use serde::{Deserialize, Serialize};
+
+/// Target dynamic branch-type mix, as fractions of all dynamic branch
+/// instructions (the paper's Figure 1 breakdown).
+///
+/// Returns are implied: every (direct or indirect) call eventually
+/// executes one return, so the achieved return fraction tracks
+/// `call + indirect_call` automatically and is not an independent knob.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchMix {
+    /// Conditional direct branches.
+    pub cond: f64,
+    /// Unconditional direct jumps.
+    pub uncond: f64,
+    /// Direct calls (and, implicitly, their returns).
+    pub call: f64,
+    /// Indirect calls.
+    pub indirect_call: f64,
+    /// Indirect jumps (switch tables, computed gotos).
+    pub indirect_branch: f64,
+    /// System calls.
+    pub syscall: f64,
+}
+
+impl BranchMix {
+    /// A mix typical of HPC loop kernels: overwhelmingly conditional
+    /// branches, few calls, negligible indirect control flow.
+    pub fn hpc() -> Self {
+        BranchMix {
+            cond: 0.80,
+            uncond: 0.06,
+            call: 0.06,
+            indirect_call: 0.001,
+            indirect_branch: 0.002,
+            syscall: 0.0005,
+        }
+    }
+
+    /// A mix typical of desktop integer code: more calls, visible
+    /// indirect control flow.
+    pub fn desktop() -> Self {
+        BranchMix {
+            cond: 0.70,
+            uncond: 0.08,
+            call: 0.09,
+            indirect_call: 0.008,
+            indirect_branch: 0.012,
+            syscall: 0.001,
+        }
+    }
+
+    /// Sum of all explicit fractions plus the implied returns
+    /// (`call + indirect_call`). Should be ≈ 1.
+    pub fn total(&self) -> f64 {
+        self.cond
+            + self.uncond
+            + self.call
+            + self.indirect_call
+            + self.indirect_branch
+            + self.syscall
+            + self.implied_returns()
+    }
+
+    /// The return fraction implied by the call fractions.
+    pub fn implied_returns(&self) -> f64 {
+        self.call + self.indirect_call
+    }
+
+    /// Validates that fractions are non-negative, `cond` dominates zero,
+    /// and the total is within 20% of 1 (the synthesizer renormalizes).
+    pub fn validate(&self) -> Result<(), String> {
+        let parts = [
+            ("cond", self.cond),
+            ("uncond", self.uncond),
+            ("call", self.call),
+            ("indirect_call", self.indirect_call),
+            ("indirect_branch", self.indirect_branch),
+            ("syscall", self.syscall),
+        ];
+        for (name, v) in parts {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(format!("branch mix field `{name}` = {v} out of range"));
+            }
+        }
+        if self.cond <= 0.0 {
+            return Err("branch mix needs a positive conditional fraction".into());
+        }
+        let t = self.total();
+        if !(0.8..=1.2).contains(&t) {
+            return Err(format!("branch mix total {t} too far from 1.0"));
+        }
+        Ok(())
+    }
+}
+
+/// Population mixture of conditional-branch *site* behaviours, excluding
+/// loop back-edges (which are modelled separately via [`LoopSpec`]).
+///
+/// Weights need not sum to one; the synthesizer normalizes. Each weight
+/// describes what fraction of if-sites behave like that archetype:
+///
+/// | archetype | behaviour | Figure 2 bucket |
+/// |---|---|---|
+/// | `strongly_taken` | Bernoulli(0.97) | >90% |
+/// | `strongly_not_taken` | Bernoulli(0.03) | 0–10% |
+/// | `moderately_taken` | Bernoulli(0.72) | 70–80% |
+/// | `moderately_not_taken` | Bernoulli(0.28) | 20–30% |
+/// | `balanced` | Bernoulli(0.50) | 40–60% |
+/// | `patterned` | Periodic 3T/1N | 70–80%, history-predictable |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasMix {
+    /// Weight of ~97%-taken Bernoulli sites.
+    pub strongly_taken: f64,
+    /// Weight of ~3%-taken Bernoulli sites.
+    pub strongly_not_taken: f64,
+    /// Weight of ~72%-taken Bernoulli sites.
+    pub moderately_taken: f64,
+    /// Weight of ~28%-taken Bernoulli sites.
+    pub moderately_not_taken: f64,
+    /// Weight of ~50%-taken Bernoulli sites (inherently unpredictable).
+    pub balanced: f64,
+    /// Weight of deterministic 3-taken/1-not-taken periodic sites
+    /// (history-predictable, bimodal-hostile).
+    pub patterned: f64,
+}
+
+impl BiasMix {
+    /// HPC-style site population: almost everything strongly biased.
+    pub fn hpc() -> Self {
+        BiasMix {
+            strongly_taken: 0.21,
+            strongly_not_taken: 0.68,
+            moderately_taken: 0.02,
+            moderately_not_taken: 0.03,
+            balanced: 0.01,
+            patterned: 0.05,
+        }
+    }
+
+    /// Desktop-style site population: substantial mid-range and
+    /// history-patterned mass.
+    pub fn desktop() -> Self {
+        BiasMix {
+            strongly_taken: 0.10,
+            strongly_not_taken: 0.44,
+            moderately_taken: 0.08,
+            moderately_not_taken: 0.08,
+            balanced: 0.04,
+            patterned: 0.26,
+        }
+    }
+
+    /// Raw weights in a fixed order (matching the archetype table).
+    pub fn weights(&self) -> [f64; 6] {
+        [
+            self.strongly_taken,
+            self.strongly_not_taken,
+            self.moderately_taken,
+            self.moderately_not_taken,
+            self.balanced,
+            self.patterned,
+        ]
+    }
+
+    /// Sum of weights.
+    pub fn total(&self) -> f64 {
+        self.weights().iter().sum()
+    }
+
+    /// Validates non-negative weights with a positive total.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.weights().iter().any(|w| *w < 0.0 || w.is_nan()) {
+            return Err("bias mix weights must be non-negative".into());
+        }
+        if self.total() <= 0.0 {
+            return Err("bias mix needs a positive total weight".into());
+        }
+        Ok(())
+    }
+}
+
+/// Loop-nest shape of a code section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopSpec {
+    /// Mean trip count of the section's inner loops.
+    pub mean_iterations: f64,
+    /// Fraction of loops with a *constant* trip count (the pattern a loop
+    /// branch predictor captures perfectly).
+    pub constant_fraction: f64,
+}
+
+impl LoopSpec {
+    /// Typical HPC kernel loops: long, mostly constant trip counts.
+    pub fn hpc() -> Self {
+        LoopSpec {
+            mean_iterations: 64.0,
+            constant_fraction: 0.7,
+        }
+    }
+
+    /// Typical desktop loops: short, data-dependent trip counts.
+    pub fn desktop() -> Self {
+        LoopSpec {
+            mean_iterations: 18.0,
+            constant_fraction: 0.2,
+        }
+    }
+
+    /// Validates sane bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mean_iterations.is_finite() && self.mean_iterations >= 2.0) {
+            return Err(format!(
+                "mean_iterations {} must be >= 2",
+                self.mean_iterations
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.constant_fraction) {
+            return Err("constant_fraction must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Statistical profile of one code section (serial or parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectionProfile {
+    /// Branch instructions as a fraction of all instructions
+    /// (Figure 1's y-axis).
+    pub branch_fraction: f64,
+    /// Dynamic branch-type mix (Figure 1's stacking).
+    pub mix: BranchMix,
+    /// Conditional-branch site bias population (Figure 2).
+    pub bias: BiasMix,
+    /// Fraction of dynamic *conditional* branches that are loop
+    /// back-edges. Drives both the >90% bucket of Figure 2 and the
+    /// backward-taken share of Table I.
+    pub backedge_cond_share: f64,
+    /// Fraction of if-sites (excluding strongly-taken ones) whose taken
+    /// target is *backward* — short `while`-style retry loops. Desktop
+    /// code has many (they are the taken-backward mispredictions a loop
+    /// BP cannot remove, Figure 6); HPC kernels have few.
+    pub backward_if_fraction: f64,
+    /// Fraction of if-sites built as if/else diamonds. Each execution
+    /// runs one arm and leaves the other as dead bytes in its cache
+    /// line, which is what makes wide I-cache lines *hurt* desktop code
+    /// (Figure 9) while tightly-packed HPC loops love them.
+    pub else_fraction: f64,
+    /// Mean kernels walked sequentially per dispatch burst. Longer
+    /// bursts mean fewer dispatch indirect-jumps (less BTB noise) and
+    /// more sequential fetch.
+    pub burst_kernels: f64,
+    /// Dead (never-executed) bytes laid out per executed byte of hot
+    /// code: error paths, asserts, cold switch arms. Dead stretches are
+    /// sized comparable to a wide cache line, so high slack makes 128 B
+    /// lines carry mostly dead bytes — the desktop behaviour of
+    /// Figure 9 — while near-zero slack gives densely packed HPC loops.
+    pub layout_slack: f64,
+    /// Memory holding ≈99% of dynamic instructions, in KB (Figure 3).
+    pub hot_kb: f64,
+    /// Loop-nest shape.
+    pub loops: LoopSpec,
+    /// Number of distinct frequently-called functions.
+    pub call_targets: u32,
+    /// Distinct targets per indirect jump/call site.
+    pub indirect_fanout: u32,
+}
+
+impl SectionProfile {
+    /// Validates all nested knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.005..=0.5).contains(&self.branch_fraction) {
+            return Err(format!(
+                "branch_fraction {} outside plausible range",
+                self.branch_fraction
+            ));
+        }
+        self.mix.validate()?;
+        self.bias.validate()?;
+        self.loops.validate()?;
+        if !(0.02..=0.95).contains(&self.backedge_cond_share) {
+            return Err(format!(
+                "backedge_cond_share {} outside (0.02, 0.95)",
+                self.backedge_cond_share
+            ));
+        }
+        if !(0.0..=0.6).contains(&self.backward_if_fraction) {
+            return Err(format!(
+                "backward_if_fraction {} outside [0, 0.6]",
+                self.backward_if_fraction
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.else_fraction) {
+            return Err(format!(
+                "else_fraction {} outside [0, 1]",
+                self.else_fraction
+            ));
+        }
+        if !(1.0..=64.0).contains(&self.burst_kernels) {
+            return Err(format!(
+                "burst_kernels {} outside [1, 64]",
+                self.burst_kernels
+            ));
+        }
+        if !(0.0..=3.0).contains(&self.layout_slack) {
+            return Err(format!("layout_slack {} outside [0, 3]", self.layout_slack));
+        }
+        if !(0.25..=4096.0).contains(&self.hot_kb) {
+            return Err(format!("hot_kb {} outside (0.25, 4096)", self.hot_kb));
+        }
+        if self.call_targets == 0 || self.call_targets > 4096 {
+            return Err("call_targets must be in 1..=4096".into());
+        }
+        if self.indirect_fanout == 0 || self.indirect_fanout > 64 {
+            return Err("indirect_fanout must be in 1..=64".into());
+        }
+        Ok(())
+    }
+
+    /// Average instructions between branch instructions implied by
+    /// `branch_fraction`.
+    pub fn insts_per_branch(&self) -> f64 {
+        1.0 / self.branch_fraction
+    }
+}
+
+/// Back-end (non-front-end) behaviour used by the interval core model.
+///
+/// The paper's CMP evaluation varies only front-end structures; data-side
+/// stalls are a per-workload constant across core configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendProfile {
+    /// Base CPI of the lean core on this workload with a perfect
+    /// front-end (issue limits, dependencies, FU contention).
+    pub base_cpi: f64,
+    /// CPI contribution of data-cache and memory stalls.
+    pub data_stall_cpi: f64,
+}
+
+impl BackendProfile {
+    /// Validates sane bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.2..=5.0).contains(&self.base_cpi) {
+            return Err(format!("base_cpi {} outside (0.2, 5)", self.base_cpi));
+        }
+        if !(0.0..=10.0).contains(&self.data_stall_cpi) {
+            return Err(format!(
+                "data_stall_cpi {} outside (0, 10)",
+                self.data_stall_cpi
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Complete statistical profile of a benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Profile of serial (master-thread, between-regions) code.
+    pub serial: SectionProfile,
+    /// Profile of parallel-region code.
+    pub parallel: SectionProfile,
+    /// Fraction of dynamic instructions executed serially by the master
+    /// thread (at the paper's 8-thread configuration).
+    pub serial_fraction: f64,
+    /// Total static code footprint in KB (Figure 3's "Static" series).
+    pub static_kb: f64,
+    /// Portion of the static footprint contributed by external libraries,
+    /// laid out in a distant text region (prominent in ExMatEx).
+    pub lib_kb: f64,
+    /// Default dynamic instruction budget for the master-thread trace at
+    /// full scale.
+    pub instructions: u64,
+    /// Mean instruction byte length for non-branch instructions (HPC
+    /// FP/SIMD code runs longer encodings than desktop integer code).
+    pub mean_inst_bytes: f64,
+    /// Back-end behaviour for the interval model.
+    pub backend: BackendProfile,
+}
+
+impl WorkloadProfile {
+    /// Validates every knob; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        self.serial.validate()?;
+        self.parallel.validate()?;
+        self.backend.validate()?;
+        if !(0.0..=1.0).contains(&self.serial_fraction) {
+            return Err("serial_fraction must be in [0,1]".into());
+        }
+        if self.static_kb < self.serial.hot_kb + self.parallel.hot_kb {
+            return Err(format!(
+                "static_kb {} smaller than combined hot footprints {}",
+                self.static_kb,
+                self.serial.hot_kb + self.parallel.hot_kb
+            ));
+        }
+        if self.lib_kb > self.static_kb {
+            return Err("lib_kb cannot exceed static_kb".into());
+        }
+        if self.instructions < 10_000 {
+            return Err("instruction budget too small to be meaningful".into());
+        }
+        if !(2.5..=7.5).contains(&self.mean_inst_bytes) {
+            return Err(format!(
+                "mean_inst_bytes {} outside (2.5, 7.5)",
+                self.mean_inst_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Instruction-length model matching `mean_inst_bytes`.
+    pub fn length_model(&self) -> LengthModel {
+        // Pick the 8-entry mixture with the requested mean: spread ±2
+        // bytes around the mean, clamped to the encodable range.
+        let mean = self.mean_inst_bytes;
+        let base = mean.round() as i32;
+        let spread: [i32; 8] = [-1, 0, -2, 1, 0, 2, 0, 0];
+        let mut mix = [0u8; 8];
+        let mut sum = 0i32;
+        for (slot, d) in mix.iter_mut().zip(spread) {
+            let v = (base + d).clamp(2, 8);
+            *slot = v as u8;
+            sum += v;
+        }
+        // Nudge entries so the integer mixture mean is as close to the
+        // target as possible.
+        let target_sum = (mean * 8.0).round() as i32;
+        let mut i = 0;
+        while sum < target_sum && i < 8 {
+            if mix[i] < 8 {
+                mix[i] += 1;
+                sum += 1;
+            }
+            i += 1;
+        }
+        let mut i = 0;
+        while sum > target_sum && i < 8 {
+            if mix[i] > 2 {
+                mix[i] -= 1;
+                sum -= 1;
+            }
+            i += 1;
+        }
+        LengthModel::new(mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_mixes_validate() {
+        BranchMix::hpc().validate().unwrap();
+        BranchMix::desktop().validate().unwrap();
+        assert!(BranchMix::hpc().total() > 0.9);
+        assert!(BranchMix::hpc().cond > BranchMix::desktop().cond);
+    }
+
+    #[test]
+    fn branch_mix_rejects_bad_values() {
+        let mut m = BranchMix::hpc();
+        m.cond = -0.1;
+        assert!(m.validate().is_err());
+        let mut m = BranchMix::hpc();
+        m.cond = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = BranchMix::hpc();
+        m.uncond = 0.9; // total far above 1
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn implied_returns_track_calls() {
+        let m = BranchMix::desktop();
+        assert!((m.implied_returns() - (m.call + m.indirect_call)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preset_bias_mixes_validate() {
+        BiasMix::hpc().validate().unwrap();
+        BiasMix::desktop().validate().unwrap();
+        // HPC is dominated by strongly biased sites.
+        let h = BiasMix::hpc();
+        let strong = h.strongly_taken + h.strongly_not_taken;
+        assert!(strong / h.total() > 0.7);
+        // Desktop has much more mid-range mass.
+        let d = BiasMix::desktop();
+        let mid = d.moderately_taken + d.moderately_not_taken + d.balanced + d.patterned;
+        assert!(mid / d.total() > 0.4);
+    }
+
+    #[test]
+    fn bias_mix_rejects_negative_and_zero() {
+        let mut b = BiasMix::hpc();
+        b.balanced = -0.5;
+        assert!(b.validate().is_err());
+        let z = BiasMix {
+            strongly_taken: 0.0,
+            strongly_not_taken: 0.0,
+            moderately_taken: 0.0,
+            moderately_not_taken: 0.0,
+            balanced: 0.0,
+            patterned: 0.0,
+        };
+        assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn loop_spec_validation() {
+        LoopSpec::hpc().validate().unwrap();
+        LoopSpec::desktop().validate().unwrap();
+        assert!(LoopSpec {
+            mean_iterations: 1.0,
+            constant_fraction: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LoopSpec {
+            mean_iterations: 10.0,
+            constant_fraction: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(LoopSpec::hpc().mean_iterations > LoopSpec::desktop().mean_iterations);
+    }
+
+    fn sample_section() -> SectionProfile {
+        SectionProfile {
+            branch_fraction: 0.05,
+            mix: BranchMix::hpc(),
+            bias: BiasMix::hpc(),
+            backedge_cond_share: 0.45,
+            backward_if_fraction: 0.08,
+            else_fraction: 0.2,
+            burst_kernels: 6.0,
+            layout_slack: 0.1,
+            hot_kb: 2.0,
+            loops: LoopSpec::hpc(),
+            call_targets: 4,
+            indirect_fanout: 4,
+        }
+    }
+
+    #[test]
+    fn section_profile_validation() {
+        sample_section().validate().unwrap();
+        let mut s = sample_section();
+        s.branch_fraction = 0.6;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.hot_kb = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.call_targets = 0;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.indirect_fanout = 100;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.backedge_cond_share = 0.99;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.backward_if_fraction = 0.9;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.else_fraction = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.burst_kernels = 0.5;
+        assert!(s.validate().is_err());
+        let mut s = sample_section();
+        s.layout_slack = 5.0;
+        assert!(s.validate().is_err());
+        assert!((sample_section().insts_per_branch() - 20.0).abs() < 1e-9);
+    }
+
+    fn sample_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            serial: sample_section(),
+            parallel: sample_section(),
+            serial_fraction: 0.05,
+            static_kb: 120.0,
+            lib_kb: 0.0,
+            instructions: 1_000_000,
+            mean_inst_bytes: 5.0,
+            backend: BackendProfile {
+                base_cpi: 1.0,
+                data_stall_cpi: 0.4,
+            },
+        }
+    }
+
+    #[test]
+    fn workload_profile_validation() {
+        sample_profile().validate().unwrap();
+        let mut p = sample_profile();
+        p.static_kb = 1.0; // smaller than hot footprints
+        assert!(p.validate().is_err());
+        let mut p = sample_profile();
+        p.lib_kb = 500.0;
+        assert!(p.validate().is_err());
+        let mut p = sample_profile();
+        p.instructions = 10;
+        assert!(p.validate().is_err());
+        let mut p = sample_profile();
+        p.serial_fraction = 1.2;
+        assert!(p.validate().is_err());
+        let mut p = sample_profile();
+        p.mean_inst_bytes = 10.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn backend_profile_validation() {
+        let b = BackendProfile {
+            base_cpi: 1.0,
+            data_stall_cpi: 0.5,
+        };
+        b.validate().unwrap();
+        assert!(BackendProfile {
+            base_cpi: 0.0,
+            data_stall_cpi: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(BackendProfile {
+            base_cpi: 1.0,
+            data_stall_cpi: 20.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn length_model_mean_tracks_target() {
+        for target in [3.0, 3.5, 4.0, 5.0, 5.5, 6.0] {
+            let mut p = sample_profile();
+            p.mean_inst_bytes = target;
+            let lm = p.length_model();
+            assert!(
+                (lm.mean_other_len() - target).abs() <= 0.15,
+                "target {target}, got {}",
+                lm.mean_other_len()
+            );
+        }
+    }
+}

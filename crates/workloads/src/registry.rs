@@ -1,0 +1,238 @@
+//! The workload registry: named benchmarks with suite membership and
+//! trace construction.
+
+use std::fmt;
+
+use rebalance_trace::SyntheticTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::WorkloadProfile;
+use crate::roster;
+use crate::suite::Suite;
+use crate::synth::synthesize;
+
+/// How much of the full dynamic instruction budget to simulate.
+///
+/// The paper instruments full benchmark runs (up to 100 G instructions in
+/// Sniper); our experiments sample the steady state, which the synthetic
+/// workloads reach almost immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// ~2% of the budget: CI-sized smoke runs.
+    Smoke,
+    /// ~25% of the budget: fast experimentation.
+    Quick,
+    /// The profile's full budget: paper-style numbers.
+    #[default]
+    Full,
+    /// An explicit multiplier on the full budget.
+    Custom(f64),
+}
+
+impl Scale {
+    /// The multiplier applied to the profile's instruction budget.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.02,
+            Scale::Quick => 0.25,
+            Scale::Full => 1.0,
+            Scale::Custom(f) => f,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Smoke => f.write_str("smoke"),
+            Scale::Quick => f.write_str("quick"),
+            Scale::Full => f.write_str("full"),
+            Scale::Custom(x) => write!(f, "custom({x})"),
+        }
+    }
+}
+
+/// A named benchmark: suite membership plus its calibrated profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: &'static str,
+    suite: Suite,
+    profile: WorkloadProfile,
+}
+
+impl Workload {
+    pub(crate) fn new(name: &'static str, suite: Suite, profile: WorkloadProfile) -> Self {
+        Workload {
+            name,
+            suite,
+            profile,
+        }
+    }
+
+    /// Benchmark name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Owning suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The calibrated statistical profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Synthesizes the master-thread trace at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile fails validation (roster profiles
+    /// are covered by tests and never do).
+    pub fn trace(&self, scale: Scale) -> Result<SyntheticTrace, String> {
+        let factor = scale.factor();
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(format!("invalid scale factor {factor}"));
+        }
+        let trace = synthesize(self.name, &self.profile)?;
+        Ok(if (factor - 1.0).abs() < f64::EPSILON {
+            trace
+        } else {
+            trace.scaled(factor)
+        })
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.suite)
+    }
+}
+
+/// All 41 benchmarks in presentation order (ExMatEx, SPEC OMP, NPB,
+/// SPEC CPU INT).
+pub fn all() -> Vec<Workload> {
+    let mut v = roster::exmatex();
+    v.extend(roster::spec_omp());
+    v.extend(roster::npb());
+    v.extend(roster::spec_int());
+    v
+}
+
+/// The 29 HPC benchmarks.
+pub fn hpc() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite().is_hpc()).collect()
+}
+
+/// All benchmarks of one suite.
+pub fn by_suite(suite: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite() == suite).collect()
+}
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn find(name: &str) -> Option<Workload> {
+    all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_counts_match_paper() {
+        assert_eq!(all().len(), 41);
+        assert_eq!(hpc().len(), 29);
+        assert_eq!(by_suite(Suite::ExMatEx).len(), 8);
+        assert_eq!(by_suite(Suite::SpecOmp).len(), 11);
+        assert_eq!(by_suite(Suite::Npb).len(), 10);
+        assert_eq!(by_suite(Suite::SpecCpuInt).len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for w in all() {
+            assert!(names.insert(w.name().to_lowercase()), "dup {}", w.name());
+        }
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for w in all() {
+            w.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        }
+    }
+
+    #[test]
+    fn every_workload_synthesizes_at_smoke_scale() {
+        for w in all() {
+            let trace = w
+                .trace(Scale::Smoke)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(trace.schedule().total_instructions() > 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("lulesh").unwrap().name(), "LULESH");
+        assert_eq!(find("XALANCBMK").unwrap().name(), "xalancbmk");
+        assert!(find("quake3").is_none());
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert!(Scale::Smoke.factor() < Scale::Quick.factor());
+        assert!(Scale::Quick.factor() < Scale::Full.factor());
+        assert_eq!(Scale::Full.factor(), 1.0);
+        assert_eq!(Scale::Custom(2.0).factor(), 2.0);
+        assert_eq!(Scale::default(), Scale::Full);
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
+        assert_eq!(Scale::Custom(0.5).to_string(), "custom(0.5)");
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        let w = find("CoMD").unwrap();
+        assert!(w.trace(Scale::Custom(0.0)).is_err());
+        assert!(w.trace(Scale::Custom(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn scaled_trace_shrinks_budget() {
+        let w = find("CoMD").unwrap();
+        let full = w.profile().instructions;
+        let t = w.trace(Scale::Quick).unwrap();
+        let got = t.schedule().total_instructions();
+        let expect = full as f64 * 0.25;
+        assert!(
+            (got as f64 - expect).abs() / expect < 0.05,
+            "{got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn spec_int_is_fully_serial_and_hpc_mostly_parallel() {
+        for w in by_suite(Suite::SpecCpuInt) {
+            assert!(
+                (w.profile().serial_fraction - 1.0).abs() < 1e-12,
+                "{}",
+                w.name()
+            );
+        }
+        for w in hpc() {
+            assert!(w.profile().serial_fraction < 0.5, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn display_includes_suite() {
+        let w = find("FT").unwrap();
+        assert_eq!(w.to_string(), "FT [NPB]");
+    }
+}

@@ -1,0 +1,891 @@
+//! The 41-benchmark roster with per-benchmark calibration.
+//!
+//! Numbers are calibrated to the paper's characterization:
+//!
+//! * **Figure 1** — branch fraction per suite (ExMatEx ≈13%, SPEC OMP and
+//!   NPB ≈7%, SPEC CPU INT ≈19%; serial ≈3× parallel inside HPC apps).
+//! * **Figure 2** — bias spectrum (HPC 80–90% of dynamic conditionals
+//!   strongly biased; desktop spread out).
+//! * **Table I** — backward share of taken conditionals (HPC ≈69–80%,
+//!   desktop ≈56%).
+//! * **Figure 3** — static footprints (SPEC OMP/NPB ≈121 KB average, UA
+//!   max ≈252 KB; ExMatEx ≈242 KB average, VPFFT ≈800 KB via libraries)
+//!   and 99% dynamic footprints (most HPC 1–4 KB, a few 12–24 KB,
+//!   desktop ≈60–140 KB).
+//! * **Figure 4** — basic-block bytes (HPC ≈4× desktop; BT ≈312 B, swim
+//!   ≈152 B, LULESH ≈126 B; CoHMM/CoSP/botsspar/CG/IS ≈32 B).
+//! * **Section III-D** — serial instruction fractions at 8 threads
+//!   (CoEVP ≈35%, LULESH ≈11%, CoSP ≈9%, CoMD ≈8%, nab/fma3d ≈4%,
+//!   others <1%).
+
+use crate::profile::{
+    BackendProfile, BiasMix, BranchMix, LoopSpec, SectionProfile, WorkloadProfile,
+};
+use crate::registry::Workload;
+use crate::suite::Suite;
+
+/// Default full-scale instruction budget per workload.
+const DEFAULT_INSTS: u64 = 4_000_000;
+
+/// Parallel-section template for HPC codes.
+fn hpc_parallel(bf: f64, hot_kb: f64, iters: f64, constf: f64) -> SectionProfile {
+    SectionProfile {
+        branch_fraction: bf,
+        mix: BranchMix::hpc(),
+        bias: BiasMix::hpc(),
+        backedge_cond_share: 0.45,
+        backward_if_fraction: 0.08,
+        else_fraction: 0.15,
+        burst_kernels: 6.0,
+        layout_slack: 0.10,
+        hot_kb,
+        loops: LoopSpec {
+            mean_iterations: iters,
+            constant_fraction: constf,
+        },
+        call_targets: 6,
+        indirect_fanout: 4,
+    }
+}
+
+/// Serial-section template for HPC codes: a desktop-leaning master
+/// thread between parallel regions.
+fn hpc_serial(bf: f64, hot_kb: f64) -> SectionProfile {
+    SectionProfile {
+        branch_fraction: bf,
+        mix: BranchMix {
+            cond: 0.74,
+            uncond: 0.075,
+            call: 0.075,
+            indirect_call: 0.004,
+            indirect_branch: 0.006,
+            syscall: 0.001,
+        },
+        bias: BiasMix {
+            strongly_taken: 0.12,
+            strongly_not_taken: 0.48,
+            moderately_taken: 0.08,
+            moderately_not_taken: 0.08,
+            balanced: 0.04,
+            patterned: 0.20,
+        },
+        backedge_cond_share: 0.30,
+        backward_if_fraction: 0.22,
+        else_fraction: 0.45,
+        burst_kernels: 8.0,
+        layout_slack: 0.45,
+        hot_kb,
+        loops: LoopSpec {
+            mean_iterations: 14.0,
+            constant_fraction: 0.35,
+        },
+        call_targets: 10,
+        indirect_fanout: 4,
+    }
+}
+
+/// Desktop (SPEC CPU INT) section template.
+fn desktop_section(bf: f64, hot_kb: f64, call_targets: u32) -> SectionProfile {
+    SectionProfile {
+        branch_fraction: bf,
+        mix: BranchMix::desktop(),
+        bias: BiasMix::desktop(),
+        backedge_cond_share: 0.22,
+        backward_if_fraction: 0.45,
+        else_fraction: 0.65,
+        burst_kernels: 12.0,
+        layout_slack: 1.1,
+        hot_kb,
+        loops: LoopSpec::desktop(),
+        call_targets,
+        indirect_fanout: 4,
+    }
+}
+
+/// Bundles everything into a workload.
+#[allow(clippy::too_many_arguments)]
+fn wl(
+    name: &'static str,
+    suite: Suite,
+    serial: SectionProfile,
+    parallel: SectionProfile,
+    serial_fraction: f64,
+    static_kb: f64,
+    lib_kb: f64,
+    mean_inst_bytes: f64,
+    backend: BackendProfile,
+) -> Workload {
+    Workload::new(
+        name,
+        suite,
+        WorkloadProfile {
+            serial,
+            parallel,
+            serial_fraction,
+            static_kb,
+            lib_kb,
+            instructions: DEFAULT_INSTS,
+            mean_inst_bytes,
+            backend,
+        },
+    )
+}
+
+fn be(base_cpi: f64, data_stall_cpi: f64) -> BackendProfile {
+    BackendProfile {
+        base_cpi,
+        data_stall_cpi,
+    }
+}
+
+/// ExMatEx proxy applications (8).
+///
+/// Recent codes with real library dependencies: larger footprints, more
+/// branches, less biased control flow than SPEC OMP/NPB, and visible
+/// serial sections.
+pub(crate) fn exmatex() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(8);
+
+    // CoMD: molecular dynamics; 8% serial, moderate footprint; basic
+    // blocks 2x longer in parallel than serial code.
+    v.push(wl(
+        "CoMD",
+        Suite::ExMatEx,
+        hpc_serial(0.17, 8.0),
+        hpc_parallel(0.09, 6.0, 40.0, 0.5),
+        0.08,
+        180.0,
+        40.0,
+        5.0,
+        be(1.0, 0.45),
+    ));
+
+    // CoEVP: constitutive evaluation via proxy; the serial-bottleneck
+    // workload (35% serial at 8 threads), visible indirect calls
+    // (up to 2.5% of branches), large library footprint.
+    let mut coevp_par = hpc_parallel(0.11, 12.0, 28.0, 0.4);
+    coevp_par.mix.indirect_call = 0.012;
+    coevp_par.mix.indirect_branch = 0.013;
+    coevp_par.bias = BiasMix {
+        strongly_taken: 0.16,
+        strongly_not_taken: 0.57,
+        moderately_taken: 0.05,
+        moderately_not_taken: 0.06,
+        balanced: 0.04,
+        patterned: 0.12,
+    };
+    let mut coevp_ser = hpc_serial(0.18, 18.0);
+    coevp_ser.mix.indirect_call = 0.015;
+    v.push(wl(
+        "CoEVP",
+        Suite::ExMatEx,
+        coevp_ser,
+        coevp_par,
+        0.35,
+        300.0,
+        150.0,
+        4.8,
+        be(1.05, 0.55),
+    ));
+
+    // CoHMM: heterogeneous multiscale method; short basic blocks (~32B)
+    // with short reuse distance.
+    v.push(wl(
+        "CoHMM",
+        Suite::ExMatEx,
+        hpc_serial(0.20, 6.0),
+        hpc_parallel(0.16, 3.0, 24.0, 0.45),
+        0.03,
+        160.0,
+        30.0,
+        4.8,
+        be(1.0, 0.5),
+    ));
+
+    // CoSP (CoSP2): sparse matrix proxy; 9% serial, short blocks.
+    v.push(wl(
+        "CoSP",
+        Suite::ExMatEx,
+        hpc_serial(0.19, 7.0),
+        hpc_parallel(0.15, 3.5, 22.0, 0.4),
+        0.09,
+        150.0,
+        25.0,
+        4.8,
+        be(1.0, 0.7),
+    ));
+
+    // CoGL: Ginzburg-Landau proxy; stresses the I-cache (hot region
+    // around 18KB).
+    v.push(wl(
+        "CoGL",
+        Suite::ExMatEx,
+        hpc_serial(0.16, 9.0),
+        hpc_parallel(0.10, 18.0, 36.0, 0.5),
+        0.03,
+        200.0,
+        60.0,
+        5.0,
+        be(1.0, 0.5),
+    ));
+
+    // LULESH: shock hydro; long basic blocks (~126B), 11% serial,
+    // 16KB-class hot loop nest.
+    v.push(wl(
+        "LULESH",
+        Suite::ExMatEx,
+        hpc_serial(0.13, 8.0),
+        hpc_parallel(0.042, 16.0, 48.0, 0.6),
+        0.11,
+        120.0,
+        20.0,
+        5.4,
+        be(0.95, 0.5),
+    ));
+
+    // VPFFT: crystal viscoplasticity over FFTW; enormous static
+    // footprint from libraries (~800KB) but a compact hot loop.
+    let mut vpfft_par = hpc_parallel(0.08, 8.0, 64.0, 0.7);
+    vpfft_par.call_targets = 16;
+    v.push(wl(
+        "VPFFT",
+        Suite::ExMatEx,
+        hpc_serial(0.15, 10.0),
+        vpfft_par,
+        0.04,
+        800.0,
+        500.0,
+        5.2,
+        be(1.0, 0.6),
+    ));
+
+    // ASPA: adaptive sampling proxy app; moderate everything.
+    v.push(wl(
+        "ASPA",
+        Suite::ExMatEx,
+        hpc_serial(0.17, 7.0),
+        hpc_parallel(0.12, 5.0, 30.0, 0.45),
+        0.04,
+        130.0,
+        25.0,
+        4.9,
+        be(1.0, 0.5),
+    ));
+
+    v
+}
+
+/// SPEC OMP 2012 (11 of 14; the NPB-identical three are excluded).
+pub(crate) fn spec_omp() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(11);
+
+    // md: molecular dynamics; indirect jumps visible.
+    let mut md_par = hpc_parallel(0.06, 2.5, 72.0, 0.7);
+    md_par.mix.indirect_branch = 0.008;
+    md_par.mix.indirect_call = 0.004;
+    v.push(wl(
+        "md",
+        Suite::SpecOmp,
+        hpc_serial(0.16, 2.0),
+        md_par,
+        0.008,
+        96.0,
+        0.0,
+        5.3,
+        be(0.95, 0.4),
+    ));
+
+    // bwaves: blast waves CFD; classic long-trip-count loops.
+    v.push(wl(
+        "bwaves",
+        Suite::SpecOmp,
+        hpc_serial(0.15, 1.5),
+        hpc_parallel(0.05, 2.0, 96.0, 0.85),
+        0.005,
+        110.0,
+        0.0,
+        5.5,
+        be(0.9, 0.6),
+    ));
+
+    // nab: molecular modelling; ~4% serial at 8 threads (grows with
+    // thread count, Section III-D).
+    v.push(wl(
+        "nab",
+        Suite::SpecOmp,
+        hpc_serial(0.17, 3.0),
+        hpc_parallel(0.075, 2.5, 48.0, 0.6),
+        0.04,
+        140.0,
+        0.0,
+        5.1,
+        be(1.0, 0.45),
+    ));
+
+    // botsalgn: protein alignment (OpenMP tasks).
+    v.push(wl(
+        "botsalgn",
+        Suite::SpecOmp,
+        hpc_serial(0.17, 2.0),
+        hpc_parallel(0.08, 2.0, 40.0, 0.55),
+        0.01,
+        100.0,
+        0.0,
+        5.0,
+        be(1.0, 0.4),
+    ));
+
+    // botsspar: sparse LU (tasks); short blocks (~32B), loop BP nearly
+    // eliminates its mispredictions (Figure 6).
+    let mut botsspar_par = hpc_parallel(0.145, 2.0, 56.0, 0.9);
+    botsspar_par.bias = BiasMix {
+        strongly_taken: 0.10,
+        strongly_not_taken: 0.74,
+        moderately_taken: 0.04,
+        moderately_not_taken: 0.05,
+        balanced: 0.03,
+        patterned: 0.04,
+    };
+    v.push(wl(
+        "botsspar",
+        Suite::SpecOmp,
+        hpc_serial(0.18, 2.0),
+        botsspar_par,
+        0.012,
+        105.0,
+        0.0,
+        4.9,
+        be(1.0, 0.55),
+    ));
+
+    // ilbdc: lattice Boltzmann; extremely regular.
+    v.push(wl(
+        "ilbdc",
+        Suite::SpecOmp,
+        hpc_serial(0.14, 1.5),
+        hpc_parallel(0.045, 1.5, 128.0, 0.9),
+        0.005,
+        90.0,
+        0.0,
+        5.5,
+        be(0.9, 0.8),
+    ));
+
+    // fma3d: crash simulation; the I-cache-bound SPEC OMP outlier
+    // (24KB-class hot region, 6% slowdown on the tailored core), ~4%
+    // serial.
+    v.push(wl(
+        "fma3d",
+        Suite::SpecOmp,
+        hpc_serial(0.16, 6.0),
+        hpc_parallel(0.085, 26.0, 36.0, 0.5),
+        0.04,
+        250.0,
+        0.0,
+        5.0,
+        be(1.0, 0.5),
+    ));
+
+    // swim: shallow water; very long basic blocks (~152B).
+    v.push(wl(
+        "swim",
+        Suite::SpecOmp,
+        hpc_serial(0.13, 1.5),
+        hpc_parallel(0.034, 2.0, 112.0, 0.9),
+        0.005,
+        85.0,
+        0.0,
+        5.6,
+        be(0.9, 0.9),
+    ));
+
+    // imagick: image manipulation; loop BP eliminates mispredictions
+    // (Figure 6).
+    let mut imagick_par = hpc_parallel(0.09, 3.0, 64.0, 0.92);
+    imagick_par.bias = BiasMix {
+        strongly_taken: 0.12,
+        strongly_not_taken: 0.70,
+        moderately_taken: 0.05,
+        moderately_not_taken: 0.05,
+        balanced: 0.03,
+        patterned: 0.05,
+    };
+    v.push(wl(
+        "imagick",
+        Suite::SpecOmp,
+        hpc_serial(0.17, 2.5),
+        imagick_par,
+        0.01,
+        150.0,
+        0.0,
+        4.9,
+        be(1.0, 0.35),
+    ));
+
+    // smithwa: Smith-Waterman sequence alignment.
+    v.push(wl(
+        "smithwa",
+        Suite::SpecOmp,
+        hpc_serial(0.17, 2.0),
+        hpc_parallel(0.10, 1.5, 52.0, 0.7),
+        0.01,
+        95.0,
+        0.0,
+        5.0,
+        be(1.0, 0.4),
+    ));
+
+    // kdtree: k-d tree construction/search (recursive); indirect-branch
+    // outlier of SPEC OMP.
+    let mut kdtree_par = hpc_parallel(0.11, 3.0, 20.0, 0.3);
+    kdtree_par.mix.indirect_branch = 0.010;
+    kdtree_par.mix.indirect_call = 0.006;
+    kdtree_par.bias = BiasMix {
+        strongly_taken: 0.15,
+        strongly_not_taken: 0.55,
+        moderately_taken: 0.06,
+        moderately_not_taken: 0.07,
+        balanced: 0.06,
+        patterned: 0.11,
+    };
+    v.push(wl(
+        "kdtree",
+        Suite::SpecOmp,
+        hpc_serial(0.17, 3.0),
+        kdtree_par,
+        0.01,
+        110.0,
+        0.0,
+        4.8,
+        be(1.05, 0.5),
+    ));
+
+    v
+}
+
+/// NAS Parallel Benchmarks (10, class C-like behaviour).
+pub(crate) fn npb() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(10);
+
+    // NPB parallel code is the most loop-regular of the study: raise the
+    // back-edge share so ~80% of taken conditionals jump backward.
+    let npb_par = |bf: f64, hot: f64, iters: f64, constf: f64| {
+        let mut s = hpc_parallel(bf, hot, iters, constf);
+        s.backedge_cond_share = 0.52;
+        s.backward_if_fraction = 0.06;
+        s.layout_slack = 0.05;
+        s
+    };
+
+    // BT: block tridiagonal; the longest basic blocks of the study
+    // (~312B) and a 16KB-class hot region.
+    v.push(wl(
+        "BT",
+        Suite::Npb,
+        hpc_serial(0.12, 2.0),
+        npb_par(0.018, 16.0, 80.0, 0.85),
+        0.006,
+        180.0,
+        0.0,
+        5.7,
+        be(0.9, 0.6),
+    ));
+
+    // CG: conjugate gradient; short blocks (~32B), tight loops.
+    v.push(wl(
+        "CG",
+        Suite::Npb,
+        hpc_serial(0.17, 1.5),
+        npb_par(0.14, 1.0, 96.0, 0.8),
+        0.005,
+        70.0,
+        0.0,
+        4.8,
+        be(1.0, 0.9),
+    ));
+
+    // EP: embarrassingly parallel RNG; data-dependent loops that defeat
+    // the loop BP (Figure 6), indirect jumps visible.
+    let mut ep_par = npb_par(0.075, 1.5, 36.0, 0.05);
+    ep_par.mix.indirect_branch = 0.007;
+    ep_par.bias = BiasMix {
+        strongly_taken: 0.12,
+        strongly_not_taken: 0.58,
+        moderately_taken: 0.06,
+        moderately_not_taken: 0.08,
+        balanced: 0.08,
+        patterned: 0.08,
+    };
+    v.push(wl(
+        "EP",
+        Suite::Npb,
+        hpc_serial(0.15, 1.5),
+        ep_par,
+        0.004,
+        60.0,
+        0.0,
+        5.2,
+        be(0.95, 0.3),
+    ));
+
+    // FT: 3-D FFT; the biggest Asymmetric++ winner (Figure 11).
+    v.push(wl(
+        "FT",
+        Suite::Npb,
+        hpc_serial(0.14, 1.5),
+        npb_par(0.045, 2.5, 88.0, 0.85),
+        0.006,
+        95.0,
+        0.0,
+        5.4,
+        be(0.9, 0.7),
+    ));
+
+    // IS: integer sort; short blocks, bucket loops.
+    v.push(wl(
+        "IS",
+        Suite::Npb,
+        hpc_serial(0.17, 1.0),
+        npb_par(0.15, 1.0, 64.0, 0.7),
+        0.004,
+        55.0,
+        0.0,
+        4.7,
+        be(1.0, 0.8),
+    ));
+
+    // LU: LU solver.
+    v.push(wl(
+        "LU",
+        Suite::Npb,
+        hpc_serial(0.13, 1.5),
+        npb_par(0.04, 3.0, 96.0, 0.85),
+        0.005,
+        130.0,
+        0.0,
+        5.5,
+        be(0.9, 0.6),
+    ));
+
+    // MG: multigrid.
+    v.push(wl(
+        "MG",
+        Suite::Npb,
+        hpc_serial(0.14, 1.5),
+        npb_par(0.05, 2.5, 72.0, 0.8),
+        0.005,
+        100.0,
+        0.0,
+        5.4,
+        be(0.9, 0.7),
+    ));
+
+    // SP: scalar pentadiagonal.
+    v.push(wl(
+        "SP",
+        Suite::Npb,
+        hpc_serial(0.13, 1.5),
+        npb_par(0.035, 4.0, 88.0, 0.85),
+        0.005,
+        140.0,
+        0.0,
+        5.5,
+        be(0.9, 0.6),
+    ));
+
+    // UA: unstructured adaptive mesh; the largest NPB static footprint
+    // (~252KB) and visible indirect control flow.
+    let mut ua_par = npb_par(0.06, 6.0, 48.0, 0.6);
+    ua_par.mix.indirect_branch = 0.009;
+    ua_par.mix.indirect_call = 0.005;
+    v.push(wl(
+        "UA",
+        Suite::Npb,
+        hpc_serial(0.15, 3.0),
+        ua_par,
+        0.008,
+        252.0,
+        0.0,
+        5.2,
+        be(1.0, 0.55),
+    ));
+
+    // DC: data cube; I/O flavoured, more syscalls than its siblings.
+    let mut dc_par = npb_par(0.10, 3.0, 32.0, 0.5);
+    dc_par.mix.syscall = 0.004;
+    v.push(wl(
+        "DC",
+        Suite::Npb,
+        hpc_serial(0.16, 2.5),
+        dc_par,
+        0.01,
+        120.0,
+        0.0,
+        4.9,
+        be(1.05, 0.8),
+    ));
+
+    v
+}
+
+/// SPEC CPU INT 2006 (12), run sequentially: `serial_fraction == 1` and
+/// the parallel template is never scheduled.
+pub(crate) fn spec_int() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(12);
+
+    // The unused parallel slot must still validate.
+    let unused_par = hpc_parallel(0.06, 2.0, 64.0, 0.7);
+
+    let mut desk = |name: &'static str,
+                    bf: f64,
+                    hot_kb: f64,
+                    call_targets: u32,
+                    static_kb: f64,
+                    backend: BackendProfile| {
+        v.push(wl(
+            name,
+            Suite::SpecCpuInt,
+            desktop_section(bf, hot_kb, call_targets),
+            unused_par,
+            1.0,
+            static_kb,
+            0.0,
+            3.5,
+            backend,
+        ));
+    };
+
+    desk("perlbench", 0.21, 95.0, 72, 480.0, be(1.1, 0.5));
+    desk("bzip2", 0.17, 33.0, 24, 120.0, be(1.0, 0.6));
+    desk("gcc", 0.20, 140.0, 96, 900.0, be(1.1, 0.7));
+    desk("mcf", 0.19, 15.0, 16, 60.0, be(1.0, 2.4));
+    desk("gobmk", 0.20, 120.0, 80, 500.0, be(1.1, 0.5));
+    desk("hmmer", 0.16, 36.0, 24, 140.0, be(0.95, 0.4));
+    desk("sjeng", 0.21, 70.0, 48, 220.0, be(1.05, 0.5));
+    desk("libquantum", 0.15, 12.0, 12, 60.0, be(0.95, 1.6));
+    desk("h264ref", 0.17, 18.0, 24, 280.0, be(1.0, 0.5));
+    desk("omnetpp", 0.20, 85.0, 64, 350.0, be(1.1, 1.2));
+    desk("astar", 0.19, 40.0, 24, 110.0, be(1.05, 1.0));
+    desk("xalancbmk", 0.21, 130.0, 88, 600.0, be(1.1, 0.8));
+
+    // h264ref behaves well on small front-ends in the paper (Figure 11):
+    // give it a more biased mix than its siblings.
+    let h264 = v
+        .iter_mut()
+        .find(|w| w.name() == "h264ref")
+        .expect("just inserted");
+    let mut p = h264.profile().clone();
+    p.serial.bias = BiasMix {
+        strongly_taken: 0.14,
+        strongly_not_taken: 0.46,
+        moderately_taken: 0.10,
+        moderately_not_taken: 0.10,
+        balanced: 0.10,
+        patterned: 0.10,
+    };
+    p.serial.loops = LoopSpec {
+        mean_iterations: 16.0,
+        constant_fraction: 0.55,
+    };
+    *h264 = Workload::new("h264ref", Suite::SpecCpuInt, p);
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean<F: Fn(&Workload) -> f64>(ws: &[Workload], f: F) -> f64 {
+        ws.iter().map(&f).sum::<f64>() / ws.len() as f64
+    }
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(exmatex().len(), 8);
+        assert_eq!(spec_omp().len(), 11);
+        assert_eq!(npb().len(), 10);
+        assert_eq!(spec_int().len(), 12);
+    }
+
+    #[test]
+    fn branch_fraction_targets_fig1() {
+        // Parallel-weighted branch fraction per suite vs Figure 1.
+        let bf = |w: &Workload| {
+            let p = w.profile();
+            p.serial_fraction * p.serial.branch_fraction
+                + (1.0 - p.serial_fraction) * p.parallel.branch_fraction
+        };
+        let ex = mean(&exmatex(), bf);
+        let omp = mean(&spec_omp(), bf);
+        let npb_ = mean(&npb(), bf);
+        let int = mean(&spec_int(), bf);
+        assert!((0.10..=0.16).contains(&ex), "ExMatEx bf {ex}");
+        assert!((0.05..=0.10).contains(&omp), "SPEC OMP bf {omp}");
+        assert!((0.05..=0.10).contains(&npb_), "NPB bf {npb_}");
+        assert!((0.16..=0.22).contains(&int), "SPEC INT bf {int}");
+        assert!(int > 2.0 * omp, "desktop ~3x HPC parallel");
+    }
+
+    #[test]
+    fn serial_fractions_match_section_iiid() {
+        let get = |name: &str| {
+            exmatex()
+                .into_iter()
+                .chain(spec_omp())
+                .find(|w| w.name() == name)
+                .unwrap()
+                .profile()
+                .serial_fraction
+        };
+        assert!((get("CoEVP") - 0.35).abs() < 0.01);
+        assert!((get("CoMD") - 0.08).abs() < 0.01);
+        assert!((get("CoSP") - 0.09).abs() < 0.01);
+        assert!((get("LULESH") - 0.11).abs() < 0.01);
+        assert!((get("nab") - 0.04).abs() < 0.01);
+        assert!((get("fma3d") - 0.04).abs() < 0.01);
+        // The rest of SPEC OMP is below 1.2%.
+        for w in spec_omp() {
+            if !["nab", "fma3d"].contains(&w.name()) {
+                assert!(w.profile().serial_fraction <= 0.012, "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn static_footprints_match_fig3() {
+        let st = |w: &Workload| w.profile().static_kb;
+        let ex = mean(&exmatex(), st);
+        let omp_npb: Vec<Workload> = spec_omp().into_iter().chain(npb()).collect();
+        let on = mean(&omp_npb, st);
+        assert!((200.0..=300.0).contains(&ex), "ExMatEx static avg {ex}");
+        assert!((90.0..=160.0).contains(&on), "SPEC OMP+NPB static avg {on}");
+        // Named extremes.
+        let vpfft = exmatex().into_iter().find(|w| w.name() == "VPFFT").unwrap();
+        assert_eq!(vpfft.profile().static_kb, 800.0);
+        let ua = npb().into_iter().find(|w| w.name() == "UA").unwrap();
+        assert_eq!(ua.profile().static_kb, 252.0);
+        // Desktop static footprints are larger on average.
+        let int = mean(&spec_int(), st);
+        assert!(int > 1.2 * ex, "SPEC INT static avg {int}");
+    }
+
+    #[test]
+    fn hot_footprints_match_fig3() {
+        // Parallel 99% dynamic footprint: HPC average ~14KB but most
+        // benchmarks small (1-4KB).
+        let hpc: Vec<Workload> = exmatex()
+            .into_iter()
+            .chain(spec_omp())
+            .chain(npb())
+            .collect();
+        let avg = mean(&hpc, |w| w.profile().parallel.hot_kb);
+        assert!((4.0..=16.0).contains(&avg), "HPC parallel hot avg {avg}");
+        let small = hpc
+            .iter()
+            .filter(|w| w.profile().parallel.hot_kb <= 4.0)
+            .count();
+        assert!(small >= 15, "most HPC hot loops are tiny, got {small}");
+        // Desktop hot footprints are an order of magnitude larger.
+        let int_avg = mean(&spec_int(), |w| w.profile().serial.hot_kb);
+        assert!((40.0..=100.0).contains(&int_avg), "INT hot avg {int_avg}");
+    }
+
+    #[test]
+    fn bbl_bytes_match_fig4_extremes() {
+        // BBL bytes ~= mean_inst_bytes / branch_fraction.
+        let bbl = |w: &Workload| w.profile().mean_inst_bytes / w.profile().parallel.branch_fraction;
+        let bt = npb().into_iter().find(|w| w.name() == "BT").unwrap();
+        assert!(bbl(&bt) > 250.0, "BT blocks ~312B, got {}", bbl(&bt));
+        let swim = spec_omp().into_iter().find(|w| w.name() == "swim").unwrap();
+        assert!((130.0..=200.0).contains(&bbl(&swim)), "swim {}", bbl(&swim));
+        let lulesh = exmatex()
+            .into_iter()
+            .find(|w| w.name() == "LULESH")
+            .unwrap();
+        assert!(
+            (100.0..=160.0).contains(&bbl(&lulesh)),
+            "LULESH {}",
+            bbl(&lulesh)
+        );
+        // Desktop blocks ~4x shorter than HPC parallel.
+        let int_bbl = mean(&spec_int(), |w| {
+            w.profile().mean_inst_bytes / w.profile().serial.branch_fraction
+        });
+        let hpc: Vec<Workload> = exmatex()
+            .into_iter()
+            .chain(spec_omp())
+            .chain(npb())
+            .collect();
+        let hpc_bbl = mean(&hpc, bbl);
+        assert!(
+            hpc_bbl > 3.0 * int_bbl,
+            "HPC BBL {hpc_bbl:.0}B vs desktop {int_bbl:.0}B"
+        );
+    }
+
+    #[test]
+    fn npb_is_most_backward_biased() {
+        for w in npb() {
+            assert!(
+                w.profile().parallel.backedge_cond_share >= 0.5,
+                "{}",
+                w.name()
+            );
+        }
+        for w in spec_int() {
+            assert!(
+                w.profile().serial.backedge_cond_share <= 0.25,
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn indirect_outliers_are_marked() {
+        // Paper: indirect jumps rare except EP, UA, md, kdtree, CoEVP.
+        let all: Vec<Workload> = exmatex()
+            .into_iter()
+            .chain(spec_omp())
+            .chain(npb())
+            .collect();
+        for name in ["EP", "UA", "md", "kdtree", "CoEVP"] {
+            let w = all.iter().find(|w| w.name() == name).unwrap();
+            let p = w.profile().parallel;
+            assert!(
+                p.mix.indirect_branch + p.mix.indirect_call >= 0.006,
+                "{name} should be an indirect outlier"
+            );
+        }
+        let plain = all.iter().find(|w| w.name() == "swim").unwrap();
+        let p = plain.profile().parallel;
+        assert!(p.mix.indirect_branch + p.mix.indirect_call < 0.006);
+    }
+
+    #[test]
+    fn exmatex_carries_library_code() {
+        for w in exmatex() {
+            assert!(w.profile().lib_kb > 0.0, "{}", w.name());
+        }
+        for w in spec_omp().into_iter().chain(npb()) {
+            assert_eq!(w.profile().lib_kb, 0.0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn hpc_instructions_are_longer_than_desktop() {
+        for w in exmatex().into_iter().chain(spec_omp()).chain(npb()) {
+            assert!(w.profile().mean_inst_bytes >= 4.5, "{}", w.name());
+        }
+        for w in spec_int() {
+            assert!(w.profile().mean_inst_bytes <= 4.0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn mcf_is_memory_bound() {
+        let mcf = spec_int().into_iter().find(|w| w.name() == "mcf").unwrap();
+        assert!(mcf.profile().backend.data_stall_cpi > 2.0);
+    }
+}

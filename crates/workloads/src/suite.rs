@@ -1,0 +1,90 @@
+//! Benchmark-suite taxonomy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four benchmark suites of the study.
+///
+/// Three HPC suites (29 applications) are compared against one desktop
+/// suite (12 applications), exactly as in the paper's methodology section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// ExMatEx proxy applications (8): recent DOE co-design apps with
+    /// real scientific workloads and external library dependencies.
+    ExMatEx,
+    /// SPEC OMP 2012 (11 used): shared-memory scientific/engineering
+    /// applications; the three NPB-identical codes are excluded.
+    SpecOmp,
+    /// NAS Parallel Benchmarks (10): CFD pseudo-applications.
+    Npb,
+    /// SPEC CPU INT 2006 (12): the desktop/server comparison point,
+    /// run sequentially.
+    SpecCpuInt,
+}
+
+impl Suite {
+    /// All suites in the paper's presentation order.
+    pub const ALL: [Suite; 4] = [
+        Suite::ExMatEx,
+        Suite::SpecOmp,
+        Suite::Npb,
+        Suite::SpecCpuInt,
+    ];
+
+    /// The three HPC suites.
+    pub const HPC: [Suite; 3] = [Suite::ExMatEx, Suite::SpecOmp, Suite::Npb];
+
+    /// `true` for the HPC suites, `false` for SPEC CPU INT.
+    pub fn is_hpc(self) -> bool {
+        !matches!(self, Suite::SpecCpuInt)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::ExMatEx => "ExMatEx",
+            Suite::SpecOmp => "SPEC OMP",
+            Suite::Npb => "NPB",
+            Suite::SpecCpuInt => "SPEC CPU INT",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpc_classification() {
+        assert!(Suite::ExMatEx.is_hpc());
+        assert!(Suite::SpecOmp.is_hpc());
+        assert!(Suite::Npb.is_hpc());
+        assert!(!Suite::SpecCpuInt.is_hpc());
+        assert_eq!(Suite::HPC.len(), 3);
+        assert!(Suite::HPC.iter().all(|s| s.is_hpc()));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Suite::ExMatEx.to_string(), "ExMatEx");
+        assert_eq!(Suite::SpecOmp.to_string(), "SPEC OMP");
+        assert_eq!(Suite::Npb.to_string(), "NPB");
+        assert_eq!(Suite::SpecCpuInt.to_string(), "SPEC CPU INT");
+    }
+
+    #[test]
+    fn all_is_ordered_and_unique() {
+        assert_eq!(Suite::ALL.len(), 4);
+        let mut set = std::collections::BTreeSet::new();
+        for s in Suite::ALL {
+            assert!(set.insert(s));
+        }
+    }
+}

@@ -1,0 +1,1178 @@
+//! The CFG synthesizer: turns a [`WorkloadProfile`] into a laid-out
+//! [`Program`] plus a serial/parallel [`Schedule`].
+//!
+//! # Structure of a synthesized section
+//!
+//! Each code section (serial, parallel) becomes:
+//!
+//! ```text
+//! hub ──(indirect dispatch)──▶ kernel k
+//!        kernel k: [slot blocks ... backedge(Loop)] ──link──▶ kernel k+1
+//!                                 │ (1/burst)                 (burst walk)
+//!                                 ▼
+//!                               back to hub (random next kernel)
+//! ```
+//!
+//! * **Kernels** are inner loops. Their bodies carry the planned mix of
+//!   branch slots (if-sites with calibrated bias, calls into shared
+//!   functions, indirect jumps, syscalls) and iterate with the profile's
+//!   trip-count distribution, so branch ratio, bias spectrum,
+//!   backward-taken share, and basic-block length all land on target.
+//! * **Random burst dispatch** (an indirect-jump hub selecting where the
+//!   next burst of kernels starts) breaks the pure cyclic sweep that
+//!   would make LRU I-caches fall off a cliff, giving the smooth
+//!   footprint-vs-capacity behaviour real code exhibits.
+//! * **Hot functions** shared by call sites model frequently-called
+//!   (library) code; **cold functions** reached through a rare guarded
+//!   excursion model init/error paths and fill the static footprint
+//!   without perturbing the 99% dynamic footprint.
+//!
+//! The synthesizer is deterministic: the same profile and name produce a
+//! byte-identical program and trace.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rebalance_trace::{
+    BlockId, CondBehavior, IterCount, Phase, ProgramBuilder, RegionId, Schedule, Section,
+    SyntheticTrace, Terminator,
+};
+
+use crate::profile::{SectionProfile, WorkloadProfile};
+
+/// Maximum kernels addressed by one dispatch hub level.
+const GROUP_SIZE: usize = 48;
+/// Cap on synthesized kernels per section.
+const MAX_KERNELS: usize = 2048;
+/// Cap on callee fan-out for the cold-excursion indirect call.
+const COLD_FANOUT: usize = 24;
+
+/// Synthesizes the complete trace for a named workload.
+///
+/// # Errors
+///
+/// Returns a description of the first invalid profile knob; a valid
+/// [`WorkloadProfile`] never fails to synthesize.
+pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrace, String> {
+    profile.validate()?;
+    let seed = fnv1a(name.as_bytes());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5deb_a511);
+    let mut b = ProgramBuilder::with_length_model(profile.length_model());
+
+    let mean_len = profile.mean_inst_bytes;
+    let has_serial = profile.serial_fraction > 0.0;
+    let has_parallel = profile.serial_fraction < 1.0;
+
+    // Region declaration order fixes the address map: hot code first,
+    // then shared functions, then (far away) library code, then cold
+    // init/error code.
+    let hot_par = b.region("hot.parallel");
+    let hot_ser = b.region("hot.serial");
+    let funcs_region = b.region("funcs");
+    let lib_region = if profile.lib_kb > 0.0 {
+        Some(b.region_at("lib", rebalance_isa::Addr::new(0x0800_0000)))
+    } else {
+        None
+    };
+    let cold_region = b.region("cold");
+
+    // Shared hot functions live in the library region when the workload
+    // links external libraries (the ExMatEx pattern), else near the code.
+    let hot_func_region = lib_region.unwrap_or(funcs_region);
+    let max_targets = profile
+        .serial
+        .call_targets
+        .max(profile.parallel.call_targets) as usize;
+    let func_body = ((2.0 / profile.parallel.branch_fraction / 3.0).round() as u32).clamp(4, 96);
+    let hot_funcs = build_leaf_functions(&mut b, hot_func_region, max_targets, func_body);
+    let hot_funcs_bytes = estimate_leaf_bytes(max_targets, func_body, mean_len);
+
+    // Cold code: fills static_kb (and lib_kb) beyond the hot footprint.
+    let hot_total_kb = profile.serial.hot_kb * (has_serial as u32 as f64)
+        + profile.parallel.hot_kb * (has_parallel as u32 as f64);
+    let cold_kb = (profile.static_kb - hot_total_kb - hot_funcs_bytes / 1024.0).max(2.0);
+    let lib_filler_kb = (profile.lib_kb - hot_funcs_bytes / 1024.0).max(0.0);
+    let body_cold = ((1.0 / profile.serial.branch_fraction).round() as u32).clamp(2, 60);
+    let cold_funcs = build_chain_functions(&mut b, cold_region, cold_kb, body_cold, mean_len);
+    let lib_cold_funcs = match lib_region {
+        Some(r) if lib_filler_kb > 1.0 => {
+            build_chain_functions(&mut b, r, lib_filler_kb, body_cold, mean_len)
+        }
+        _ => Vec::new(),
+    };
+    let mut excursion_funcs = cold_funcs.clone();
+    excursion_funcs.extend(lib_cold_funcs.iter().copied());
+
+    // Sections.
+    let par_entry = if has_parallel {
+        Some(build_section(
+            &mut b,
+            hot_par,
+            &profile.parallel,
+            mean_len,
+            &hot_funcs,
+            &excursion_funcs,
+            &mut rng,
+        ))
+    } else {
+        None
+    };
+    let ser_entry = if has_serial {
+        Some(build_section(
+            &mut b,
+            hot_ser,
+            &profile.serial,
+            mean_len,
+            &hot_funcs,
+            &excursion_funcs,
+            &mut rng,
+        ))
+    } else {
+        None
+    };
+
+    let program = b.build().map_err(|e| e.to_string())?;
+    let schedule = build_schedule(profile, ser_entry, par_entry);
+    Ok(SyntheticTrace::new(program, schedule, seed))
+}
+
+/// FNV-1a over bytes; stable workload seeds.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// One branch slot inside a kernel body.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Conditional if-site: behaviour, whether the taken target is the
+    /// kernel entry (backward) instead of the reconvergence point, and
+    /// whether the site is an if/else diamond (two arms, one dead per
+    /// execution).
+    If {
+        behavior: CondBehavior,
+        backward: bool,
+        has_else: bool,
+    },
+    /// Direct call to a shared hot function.
+    Call,
+    /// Indirect call across several hot functions.
+    IndirectCall,
+    /// Indirect jump over an in-kernel switch.
+    IndirectJump,
+    /// Unconditional direct jump.
+    Uncond,
+    /// System call.
+    Syscall,
+    /// Rarely-taken guard leading to the cold-code excursion stub.
+    ColdExcursion { p: f64 },
+}
+
+/// Deterministic largest-remainder assignment over weighted archetypes.
+#[derive(Debug)]
+struct ProportionalPicker {
+    weights: Vec<f64>,
+    counts: Vec<u64>,
+    assigned: u64,
+}
+
+impl ProportionalPicker {
+    fn new(weights: &[f64]) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "picker needs positive total weight");
+        ProportionalPicker {
+            weights: weights.iter().map(|w| w / total).collect(),
+            counts: vec![0; weights.len()],
+            assigned: 0,
+        }
+    }
+
+    fn pick(&mut self) -> usize {
+        let n = self.assigned as f64 + 1.0;
+        let mut best = 0;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (i, (&w, &c)) in self.weights.iter().zip(&self.counts).enumerate() {
+            let deficit = w * n - c as f64;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        self.counts[best] += 1;
+        self.assigned += 1;
+        best
+    }
+}
+
+/// Maps a bias archetype index (see [`BiasMix::weights`]) to a concrete
+/// behaviour, with deterministic per-site jitter.
+///
+/// [`BiasMix::weights`]: crate::profile::BiasMix::weights
+fn archetype_behavior(arch: usize, rng: &mut SmallRng) -> CondBehavior {
+    let jitter = |rng: &mut SmallRng, lo: f64, hi: f64| rng.gen_range(lo..hi);
+    match arch {
+        0 => CondBehavior::Bernoulli {
+            p_taken: jitter(rng, 0.975, 0.998),
+        },
+        1 => CondBehavior::Bernoulli {
+            p_taken: jitter(rng, 0.002, 0.025),
+        },
+        2 => CondBehavior::Bernoulli {
+            p_taken: jitter(rng, 0.66, 0.79),
+        },
+        3 => CondBehavior::Bernoulli {
+            p_taken: jitter(rng, 0.21, 0.34),
+        },
+        4 => CondBehavior::Bernoulli {
+            p_taken: jitter(rng, 0.42, 0.58),
+        },
+        _ => {
+            // Patterned: deterministic periodic shapes, cycled.
+            const SHAPES: [(u16, u16); 4] = [(3, 1), (2, 2), (7, 1), (4, 2)];
+            let (t, n) = SHAPES[rng.gen_range(0..SHAPES.len())];
+            CondBehavior::Periodic {
+                taken: t,
+                not_taken: n,
+            }
+        }
+    }
+}
+
+/// Builds `count` single-block leaf functions (body + `Return`).
+fn build_leaf_functions(
+    b: &mut ProgramBuilder,
+    region: RegionId,
+    count: usize,
+    body: u32,
+) -> Vec<BlockId> {
+    (0..count)
+        .map(|_| b.add_block(region, body, Terminator::Return))
+        .collect()
+}
+
+fn estimate_leaf_bytes(count: usize, body: u32, mean_len: f64) -> f64 {
+    count as f64 * (f64::from(body) * mean_len + 2.0)
+}
+
+/// Builds chained multi-block functions filling ~`kb` kilobytes; returns
+/// their entry blocks.
+fn build_chain_functions(
+    b: &mut ProgramBuilder,
+    region: RegionId,
+    kb: f64,
+    body: u32,
+    mean_len: f64,
+) -> Vec<BlockId> {
+    const CHAIN_BLOCKS: usize = 12;
+    let func_bytes = CHAIN_BLOCKS as f64 * (f64::from(body) * mean_len + 1.0);
+    let count = ((kb * 1024.0 / func_bytes).round() as usize).clamp(1, 4096);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ids = b.reserve_blocks(CHAIN_BLOCKS);
+        for (i, &id) in ids.iter().enumerate() {
+            let term = if i + 1 == CHAIN_BLOCKS {
+                Terminator::Return
+            } else {
+                Terminator::FallThrough { next: ids[i + 1] }
+            };
+            b.define_block(id, region, body, term);
+        }
+        entries.push(ids[0]);
+    }
+    entries
+}
+
+/// Per-section synthesis plan derived from the profile.
+#[derive(Debug)]
+struct SectionPlan {
+    /// Non-branch instructions per slot block.
+    body: u32,
+    /// Body size of skipped "then" blocks.
+    skip_body: u32,
+    /// Instructions per dead (never-executed) gap block.
+    gap_body: u32,
+    /// Kernels, each a list of slots plus a trip count.
+    kernels: Vec<KernelPlan>,
+}
+
+#[derive(Debug)]
+struct KernelPlan {
+    slots: Vec<Slot>,
+    iters: IterCount,
+}
+
+fn plan_section(profile: &SectionProfile, mean_len: f64, rng: &mut SmallRng) -> SectionPlan {
+    let bf = profile.branch_fraction;
+    let mix_total = profile.mix.total();
+    let f = |x: f64| x / mix_total;
+    let f_cond = f(profile.mix.cond);
+    let f_uncond = f(profile.mix.uncond);
+    let f_call = f(profile.mix.call);
+    let f_icall = f(profile.mix.indirect_call);
+    let f_ibr = f(profile.mix.indirect_branch);
+    let f_sys = f(profile.mix.syscall);
+
+    let iters = profile.loops.mean_iterations;
+    // Conditional branches per kernel iteration (1 back-edge + ifs +
+    // ~1/iters from the burst-link branch).
+    let cond_per_iter = 1.0 / profile.backedge_cond_share;
+    let n_if = ((cond_per_iter - 1.0).round() as i64).max(0) as usize;
+    // Total branch events per iteration implied by the mix.
+    let t_total = cond_per_iter / f_cond.max(0.05);
+    // Dispatch overhead already supplies ~1/(burst*iters) indirect
+    // branches and ~1/iters unconditional/links per iteration.
+    let burst = profile.burst_kernels;
+    // Hub dispatch runs once per group-loop completion: negligible but
+    // kept in the accounting for completeness.
+    let dispatch_ibr = 1.0 / (burst * iters * GROUP_SIZE as f64);
+    let n_ijump_f = (f_ibr * t_total - dispatch_ibr).max(0.0);
+    let n_call_f = f_call * t_total;
+    let n_icall_f = f_icall * t_total;
+    let n_sys_f = f_sys * t_total;
+    // Each indirect jump's selected target ends in an uncond jump most
+    // of the time, and each if/else's taken arm ends in one; deduct both
+    // from the uncond budget.
+    let n_if_f = ((cond_per_iter - 1.0).max(0.0)).round();
+    let else_unconds = profile.else_fraction * n_if_f * 0.5;
+    let n_uncond_f = (f_uncond * t_total - n_ijump_f - else_unconds).max(0.0);
+
+    // Per-iteration branch events (approximate).
+    let t_real = 1.0
+        + n_if as f64
+        + n_uncond_f
+        + 2.0 * (n_call_f + n_icall_f) // call + its return
+        + 2.0 * n_ijump_f // hub + target jump
+        + n_sys_f;
+    // Instruction-carrying units per iteration: slot blocks, the
+    // back-edge block, skipped then-blocks (~70% executed, half body),
+    // callee bodies (double body), indirect-jump targets (~quarter body).
+    let slots_per_kernel = n_if as f64 + n_uncond_f + n_call_f + n_icall_f + n_ijump_f + n_sys_f;
+    let units = (slots_per_kernel + 1.0)
+        + 0.35 * n_if as f64
+        + 2.0 * (n_call_f + n_icall_f)
+        + 0.25 * n_ijump_f;
+    let insts_per_iter = t_real / bf;
+    let body = (((insts_per_iter - t_real) / units).round() as i64).clamp(1, 220) as u32;
+    let skip_body = body.max(1);
+
+    // Kernel byte estimate -> kernel count filling the hot footprint.
+    let block_bytes = f64::from(body) * mean_len + 6.0;
+    let fanout = profile.indirect_fanout as f64;
+    let kernel_bytes = (slots_per_kernel + 1.0) * block_bytes
+        + n_if as f64 * (f64::from(skip_body) * mean_len)
+        + n_ijump_f * fanout * (mean_len + 5.0)
+        + n_if as f64 * profile.else_fraction * (f64::from(skip_body) * mean_len + 5.0)
+        + 2.0 * block_bytes / burst; // link block share
+    let hot_bytes = profile.hot_kb * 1024.0;
+    let k = ((hot_bytes / kernel_bytes).round() as usize).clamp(1, MAX_KERNELS);
+
+    // Distribute fractional slot counts across kernels.
+    let totals = [
+        (SlotKind::Uncond, n_uncond_f),
+        (SlotKind::Call, n_call_f),
+        (SlotKind::IndirectCall, n_icall_f),
+        (SlotKind::IndirectJump, n_ijump_f),
+        (SlotKind::Syscall, n_sys_f),
+    ];
+    let mut per_kernel_extra: Vec<Vec<SlotKind>> = vec![Vec::new(); k];
+    for (kind, frac) in totals {
+        let total = (frac * k as f64).round() as usize;
+        for i in 0..total {
+            // Spread evenly: slot i goes to kernel (i * stride) mod k.
+            per_kernel_extra[(i * 7) % k].push(kind);
+        }
+    }
+
+    // Bias archetypes for if-sites, proportional across the section.
+    let mut bias_picker = ProportionalPicker::new(&profile.bias.weights());
+    // Bresenham accumulators marking `backward_if_fraction` of eligible
+    // if-sites as backward-jumping retry loops and `else_fraction` as
+    // if/else diamonds.
+    let mut backward_acc = 0.0f64;
+    let mut else_acc = 0.0f64;
+
+    let constant_count = (profile.loops.constant_fraction * k as f64).round() as usize;
+    let mut kernels = Vec::with_capacity(k);
+    for (ki, extra) in per_kernel_extra.iter().enumerate() {
+        let mut slots = Vec::new();
+        for _ in 0..n_if {
+            let arch = bias_picker.pick();
+            // Strongly-taken sites never jump backward (a ~97%-taken
+            // backward branch would be an uncounted hot loop); all other
+            // archetypes are eligible retry-loop sites.
+            let backward = if arch != 0 {
+                backward_acc += profile.backward_if_fraction;
+                if backward_acc >= 1.0 {
+                    backward_acc -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if backward {
+                // A backward site re-executes the kernel from its entry
+                // every time it is taken, so its taken rate must stay
+                // low or the re-execution compounds into an uncounted
+                // hot loop.
+                slots.push(Slot::If {
+                    behavior: CondBehavior::Bernoulli {
+                        p_taken: rng.gen_range(0.10..0.30),
+                    },
+                    backward: true,
+                    has_else: false,
+                });
+                continue;
+            }
+            else_acc += profile.else_fraction;
+            let has_else = if else_acc >= 1.0 {
+                else_acc -= 1.0;
+                true
+            } else {
+                false
+            };
+            slots.push(Slot::If {
+                behavior: archetype_behavior(arch, rng),
+                backward: false,
+                has_else,
+            });
+        }
+        for kind in extra {
+            slots.push(match kind {
+                SlotKind::Uncond => Slot::Uncond,
+                SlotKind::Call => Slot::Call,
+                SlotKind::IndirectCall => Slot::IndirectCall,
+                SlotKind::IndirectJump => Slot::IndirectJump,
+                SlotKind::Syscall => Slot::Syscall,
+            });
+        }
+        // Deterministic interleave so calls/jumps are not clustered.
+        if slots.len() > 1 {
+            let n = slots.len();
+            let mut inter = Vec::with_capacity(n);
+            let mut a = 0usize;
+            let mut bi = n - 1;
+            let mut take_front = true;
+            while a <= bi {
+                if take_front {
+                    inter.push(slots[a].clone());
+                    a += 1;
+                } else {
+                    inter.push(slots[bi].clone());
+                    if bi == 0 {
+                        break;
+                    }
+                    bi -= 1;
+                }
+                take_front = !take_front;
+            }
+            slots = inter;
+        }
+
+        let mean = profile.loops.mean_iterations;
+        let iters = if ki < constant_count {
+            // Constant trip counts, varied per kernel around the mean.
+            let n = (mean * (0.5 + 1.0 * (ki as f64 / constant_count.max(1) as f64)))
+                .round()
+                .max(2.0) as u32;
+            IterCount::Fixed(n)
+        } else if ki % 2 == 0 {
+            IterCount::Geometric { mean }
+        } else {
+            let lo = (mean * 0.5).max(2.0) as u32;
+            let hi = (mean * 1.5).max(3.0) as u32;
+            IterCount::Uniform { lo, hi }
+        };
+        kernels.push(KernelPlan { slots, iters });
+    }
+
+    // The cold excursion guard lives in kernel 0 (and every 32nd kernel
+    // for large sections). Probability tuned so excursions stay under
+    // ~0.4% of dynamic instructions.
+    let cold_func_insts = 12.0 * f64::from(body) + 12.0;
+    let p_cold = (0.004 * insts_per_iter * iters / cold_func_insts / burst).clamp(1e-6, 0.02);
+    for (ki, kernel) in kernels.iter_mut().enumerate() {
+        if ki % 32 == 0 {
+            kernel.slots.push(Slot::ColdExcursion { p: p_cold });
+        }
+    }
+
+    // Dead layout: distribute `layout_slack` x executed bytes over the
+    // gap carriers (if/else diamonds and unconditional jumps).
+    let carriers = (n_if as f64 * profile.else_fraction + n_uncond_f).max(0.25);
+    let gap_body = ((insts_per_iter * profile.layout_slack) / carriers).round() as u32;
+
+    SectionPlan {
+        body,
+        skip_body,
+        gap_body,
+        kernels,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Uncond,
+    Call,
+    IndirectCall,
+    IndirectJump,
+    Syscall,
+}
+
+/// Builds one section's dispatch hub, kernels, links, and excursion
+/// stubs. Returns the section entry block (the hub).
+fn build_section(
+    b: &mut ProgramBuilder,
+    region: RegionId,
+    profile: &SectionProfile,
+    mean_len: f64,
+    hot_funcs: &[BlockId],
+    cold_funcs: &[BlockId],
+    rng: &mut SmallRng,
+) -> BlockId {
+    let plan = plan_section(profile, mean_len, rng);
+    let k = plan.kernels.len();
+    let n_funcs = (profile.call_targets as usize).min(hot_funcs.len()).max(1);
+    let funcs = &hot_funcs[..n_funcs];
+    let fanout = profile.indirect_fanout as usize;
+
+    // Reserve the dispatch structure at the region start: a top hub plus
+    // group hubs when the kernel count exceeds one hub's fan-out. Their
+    // bodies are defined after the kernels exist (indirect jumps have no
+    // layout-adjacency constraints).
+    let top_hub = b.reserve_block();
+    let n_groups = k.div_ceil(GROUP_SIZE);
+    let group_hubs: Vec<BlockId> = if n_groups > 1 {
+        (0..n_groups).map(|_| b.reserve_block()).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Excursion stubs are referenced from inside kernels; reserve now.
+    let n_exc = plan
+        .kernels
+        .iter()
+        .flat_map(|kp| &kp.slots)
+        .filter(|s| matches!(s, Slot::ColdExcursion { .. }))
+        .count();
+    let stub_pairs: Vec<(BlockId, BlockId)> = (0..n_exc)
+        .map(|_| (b.reserve_block(), b.reserve_block()))
+        .collect();
+    let mut next_stub = 0usize;
+    let mut stub_continuations: Vec<(BlockId, BlockId, BlockId)> = Vec::new();
+
+    let mut func_rr = 0usize;
+
+    // Kernels are chained directly in layout order; at the end of every
+    // GROUP_SIZE-kernel group, a group-loop branch re-walks the group a
+    // few times (the mid-level reuse real call chains and phase loops
+    // exhibit) before an unconditional pad returns to the dispatch hub.
+    let mut kernel_firsts: Vec<BlockId> = Vec::with_capacity(k);
+    let mut next_first = b.reserve_block();
+
+    for (ki, kp) in plan.kernels.iter().enumerate() {
+        let entry = next_first;
+        kernel_firsts.push(entry);
+        let mut cur = entry;
+        let mut first = true;
+        for slot in &kp.slots {
+            match slot {
+                Slot::If {
+                    behavior,
+                    backward,
+                    has_else,
+                } => {
+                    if *has_else {
+                        // if/else diamond: taken -> else arm, fall ->
+                        // then arm (which jumps over the else arm). One
+                        // arm is dead on every execution, and a dead
+                        // layout gap sits between the arms.
+                        let then_arm = b.reserve_block();
+                        let gap = if plan.gap_body > 0 {
+                            Some(b.reserve_block())
+                        } else {
+                            None
+                        };
+                        let else_arm = b.reserve_block();
+                        let cont = b.reserve_block();
+                        b.define_block(
+                            cur,
+                            region,
+                            plan.body,
+                            Terminator::Cond {
+                                taken: else_arm,
+                                fall: then_arm,
+                                behavior: *behavior,
+                            },
+                        );
+                        let after_then = gap.unwrap_or(else_arm);
+                        b.define_block(
+                            then_arm,
+                            region,
+                            plan.skip_body,
+                            Terminator::Jump { target: cont },
+                        );
+                        let _ = after_then;
+                        if let Some(g) = gap {
+                            b.define_block(
+                                g,
+                                region,
+                                plan.gap_body,
+                                Terminator::FallThrough { next: else_arm },
+                            );
+                        }
+                        b.define_block(
+                            else_arm,
+                            region,
+                            plan.skip_body,
+                            Terminator::FallThrough { next: cont },
+                        );
+                        cur = cont;
+                    } else {
+                        let skip = b.reserve_block();
+                        let cont = b.reserve_block();
+                        let taken_target = if *backward && !first { entry } else { cont };
+                        b.define_block(
+                            cur,
+                            region,
+                            plan.body,
+                            Terminator::Cond {
+                                taken: taken_target,
+                                fall: skip,
+                                behavior: *behavior,
+                            },
+                        );
+                        b.define_block(
+                            skip,
+                            region,
+                            plan.skip_body,
+                            Terminator::FallThrough { next: cont },
+                        );
+                        cur = cont;
+                    }
+                }
+                Slot::Call => {
+                    let cont = b.reserve_block();
+                    let callee = funcs[func_rr % funcs.len()];
+                    func_rr += 1;
+                    b.define_block(
+                        cur,
+                        region,
+                        plan.body,
+                        Terminator::Call {
+                            callee,
+                            ret_to: cont,
+                        },
+                    );
+                    cur = cont;
+                }
+                Slot::IndirectCall => {
+                    let cont = b.reserve_block();
+                    let callees: Vec<BlockId> = (0..fanout.min(funcs.len()))
+                        .map(|j| funcs[(func_rr + j) % funcs.len()])
+                        .collect();
+                    func_rr += 1;
+                    b.define_block(
+                        cur,
+                        region,
+                        plan.body,
+                        Terminator::IndirectCall {
+                            callees,
+                            ret_to: cont,
+                        },
+                    );
+                    cur = cont;
+                }
+                Slot::IndirectJump => {
+                    let arms: Vec<BlockId> =
+                        (0..fanout.max(2)).map(|_| b.reserve_block()).collect();
+                    let cont = b.reserve_block();
+                    b.define_block(
+                        cur,
+                        region,
+                        plan.body,
+                        Terminator::IndirectJump {
+                            targets: arms.clone(),
+                        },
+                    );
+                    for (i, &arm) in arms.iter().enumerate() {
+                        let term = if i + 1 == arms.len() {
+                            Terminator::FallThrough { next: cont }
+                        } else {
+                            Terminator::Jump { target: cont }
+                        };
+                        b.define_block(arm, region, 1, term);
+                    }
+                    cur = cont;
+                }
+                Slot::Uncond => {
+                    // Jump over a never-executed gap block: scattered
+                    // layout that dilutes wide-line usefulness the way
+                    // desktop binaries do.
+                    if plan.gap_body >= 1 {
+                        let gap = b.reserve_block();
+                        let cont = b.reserve_block();
+                        b.define_block(cur, region, plan.body, Terminator::Jump { target: cont });
+                        b.define_block(
+                            gap,
+                            region,
+                            plan.gap_body,
+                            Terminator::FallThrough { next: cont },
+                        );
+                        cur = cont;
+                    } else {
+                        let cont = b.reserve_block();
+                        b.define_block(cur, region, plan.body, Terminator::Jump { target: cont });
+                        cur = cont;
+                    }
+                }
+                Slot::Syscall => {
+                    let cont = b.reserve_block();
+                    b.define_block(cur, region, plan.body, Terminator::Syscall { next: cont });
+                    cur = cont;
+                }
+                Slot::ColdExcursion { p } => {
+                    let cont = b.reserve_block();
+                    let (stub, stub_ret) = stub_pairs[next_stub];
+                    next_stub += 1;
+                    stub_continuations.push((stub, stub_ret, cont));
+                    b.define_block(
+                        cur,
+                        region,
+                        plan.body,
+                        Terminator::Cond {
+                            taken: stub,
+                            fall: cont,
+                            behavior: CondBehavior::Bernoulli { p_taken: *p },
+                        },
+                    );
+                    cur = cont;
+                }
+            }
+            first = false;
+        }
+
+        // Back-edge block; its fall-through chains to the next kernel
+        // or, at a group boundary, to the group-loop link.
+        let group_end = (ki + 1) % GROUP_SIZE == 0 || ki + 1 == k;
+        if group_end {
+            let glink = b.reserve_block();
+            let gpad = b.reserve_block();
+            b.define_block(
+                cur,
+                region,
+                plan.body,
+                Terminator::Cond {
+                    taken: entry,
+                    fall: glink,
+                    behavior: CondBehavior::Loop { count: kp.iters },
+                },
+            );
+            let group_first = kernel_firsts[(ki / GROUP_SIZE) * GROUP_SIZE];
+            // Two to three group re-walks: enough mid-range reuse for
+            // the cache hierarchy without starving cross-group coverage.
+            let lo = 2u32;
+            let hi = 3u32;
+            b.define_block(
+                glink,
+                region,
+                1,
+                Terminator::Cond {
+                    taken: group_first,
+                    fall: gpad,
+                    behavior: CondBehavior::Loop {
+                        count: IterCount::Uniform {
+                            lo,
+                            hi: hi.max(lo + 1),
+                        },
+                    },
+                },
+            );
+            b.define_block(gpad, region, 1, Terminator::Jump { target: top_hub });
+            if ki + 1 < k {
+                next_first = b.reserve_block();
+            }
+        } else {
+            next_first = b.reserve_block();
+            b.define_block(
+                cur,
+                region,
+                plan.body,
+                Terminator::Cond {
+                    taken: entry,
+                    fall: next_first,
+                    behavior: CondBehavior::Loop { count: kp.iters },
+                },
+            );
+        }
+    }
+
+    // Dispatch hubs, now that every kernel's first block is known.
+    // Uniform dispatch: every kernel is visited equally often, so the
+    // section's I-cache working set is its full hot footprint.
+    if group_hubs.is_empty() {
+        b.define_block(
+            top_hub,
+            region,
+            1,
+            Terminator::IndirectJump {
+                targets: kernel_firsts.clone(),
+            },
+        );
+    } else {
+        b.define_block(
+            top_hub,
+            region,
+            1,
+            Terminator::IndirectJump {
+                targets: group_hubs.clone(),
+            },
+        );
+        for (g, &gh) in group_hubs.iter().enumerate() {
+            let lo = g * GROUP_SIZE;
+            let hi = ((g + 1) * GROUP_SIZE).min(k);
+            let targets: Vec<BlockId> = kernel_firsts[lo..hi].to_vec();
+            b.define_block(gh, region, 1, Terminator::IndirectJump { targets });
+        }
+    }
+
+    // Excursion stubs: indirect call into a rotating window of cold
+    // functions, then jump back to the kernel continuation.
+    for (i, (stub, stub_ret, cont)) in stub_continuations.iter().enumerate() {
+        let lo = (i * COLD_FANOUT) % cold_funcs.len().max(1);
+        let callees: Vec<BlockId> = (0..COLD_FANOUT.min(cold_funcs.len()))
+            .map(|j| cold_funcs[(lo + j) % cold_funcs.len()])
+            .collect();
+        let callees = if callees.is_empty() {
+            vec![*cont] // degenerate: no cold code; bounce off the cont
+        } else {
+            callees
+        };
+        b.define_block(
+            *stub,
+            region,
+            1,
+            Terminator::IndirectCall {
+                callees,
+                ret_to: *stub_ret,
+            },
+        );
+        b.define_block(*stub_ret, region, 1, Terminator::Jump { target: *cont });
+    }
+
+    top_hub
+}
+
+/// Builds the serial/parallel phase schedule at the profile's default
+/// instruction budget.
+fn build_schedule(
+    profile: &WorkloadProfile,
+    ser_entry: Option<BlockId>,
+    par_entry: Option<BlockId>,
+) -> Schedule {
+    const REPS: u64 = 8;
+    let total = profile.instructions;
+    let serial_total = (profile.serial_fraction * total as f64).round() as u64;
+    let parallel_total = total - serial_total;
+    let mut phases = Vec::new();
+    match (ser_entry, par_entry) {
+        (Some(s), Some(p)) => {
+            let s_per = (serial_total / REPS).max(1);
+            let p_per = (parallel_total / REPS).max(1);
+            phases.push(Phase::new(Section::Serial, s, s_per));
+            phases.push(Phase::new(Section::Parallel, p, p_per));
+            Schedule::with_repeat(phases, REPS as u32)
+        }
+        (Some(s), None) => {
+            phases.push(Phase::new(Section::Serial, s, total));
+            Schedule::new(phases)
+        }
+        (None, Some(p)) => {
+            phases.push(Phase::new(Section::Parallel, p, total));
+            Schedule::new(phases)
+        }
+        (None, None) => unreachable!("serial_fraction is within [0,1]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BackendProfile, BiasMix, BranchMix, LoopSpec};
+    use rebalance_trace::{Pintool, TraceEvent};
+
+    fn hpc_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            serial: SectionProfile {
+                branch_fraction: 0.15,
+                mix: BranchMix::desktop(),
+                bias: BiasMix::desktop(),
+                backedge_cond_share: 0.30,
+                backward_if_fraction: 0.3,
+                else_fraction: 0.45,
+                burst_kernels: 6.0,
+                layout_slack: 0.4,
+                hot_kb: 4.0,
+                loops: LoopSpec::desktop(),
+                call_targets: 8,
+                indirect_fanout: 4,
+            },
+            parallel: SectionProfile {
+                branch_fraction: 0.06,
+                mix: BranchMix::hpc(),
+                bias: BiasMix::hpc(),
+                backedge_cond_share: 0.45,
+                backward_if_fraction: 0.08,
+                else_fraction: 0.15,
+                burst_kernels: 6.0,
+                layout_slack: 0.1,
+                hot_kb: 2.0,
+                loops: LoopSpec::hpc(),
+                call_targets: 4,
+                indirect_fanout: 4,
+            },
+            serial_fraction: 0.05,
+            static_kb: 120.0,
+            lib_kb: 0.0,
+            instructions: 400_000,
+            mean_inst_bytes: 5.2,
+            backend: BackendProfile {
+                base_cpi: 1.0,
+                data_stall_cpi: 0.4,
+            },
+        }
+    }
+
+    fn desktop_profile() -> WorkloadProfile {
+        let mut p = hpc_profile();
+        p.serial = SectionProfile {
+            branch_fraction: 0.19,
+            mix: BranchMix::desktop(),
+            bias: BiasMix::desktop(),
+            backedge_cond_share: 0.18,
+            backward_if_fraction: 0.35,
+            else_fraction: 0.65,
+            burst_kernels: 12.0,
+            layout_slack: 1.0,
+            hot_kb: 60.0,
+            loops: LoopSpec::desktop(),
+            call_targets: 48,
+            indirect_fanout: 6,
+        };
+        p.serial_fraction = 1.0;
+        p.static_kb = 280.0;
+        p.mean_inst_bytes = 3.5;
+        p
+    }
+
+    #[derive(Default)]
+    struct MixTool {
+        insts: u64,
+        branches: u64,
+        cond: u64,
+        taken: u64,
+        calls: u64,
+        rets: u64,
+    }
+
+    impl Pintool for MixTool {
+        fn on_inst(&mut self, ev: &TraceEvent) {
+            self.insts += 1;
+            if let Some(br) = ev.branch {
+                self.branches += 1;
+                if br.outcome.is_taken() {
+                    self.taken += 1;
+                }
+                use rebalance_isa::BranchKind::*;
+                match br.kind {
+                    CondDirect => self.cond += 1,
+                    Call | IndirectCall => self.calls += 1,
+                    Return => self.rets += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesize_produces_valid_program() {
+        let trace = synthesize("unit.hpc", &hpc_profile()).unwrap();
+        assert!(trace.program().num_blocks() > 10);
+        assert!(trace.program().static_bytes() > 0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize("unit.det", &hpc_profile()).unwrap();
+        let b = synthesize("unit.det", &hpc_profile()).unwrap();
+        assert_eq!(a, b);
+        let c = synthesize("unit.other", &hpc_profile()).unwrap();
+        assert_ne!(a.seed(), c.seed());
+    }
+
+    #[test]
+    fn branch_fraction_lands_near_target() {
+        let profile = hpc_profile();
+        let trace = synthesize("unit.bf", &profile).unwrap();
+        let mut tool = MixTool::default();
+        let s = trace.replay_section(Section::Parallel, &mut tool);
+        assert!(s.instructions > 100_000);
+        let bf = tool.branches as f64 / tool.insts as f64;
+        let target = profile.parallel.branch_fraction;
+        assert!(
+            (bf - target).abs() / target < 0.30,
+            "branch fraction {bf:.4} vs target {target:.4}"
+        );
+    }
+
+    #[test]
+    fn desktop_branch_fraction_higher_than_hpc() {
+        let hpc = synthesize("unit.h", &hpc_profile()).unwrap();
+        let desk = synthesize("unit.d", &desktop_profile()).unwrap();
+        let run = |t: &SyntheticTrace| {
+            let mut tool = MixTool::default();
+            t.replay(&mut tool);
+            tool.branches as f64 / tool.insts as f64
+        };
+        let h = run(&hpc);
+        let d = run(&desk);
+        assert!(
+            d > 1.8 * h,
+            "desktop bf {d:.3} should be well above hpc {h:.3}"
+        );
+    }
+
+    #[test]
+    fn returns_match_calls() {
+        let trace = synthesize("unit.calls", &hpc_profile()).unwrap();
+        let mut tool = MixTool::default();
+        trace.replay(&mut tool);
+        assert!(tool.calls > 0, "profile includes calls");
+        let ratio = tool.rets as f64 / tool.calls as f64;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "returns ({}) should track calls ({})",
+            tool.rets,
+            tool.calls
+        );
+    }
+
+    #[test]
+    fn static_footprint_matches_profile() {
+        let profile = hpc_profile();
+        let trace = synthesize("unit.static", &profile).unwrap();
+        let kb = trace.program().static_bytes() as f64 / 1024.0;
+        assert!(
+            (kb - profile.static_kb).abs() / profile.static_kb < 0.35,
+            "static {kb:.1} KB vs target {} KB",
+            profile.static_kb
+        );
+    }
+
+    #[test]
+    fn schedule_respects_serial_fraction() {
+        let profile = hpc_profile();
+        let trace = synthesize("unit.sched", &profile).unwrap();
+        let sf = trace.schedule().serial_fraction();
+        assert!((sf - profile.serial_fraction).abs() < 0.01);
+        assert_eq!(trace.schedule().total_instructions(), profile.instructions);
+    }
+
+    #[test]
+    fn pure_serial_profile_has_no_parallel_phase() {
+        let trace = synthesize("unit.serial", &desktop_profile()).unwrap();
+        assert!((trace.schedule().serial_fraction() - 1.0).abs() < 1e-12);
+        assert!(trace
+            .schedule()
+            .phases()
+            .iter()
+            .all(|p| p.section == Section::Serial));
+    }
+
+    #[test]
+    fn lib_region_created_when_lib_kb_positive() {
+        let mut profile = hpc_profile();
+        profile.lib_kb = 60.0;
+        profile.static_kb = 200.0;
+        let trace = synthesize("unit.lib", &profile).unwrap();
+        let names: Vec<&str> = (0..trace.program().num_regions())
+            .map(|i| {
+                trace
+                    .program()
+                    .region_name(rebalance_trace::RegionId::new(i as u32))
+            })
+            .collect();
+        assert!(names.contains(&"lib"));
+    }
+
+    #[test]
+    fn proportional_picker_hits_exact_proportions() {
+        let mut p = ProportionalPicker::new(&[0.5, 0.25, 0.25]);
+        let mut counts = [0u32; 3];
+        for _ in 0..400 {
+            counts[p.pick()] += 1;
+        }
+        assert_eq!(counts, [200, 100, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn proportional_picker_rejects_zero_weights() {
+        let _ = ProportionalPicker::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"CoMD"), fnv1a(b"CoGL"));
+        assert_eq!(fnv1a(b"LULESH"), fnv1a(b"LULESH"));
+    }
+
+    #[test]
+    fn invalid_profile_rejected() {
+        let mut p = hpc_profile();
+        p.serial_fraction = 2.0;
+        assert!(synthesize("unit.bad", &p).is_err());
+    }
+
+    #[test]
+    fn hot_footprint_dominates_dynamic_stream() {
+        use std::collections::HashMap;
+        let profile = hpc_profile();
+        let trace = synthesize("unit.hot", &profile).unwrap();
+        // Measure the bytes needed for 99% of dynamic instructions.
+        let mut counts: HashMap<u64, (u64, u8)> = HashMap::new();
+        struct Fp<'a>(&'a mut HashMap<u64, (u64, u8)>);
+        impl Pintool for Fp<'_> {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                let e = self.0.entry(ev.pc.as_u64()).or_insert((0, ev.len));
+                e.0 += 1;
+            }
+        }
+        let mut tool = Fp(&mut counts);
+        let total = trace
+            .replay_section(Section::Parallel, &mut tool)
+            .instructions;
+        let mut by_count: Vec<(u64, u8)> = counts.values().copied().collect();
+        by_count.sort_unstable_by_key(|&(c, _)| std::cmp::Reverse(c));
+        let mut covered = 0u64;
+        let mut bytes = 0u64;
+        for (c, len) in by_count {
+            if covered as f64 >= total as f64 * 0.99 {
+                break;
+            }
+            covered += c;
+            bytes += u64::from(len);
+        }
+        let kb = bytes as f64 / 1024.0;
+        let target = profile.parallel.hot_kb;
+        assert!(
+            kb < target * 1.5 && kb > target * 0.2,
+            "99% dynamic footprint {kb:.2} KB should be near {target} KB"
+        );
+    }
+}

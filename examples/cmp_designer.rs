@@ -1,0 +1,57 @@
+//! CMP design search under the paper's area budget: which mix of
+//! baseline and tailored cores should a chip ship for a given workload
+//! mix? Generalizes the paper's Asymmetric++ conclusion.
+//!
+//! ```text
+//! cargo run --release --example cmp_designer [WORKLOAD...]
+//! ```
+
+use rebalance::prelude::*;
+
+fn main() -> Result<(), String> {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let mix: Vec<Workload> = if names.is_empty() {
+        // The paper's motivating mix: regular NPB kernels plus the
+        // serial-bottlenecked CoEVP.
+        ["FT", "LU", "CoEVP"]
+            .iter()
+            .map(|n| rebalance::workloads::find(n).expect("roster"))
+            .collect()
+    } else {
+        names
+            .iter()
+            .map(|n| rebalance::workloads::find(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect::<Result<_, _>>()?
+    };
+    println!(
+        "designing a CMP for: {}",
+        mix.iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+    );
+
+    let designer = CmpDesigner::paper_budget();
+    println!(
+        "budget: core area of 8 baseline cores; {} candidate floorplans\n",
+        designer.candidates().len()
+    );
+
+    for objective in [Objective::Time, Objective::EnergyDelay] {
+        let design = designer.design(&mix, objective, Scale::Quick)?;
+        println!("objective {objective:?}: top 5 of {}", design.ranked.len());
+        println!(
+            "{:<30} {:>9} {:>6} {:>7} {:>6}",
+            "floorplan", "area mm2", "time", "energy", "ED"
+        );
+        for p in design.ranked.iter().take(5) {
+            println!(
+                "{:<30} {:>9.2} {:>6.3} {:>7.3} {:>6.3}",
+                p.floorplan.name, p.core_area_mm2, p.time, p.energy, p.ed
+            );
+        }
+        println!();
+    }
+    println!(
+        "the paper's Asymmetric++ (1B+8T) should rank at or near the top \
+         whenever the mix contains serial sections"
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Front-end design-space sweep for one workload: every predictor
+//! configuration, BTB size, and I-cache geometry, with area from the
+//! McPAT-lite models — the data behind the paper's Sections IV and V.
+//!
+//! ```text
+//! cargo run --release --example design_space [WORKLOAD]
+//! ```
+
+use rebalance::frontend::predictor::{DirectionPredictor, PredictorSim};
+use rebalance::frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim, PredictorChoice};
+use rebalance::mcpat::{btb_estimate, icache_estimate, predictor_estimate};
+use rebalance::trace::MultiTool;
+use rebalance::Scale;
+
+fn main() -> Result<(), String> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LULESH".to_owned());
+    let workload =
+        rebalance::workloads::find(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let trace = workload.trace(Scale::Quick)?;
+    println!("== front-end design space for {workload} ==\n");
+
+    // --- Branch predictors: all nine Figure 5 configurations in one
+    // trace pass. ---
+    let choices = PredictorChoice::figure5_set();
+    let mut sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = choices
+        .iter()
+        .map(|c| PredictorSim::new(c.build()))
+        .collect();
+    {
+        let mut multi = MultiTool::new();
+        for sim in &mut sims {
+            multi.push(sim);
+        }
+        trace.replay(&mut multi);
+    }
+    println!("predictor           MPKI    area mm2");
+    for (choice, sim) in choices.iter().zip(&sims) {
+        let est = predictor_estimate(choice);
+        println!(
+            "{:<18} {:>6.2}  {:>8.3}",
+            choice.label(),
+            sim.report().total().mpki(),
+            est.area_mm2
+        );
+    }
+
+    // --- BTB sizes. ---
+    println!("\nBTB                 MPKI    area mm2");
+    for entries in [256, 512, 1024, 2048] {
+        let cfg = BtbConfig::new(entries, 8);
+        let mut sim = BtbSim::new(cfg);
+        trace.replay(&mut sim);
+        println!(
+            "{:<18} {:>6.2}  {:>8.3}",
+            format!("{entries}-entry 8-way"),
+            sim.report().total().mpki(),
+            btb_estimate(&cfg).area_mm2
+        );
+    }
+
+    // --- I-cache geometries. ---
+    println!("\nI-cache             MPKI    useful  area mm2");
+    for (size_kb, line) in [(32, 64), (16, 64), (16, 128), (8, 64)] {
+        let cfg = CacheConfig::new(size_kb * 1024, line, 8);
+        let mut sim = ICacheSim::new(cfg);
+        trace.replay(&mut sim);
+        let rep = sim.report();
+        println!(
+            "{:<18} {:>6.2}  {:>6.2}  {:>8.3}",
+            cfg.label(),
+            rep.total().mpki(),
+            rep.usefulness,
+            icache_estimate(&cfg).area_mm2
+        );
+    }
+
+    println!(
+        "\npaper's pick: 2KB tournament + loop BP, 256-entry BTB, 16KB/128B I-cache \
+         (saves 16% core area at ~no cost on HPC parallel code)"
+    );
+    Ok(())
+}

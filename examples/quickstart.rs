@@ -1,0 +1,83 @@
+//! Quickstart: characterize one HPC workload, get a front-end
+//! recommendation, and check what it saves.
+//!
+//! ```text
+//! cargo run --release --example quickstart [WORKLOAD] [SCALE]
+//! ```
+
+use rebalance::prelude::*;
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "CG".to_owned());
+    let scale = match args.next().as_deref() {
+        Some("smoke") => Scale::Smoke,
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+
+    let workload = rebalance::workloads::find(&name)
+        .ok_or_else(|| format!("unknown workload `{name}`; try CG, LULESH, gcc..."))?;
+    println!("== {workload} at {scale} scale ==\n");
+
+    // 1. Characterize the dynamic instruction stream (the pintool pass).
+    let trace = workload.trace(scale)?;
+    let c = characterize(&trace);
+    let mix = c.mix.total();
+    println!(
+        "branches:        {:.1}% of {} instructions",
+        mix.branch_fraction() * 100.0,
+        mix.insts
+    );
+    println!(
+        "strongly biased: {:.0}% of dynamic conditionals",
+        c.bias.total.strongly_biased_fraction() * 100.0
+    );
+    println!(
+        "backward taken:  {:.0}% of taken conditionals",
+        c.direction.total().backward_fraction() * 100.0
+    );
+    println!(
+        "footprint:       {:.1} KB for 99% of dynamics ({:.0} KB static)",
+        c.footprint.total.dyn99_kb(),
+        c.footprint.static_kb()
+    );
+    println!(
+        "basic blocks:    {:.0} B average, {:.0} B between taken branches\n",
+        c.basic_blocks.total().avg_block_bytes(),
+        c.basic_blocks.total().avg_taken_distance()
+    );
+
+    // 2. Recommend a front-end sized to those properties.
+    let rec = Recommender::new().recommend(&c);
+    println!("recommended front-end:");
+    println!("  I-cache:   {}", rec.frontend.icache.label());
+    println!("  predictor: {}", rec.frontend.predictor);
+    println!(
+        "  BTB:       {}-entry {}-way",
+        rec.frontend.btb.entries, rec.frontend.btb.assoc
+    );
+    for line in &rec.rationale {
+        println!("  - {line}");
+    }
+
+    // 3. Evaluate silicon savings and performance cost.
+    let report = evaluate_tailoring(&workload, &rec.frontend, scale)?;
+    println!(
+        "\nvs baseline core: {:.1}% area saved, {:.1}% power saved, \
+         parallel CPI x{:.3}, serial CPI x{:.3}",
+        report.area_saving * 100.0,
+        report.power_saving * 100.0,
+        report.parallel_cpi_ratio,
+        report.serial_cpi_ratio
+    );
+    println!(
+        "verdict: {}",
+        if report.is_win(0.01) {
+            "tailoring pays off (the paper's Implications 1-3 hold here)"
+        } else {
+            "keep the baseline front-end for this workload"
+        }
+    );
+    Ok(())
+}

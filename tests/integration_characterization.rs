@@ -1,0 +1,96 @@
+//! Cross-crate integration: workload synthesis → trace replay →
+//! characterization, checked against the paper's qualitative claims.
+
+use rebalance::pintools::{characterize, BranchMixTool, FootprintTool};
+use rebalance::trace::Section;
+use rebalance::{Scale, Suite};
+
+#[test]
+fn all_four_suites_characterize_and_rank_correctly() {
+    // One representative per suite keeps this fast.
+    let picks = [
+        ("CoMD", Suite::ExMatEx),
+        ("swim", Suite::SpecOmp),
+        ("CG", Suite::Npb),
+        ("gobmk", Suite::SpecCpuInt),
+    ];
+    let mut results = Vec::new();
+    for (name, suite) in picks {
+        let w = rebalance::workloads::find(name).unwrap();
+        assert_eq!(w.suite(), suite);
+        let c = characterize(&w.trace(Scale::Smoke).unwrap());
+        results.push((name, c));
+    }
+    let bf = |i: usize| results[i].1.mix.total().branch_fraction();
+    // Desktop is branchiest; the NPB/OMP kernels are leanest.
+    assert!(bf(3) > bf(1), "gobmk {} vs swim {}", bf(3), bf(1));
+    assert!(bf(3) > bf(2));
+    // Bias: HPC >> desktop.
+    let biased = |i: usize| results[i].1.bias.total.strongly_biased_fraction();
+    assert!(biased(1) > biased(3));
+    assert!(biased(2) > biased(3));
+}
+
+#[test]
+fn serial_and_parallel_sections_differ_inside_hpc_apps() {
+    // Characteristic 5: CoEVP's serial code behaves like desktop code.
+    let w = rebalance::workloads::find("CoEVP").unwrap();
+    let c = characterize(&w.trace(Scale::Smoke).unwrap());
+    let ser = c.mix.section(Section::Serial);
+    let par = c.mix.section(Section::Parallel);
+    assert!(ser.insts > 10_000, "CoEVP has a real serial section");
+    assert!(
+        ser.branch_fraction() > 1.3 * par.branch_fraction(),
+        "serial {} vs parallel {}",
+        ser.branch_fraction(),
+        par.branch_fraction()
+    );
+}
+
+#[test]
+fn single_pass_multi_tool_equals_individual_passes() {
+    let w = rebalance::workloads::find("MG").unwrap();
+    let trace = w.trace(Scale::Smoke).unwrap();
+
+    let mut together = (BranchMixTool::new(), FootprintTool::new());
+    trace.replay(&mut together);
+
+    let mut alone = BranchMixTool::new();
+    trace.replay(&mut alone);
+
+    assert_eq!(together.0.report(), alone.report());
+}
+
+#[test]
+fn characterization_scales_linearly_with_budget() {
+    let w = rebalance::workloads::find("IS").unwrap();
+    let small = characterize(&w.trace(Scale::Smoke).unwrap());
+    let big = characterize(&w.trace(Scale::Custom(0.04)).unwrap());
+    assert_eq!(
+        big.summary.instructions,
+        2 * small.summary.instructions,
+        "custom scale doubles the smoke budget"
+    );
+    // Rates are stable across scales.
+    let a = small.mix.total().branch_fraction();
+    let b = big.mix.total().branch_fraction();
+    assert!((a - b).abs() / a < 0.1, "{a} vs {b}");
+}
+
+#[test]
+fn exmatex_has_the_library_footprint() {
+    let vpfft = rebalance::workloads::find("VPFFT").unwrap();
+    let c = characterize(&vpfft.trace(Scale::Smoke).unwrap());
+    // VPFFT's static footprint is dominated by library code (~800 KB).
+    assert!(
+        c.footprint.static_kb() > 500.0,
+        "VPFFT static {}",
+        c.footprint.static_kb()
+    );
+    // Its dynamic footprint stays small.
+    assert!(
+        c.footprint.total.dyn99_kb() < 60.0,
+        "VPFFT dyn99 {}",
+        c.footprint.total.dyn99_kb()
+    );
+}

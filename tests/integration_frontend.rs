@@ -1,0 +1,134 @@
+//! Cross-crate integration: front-end hardware models driven by real
+//! synthesized workloads.
+
+use rebalance::frontend::predictor::{DirectionPredictor, PredictorSim};
+use rebalance::frontend::{
+    BtbConfig, BtbSim, CacheConfig, ICacheSim, PredictorChoice, PredictorClass, PredictorSize,
+};
+use rebalance::trace::MultiTool;
+use rebalance::Scale;
+
+fn trace_for(name: &str, scale: Scale) -> rebalance::trace::SyntheticTrace {
+    rebalance::workloads::find(name)
+        .unwrap()
+        .trace(scale)
+        .unwrap()
+}
+
+#[test]
+fn bigger_predictors_never_lose_badly() {
+    // big <= small * 1.1 + 0.2 for each family on a mixed workload.
+    // Quick scale: the 16KB tables need warmup before the comparison
+    // is meaningful.
+    let trace = trace_for("CoMD", Scale::Quick);
+    for class in PredictorClass::ALL {
+        let mut small =
+            PredictorSim::new(PredictorChoice::new(class, PredictorSize::Small, false).build());
+        let mut big =
+            PredictorSim::new(PredictorChoice::new(class, PredictorSize::Big, false).build());
+        let mut tools = (&mut small, &mut big);
+        trace.replay(&mut tools);
+        let s = small.report().total().mpki();
+        let b = big.report().total().mpki();
+        assert!(b <= s * 1.1 + 0.2, "{class}: big {b} vs small {s}");
+    }
+}
+
+#[test]
+fn loop_bp_helps_loopy_code_not_desktop() {
+    let loopy = trace_for("imagick", Scale::Custom(0.12));
+    let desktop = trace_for("sjeng", Scale::Custom(0.12));
+    for (trace, expect_gain) in [(&loopy, true), (&desktop, false)] {
+        let base = PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, false);
+        let with = PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, true);
+        let mut plain = PredictorSim::new(base.build());
+        let mut looped = PredictorSim::new(with.build());
+        let mut tools = (&mut plain, &mut looped);
+        trace.replay(&mut tools);
+        let p = plain.report().total().mpki();
+        let l = looped.report().total().mpki();
+        if expect_gain {
+            assert!(l < p - 0.1, "imagick: L-gshare {l} vs gshare {p}");
+        } else {
+            // On desktop code the LBP is nearly a no-op (paper: "barely
+            // reduces the misses for desktop applications").
+            assert!((l - p).abs() < 0.8, "sjeng: L-gshare {l} vs gshare {p}");
+        }
+    }
+}
+
+#[test]
+fn btb_size_matters_for_desktop_not_npb() {
+    for (name, sensitive) in [("gcc", true), ("MG", false)] {
+        let trace = trace_for(name, Scale::Smoke);
+        let mut small = BtbSim::new(BtbConfig::new(256, 8));
+        let mut big = BtbSim::new(BtbConfig::new(2048, 8));
+        let mut tools = (&mut small, &mut big);
+        trace.replay(&mut tools);
+        let s = small.report().total().mpki();
+        let b = big.report().total().mpki();
+        if sensitive {
+            assert!(s > b, "{name}: 256-entry {s} vs 2K {b}");
+        } else {
+            assert!(s - b < 0.6, "{name}: 256-entry {s} vs 2K {b}");
+        }
+    }
+}
+
+#[test]
+fn icache_shrinks_safely_for_hpc_only() {
+    // At a fixed 64B line: NPB shrugs off the halved capacity; desktop
+    // pays for it (the paper's 2.5x claim).
+    for (name, safe) in [("LU", true), ("gcc", false)] {
+        let trace = trace_for(name, Scale::Quick);
+        let mut small = ICacheSim::new(CacheConfig::new(16 * 1024, 64, 4));
+        let mut big = ICacheSim::new(CacheConfig::new(32 * 1024, 64, 4));
+        let mut tools = (&mut small, &mut big);
+        trace.replay(&mut tools);
+        let s = small.report().total().mpki();
+        let b = big.report().total().mpki();
+        if safe {
+            assert!(s - b < 0.4, "{name}: 16KB {s} vs 32KB {b}");
+        } else {
+            assert!(s > b * 1.15, "{name}: 16KB {s} vs 32KB {b}");
+        }
+    }
+}
+
+#[test]
+fn usefulness_tracks_code_style() {
+    // Wide lines stay useful on HPC loop code, less so on desktop code.
+    let measure = |name: &str| {
+        let trace = trace_for(name, Scale::Smoke);
+        let mut sim = ICacheSim::new(CacheConfig::new(16 * 1024, 128, 8));
+        trace.replay(&mut sim);
+        sim.report().usefulness
+    };
+    let hpc = measure("swim");
+    let desktop = measure("perlbench");
+    assert!(
+        hpc > desktop + 0.05,
+        "swim {hpc:.2} vs perlbench {desktop:.2}"
+    );
+}
+
+#[test]
+fn nine_tools_in_one_pass_match_individual_runs() {
+    let trace = trace_for("FT", Scale::Smoke);
+    let choices = PredictorChoice::figure5_set();
+    let mut sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = choices
+        .iter()
+        .map(|c| PredictorSim::new(c.build()))
+        .collect();
+    {
+        let mut multi = MultiTool::new();
+        for sim in &mut sims {
+            multi.push(sim);
+        }
+        trace.replay(&mut multi);
+    }
+    // Re-run the first configuration alone; identical result expected.
+    let mut alone = PredictorSim::new(choices[0].build());
+    trace.replay(&mut alone);
+    assert_eq!(sims[0].report(), alone.report());
+}

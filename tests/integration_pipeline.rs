@@ -1,0 +1,88 @@
+//! End-to-end pipeline: characterize → recommend → evaluate, across
+//! the roster.
+
+use rebalance::prelude::*;
+
+#[test]
+fn recommendation_pipeline_runs_for_every_suite_representative() {
+    for name in ["CoMD", "botsspar", "SP", "hmmer"] {
+        let w = rebalance::workloads::find(name).unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let c = characterize(&trace);
+        let rec = Recommender::new().recommend(&c);
+        assert!(!rec.rationale.is_empty(), "{name}");
+        let report = evaluate_tailoring(&w, &rec.frontend, Scale::Smoke).unwrap();
+        assert_eq!(report.workload, name);
+        // Whatever we recommend must never cost more area than baseline.
+        assert!(
+            report.area_saving >= -1e-9,
+            "{name}: {}",
+            report.area_saving
+        );
+    }
+}
+
+#[test]
+fn hpc_recommendations_match_the_papers_tailored_core() {
+    let mut fully_tailored = 0;
+    let hpc = [
+        "swim", "ilbdc", "bwaves", "CG", "FT", "LU", "MG", "SP", "IS", "EP",
+    ];
+    for name in hpc {
+        let w = rebalance::workloads::find(name).unwrap();
+        let c = characterize(&w.trace(Scale::Smoke).unwrap());
+        let rec = Recommender::new().recommend(&c);
+        if rec.is_fully_tailored() {
+            fully_tailored += 1;
+        }
+    }
+    assert!(
+        fully_tailored >= 7,
+        "most regular HPC kernels earn the tailored front-end, got {fully_tailored}/10"
+    );
+}
+
+#[test]
+fn desktop_recommendations_stay_conservative() {
+    let mut kept_baseline_icache = 0;
+    // Desktop footprints need longer traces to be sampled fully.
+    for name in ["perlbench", "gcc", "gobmk", "xalancbmk", "sjeng", "omnetpp"] {
+        let w = rebalance::workloads::find(name).unwrap();
+        let c = characterize(&w.trace(Scale::Quick).unwrap());
+        let rec = Recommender::new().recommend(&c);
+        if rec.frontend.icache.size_bytes == 32 * 1024 {
+            kept_baseline_icache += 1;
+        }
+    }
+    assert!(
+        kept_baseline_icache >= 5,
+        "desktop code keeps the big I-cache ({kept_baseline_icache}/6)"
+    );
+}
+
+#[test]
+fn tailoring_wins_on_hpc_loses_on_desktop() {
+    let w = rebalance::workloads::find("bwaves").unwrap();
+    let hpc_report = evaluate_tailoring(&w, &FrontendConfig::tailored(), Scale::Smoke).unwrap();
+    assert!(hpc_report.is_win(0.02), "{hpc_report:?}");
+
+    let w = rebalance::workloads::find("gcc").unwrap();
+    let desktop_report = evaluate_tailoring(&w, &FrontendConfig::tailored(), Scale::Quick).unwrap();
+    assert!(
+        desktop_report.serial_cpi_ratio > hpc_report.parallel_cpi_ratio,
+        "desktop pays more than HPC: {} vs {}",
+        desktop_report.serial_cpi_ratio,
+        hpc_report.parallel_cpi_ratio
+    );
+}
+
+#[test]
+fn full_roster_smoke_pipeline() {
+    // Every workload must survive the complete pipeline.
+    for w in rebalance::workloads::all() {
+        let trace = w.trace(Scale::Custom(0.005)).unwrap();
+        let c = characterize(&trace);
+        let rec = Recommender::new().recommend(&c);
+        assert!(rec.frontend.icache.size_bytes >= 8 * 1024, "{}", w.name());
+    }
+}

@@ -1,0 +1,304 @@
+//! Property-based invariants across the stack: random programs, random
+//! traces, random hardware geometries.
+
+use proptest::prelude::*;
+use rebalance::frontend::predictor::{
+    DirectionPredictor, Gshare, LoopPredictor, Tage, TageConfig, Tournament, WithLoop,
+};
+use rebalance::frontend::{Btb, BtbConfig, CacheConfig, ICache};
+use rebalance::isa::Addr;
+use rebalance::trace::{
+    CondBehavior, IterCount, NullTool, Pintool, ProgramBuilder, Section, Terminator, TraceEvent,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any chain program with a loop executes exactly the requested
+    /// number of instructions, and every event PC lies inside the text
+    /// segment.
+    #[test]
+    fn interpreter_budget_and_pc_bounds(
+        body in 1u32..24,
+        trip in 1u32..50,
+        budget in 1u64..30_000,
+        seed in any::<u64>(),
+    ) {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("hot");
+        let head = b.reserve_block();
+        let exit = b.reserve_block();
+        b.define_block(head, r, body, Terminator::Cond {
+            taken: head,
+            fall: exit,
+            behavior: CondBehavior::Loop { count: IterCount::Fixed(trip) },
+        });
+        b.define_block(exit, r, 1, Terminator::Exit);
+        let program = b.build().unwrap();
+        let (lo, hi) = program.region_range(rebalance::trace::RegionId::new(0));
+
+        struct Check { lo: u64, hi: u64, n: u64 }
+        impl Pintool for Check {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                assert!(ev.pc.as_u64() >= self.lo && ev.pc.as_u64() < self.hi);
+                self.n += 1;
+            }
+        }
+        let mut check = Check { lo: lo.as_u64(), hi: hi.as_u64(), n: 0 };
+        let s = program.interpreter(seed).run(head, Section::Parallel, budget, &mut check);
+        prop_assert_eq!(s.instructions, budget);
+        prop_assert_eq!(check.n, budget);
+    }
+
+    /// Direction predictors never panic and stay deterministic on
+    /// arbitrary (pc, outcome) streams.
+    #[test]
+    fn predictors_are_total_and_deterministic(
+        stream in proptest::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..400),
+    ) {
+        let run = |predictor: &mut dyn DirectionPredictor| -> Vec<bool> {
+            stream
+                .iter()
+                .map(|&(pc, taken)| {
+                    let p = predictor.predict(Addr::new(pc << 1));
+                    predictor.update(Addr::new(pc << 1), taken);
+                    p
+                })
+                .collect()
+        };
+        let mut a = Gshare::new(10);
+        let mut b = Gshare::new(10);
+        prop_assert_eq!(run(&mut a), run(&mut b));
+        let mut t1 = Tournament::new(8, 8);
+        let mut t2 = Tournament::new(8, 8);
+        prop_assert_eq!(run(&mut t1), run(&mut t2));
+        let mut g1 = Tage::new(TageConfig::small());
+        let mut g2 = Tage::new(TageConfig::small());
+        prop_assert_eq!(run(&mut g1), run(&mut g2));
+        let mut l1 = WithLoop::new(Gshare::new(10));
+        let mut l2 = WithLoop::new(Gshare::new(10));
+        prop_assert_eq!(run(&mut l1), run(&mut l2));
+    }
+
+    /// The loop predictor, once confident on a fixed-trip loop, predicts
+    /// the entire next execution perfectly — for any trip count.
+    #[test]
+    fn loop_predictor_exactness(trip in 2u16..200) {
+        let mut lbp = LoopPredictor::new(64);
+        let pc = Addr::new(0x400);
+        for _ in 0..5 {
+            for _ in 0..trip {
+                lbp.update(pc, true);
+            }
+            lbp.update(pc, false);
+        }
+        for i in 0..=trip {
+            let expect = i != trip;
+            prop_assert_eq!(lbp.confident_prediction(pc), Some(expect), "iter {}", i);
+            lbp.update(pc, expect);
+        }
+    }
+
+    /// A BTB insert is always visible until evicted, and lookups never
+    /// return targets that were never inserted.
+    #[test]
+    fn btb_lookup_soundness(
+        ops in proptest::collection::vec((0u64..1 << 16, 0u64..1 << 16), 1..300),
+        entries_log2 in 3u32..9,
+        assoc_log2 in 0u32..3,
+    ) {
+        let entries = 1usize << entries_log2;
+        let assoc = (1usize << assoc_log2).min(entries);
+        let mut btb = Btb::new(BtbConfig::new(entries, assoc));
+        let mut inserted = std::collections::HashMap::new();
+        for &(pc, target) in &ops {
+            let pc = Addr::new(pc << 1);
+            let target = Addr::new(target);
+            btb.insert(pc, target);
+            inserted.insert(pc, target);
+            // Immediately visible.
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+        // Any hit must match the most recent insert for that pc.
+        for (&pc, &target) in &inserted {
+            if let Some(found) = btb.lookup(pc) {
+                prop_assert_eq!(found, target);
+            }
+        }
+    }
+
+    /// I-cache: a second access to the same line always hits, whatever
+    /// the geometry; usefulness stays within [0, 1].
+    #[test]
+    fn icache_rehit_and_usefulness_bounds(
+        addrs in proptest::collection::vec(0u64..1 << 18, 1..200),
+        size_log2 in 9u32..15,
+        line_log2 in 4u32..8,
+    ) {
+        let size = 1usize << size_log2;
+        let line = 1usize << line_log2;
+        prop_assume!(size / line >= 2);
+        let mut cache = ICache::new(CacheConfig::new(size, line, 2));
+        for &a in &addrs {
+            let addr = Addr::new(a);
+            let _ = cache.access(addr, addr.line_offset(line as u64), 4);
+            prop_assert!(cache.access(addr, addr.line_offset(line as u64), 4),
+                "immediate re-access must hit");
+            let u = cache.mean_usefulness();
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// Schedules scale proportionally and never lose instructions to
+    /// rounding beyond one per phase.
+    #[test]
+    fn schedule_scaling_consistency(
+        serial in 1u64..200_000,
+        parallel in 1u64..200_000,
+        factor in 0.01f64..4.0,
+    ) {
+        use rebalance::trace::{Phase, Schedule};
+        // Any BlockId works for schedule arithmetic; reserve two.
+        let mut builder = ProgramBuilder::new();
+        let b0 = builder.reserve_block();
+        let b1 = builder.reserve_block();
+        let sched = Schedule::new(vec![
+            Phase::new(Section::Serial, b0, serial),
+            Phase::new(Section::Parallel, b1, parallel),
+        ]);
+        let scaled = sched.scaled(factor);
+        let expect = (serial as f64 * factor).round().max(1.0)
+            + (parallel as f64 * factor).round().max(1.0);
+        prop_assert_eq!(scaled.total_instructions() as f64, expect);
+    }
+}
+
+/// The interpreter's budget split across many `run` calls equals one big
+/// run's budget (state persistence invariant).
+#[test]
+fn interpreter_chunked_replay_totals() {
+    let mut b = ProgramBuilder::new();
+    let r = b.region("r");
+    let head = b.reserve_block();
+    let exit = b.reserve_block();
+    b.define_block(
+        head,
+        r,
+        3,
+        Terminator::Cond {
+            taken: head,
+            fall: exit,
+            behavior: CondBehavior::Loop {
+                count: IterCount::Fixed(7),
+            },
+        },
+    );
+    b.define_block(exit, r, 1, Terminator::Exit);
+    let program = b.build().unwrap();
+    let mut interp = program.interpreter(9);
+    let mut total = 0;
+    for _ in 0..10 {
+        total += interp
+            .run(head, Section::Parallel, 123, &mut NullTool)
+            .instructions;
+    }
+    assert_eq!(total, 1230);
+}
+
+/// Every branch event in a synthesized workload is internally consistent:
+/// the event's class matches its branch kind, unconditional transfers are
+/// always taken, and only syscalls lack targets.
+#[test]
+fn synthesized_branch_events_are_well_formed() {
+    use rebalance::isa::{BranchKind, InstClass};
+    use rebalance::trace::FnTool;
+    use rebalance::Scale;
+
+    for name in ["CoEVP", "UA", "perlbench"] {
+        let trace = rebalance::workloads::find(name)
+            .unwrap()
+            .trace(Scale::Smoke)
+            .unwrap();
+        let mut checked = 0u64;
+        let mut tool = FnTool::new(|ev: &TraceEvent| match (ev.class, ev.branch) {
+            (InstClass::Branch(kind), Some(br)) => {
+                assert_eq!(kind, br.kind, "{name}: class/kind mismatch");
+                if !kind.is_conditional() {
+                    assert!(br.outcome.is_taken(), "{name}: {kind} must be taken");
+                }
+                match kind {
+                    BranchKind::Syscall => assert!(br.target.is_none()),
+                    _ => assert!(br.target.is_some(), "{name}: {kind} needs a target"),
+                }
+                checked += 1;
+            }
+            (InstClass::Other, None) => {}
+            other => panic!("{name}: inconsistent event {other:?}"),
+        });
+        trace.replay(&mut tool);
+        assert!(checked > 1_000, "{name}: saw {checked} branches");
+    }
+}
+
+/// Section-filtered replays observe only the requested section, and the
+/// two filters partition the full stream exactly.
+#[test]
+fn section_filtered_replays_partition_the_stream() {
+    use rebalance::trace::Section;
+    use rebalance::Scale;
+
+    let trace = rebalance::workloads::find("LULESH")
+        .unwrap()
+        .trace(Scale::Smoke)
+        .unwrap();
+    let count = |section: Option<Section>| {
+        let mut n = 0u64;
+        let mut tool = FnToolCounter {
+            n: &mut n,
+            expect: section,
+        };
+        match section {
+            Some(s) => trace.replay_section(s, &mut tool),
+            None => trace.replay(&mut tool),
+        };
+        n
+    };
+    struct FnToolCounter<'a> {
+        n: &'a mut u64,
+        expect: Option<Section>,
+    }
+    impl Pintool for FnToolCounter<'_> {
+        fn on_inst(&mut self, ev: &TraceEvent) {
+            if let Some(s) = self.expect {
+                assert_eq!(ev.section, s);
+            }
+            *self.n += 1;
+        }
+    }
+    let serial = count(Some(Section::Serial));
+    let parallel = count(Some(Section::Parallel));
+    let total = count(None);
+    assert_eq!(serial + parallel, total);
+    assert!(serial > 0 && parallel > 0);
+}
+
+/// The McPAT-lite models are monotone: strictly larger structures never
+/// report less area or power.
+#[test]
+fn area_power_models_are_monotone() {
+    use rebalance::frontend::{BtbConfig, CacheConfig};
+    use rebalance::mcpat::{btb_estimate, icache_estimate};
+
+    let mut last = 0.0;
+    for kb in [4usize, 8, 16, 32, 64] {
+        let e = icache_estimate(&CacheConfig::new(kb * 1024, 64, 4));
+        assert!(e.area_mm2 > last);
+        last = e.area_mm2;
+    }
+    let mut last = 0.0;
+    for entries in [128usize, 256, 512, 1024, 2048, 4096] {
+        let e = btb_estimate(&BtbConfig::new(entries, 8));
+        assert!(e.area_mm2 > last && e.power_w >= 0.0);
+        last = e.area_mm2;
+    }
+}
