@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rebalance_bench::bench_trace;
 use rebalance_frontend::{Btb, BtbConfig, BtbSim, CacheConfig, ICache, ICacheSim};
 use rebalance_isa::Addr;
+use rebalance_trace::SweepEngine;
 
 fn bench_raw_structures(c: &mut Criterion) {
     let mut g = c.benchmark_group("raw_access");
@@ -41,53 +42,60 @@ fn bench_raw_structures(c: &mut Criterion) {
     g.finish();
 }
 
-/// Figure 7 harness: the nine BTB geometries over one workload.
+/// Replays one fan-out set of cache-like sims through the sweep engine
+/// (the same path the experiments crate takes) and sums their MPKI.
+fn fanned_mpki_sum<T: rebalance_trace::Pintool>(
+    trace: &rebalance_trace::SyntheticTrace,
+    sims: Vec<T>,
+    mpki: fn(&T) -> f64,
+) -> f64 {
+    let (sims, _) = SweepEngine::new().fan_out(trace, sims);
+    sims.iter().map(mpki).sum()
+}
+
+/// Figure 7 harness: the nine BTB geometries over one workload, one
+/// fan-out replay.
 fn bench_fig7(c: &mut Criterion) {
     let trace = bench_trace("gcc");
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
     g.bench_function("nine_btbs_gcc", |b| {
         b.iter(|| {
-            let mut total = 0.0;
+            let mut sims = Vec::new();
             for entries in [256usize, 512, 1024] {
                 for assoc in [2usize, 4, 8] {
-                    let mut sim = BtbSim::new(BtbConfig::new(entries, assoc));
-                    trace.replay(&mut sim);
-                    total += sim.report().total().mpki();
+                    sims.push(BtbSim::new(BtbConfig::new(entries, assoc)));
                 }
             }
-            total
+            fanned_mpki_sum(&trace, sims, |s| s.report().total().mpki())
         })
     });
     g.finish();
 }
 
-/// Figure 8/9 harness: I-cache geometry sweeps over one workload.
+/// Figure 8/9 harness: I-cache geometry sweeps over one workload, one
+/// fan-out replay per sweep.
 fn bench_fig8_fig9(c: &mut Criterion) {
     let trace = bench_trace("fma3d");
     let mut g = c.benchmark_group("fig8_fig9");
     g.sample_size(10);
     g.bench_function("size_sweep_fma3d", |b| {
         b.iter(|| {
-            let mut total = 0.0;
-            for size_kb in [8usize, 16, 32] {
-                let mut sim = ICacheSim::new(CacheConfig::new(size_kb * 1024, 64, 4));
-                trace.replay(&mut sim);
-                total += sim.report().total().mpki();
-            }
-            total
+            let sims: Vec<ICacheSim> = [8usize, 16, 32]
+                .iter()
+                .map(|&size_kb| ICacheSim::new(CacheConfig::new(size_kb * 1024, 64, 4)))
+                .collect();
+            fanned_mpki_sum(&trace, sims, |s| s.report().total().mpki())
         })
     });
     // Ablation: line width (DESIGN.md ablation #3).
     g.bench_function("line_sweep_fma3d", |b| {
         b.iter(|| {
-            let mut total = 0.0;
-            for line in [32usize, 64, 128] {
-                let mut sim = ICacheSim::new(CacheConfig::new(16 * 1024, line, 8));
-                trace.replay(&mut sim);
-                total += sim.report().total().mpki();
-            }
-            total
+            let sims: Vec<ICacheSim> = [32usize, 64, 128]
+                .iter()
+                .map(|&line| ICacheSim::new(CacheConfig::new(16 * 1024, line, 8)))
+                .collect();
+            fanned_mpki_sum(&trace, sims, |s| s.report().total().mpki())
         })
     });
     g.finish();

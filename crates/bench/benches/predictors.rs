@@ -2,10 +2,11 @@
 //! (Table II configurations) and the Figure 5/6 harnesses.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rebalance_bench::bench_trace;
+use rebalance_bench::{bench_trace, figure5_sims};
 use rebalance_frontend::predictor::{Gshare, PredictorSim, Tage, TageConfig, Tournament, WithLoop};
 use rebalance_frontend::{PredictorChoice, PredictorSize};
 use rebalance_isa::Addr;
+use rebalance_trace::SweepEngine;
 
 /// Synthetic (pc, outcome) stream exercising mixed biases.
 fn stream(n: usize) -> Vec<(Addr, bool)> {
@@ -55,20 +56,19 @@ fn bench_predictor_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// Figure 5 harness regression: the nine-config sweep over one workload.
+/// Figure 5 harness regression: the nine-config sweep over one workload
+/// in a single fan-out replay (as the experiments crate runs it).
 fn bench_fig5_one_workload(c: &mut Criterion) {
     let trace = bench_trace("CG");
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.bench_function("nine_configs_CG", |b| {
+        let engine = SweepEngine::new();
         b.iter(|| {
-            let mut total = 0.0;
-            for choice in PredictorChoice::figure5_set() {
-                let mut sim = PredictorSim::new(choice.build());
-                trace.replay(&mut sim);
-                total += sim.report().total().mpki();
-            }
-            total
+            let (sims, _) = engine.fan_out(&trace, figure5_sims());
+            sims.iter()
+                .map(|sim| sim.report().total().mpki())
+                .sum::<f64>()
         })
     });
     g.finish();

@@ -1,0 +1,106 @@
+//! Sweep-engine benchmarks: the single-pass fan-out replay against the
+//! per-tool-replay baseline it replaced.
+//!
+//! The headline numbers: `per_tool_replays` pays one full trace replay
+//! per configuration (the seed's original sweep cost, O(tools ×
+//! replays)), while `single_pass_fan_out` pays one replay total and
+//! fans the stream out to every configuration (O(replays)). The
+//! `parallel_sweep` group additionally spreads independent workloads
+//! over the shared executor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rebalance_bench::{bench_trace, figure5_sims, workload, BENCH_SCALE};
+use rebalance_trace::{Executor, SweepEngine};
+
+/// One workload, nine predictor configurations: N replays vs one.
+fn bench_fan_out_vs_per_tool(c: &mut Criterion) {
+    let trace = bench_trace("CG");
+    let insts = trace.schedule().total_instructions();
+    let mut g = c.benchmark_group("sweep_one_workload");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts * 9));
+
+    g.bench_function("per_tool_replays", |b| {
+        b.iter(|| {
+            figure5_sims()
+                .into_iter()
+                .map(|mut sim| {
+                    trace.replay(&mut sim);
+                    sim.report().total().mpki()
+                })
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("single_pass_fan_out", |b| {
+        b.iter(|| {
+            let engine = SweepEngine::new();
+            let (sims, _) = engine.fan_out(&trace, figure5_sims());
+            sims.iter()
+                .map(|sim| sim.report().total().mpki())
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+/// Several workloads: the full engine (fan-out + parallel items)
+/// against the serial per-tool baseline.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let names = ["CG", "FT", "MG", "gcc", "CoMD", "swim"];
+    let workloads: Vec<_> = names.iter().map(|n| workload(n)).collect();
+    let mut g = c.benchmark_group("parallel_sweep");
+    g.sample_size(10);
+
+    g.bench_function("serial_per_tool_baseline", |b| {
+        b.iter(|| {
+            workloads
+                .iter()
+                .map(|w| {
+                    let trace = w.trace(BENCH_SCALE).expect("roster profile");
+                    figure5_sims()
+                        .into_iter()
+                        .map(|mut sim| {
+                            trace.replay(&mut sim);
+                            sim.report().total().mpki()
+                        })
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("engine_sweep", |b| {
+        b.iter(|| {
+            let engine = SweepEngine::new();
+            engine
+                .sweep(
+                    workloads.clone(),
+                    |w| w.trace(BENCH_SCALE).expect("roster profile"),
+                    |_| figure5_sims(),
+                )
+                .iter()
+                .flat_map(|o| o.tools.iter().map(|sim| sim.report().total().mpki()))
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("engine_sweep_single_thread", |b| {
+        b.iter(|| {
+            let engine = SweepEngine::with_executor(Executor::with_threads(1));
+            engine
+                .sweep(
+                    workloads.clone(),
+                    |w| w.trace(BENCH_SCALE).expect("roster profile"),
+                    |_| figure5_sims(),
+                )
+                .iter()
+                .flat_map(|o| o.tools.iter().map(|sim| sim.report().total().mpki()))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fan_out_vs_per_tool, bench_parallel_sweep);
+criterion_main!(benches);

@@ -4,11 +4,19 @@
 //! (regression-guarding the figure regenerators) plus component
 //! microbenchmarks for the simulators themselves.
 
+use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
+use rebalance_frontend::PredictorChoice;
 use rebalance_trace::SyntheticTrace;
 use rebalance_workloads::{Scale, Workload};
 
 /// Tiny scale used inside benches so Criterion iterations stay fast.
 pub const BENCH_SCALE: Scale = Scale::Custom(0.01);
+
+/// Fresh sims for the nine Figure 5 predictor configurations — the
+/// standard fan-out tool set the sweep benches measure.
+pub fn figure5_sims() -> Vec<PredictorSim<Box<dyn DirectionPredictor>>> {
+    PredictorChoice::build_sims(&PredictorChoice::figure5_set())
+}
 
 /// Fetches a roster workload (panics on unknown names — bench-only).
 pub fn workload(name: &str) -> Workload {

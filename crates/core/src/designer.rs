@@ -235,8 +235,7 @@ mod tests {
         let has_baseline = best
             .floorplan
             .cores
-            .iter()
-            .any(|&k| k == rebalance_frontend::CoreKind::Baseline);
+            .contains(&rebalance_frontend::CoreKind::Baseline);
         assert!(
             has_baseline,
             "35%-serial CoEVP needs a baseline master: {}",

@@ -5,11 +5,49 @@ use std::collections::HashMap;
 
 use rebalance_frontend::CoreKind;
 use rebalance_mcpat::{ed_product, energy_joules, CmpEstimate, CmpFloorplan, Technology};
-use rebalance_trace::Section;
+use rebalance_trace::{Section, SyntheticTrace};
 use rebalance_workloads::{Scale, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::core_model::{CoreModel, CoreTiming};
+
+/// Simulates one workload on many floorplans from a **single** trace
+/// synthesis and a **single** replay: the distinct core designs across
+/// all floorplans are measured together in one fan-out pass
+/// ([`CoreModel::measure_many`]), then each floorplan's schedule/power
+/// arithmetic reuses the shared timings. Results are in `sims` order.
+///
+/// This is what the figure regenerators use: evaluating the four
+/// Figure 10 CMPs per workload costs one replay, not four.
+///
+/// # Errors
+///
+/// Propagates workload synthesis errors (invalid profile or scale).
+pub fn simulate_floorplans(
+    sims: &[CmpSim],
+    workload: &Workload,
+    scale: Scale,
+) -> Result<Vec<CmpResult>, String> {
+    let trace = workload.trace(scale)?;
+    let backend = workload.profile().backend;
+    let mut kinds: Vec<CoreKind> = Vec::new();
+    for sim in sims {
+        for &kind in &sim.floorplan.cores {
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+    }
+    let models: Vec<CoreModel> = kinds.iter().map(|&k| CoreModel::new(k)).collect();
+    let timings: HashMap<CoreKind, CoreTiming> = kinds
+        .into_iter()
+        .zip(CoreModel::measure_many(&models, &trace, &backend))
+        .collect();
+    Ok(sims
+        .iter()
+        .map(|sim| sim.result_from_timings(workload.name(), &trace, &timings))
+        .collect())
+}
 
 /// Threads the paper runs per HPC application (one per baseline-CMP
 /// core). The master thread's parallel-section instruction count is one
@@ -87,21 +125,30 @@ impl CmpSim {
 
     /// Simulates one workload end to end.
     ///
+    /// For several floorplans over the same workload, prefer
+    /// [`simulate_floorplans`] directly — it measures all core designs
+    /// in one shared replay. This is that path for a single floorplan.
+    ///
     /// # Errors
     ///
     /// Propagates workload synthesis errors (invalid profile or scale).
     pub fn simulate(&self, workload: &Workload, scale: Scale) -> Result<CmpResult, String> {
-        let trace = workload.trace(scale)?;
-        let backend = workload.profile().backend;
+        let mut results = simulate_floorplans(std::slice::from_ref(self), workload, scale)?;
+        Ok(results.remove(0))
+    }
 
-        // Measure each distinct core design once.
-        let mut timings: HashMap<CoreKind, CoreTiming> = HashMap::new();
-        for &kind in &self.floorplan.cores {
-            timings
-                .entry(kind)
-                .or_insert_with(|| CoreModel::new(kind).measure(&trace, &backend));
-        }
-
+    /// Computes this floorplan's result from per-core-kind timings that
+    /// were measured elsewhere (typically shared across floorplans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timings` lacks a core kind this floorplan uses.
+    pub fn result_from_timings(
+        &self,
+        workload_name: &str,
+        trace: &SyntheticTrace,
+        timings: &HashMap<CoreKind, CoreTiming>,
+    ) -> CmpResult {
         let cycle = self.tech.cycle_seconds();
         let n = self.floorplan.num_cores();
         let master = self.master_core();
@@ -156,16 +203,16 @@ impl CmpSim {
         }
         let power_w = if time_s > 0.0 { energy / time_s } else { 0.0 };
 
-        Ok(CmpResult {
+        CmpResult {
             floorplan: self.floorplan.name.clone(),
-            workload: workload.name().to_owned(),
+            workload: workload_name.to_owned(),
             time_s,
             serial_time_s: serial_time,
             parallel_time_s: parallel_time,
             power_w,
             energy_j: energy,
             ed: ed_product(power_w, time_s),
-        })
+        }
     }
 }
 

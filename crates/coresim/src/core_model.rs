@@ -1,12 +1,17 @@
 //! Per-core interval timing: front-end event rates → CPI.
 
-use rebalance_frontend::predictor::PredictorSim;
+use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
 use rebalance_frontend::{BtbSim, CoreKind, FrontendConfig, ICacheSim};
-use rebalance_trace::{Section, SyntheticTrace};
+use rebalance_trace::{Section, SyntheticTrace, ToolSet};
 use rebalance_workloads::BackendProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::penalties::Penalties;
+
+/// One core design's front-end simulators, bundled as a single
+/// [`Pintool`](rebalance_trace::Pintool) so many designs can share one
+/// trace replay in a [`ToolSet`].
+pub type FrontendTools = (PredictorSim<Box<dyn DirectionPredictor>>, BtbSim, ICacheSim);
 
 /// Measured rates and derived CPI for one code section on one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -119,16 +124,45 @@ impl CoreModel {
         &self.frontend
     }
 
+    /// Builds this core's front-end simulators, ready to observe a
+    /// trace (directly or inside a fan-out [`ToolSet`]).
+    pub fn tools(&self) -> FrontendTools {
+        (
+            PredictorSim::new(self.frontend.predictor.build()),
+            BtbSim::new(self.frontend.btb),
+            ICacheSim::new(self.frontend.icache),
+        )
+    }
+
     /// Replays `trace` through this core's front-end structures and
     /// derives per-section CPI with the workload's back-end profile.
     pub fn measure(&self, trace: &SyntheticTrace, backend: &BackendProfile) -> CoreTiming {
-        let mut bp = PredictorSim::new(self.frontend.predictor.build());
-        let mut btb = BtbSim::new(self.frontend.btb);
-        let mut ic = ICacheSim::new(self.frontend.icache);
-        {
-            let mut tools = (&mut bp, &mut btb, &mut ic);
-            trace.replay(&mut tools);
-        }
+        let mut tools = self.tools();
+        trace.replay(&mut tools);
+        self.timing(&tools, backend)
+    }
+
+    /// Measures several core designs over a **single** replay of
+    /// `trace`: every design's front-end tools join one [`ToolSet`], so
+    /// the cost is one trace pass regardless of how many designs are
+    /// compared. Timings are returned in `models` order.
+    pub fn measure_many(
+        models: &[CoreModel],
+        trace: &SyntheticTrace,
+        backend: &BackendProfile,
+    ) -> Vec<CoreTiming> {
+        let mut set: ToolSet<FrontendTools> = models.iter().map(CoreModel::tools).collect();
+        trace.replay(&mut set);
+        models
+            .iter()
+            .zip(set.into_inner())
+            .map(|(model, tools)| model.timing(&tools, backend))
+            .collect()
+    }
+
+    /// Derives per-section CPI from already-replayed front-end tools.
+    pub fn timing(&self, tools: &FrontendTools, backend: &BackendProfile) -> CoreTiming {
+        let (bp, btb, ic) = tools;
         let bp_report = bp.report();
         let btb_report = btb.report();
         let ic_report = ic.report();
@@ -244,6 +278,21 @@ mod tests {
         assert!(t.serial.ipc() < 1.0, "mcf is memory bound");
         let zero = SectionCpi::default();
         assert_eq!(zero.ipc(), 0.0);
+    }
+
+    #[test]
+    fn measure_many_matches_individual_measures() {
+        let w = find("CoMD").unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let backend = w.profile().backend;
+        let models = [
+            CoreModel::new(CoreKind::Baseline),
+            CoreModel::new(CoreKind::Tailored),
+        ];
+        let fanned = CoreModel::measure_many(&models, &trace, &backend);
+        for (model, timing) in models.iter().zip(&fanned) {
+            assert_eq!(*timing, model.measure(&trace, &backend));
+        }
     }
 
     #[test]

@@ -36,6 +36,6 @@ mod cmp_sim;
 mod core_model;
 mod penalties;
 
-pub use cmp_sim::{CmpResult, CmpSim, PARALLEL_THREADS};
-pub use core_model::{CoreModel, CoreTiming, SectionCpi};
+pub use cmp_sim::{simulate_floorplans, CmpResult, CmpSim, PARALLEL_THREADS};
+pub use core_model::{CoreModel, CoreTiming, FrontendTools, SectionCpi};
 pub use penalties::Penalties;

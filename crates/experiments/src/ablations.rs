@@ -1,10 +1,13 @@
 //! Ablation studies for the design choices DESIGN.md calls out, plus
 //! the thread-scaling argument of Section III-D.
 
-use rebalance_coresim::CmpSim;
-use rebalance_frontend::predictor::{PredictorSim, Tage, TageConfig, Tournament, WithLoop};
+use rebalance_coresim::{simulate_floorplans, CmpSim};
+use rebalance_frontend::predictor::{
+    DirectionPredictor, PredictorSim, Tage, TageConfig, Tournament, WithLoop,
+};
 use rebalance_frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim};
 use rebalance_mcpat::CmpFloorplan;
+use rebalance_trace::SweepEngine;
 use rebalance_workloads::Scale;
 use serde::{Deserialize, Serialize};
 
@@ -54,32 +57,40 @@ fn trace(name: &str, scale: Scale) -> rebalance_workloads::SyntheticTrace {
         .expect("valid roster profile")
 }
 
-/// Ablation 1: loop-BP entry count (16..256) on a loop-heavy workload.
+/// Ablation 1: loop-BP entry count (16..256) on a loop-heavy workload,
+/// all variants fanned out over a single replay.
 /// The paper's 64-entry/512 B choice should sit at the knee.
 pub fn lbp_entries(scale: Scale) -> Ablation {
     let trace = trace("imagick", scale);
-    let mut points = Vec::new();
-    for entries in [0usize, 16, 64, 256] {
-        let report = if entries == 0 {
-            let mut sim = PredictorSim::new(Tournament::new(10, 8));
-            trace.replay(&mut sim);
-            sim.report()
-        } else {
-            let mut sim =
-                PredictorSim::new(WithLoop::with_entries(Tournament::new(10, 8), entries));
-            trace.replay(&mut sim);
-            sim.report()
-        };
-        points.push(AblationPoint {
-            label: if entries == 0 {
-                "no LBP".into()
+    let variants = [0usize, 16, 64, 256];
+    let sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = variants
+        .iter()
+        .map(|&entries| {
+            let predictor: Box<dyn DirectionPredictor> = if entries == 0 {
+                Box::new(Tournament::new(10, 8))
             } else {
-                format!("{entries}-entry LBP")
-            },
-            value: report.total().mpki(),
-            aux: (report.budget_bits / 8) as f64,
-        });
-    }
+                Box::new(WithLoop::with_entries(Tournament::new(10, 8), entries))
+            };
+            PredictorSim::new(predictor)
+        })
+        .collect();
+    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let points = variants
+        .iter()
+        .zip(&sims)
+        .map(|(&entries, sim)| {
+            let report = sim.report();
+            AblationPoint {
+                label: if entries == 0 {
+                    "no LBP".into()
+                } else {
+                    format!("{entries}-entry LBP")
+                },
+                value: report.total().mpki(),
+                aux: (report.budget_bits / 8) as f64,
+            }
+        })
+        .collect();
     Ablation {
         name: "loop-BP entries (imagick, small tournament base)".into(),
         metrics: ("branch MPKI".into(), "budget bytes".into()),
@@ -97,23 +108,30 @@ pub fn tage_tables(scale: Scale) -> Ablation {
         &[4, 7, 11, 18, 30, 49, 81, 134],
         &[4, 7, 11, 18, 30, 49, 81, 134, 221, 365, 512, 640],
     ];
-    let mut points = Vec::new();
-    for hist in histories {
-        let cfg = TageConfig {
-            bimodal_bits: 12,
-            table_bits: 7,
-            histories: hist.to_vec(),
-            tag_bits: 9,
-        };
-        let mut sim = PredictorSim::new(Tage::new(cfg));
-        trace.replay(&mut sim);
-        let r = sim.report();
-        points.push(AblationPoint {
-            label: format!("{} tagged tables", hist.len()),
-            value: r.total().mpki(),
-            aux: (r.budget_bits / 8) as f64,
-        });
-    }
+    let sims: Vec<PredictorSim<Tage>> = histories
+        .iter()
+        .map(|hist| {
+            PredictorSim::new(Tage::new(TageConfig {
+                bimodal_bits: 12,
+                table_bits: 7,
+                histories: hist.to_vec(),
+                tag_bits: 9,
+            }))
+        })
+        .collect();
+    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let points = histories
+        .iter()
+        .zip(&sims)
+        .map(|(hist, sim)| {
+            let r = sim.report();
+            AblationPoint {
+                label: format!("{} tagged tables", hist.len()),
+                value: r.total().mpki(),
+                aux: (r.budget_bits / 8) as f64,
+            }
+        })
+        .collect();
     Ablation {
         name: "TAGE tagged-table count (CoEVP)".into(),
         metrics: ("branch MPKI".into(), "budget bytes".into()),
@@ -125,7 +143,6 @@ pub fn tage_tables(scale: Scale) -> Ablation {
 /// prefetcher (the paper argues a wide line *is* a prefetch buffer).
 pub fn line_vs_prefetch(scale: Scale) -> Ablation {
     let trace = trace("LULESH", scale);
-    let mut points = Vec::new();
     let configs: [(&str, CacheConfig, bool); 3] = [
         ("16KB/64B", CacheConfig::new(16 * 1024, 64, 8), false),
         (
@@ -135,19 +152,30 @@ pub fn line_vs_prefetch(scale: Scale) -> Ablation {
         ),
         ("16KB/128B", CacheConfig::new(16 * 1024, 128, 8), false),
     ];
-    for (label, cfg, prefetch) in configs {
-        let mut sim = ICacheSim::new(cfg);
-        if prefetch {
-            sim = sim.with_next_line_prefetch();
-        }
-        trace.replay(&mut sim);
-        let r = sim.report();
-        points.push(AblationPoint {
-            label: label.into(),
-            value: r.total().mpki(),
-            aux: r.usefulness,
-        });
-    }
+    let sims: Vec<ICacheSim> = configs
+        .iter()
+        .map(|&(_, cfg, prefetch)| {
+            let sim = ICacheSim::new(cfg);
+            if prefetch {
+                sim.with_next_line_prefetch()
+            } else {
+                sim
+            }
+        })
+        .collect();
+    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let points = configs
+        .iter()
+        .zip(&sims)
+        .map(|(&(label, _, _), sim)| {
+            let r = sim.report();
+            AblationPoint {
+                label: label.into(),
+                value: r.total().mpki(),
+                aux: r.usefulness,
+            }
+        })
+        .collect();
     Ablation {
         name: "wide lines vs next-line prefetch (LULESH)".into(),
         metrics: ("I-cache MPKI".into(), "usefulness".into()),
@@ -159,17 +187,24 @@ pub fn line_vs_prefetch(scale: Scale) -> Ablation {
 /// associativity is needed with simple modulo indexing (ExMatEx).
 pub fn btb_associativity(scale: Scale) -> Ablation {
     let trace = trace("CoEVP", scale);
-    let mut points = Vec::new();
-    for assoc in [1usize, 2, 4, 8] {
-        let mut sim = BtbSim::new(BtbConfig::new(256, assoc));
-        trace.replay(&mut sim);
-        let r = sim.report();
-        points.push(AblationPoint {
-            label: format!("256-entry {assoc}-way"),
-            value: r.total().mpki(),
-            aux: r.total().miss_rate(),
-        });
-    }
+    let assocs = [1usize, 2, 4, 8];
+    let sims: Vec<BtbSim> = assocs
+        .iter()
+        .map(|&assoc| BtbSim::new(BtbConfig::new(256, assoc)))
+        .collect();
+    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let points = assocs
+        .iter()
+        .zip(&sims)
+        .map(|(&assoc, sim)| {
+            let r = sim.report();
+            AblationPoint {
+                label: format!("256-entry {assoc}-way"),
+                value: r.total().mpki(),
+                aux: r.total().miss_rate(),
+            }
+        })
+        .collect();
     Ablation {
         name: "BTB associativity at 256 entries (CoEVP)".into(),
         metrics: ("BTB MPKI".into(), "miss rate".into()),
@@ -182,20 +217,32 @@ pub fn btb_associativity(scale: Scale) -> Ablation {
 /// chip grows with them.
 pub fn thread_scaling(scale: Scale) -> Ablation {
     let workload = rebalance_workloads::find("CoEVP").expect("roster");
-    let mut points = Vec::new();
-    for cores in [8usize, 16, 32, 64] {
-        let tailored = CmpSim::new(CmpFloorplan::tailored(cores))
-            .simulate(&workload, scale)
-            .expect("valid roster profile");
-        let asym = CmpSim::new(CmpFloorplan::asymmetric(1, cores - 1))
-            .simulate(&workload, scale)
-            .expect("valid roster profile");
-        points.push(AblationPoint {
-            label: format!("{cores} cores"),
-            value: tailored.time_s / asym.time_s,
-            aux: asym.serial_time_s / asym.time_s,
-        });
-    }
+    let core_counts = [8usize, 16, 32, 64];
+    // All eight floorplans reuse one trace replay: the core designs are
+    // the same two at every core count, only the scheduling arithmetic
+    // changes.
+    let sims: Vec<CmpSim> = core_counts
+        .iter()
+        .flat_map(|&cores| {
+            [
+                CmpSim::new(CmpFloorplan::tailored(cores)),
+                CmpSim::new(CmpFloorplan::asymmetric(1, cores - 1)),
+            ]
+        })
+        .collect();
+    let results = simulate_floorplans(&sims, &workload, scale).expect("valid roster profile");
+    let points = core_counts
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(&cores, pair)| {
+            let (tailored, asym) = (&pair[0], &pair[1]);
+            AblationPoint {
+                label: format!("{cores} cores"),
+                value: tailored.time_s / asym.time_s,
+                aux: asym.serial_time_s / asym.time_s,
+            }
+        })
+        .collect();
     Ablation {
         name: "asymmetric advantage vs core count (CoEVP, 35% serial)".into(),
         metrics: (

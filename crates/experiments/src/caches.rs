@@ -1,11 +1,11 @@
 //! Figures 7–9: BTB and I-cache sensitivity studies.
 
 use rebalance_frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim};
-use rebalance_trace::MultiTool;
+use rebalance_trace::SweepEngine;
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::util::{f2, for_all_workloads, mean, par_map, TextTable};
+use crate::util::{f2, mean, TextTable};
 
 /// One Figure 7 row: per-suite BTB MPKI for one geometry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,18 +68,18 @@ pub fn fig7_configs() -> Vec<BtbConfig> {
 /// Runs Figure 7 (all geometries in one trace pass per workload).
 pub fn fig7(scale: Scale) -> Fig7 {
     let configs = fig7_configs();
-    let results: Vec<(Workload, Vec<f64>)> = for_all_workloads(|w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let mut sims: Vec<BtbSim> = configs.iter().map(|c| BtbSim::new(*c)).collect();
-        {
-            let mut multi = MultiTool::new();
-            for sim in &mut sims {
-                multi.push(sim);
-            }
-            trace.replay(&mut multi);
-        }
-        sims.iter().map(|s| s.report().total().mpki()).collect()
-    });
+    let results: Vec<(Workload, Vec<f64>)> = SweepEngine::new()
+        .sweep(
+            rebalance_workloads::all(),
+            |w| w.trace(scale).expect("valid roster profile"),
+            |_| configs.iter().map(|c| BtbSim::new(*c)).collect(),
+        )
+        .into_iter()
+        .map(|o| {
+            let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
+            (o.item, mpki)
+        })
+        .collect();
     let rows = configs
         .iter()
         .enumerate()
@@ -164,18 +164,18 @@ pub fn fig8(scale: Scale) -> Fig8 {
             configs.push(CacheConfig::new(size_kb * 1024, 64, assoc));
         }
     }
-    let results: Vec<(Workload, Vec<f64>)> = for_all_workloads(|w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let mut sims: Vec<ICacheSim> = configs.iter().map(|c| ICacheSim::new(*c)).collect();
-        {
-            let mut multi = MultiTool::new();
-            for sim in &mut sims {
-                multi.push(sim);
-            }
-            trace.replay(&mut multi);
-        }
-        sims.iter().map(|s| s.report().total().mpki()).collect()
-    });
+    let results: Vec<(Workload, Vec<f64>)> = SweepEngine::new()
+        .sweep(
+            rebalance_workloads::all(),
+            |w| w.trace(scale).expect("valid roster profile"),
+            |_| configs.iter().map(|c| ICacheSim::new(*c)).collect(),
+        )
+        .into_iter()
+        .map(|o| {
+            let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
+            (o.item, mpki)
+        })
+        .collect();
     let rows = configs
         .iter()
         .enumerate()
@@ -245,34 +245,43 @@ impl Fig9 {
     }
 }
 
-/// Runs Figure 9 over the highlighted subset.
+/// Runs Figure 9 over the highlighted subset: all nine line/assoc
+/// geometries share one replay per workload.
 pub fn fig9(scale: Scale) -> Fig9 {
+    let mut configs = Vec::new();
+    for line in [32, 64, 128] {
+        for assoc in [2, 4, 8] {
+            configs.push(CacheConfig::new(16 * 1024, line, assoc));
+        }
+    }
     let subset: Vec<Workload> = FIG9_WORKLOADS
         .iter()
         .map(|n| rebalance_workloads::find(n).expect("figure 9 roster name"))
         .collect();
-    let results = par_map(subset, |w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let mut rows = Vec::new();
-        for line in [32, 64, 128] {
-            for assoc in [2, 4, 8] {
-                let mut sim = ICacheSim::new(CacheConfig::new(16 * 1024, line, assoc));
-                trace.replay(&mut sim);
-                let rep = sim.report();
-                rows.push(Fig9Row {
-                    workload: w.name().to_owned(),
-                    line_bytes: line,
-                    assoc,
-                    mpki: rep.total().mpki(),
-                    usefulness: rep.usefulness,
-                });
-            }
-        }
-        rows
-    });
-    Fig9 {
-        rows: results.into_iter().flatten().collect(),
-    }
+    let rows = SweepEngine::new()
+        .sweep(
+            subset,
+            |w| w.trace(scale).expect("valid roster profile"),
+            |_| configs.iter().map(|c| ICacheSim::new(*c)).collect(),
+        )
+        .into_iter()
+        .flat_map(|o| {
+            o.tools
+                .iter()
+                .map(|sim| {
+                    let rep = sim.report();
+                    Fig9Row {
+                        workload: o.item.name().to_owned(),
+                        line_bytes: rep.config.line_bytes,
+                        assoc: rep.config.assoc,
+                        mpki: rep.total().mpki(),
+                        usefulness: rep.usefulness,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Fig9 { rows }
 }
 
 #[cfg(test)]

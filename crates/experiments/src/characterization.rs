@@ -3,12 +3,12 @@
 
 use rebalance_isa::BranchKind;
 use rebalance_pintools::{characterize, Characterization, NUM_BIAS_BUCKETS};
-use rebalance_trace::Section;
+use rebalance_trace::{Section, SweepEngine};
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
-use crate::util::{f1, for_all_workloads, mean, pct, TextTable};
+use crate::util::{f1, mean, pct, TextTable};
 
 /// Which bars a row describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -329,12 +329,18 @@ fn bars_for(suite: Suite) -> Vec<Bars> {
 }
 
 /// Runs the characterization pass over the whole roster and aggregates
-/// per suite.
+/// per suite. Each workload is one engine item: [`characterize`] feeds
+/// all five pintools from a single replay, and workloads run in
+/// parallel on the engine's executor.
 pub fn run(scale: Scale) -> CharacterizationSet {
-    let results: Vec<(Workload, Characterization)> = for_all_workloads(|w| {
+    let engine = SweepEngine::new();
+    let workloads = rebalance_workloads::all();
+    let characterized = engine.map(&workloads, |w| {
         let trace = w.trace(scale).expect("roster profiles are valid");
         characterize(&trace)
     });
+    let results: Vec<(Workload, Characterization)> =
+        workloads.into_iter().zip(characterized).collect();
 
     let mut fig1 = Vec::new();
     let mut fig2 = Vec::new();

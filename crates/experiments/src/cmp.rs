@@ -1,6 +1,6 @@
 //! Table III and Figures 10–11: area/power and CMP-level evaluation.
 
-use rebalance_coresim::{CmpResult, CmpSim};
+use rebalance_coresim::{simulate_floorplans, CmpResult, CmpSim};
 use rebalance_frontend::CoreKind;
 use rebalance_mcpat::{CmpFloorplan, CoreEstimate};
 use rebalance_workloads::{Scale, Suite, Workload};
@@ -8,6 +8,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::paper;
 use crate::util::{f2, for_all_workloads, mean, par_map, TextTable};
+
+/// The four Figure 10 CMP simulators.
+fn figure10_sims() -> Vec<CmpSim> {
+    CmpFloorplan::figure10_set()
+        .into_iter()
+        .map(CmpSim::new)
+        .collect()
+}
 
 /// One Table III row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -177,24 +185,19 @@ pub struct CmpRun {
     pub results: Vec<CmpResult>,
 }
 
-/// Simulates every workload on the four Figure 10 floorplans.
+/// Simulates every workload on the four Figure 10 floorplans. The
+/// floorplans share one trace replay per workload
+/// ([`simulate_floorplans`]), and workloads run in parallel.
 pub fn run_cmps(scale: Scale) -> Vec<CmpRun> {
-    let sims: Vec<CmpSim> = CmpFloorplan::figure10_set()
+    let sims = figure10_sims();
+    for_all_workloads(|w| simulate_floorplans(&sims, w, scale).expect("valid roster profile"))
         .into_iter()
-        .map(CmpSim::new)
-        .collect();
-    for_all_workloads(|w| {
-        sims.iter()
-            .map(|s| s.simulate(w, scale).expect("valid roster profile"))
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .map(|(w, results): (Workload, Vec<CmpResult>)| CmpRun {
-        workload: w.name().to_owned(),
-        suite: w.suite(),
-        results,
-    })
-    .collect()
+        .map(|(w, results): (Workload, Vec<CmpResult>)| CmpRun {
+            workload: w.name().to_owned(),
+            suite: w.suite(),
+            results,
+        })
+        .collect()
 }
 
 /// Aggregates raw CMP runs into Figure 10.
@@ -274,21 +277,16 @@ impl Fig11 {
     }
 }
 
-/// Runs Figure 11 over the highlighted subset.
+/// Runs Figure 11 over the highlighted subset (one shared replay per
+/// workload across the four floorplans).
 pub fn fig11(scale: Scale) -> Fig11 {
-    let sims: Vec<CmpSim> = CmpFloorplan::figure10_set()
-        .into_iter()
-        .map(CmpSim::new)
-        .collect();
+    let sims = figure10_sims();
     let subset: Vec<Workload> = FIG11_WORKLOADS
         .iter()
         .map(|n| rebalance_workloads::find(n).expect("figure 11 roster name"))
         .collect();
     let rows = par_map(subset, |w| {
-        let results: Vec<CmpResult> = sims
-            .iter()
-            .map(|s| s.simulate(w, scale).expect("valid roster profile"))
-            .collect();
+        let results = simulate_floorplans(&sims, w, scale).expect("valid roster profile");
         let base = results[0].time_s;
         results
             .into_iter()

@@ -2,12 +2,12 @@
 
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorReport, PredictorSim};
 use rebalance_frontend::{PredictorChoice, PredictorClass, PredictorSize};
-use rebalance_trace::MultiTool;
+use rebalance_trace::SweepEngine;
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
-use crate::util::{f2, for_all_workloads, mean, TextTable};
+use crate::util::{f2, mean, TextTable};
 
 /// Table II: the evaluated predictor parameterizations and their
 /// realized hardware budgets.
@@ -102,21 +102,15 @@ impl Fig5 {
 /// in one trace pass per workload.
 pub fn fig5(scale: Scale) -> Fig5 {
     let configs = PredictorChoice::figure5_set();
-    let results: Vec<(Workload, Vec<PredictorReport>)> = for_all_workloads(|w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let mut sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = configs
-            .iter()
-            .map(|c| PredictorSim::new(c.build()))
-            .collect();
-        {
-            let mut multi = MultiTool::new();
-            for sim in &mut sims {
-                multi.push(sim);
-            }
-            trace.replay(&mut multi);
-        }
-        sims.iter().map(|s| s.report()).collect()
-    });
+    let results: Vec<(Workload, Vec<PredictorReport>)> = SweepEngine::new()
+        .sweep(
+            rebalance_workloads::all(),
+            |w| w.trace(scale).expect("valid roster profile"),
+            |_| PredictorChoice::build_sims(&configs),
+        )
+        .into_iter()
+        .map(|o| (o.item, o.tools.iter().map(PredictorSim::report).collect()))
+        .collect();
 
     let rows = configs
         .iter()
@@ -211,7 +205,8 @@ impl Fig6 {
     }
 }
 
-/// Runs Figure 6 over the highlighted subset.
+/// Runs Figure 6 over the highlighted subset: all three gshare variants
+/// share one replay per workload.
 pub fn fig6(scale: Scale) -> Fig6 {
     let configs = [
         PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Big, false),
@@ -222,34 +217,38 @@ pub fn fig6(scale: Scale) -> Fig6 {
         .iter()
         .map(|n| rebalance_workloads::find(n).expect("figure 6 roster name"))
         .collect();
-    let results = crate::util::par_map(subset, |w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let mut rows = Vec::new();
-        for c in configs {
-            let mut sim = PredictorSim::new(c.build());
-            trace.replay(&mut sim);
-            let rep = sim.report();
-            let total = rep.total();
-            let scale_mpki = |n: u64| {
-                if total.insts == 0 {
-                    0.0
-                } else {
-                    n as f64 * 1000.0 / total.insts as f64
-                }
-            };
-            rows.push(Fig6Row {
-                workload: w.name().to_owned(),
-                config: c.label(),
-                not_taken: scale_mpki(total.breakdown.not_taken),
-                taken_backward: scale_mpki(total.breakdown.taken_backward),
-                taken_forward: scale_mpki(total.breakdown.taken_forward),
-            });
-        }
-        rows
-    });
-    Fig6 {
-        rows: results.into_iter().flatten().collect(),
-    }
+    let rows = SweepEngine::new()
+        .sweep(
+            subset,
+            |w| w.trace(scale).expect("valid roster profile"),
+            |_| PredictorChoice::build_sims(&configs),
+        )
+        .into_iter()
+        .flat_map(|o| {
+            configs
+                .iter()
+                .zip(&o.tools)
+                .map(|(c, sim)| {
+                    let total = sim.report().total();
+                    let scale_mpki = |n: u64| {
+                        if total.insts == 0 {
+                            0.0
+                        } else {
+                            n as f64 * 1000.0 / total.insts as f64
+                        }
+                    };
+                    Fig6Row {
+                        workload: o.item.name().to_owned(),
+                        config: c.label(),
+                        not_taken: scale_mpki(total.breakdown.not_taken),
+                        taken_backward: scale_mpki(total.breakdown.taken_backward),
+                        taken_forward: scale_mpki(total.breakdown.taken_forward),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Fig6 { rows }
 }
 
 #[cfg(test)]

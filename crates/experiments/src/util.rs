@@ -2,40 +2,19 @@
 
 use std::fmt::Write as _;
 
+use rebalance_trace::Executor;
 use rebalance_workloads::Workload;
 
-/// Maps `f` over `items` using up to `available_parallelism` threads
-/// (serially on single-core machines). Order is preserved.
+/// Maps `f` over `items` on the shared [`Executor`] (work-stealing,
+/// order-preserving). Thin wrapper kept for harness call sites that are
+/// not trace sweeps.
 pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let n = items.len();
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (items_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            s.spawn(move |_| {
-                for (item, slot) in items_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter()
-        .map(|o| o.expect("all slots filled"))
-        .collect()
+    Executor::new().map(&items, f)
 }
 
 /// Runs `f` over the full roster in parallel, returning
@@ -46,7 +25,7 @@ where
     F: Fn(&Workload) -> U + Sync,
 {
     let ws = rebalance_workloads::all();
-    let results = par_map(ws.clone(), |w| f(w));
+    let results = Executor::new().map(&ws, f);
     ws.into_iter().zip(results).collect()
 }
 

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::btb::BtbConfig;
 use crate::icache::CacheConfig;
-use crate::predictor::{DirectionPredictor, Gshare, Tage, TageConfig, Tournament, WithLoop};
+use crate::predictor::{
+    DirectionPredictor, Gshare, PredictorSim, Tage, TageConfig, Tournament, WithLoop,
+};
 
 /// Which predictor family to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -121,6 +123,17 @@ impl PredictorChoice {
                 wrap(Tage::new(TageConfig::big()), self.with_loop)
             }
         }
+    }
+
+    /// Fresh measurement sims for a set of configurations — the
+    /// fan-out tool set for a single-pass sweep, in `choices` order.
+    pub fn build_sims(
+        choices: &[PredictorChoice],
+    ) -> Vec<PredictorSim<Box<dyn DirectionPredictor>>> {
+        choices
+            .iter()
+            .map(|choice| PredictorSim::new(choice.build()))
+            .collect()
     }
 
     /// Display label matching the paper's Figure 5 legend

@@ -30,7 +30,10 @@ use rebalance_isa::Addr;
 ///
 /// Implementations must be deterministic: prediction state may only
 /// change in `update`.
-pub trait DirectionPredictor {
+///
+/// `Send` is a supertrait so boxed predictors (and the sims wrapping
+/// them) can migrate across the sweep engine's worker threads.
+pub trait DirectionPredictor: Send {
     /// Predicts the direction of the conditional branch at `pc`.
     fn predict(&mut self, pc: Addr) -> bool;
 

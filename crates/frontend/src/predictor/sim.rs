@@ -241,20 +241,26 @@ mod tests {
     }
 
     /// End-to-end ordering check on a real HPC workload: TAGE ≤ gshare
-    /// at equal budget, and the loop BP helps the small gshare.
+    /// at equal budget, and the loop BP helps the small gshare. All
+    /// three predictors observe one shared replay via a fan-out
+    /// [`ToolSet`](rebalance_trace::ToolSet).
     #[test]
     fn predictor_quality_ordering_on_hpc_workload() {
+        use crate::predictor::DirectionPredictor;
+        use rebalance_trace::ToolSet;
+
         let trace = find("botsspar").unwrap().trace(Scale::Smoke).unwrap();
-        let run = |r: &mut dyn FnMut() -> PredictorReport| r();
-        let mut gshare_small = PredictorSim::new(Gshare::new(13));
-        let mut l_gshare_small = PredictorSim::new(WithLoop::new(Gshare::new(13)));
-        let mut tage_small = PredictorSim::new(Tage::new(TageConfig::small()));
-        trace.replay(&mut gshare_small);
-        trace.replay(&mut l_gshare_small);
-        trace.replay(&mut tage_small);
-        let g = run(&mut || gshare_small.report()).total().mpki();
-        let lg = run(&mut || l_gshare_small.report()).total().mpki();
-        let t = run(&mut || tage_small.report()).total().mpki();
+        let mut set: ToolSet<PredictorSim<Box<dyn DirectionPredictor>>> = [
+            Box::new(Gshare::new(13)) as Box<dyn DirectionPredictor>,
+            Box::new(WithLoop::new(Gshare::new(13))),
+            Box::new(Tage::new(TageConfig::small())),
+        ]
+        .into_iter()
+        .map(PredictorSim::new)
+        .collect();
+        trace.replay(&mut set);
+        let mpki: Vec<f64> = set.iter().map(|s| s.report().total().mpki()).collect();
+        let (g, lg, t) = (mpki[0], mpki[1], mpki[2]);
         assert!(lg <= g + 0.05, "LBP should not hurt: {lg} vs {g}");
         assert!(
             t <= g + 0.1,

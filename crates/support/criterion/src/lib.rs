@@ -1,0 +1,237 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function`, `iter` / `iter_batched`, throughput and
+//! sample-size knobs, and the `criterion_group!` / `criterion_main!`
+//! macros — over a simple wall-clock measurement loop: each sample
+//! auto-calibrates an iteration count so timer resolution doesn't
+//! dominate, and the reported figure is the median sample.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for `iter_batched` input sizing (accepted, not used).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing reporting settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take (clamped to 3..=20; this
+    /// stand-in keeps bench runs short rather than noise-free).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples(),
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        // `f` queued the routine via iter/iter_batched and it already
+        // ran; take the median of its samples.
+        let mut samples = bencher.per_iter;
+        if samples.is_empty() {
+            println!("{}/{}: no measurement", self.name, id.as_ref());
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!(
+                    "  thrpt: {:.1} Melem/s",
+                    n as f64 / median.as_secs_f64() / 1e6
+                )
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  thrpt: {:.1} MB/s", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {}{}",
+            self.name,
+            id.as_ref(),
+            format_duration(median),
+            thrpt
+        );
+    }
+
+    /// Ends the group (reporting is per-bench; nothing to flush).
+    pub fn finish(self) {}
+
+    /// Samples to take for benches registered after this call.
+    fn samples(&self) -> usize {
+        self.sample_size.min(20)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Runs and times the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+/// Minimum wall-clock per sample; iteration counts calibrate up to this.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration durations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + calibration: how many iterations fill the target time?
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        assert_eq!(g.samples(), 3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(10)).contains("s/iter"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), range / `any::<T>()` / tuple / [`collection::vec`]
+//! strategies, and the `prop_assert*` / [`prop_assume!`] macros.
+//! Cases are drawn from a deterministic per-test seed; there is no
+//! shrinking — a failing case panics with its drawn values via the
+//! assertion message.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy objects: deterministic samplers for test-case values.
+pub mod strategy {
+    use super::*;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut SmallRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut SmallRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Types with a full-range default strategy (see [`any`](super::any)).
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut SmallRng) -> Self {
+                        rng.next_u64() as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            // Finite values only: scaled unit draws, occasionally large.
+            let scale = [1.0, 1e3, 1e9, 1e-6][rng.gen_range(0usize..4)];
+            (rng.gen::<f64>() - 0.5) * 2.0 * scale
+        }
+    }
+
+    /// The strategy behind [`any`](super::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Full-range strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Strategy producing `[S::Value; N]` from N independent draws of
+    /// one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),+ $(,)?) => {
+            $(
+                /// Array of independent draws from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                    UniformArray { element }
+                }
+            )+
+        };
+    }
+
+    uniform_fns!(
+        uniform2 => 2,
+        uniform3 => 3,
+        uniform4 => 4,
+        uniform8 => 8,
+        uniform16 => 16,
+        uniform32 => 32,
+    );
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        /// 256 cases, matching the real proptest's default so property
+        /// tests written against upstream keep their coverage.
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test name, mixed with
+/// the case index by the macro.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str, case: u32) -> SmallRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ (u64::from(case) << 32))
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs `cases` times with fresh deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategies = ($($strat,)+);
+            for __case in 0..config.cases {
+                let mut __rng = $crate::__rng_for(stringify!($name), __case);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::sample(&strategies, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to a `continue` targeting the generated per-case loop, so it
+/// must be used at the top level of the property body: inside a `for`
+/// or `while` in the body it would bind to that inner loop and skip one
+/// iteration instead of rejecting the whole case (the real proptest
+/// rejects via an early return; this stand-in cannot).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u32..10, y in 0.5f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in collection::vec((0u64..100, any::<bool>()), 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            for (n, _flag) in v {
+                prop_assert!(n < 100);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::__rng_for("t", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::__rng_for("t", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        use rand::Rng as _;
+        let other = crate::__rng_for("u", 0).next_u64();
+        assert_ne!(a[0], other);
+    }
+}

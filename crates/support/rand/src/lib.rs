@@ -1,0 +1,285 @@
+//! Minimal, offline stand-in for the `rand` crate.
+//!
+//! Provides [`rngs::SmallRng`] (xoshiro256++ seeded through splitmix64),
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods the workspace
+//! uses (`gen`, `gen_range`, `gen_bool`). Streams are deterministic per
+//! seed but differ from the real rand crate's — everything in this
+//! workspace is calibrated against this implementation.
+
+/// Seedable RNG constructors.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling a value of `Self` from raw RNG output (the stand-in for
+/// rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly (the stand-in for rand's
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + (rng.next_u64() as $t);
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    // Exact span via i128: a range like i64::MIN..i64::MAX
+                    // is wider than the type's positive half, so the
+                    // subtraction must not happen in the narrow type.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    // offset < span, so the wrapping two's-complement add
+                    // lands back inside [start, end).
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )+
+    };
+}
+
+impl_signed_range!(i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let u = <$t as Standard>::sample(rng);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )+
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// The subset of rand's `Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of `T` from its standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the
+    /// workspace's deterministic simulation RNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range_with_uniform_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+            let v = rng.gen_range(3u32..=9);
+            assert!((3..=9).contains(&v));
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_positive_half_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(x < i32::MAX);
+            let y = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(y < i64::MAX);
+            let z = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn draw<R: Rng>(mut rng: R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,369 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's vendored serde stand-in.
+//!
+//! Parses the derive input token stream directly (no `syn`/`quote`,
+//! since the workspace builds offline) and emits an impl of
+//! `serde::Serialize` building a `serde::Value` tree, or an empty
+//! marker impl of `serde::Deserialize`.
+//!
+//! Supported shapes — the ones the workspace uses:
+//! named/tuple/unit structs, enums with unit/tuple/struct variants,
+//! plain type and lifetime parameters, and the container attribute
+//! `#[serde(transparent)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = serialize_body(&item);
+    let impl_block = format!(
+        "impl{} ::serde::Serialize for {}{} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.generics_decl("::serde::Serialize"),
+        item.name,
+        item.generics_use(),
+        body
+    );
+    impl_block.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let impl_block = format!(
+        "impl{} ::serde::Deserialize for {}{} {{}}",
+        item.generics_decl("::serde::Deserialize"),
+        item.name,
+        item.generics_use()
+    );
+    impl_block
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Param {
+    /// `'a` for lifetimes, `T` for type params.
+    name: String,
+    is_lifetime: bool,
+}
+
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    kind: Kind,
+    transparent: bool,
+}
+
+impl Item {
+    /// `<'a, T: Bound>` for the impl header (empty string when no params).
+    fn generics_decl(&self, bound: &str) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| {
+                if p.is_lifetime {
+                    p.name.clone()
+                } else {
+                    format!("{}: {}", p.name, bound)
+                }
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// `<'a, T>` for the type position (empty string when no params).
+    fn generics_use(&self) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self.params.iter().map(|p| p.name.clone()).collect();
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments, #[serde(...)], other derives' helpers).
+    while matches!(&tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tts.get(i + 1) {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") && text.contains("transparent") {
+                transparent = true;
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tts.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = match &tts[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("derive expects struct or enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tts[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if matches!(&tts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut chunk: Vec<TokenTree> = Vec::new();
+        let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+        while depth > 0 {
+            match &tts[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    chunk.push(tts[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        chunk.push(tts[i].clone());
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    chunks.push(std::mem::take(&mut chunk));
+                }
+                tt => chunk.push(tt.clone()),
+            }
+            i += 1;
+        }
+        if !chunk.is_empty() {
+            chunks.push(chunk);
+        }
+        for c in chunks {
+            params.push(parse_param(&c));
+        }
+    }
+
+    let kind = if is_enum {
+        let TokenTree::Group(body) = &tts[i] else {
+            panic!("expected enum body");
+        };
+        Kind::Enum(parse_variants(body.stream()))
+    } else {
+        match &tts[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(named_field_names(g.stream())))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Unnamed(count_top_level_commas(g.stream())))
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("expected struct body, found {other}"),
+        }
+    };
+
+    Item {
+        name,
+        params,
+        kind,
+        transparent,
+    }
+}
+
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    match &tokens[0] {
+        TokenTree::Punct(p) if p.as_char() == '\'' => {
+            let TokenTree::Ident(id) = &tokens[1] else {
+                panic!("expected lifetime name");
+            };
+            Param {
+                name: format!("'{id}"),
+                is_lifetime: true,
+            }
+        }
+        TokenTree::Ident(id) if id.to_string() == "const" => {
+            panic!("const generics are not supported by the vendored serde derive")
+        }
+        TokenTree::Ident(id) => Param {
+            name: id.to_string(),
+            is_lifetime: false,
+        },
+        other => panic!("unsupported generic parameter: {other}"),
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` depth
+/// (parens/brackets/braces nest as `Group`s already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut chunk = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(std::mem::take(&mut chunk));
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(tt);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts field names from a named-field body (`{ a: T, pub b: U }`).
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            while matches!(&chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                i += 2;
+            }
+            if matches!(&chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                i += 1;
+                if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            while matches!(&chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_top_level_commas(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Named(fields)) => {
+            if item.transparent && fields.len() == 1 {
+                return format!("::serde::Serialize::to_value(&self.{})", fields[0]);
+            }
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Struct(Fields::Unnamed(n)) => {
+            // Newtype structs serialize as their inner value (as serde does).
+            if *n == 1 {
+                return "::serde::Serialize::to_value(&self.0)".to_string();
+            }
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| {
+                    let ty = &item.name;
+                    match fields {
+                        Fields::Unit => format!(
+                            "{ty}::{v} => ::serde::Value::Str(\"{v}\".to_string())"
+                        ),
+                        Fields::Unnamed(1) => format!(
+                            "{ty}::{v}(f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))])"
+                        ),
+                        Fields::Unnamed(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{ty}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{v} {{ {} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                                 ::serde::Value::Map(vec![{}]))])",
+                                names.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    }
+}

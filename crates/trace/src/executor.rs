@@ -1,0 +1,164 @@
+//! A shared work-stealing executor for replaying independent traces in
+//! parallel.
+//!
+//! Sweeps replay many `(workload, scale)` traces that differ wildly in
+//! length, so static chunking (split the roster into `n_threads` equal
+//! slices) leaves threads idle behind the slice holding the longest
+//! traces. This executor instead hands out items one at a time from a
+//! shared atomic cursor: every worker stays busy until the queue is
+//! empty, whatever the per-item cost distribution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable thread-pool-shaped mapper (threads are scoped per call,
+/// so no lifetime or shutdown management leaks to callers).
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::Executor;
+///
+/// let doubled = Executor::new().map(&[1u64, 2, 3], |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor sized to the machine (`available_parallelism`).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Executor { threads }
+    }
+
+    /// An executor with an explicit worker count (minimum 1). One
+    /// thread gives fully deterministic sequential execution.
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, preserving order. Items are claimed
+    /// dynamically, so heterogeneous per-item costs balance across
+    /// workers.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Claim one item at a time; buffer locally and merge
+                    // once, so the lock is touched once per worker.
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    let mut out = results.lock().expect("no poisoned worker");
+                    for (i, v) in local {
+                        out[i] = Some(v);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = Executor::new().map(&items, |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let ex = Executor::new();
+        assert!(ex.map(&Vec::<u64>::new(), |x| *x).is_empty());
+        assert_eq!(ex.map(&[7u64], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let ex = Executor::with_threads(1);
+        assert_eq!(ex.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..16).collect();
+        ex.map(&items, |&i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), items);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let out = Executor::with_threads(8).map(&items, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn unbalanced_items_all_complete() {
+        // Heavily skewed costs: the dynamic cursor must still cover all.
+        let items: Vec<u64> = (0..64).collect();
+        let out = Executor::with_threads(4).map(&items, |&x| {
+            let spin = if x == 0 { 200_000 } else { 10 };
+            (0..spin).fold(x, |acc, i| acc.wrapping_add(i))
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

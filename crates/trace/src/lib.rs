@@ -68,18 +68,24 @@ mod by_section;
 mod error;
 mod event;
 mod exec;
+mod executor;
 mod observer;
 mod program;
 mod schedule;
 mod section;
 pub mod stats;
+mod sweep;
+mod toolset;
 
 pub use builder::ProgramBuilder;
 pub use by_section::BySection;
 pub use error::{BuildError, BuildErrorKind};
 pub use event::{BranchEvent, TraceEvent};
 pub use exec::{Interpreter, RunSummary};
+pub use executor::Executor;
 pub use observer::{FnTool, MultiTool, NullTool, Pintool};
 pub use program::{BasicBlock, BlockId, CondBehavior, IterCount, Program, RegionId, Terminator};
-pub use schedule::{Phase, Schedule, SyntheticTrace};
+pub use schedule::{replay_count, Phase, Schedule, SyntheticTrace};
 pub use section::Section;
+pub use sweep::{SweepEngine, SweepOutcome};
+pub use toolset::ToolSet;

@@ -1,0 +1,273 @@
+//! The sweep engine: replay each trace **once**, feed every tool.
+//!
+//! The naive way to sweep N hardware configurations over a trace is N
+//! replays — the cost the HPM-engineering literature warns about when
+//! one instruction stream is measured with many counter sets. The
+//! engine inverts that: a [`ToolSet`] fans a single replay out to all N
+//! tools, and independent `(workload, scale)` items run in parallel on
+//! a shared [`Executor`]. Sweep cost drops from
+//! `O(tools × replays)` to `O(replays)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::exec::RunSummary;
+use crate::executor::Executor;
+use crate::observer::Pintool;
+use crate::schedule::SyntheticTrace;
+use crate::toolset::ToolSet;
+
+/// The result of sweeping one item: the item itself, its tools (now
+/// holding their accumulated measurements), and the replay summary.
+#[derive(Debug)]
+pub struct SweepOutcome<I, T> {
+    /// The swept item (typically a workload).
+    pub item: I,
+    /// The tools after observing the item's full trace, in the order
+    /// the tool factory produced them.
+    pub tools: Vec<T>,
+    /// Interpreter summary of the single shared replay.
+    pub summary: RunSummary,
+}
+
+/// Replays traces once per item through fan-out tool sets, in parallel
+/// across items.
+///
+/// The engine counts every replay it performs ([`SweepEngine::replays`]),
+/// which is how tests assert the one-replay-per-item guarantee.
+///
+/// # Examples
+///
+/// Sweep two cache geometries over one synthetic trace in a single
+/// pass (a `Vec` of tools of one concrete type forms the fan-out):
+///
+/// ```
+/// use rebalance_trace::{
+///     CondBehavior, IterCount, Phase, Pintool, ProgramBuilder, Schedule, Section,
+///     SweepEngine, SyntheticTrace, Terminator, TraceEvent,
+/// };
+///
+/// #[derive(Default)]
+/// struct Counter(u64);
+/// impl Pintool for Counter {
+///     fn on_inst(&mut self, _ev: &TraceEvent) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new();
+/// let region = b.region("hot");
+/// let body = b.reserve_block();
+/// let exit = b.reserve_block();
+/// b.define_block(body, region, 3, Terminator::Cond {
+///     taken: body,
+///     fall: exit,
+///     behavior: CondBehavior::Loop { count: IterCount::Fixed(10) },
+/// });
+/// b.define_block(exit, region, 1, Terminator::Exit);
+/// let program = b.build().unwrap();
+/// let schedule = Schedule::new(vec![Phase::new(Section::Parallel, body, 1_000)]);
+/// let trace = SyntheticTrace::new(program, schedule, 1);
+///
+/// let engine = SweepEngine::new();
+/// let outcomes = engine.sweep(
+///     vec![trace],
+///     |t| t.clone(),
+///     |_| vec![Counter::default(), Counter::default()],
+/// );
+/// assert_eq!(engine.replays(), 1, "two tools, one replay");
+/// assert_eq!(outcomes[0].tools[0].0, 1_000);
+/// assert_eq!(outcomes[0].tools[1].0, 1_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    executor: Executor,
+    replays: AtomicU64,
+}
+
+impl SweepEngine {
+    /// An engine on a machine-sized [`Executor`].
+    pub fn new() -> Self {
+        SweepEngine {
+            executor: Executor::new(),
+            replays: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine on an explicit executor (e.g. single-threaded for
+    /// deterministic ordering in tests).
+    pub fn with_executor(executor: Executor) -> Self {
+        SweepEngine {
+            executor,
+            replays: AtomicU64::new(0),
+        }
+    }
+
+    /// The executor items are scheduled on.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Total trace replays this engine has performed.
+    ///
+    /// Scoped to this engine instance, unlike the process-wide
+    /// [`replay_count`](crate::replay_count) ledger — a delta of the
+    /// global counter would be polluted by concurrent replays elsewhere
+    /// in the process, so the engine keeps its own tally at its single
+    /// replay choke point ([`SweepEngine::fan_out`]).
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Replays `trace` once, feeding all `tools`; returns the tools and
+    /// the replay summary. This is the single choke point every sweep
+    /// goes through, so [`SweepEngine::replays`] is authoritative.
+    pub fn fan_out<T: Pintool>(
+        &self,
+        trace: &SyntheticTrace,
+        tools: Vec<T>,
+    ) -> (Vec<T>, RunSummary) {
+        let mut set = ToolSet::from_tools(tools);
+        let summary = trace.replay(&mut set);
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        (set.into_inner(), summary)
+    }
+
+    /// Sweeps every item: builds its trace once, builds its tools, and
+    /// replays the trace exactly once through all of them. Items run in
+    /// parallel on the shared executor; outcomes keep item order.
+    pub fn sweep<I, T, TraceFn, ToolsFn>(
+        &self,
+        items: Vec<I>,
+        trace_of: TraceFn,
+        tools_for: ToolsFn,
+    ) -> Vec<SweepOutcome<I, T>>
+    where
+        I: Send + Sync,
+        T: Pintool + Send,
+        TraceFn: Fn(&I) -> SyntheticTrace + Sync,
+        ToolsFn: Fn(&I) -> Vec<T> + Sync,
+    {
+        let measured = self.executor.map(&items, |item| {
+            let trace = trace_of(item);
+            self.fan_out(&trace, tools_for(item))
+        });
+        items
+            .into_iter()
+            .zip(measured)
+            .map(|(item, (tools, summary))| SweepOutcome {
+                item,
+                tools,
+                summary,
+            })
+            .collect()
+    }
+
+    /// Parallel map over independent items on the engine's executor —
+    /// for work that is not a plain fan-out replay (e.g. full CMP
+    /// simulations) but should share the sweep's scheduling.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.executor.map(items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CondBehavior, IterCount, Program, Terminator};
+    use crate::schedule::{Phase, Schedule};
+    use crate::section::Section;
+    use crate::ProgramBuilder;
+    use crate::TraceEvent;
+
+    fn tiny_trace(budget: u64, seed: u64) -> SyntheticTrace {
+        let mut b = ProgramBuilder::new();
+        let region = b.region("hot");
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.define_block(
+            body,
+            region,
+            5,
+            Terminator::Cond {
+                taken: body,
+                fall: exit,
+                behavior: CondBehavior::Loop {
+                    count: IterCount::Fixed(9),
+                },
+            },
+        );
+        b.define_block(exit, region, 1, Terminator::Exit);
+        let program: Program = b.build().unwrap();
+        let schedule = Schedule::new(vec![Phase::new(Section::Parallel, body, budget)]);
+        SyntheticTrace::new(program, schedule, seed)
+    }
+
+    #[derive(Default, Clone)]
+    struct PcSum(u64);
+
+    impl Pintool for PcSum {
+        fn on_inst(&mut self, ev: &TraceEvent) {
+            self.0 = self.0.wrapping_add(ev.pc.as_u64());
+        }
+    }
+
+    #[test]
+    fn fan_out_feeds_every_tool_identically() {
+        let engine = SweepEngine::new();
+        let trace = tiny_trace(2_000, 3);
+        let (tools, summary) = engine.fan_out(&trace, vec![PcSum::default(); 3]);
+        assert_eq!(summary.instructions, 2_000);
+        assert_eq!(engine.replays(), 1);
+        assert!(tools[0].0 > 0);
+        assert!(tools.iter().all(|t| t.0 == tools[0].0));
+    }
+
+    #[test]
+    fn sweep_replays_once_per_item_not_per_tool() {
+        let engine = SweepEngine::new();
+        let items: Vec<u64> = (0..7).collect();
+        let outcomes = engine.sweep(
+            items,
+            |&seed| tiny_trace(500, seed),
+            |_| (0..11).map(|_| PcSum::default()).collect(),
+        );
+        assert_eq!(outcomes.len(), 7);
+        assert_eq!(engine.replays(), 7, "7 items x 11 tools = 7 replays");
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.item, i as u64, "item order preserved");
+            assert_eq!(o.tools.len(), 11);
+            assert_eq!(o.summary.instructions, 500);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential_single_tool_replays() {
+        let engine = SweepEngine::with_executor(Executor::with_threads(1));
+        let outcomes = engine.sweep(
+            vec![1u64, 2],
+            |&seed| tiny_trace(800, seed),
+            |_| vec![PcSum::default(), PcSum::default()],
+        );
+        for (seed, outcome) in [1u64, 2].into_iter().zip(&outcomes) {
+            let mut alone = PcSum::default();
+            tiny_trace(800, seed).replay(&mut alone);
+            for t in &outcome.tools {
+                assert_eq!(t.0, alone.0, "fan-out must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn map_shares_the_executor() {
+        let engine = SweepEngine::new();
+        let out = engine.map(&[1u64, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(engine.replays(), 0, "map alone does not replay");
+        assert!(engine.executor().threads() >= 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! The sweep engine's core guarantees, end to end on real synthesized
+//! workloads:
+//!
+//! 1. a fan-out [`ToolSet`] replay produces **bit-identical** reports to
+//!    N sequential single-tool replays, and
+//! 2. a sweep performs exactly **one** trace replay per `(workload,
+//!    scale)` item, however many tools are attached.
+//!
+//! The replay-count assertions read the process-wide
+//! [`replay_count`] counter, so the tests in this binary serialize on a
+//! shared lock to keep the deltas exact.
+
+use std::sync::Mutex;
+
+use rebalance::frontend::predictor::{DirectionPredictor, PredictorReport, PredictorSim};
+use rebalance::frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim, PredictorChoice};
+use rebalance::trace::{replay_count, Executor, SweepEngine, SyntheticTrace, ToolSet};
+use rebalance::Scale;
+
+static REPLAY_COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn trace_for(name: &str) -> SyntheticTrace {
+    rebalance::workloads::find(name)
+        .unwrap()
+        .trace(Scale::Smoke)
+        .unwrap()
+}
+
+fn predictor_sims() -> Vec<PredictorSim<Box<dyn DirectionPredictor>>> {
+    PredictorChoice::build_sims(&PredictorChoice::figure5_set())
+}
+
+#[test]
+fn fan_out_replay_is_bit_identical_to_sequential_replays() {
+    let _lock = REPLAY_COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let trace = trace_for("CoMD");
+
+    // --- Predictors: nine configurations, one replay. ---
+    let before = replay_count();
+    let mut fanned = ToolSet::from_tools(predictor_sims());
+    trace.replay(&mut fanned);
+    assert_eq!(
+        replay_count() - before,
+        1,
+        "a ToolSet of nine sims costs one replay"
+    );
+    let fanned_reports: Vec<PredictorReport> = fanned.iter().map(PredictorSim::report).collect();
+
+    let before = replay_count();
+    let sequential_reports: Vec<PredictorReport> = predictor_sims()
+        .into_iter()
+        .map(|mut sim| {
+            trace.replay(&mut sim);
+            sim.report()
+        })
+        .collect();
+    assert_eq!(replay_count() - before, 9, "the baseline costs nine");
+    assert_eq!(fanned_reports, sequential_reports, "bit-identical reports");
+
+    // --- I-cache geometries. ---
+    let cache_configs = [
+        CacheConfig::new(8 * 1024, 64, 2),
+        CacheConfig::new(16 * 1024, 128, 8),
+        CacheConfig::new(32 * 1024, 64, 4),
+    ];
+    let mut fanned: ToolSet<ICacheSim> = cache_configs.iter().map(|&c| ICacheSim::new(c)).collect();
+    trace.replay(&mut fanned);
+    for (sim, &config) in fanned.iter().zip(&cache_configs) {
+        let mut alone = ICacheSim::new(config);
+        trace.replay(&mut alone);
+        assert_eq!(sim.report(), alone.report(), "{}", config.label());
+    }
+
+    // --- BTB geometries. ---
+    let btb_configs = [BtbConfig::new(256, 8), BtbConfig::new(1024, 4)];
+    let mut fanned: ToolSet<BtbSim> = btb_configs.iter().map(|&c| BtbSim::new(c)).collect();
+    trace.replay(&mut fanned);
+    for (sim, &config) in fanned.iter().zip(&btb_configs) {
+        let mut alone = BtbSim::new(config);
+        trace.replay(&mut alone);
+        assert_eq!(sim.report(), alone.report());
+    }
+}
+
+#[test]
+fn sweep_replays_each_workload_exactly_once() {
+    let _lock = REPLAY_COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let workloads: Vec<_> = ["CG", "FT", "gcc", "swim"]
+        .iter()
+        .map(|n| rebalance::workloads::find(n).unwrap())
+        .collect();
+    let n_workloads = workloads.len();
+
+    let engine = SweepEngine::new();
+    let before = replay_count();
+    let outcomes = engine.sweep(
+        workloads,
+        |w| w.trace(Scale::Smoke).expect("roster profile"),
+        |_| predictor_sims(),
+    );
+    let delta = replay_count() - before;
+
+    assert_eq!(outcomes.len(), n_workloads);
+    assert!(outcomes.iter().all(|o| o.tools.len() == 9));
+    assert_eq!(
+        delta, n_workloads as u64,
+        "one replay per workload, independent of the nine tools attached"
+    );
+    assert_eq!(
+        engine.replays(),
+        n_workloads as u64,
+        "the engine's own ledger agrees"
+    );
+}
+
+#[test]
+fn parallel_sweep_matches_single_threaded_sweep() {
+    let _lock = REPLAY_COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let names = ["CoEVP", "MG", "astar"];
+    let run = |engine: SweepEngine| -> Vec<Vec<PredictorReport>> {
+        let workloads: Vec<_> = names
+            .iter()
+            .map(|n| rebalance::workloads::find(n).unwrap())
+            .collect();
+        engine
+            .sweep(
+                workloads,
+                |w| w.trace(Scale::Smoke).expect("roster profile"),
+                |_| predictor_sims(),
+            )
+            .into_iter()
+            .map(|o| o.tools.iter().map(PredictorSim::report).collect())
+            .collect()
+    };
+    let parallel = run(SweepEngine::new());
+    let serial = run(SweepEngine::with_executor(Executor::with_threads(1)));
+    assert_eq!(parallel, serial, "scheduling must not change results");
+}
