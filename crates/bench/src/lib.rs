@@ -29,3 +29,17 @@ pub fn bench_trace(name: &str) -> SyntheticTrace {
         .trace(BENCH_SCALE)
         .expect("valid roster profile")
 }
+
+/// A scratch trace cache pre-warmed with bench-scale snapshots of the
+/// named workloads — the cache-served half of the snapshot benches.
+/// Callers own cleanup (`std::fs::remove_dir_all(cache.dir())`).
+pub fn warmed_cache(names: &[&str]) -> rebalance_trace::TraceCache {
+    let cache = rebalance_trace::TraceCache::scratch().expect("temp dir");
+    for name in names {
+        let w = workload(name);
+        cache
+            .record(&w.trace_key(BENCH_SCALE), &bench_trace(name))
+            .expect("record snapshot");
+    }
+    cache
+}

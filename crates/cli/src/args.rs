@@ -1,0 +1,160 @@
+//! Minimal flag parsing shared by the subcommands (the workspace builds
+//! offline, so no clap — the same hand-rolled style as `repro`).
+
+use rebalance_workloads::Scale;
+
+/// Accumulates positional arguments and recognized flags; rejects
+/// anything else.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Non-flag arguments in order.
+    pub positional: Vec<String>,
+    /// `--scale` value (default smoke: CLI runs favor fast iteration).
+    pub scale: Scale,
+    /// `--cache DIR`.
+    pub cache_dir: Option<String>,
+    /// `--no-cache`.
+    pub no_cache: bool,
+    /// `--all`.
+    pub all: bool,
+    /// `--force`.
+    pub force: bool,
+    /// `--json DIR`.
+    pub json_dir: Option<String>,
+}
+
+/// Parses `argv` into [`Parsed`].
+///
+/// # Errors
+///
+/// A usage message naming the offending flag or missing value.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        scale: Scale::Smoke,
+        ..Parsed::default()
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                parsed.scale = rebalance_experiments::driver::parse_scale(v)
+                    .ok_or_else(|| format!("invalid scale `{v}`"))?;
+            }
+            "--cache" => {
+                parsed.cache_dir = Some(it.next().ok_or("--cache needs a directory")?.clone());
+            }
+            "--json" => {
+                parsed.json_dir = Some(it.next().ok_or("--json needs a directory")?.clone());
+            }
+            "--workloads" => {
+                // Comma-separated names; equivalent to listing them as
+                // positional arguments.
+                parsed
+                    .positional
+                    .push(it.next().ok_or("--workloads needs a name list")?.clone());
+            }
+            "--no-cache" => parsed.no_cache = true,
+            "--all" => parsed.all = true,
+            "--force" => parsed.force = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            positional => parsed.positional.push(positional.to_owned()),
+        }
+    }
+    if parsed.no_cache && parsed.cache_dir.is_some() {
+        return Err("--no-cache and --cache are mutually exclusive".into());
+    }
+    Ok(parsed)
+}
+
+/// Rejects options the calling subcommand does not support. Each entry
+/// is `(was the flag given, its name)`.
+///
+/// # Errors
+///
+/// Names the first inapplicable flag.
+pub fn forbid(flags: &[(bool, &str)]) -> Result<(), String> {
+    for (present, name) in flags {
+        if *present {
+            return Err(format!("{name} is not supported by this subcommand"));
+        }
+    }
+    Ok(())
+}
+
+/// The cache directory to use: explicit `--cache`, or the default.
+pub fn cache_dir(parsed: &Parsed) -> String {
+    parsed
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| crate::DEFAULT_CACHE_DIR.to_owned())
+}
+
+/// Points the experiments crate's process-wide cache at the chosen
+/// directory — or, with `--no-cache`, clears any inherited
+/// `REBALANCE_TRACE_CACHE` so the opt-out also wins over the caller's
+/// environment.
+pub fn configure_cache_env(parsed: &Parsed) {
+    use rebalance_experiments::util::TRACE_CACHE_ENV;
+    if parsed.no_cache {
+        std::env::remove_var(TRACE_CACHE_ENV);
+    } else {
+        std::env::set_var(TRACE_CACHE_ENV, cache_dir(parsed));
+    }
+}
+
+/// Resolves workload names (or the whole roster) into `Workload`s.
+///
+/// # Errors
+///
+/// Names not present in the roster.
+pub fn resolve_workloads(
+    names: &[String],
+    all: bool,
+) -> Result<Vec<rebalance_workloads::Workload>, String> {
+    if all || names.is_empty() {
+        return Ok(rebalance_workloads::all());
+    }
+    names
+        .iter()
+        .flat_map(|arg| arg.split(','))
+        .filter(|name| !name.is_empty())
+        .map(|name| {
+            rebalance_workloads::find(name).ok_or_else(|| format!("unknown workload `{name}`"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let p = parse(&argv(&["CG", "--scale", "quick", "--cache", "d", "FT"])).unwrap();
+        assert_eq!(p.positional, vec!["CG", "FT"]);
+        assert_eq!(p.scale, Scale::Quick);
+        assert_eq!(p.cache_dir.as_deref(), Some("d"));
+        assert_eq!(cache_dir(&p), "d");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv(&["--scale"])).is_err());
+        assert!(parse(&argv(&["--scale", "zero"])).is_err());
+        assert!(parse(&argv(&["--bogus"])).is_err());
+        assert!(parse(&argv(&["--no-cache", "--cache", "d"])).is_err());
+    }
+
+    #[test]
+    fn workload_resolution() {
+        let ws = resolve_workloads(&argv(&["CG,FT", "gcc"]), false).unwrap();
+        assert_eq!(ws.len(), 3);
+        assert!(resolve_workloads(&argv(&["nope"]), false).is_err());
+        assert_eq!(resolve_workloads(&[], false).unwrap().len(), 41);
+    }
+}

@@ -1,0 +1,82 @@
+//! `rebalance` — the workspace's command-line front door.
+//!
+//! ```text
+//! rebalance trace record CG FT --scale quick      # snapshot traces into the cache
+//! rebalance trace info  <file.rbts>...            # header/footer of snapshot files
+//! rebalance trace verify <file.rbts>...           # full checksum + structure check
+//! rebalance sweep --scale quick                   # predictor sweep, cache-served
+//! rebalance paper fig5 table3 --scale quick       # regenerate paper exhibits
+//! ```
+//!
+//! All replay-heavy subcommands route through the on-disk trace cache
+//! (default `target/trace-cache`, override with `--cache DIR`, disable
+//! with `--no-cache`) and finish by printing the shared sweep/cache
+//! [`Report`](rebalance_trace::Report).
+
+use std::process::ExitCode;
+
+mod args;
+mod paper_cmd;
+mod sweep_cmd;
+mod trace_cmd;
+
+/// Cache directory used when `--cache` is not given.
+const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
+
+/// Best-effort stdout write: a closed pipe (`rebalance ... | head`) is
+/// a normal way to stop reading, not a failure worth panicking over
+/// (which is what `println!` would do on EPIPE).
+fn print_ignoring_pipe(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rebalance <COMMAND> [OPTIONS]\n\
+         \n\
+         commands:\n\
+         \x20 trace record [WORKLOAD...] [--all] [--scale S] [--cache DIR] [--force]\n\
+         \x20     synthesize workloads once and store their snapshots in the cache\n\
+         \x20 trace info <FILE...>\n\
+         \x20     print header/footer metadata of snapshot files\n\
+         \x20 trace verify <FILE...>\n\
+         \x20     fully validate snapshot files (framing, checksum, structure)\n\
+         \x20 sweep [--workloads A,B,...] [--scale S] [--cache DIR] [--no-cache]\n\
+         \x20     run the nine-predictor sweep, replays served from the cache\n\
+         \x20 paper [EXHIBIT...|all] [--scale S] [--json DIR] [--cache DIR] [--no-cache]\n\
+         \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
+         \n\
+         scales: smoke | quick | full | <positive factor>   (default: smoke)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "trace" => match rest.split_first() {
+            Some((sub, rest)) => match sub.as_str() {
+                "record" => trace_cmd::record(rest),
+                "info" => trace_cmd::info(rest),
+                "verify" => trace_cmd::verify(rest),
+                _ => return usage(),
+            },
+            None => return usage(),
+        },
+        "sweep" => sweep_cmd::run(rest),
+        "paper" => paper_cmd::run(rest),
+        "--help" | "-h" | "help" => return usage(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("rebalance: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

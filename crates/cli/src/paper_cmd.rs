@@ -1,0 +1,35 @@
+//! `rebalance paper` — regenerate the paper's exhibits through the
+//! trace cache.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rebalance_experiments::{driver, util};
+
+use crate::args;
+
+/// Runs the requested exhibits (default: all) and prints the shared
+/// replay/cache report at the end.
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    args::forbid(&[
+        (parsed.force, "--force"),
+        (parsed.all, "--all (use the `all` exhibit name)"),
+    ])?;
+    args::configure_cache_env(&parsed);
+    let exhibits = driver::resolve_exhibits(&parsed.positional)?;
+
+    let json_dir = parsed.json_dir.as_ref().map(PathBuf::from);
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = driver::run_exhibits(&exhibits, parsed.scale, json_dir.as_deref(), &mut out) {
+        // A closed pipe (`rebalance paper ... | head`) is a normal way
+        // to stop reading, not a failure.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(e.to_string());
+    }
+    drop(out);
+    crate::print_ignoring_pipe(&format!("{}\n", util::sweep_report()));
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,51 @@
+//! `rebalance sweep` — the nine-configuration predictor sweep, replays
+//! served from the trace cache.
+
+use std::process::ExitCode;
+
+use rebalance_experiments::util::{self, f2, TextTable};
+use rebalance_frontend::PredictorChoice;
+use rebalance_workloads::Suite;
+
+use crate::args;
+
+/// Runs the sweep and prints per-suite mean MPKI plus the shared
+/// replay/cache report.
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    args::forbid(&[
+        (parsed.json_dir.is_some(), "--json"),
+        (parsed.force, "--force"),
+    ])?;
+    let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
+    // The experiments crate opens its process-wide cache from the
+    // environment on first use; this routes every replay below through
+    // the on-disk cache (or explicitly disables it).
+    args::configure_cache_env(&parsed);
+
+    let configs = PredictorChoice::figure5_set();
+    let outcomes = util::sweep(workloads, parsed.scale, |_| {
+        PredictorChoice::build_sims(&configs)
+    });
+
+    let mut table = TextTable::new(vec!["config", "ExMatEx", "SPEC OMP", "NPB", "SPEC CPU INT"]);
+    for (ci, config) in configs.iter().enumerate() {
+        let mut cells = vec![config.label()];
+        for suite in Suite::ALL {
+            let mpki = util::mean(
+                outcomes
+                    .iter()
+                    .filter(|o| o.item.suite() == suite)
+                    .map(|o| o.tools[ci].report().total().mpki()),
+            );
+            cells.push(f2(mpki));
+        }
+        table.row(cells);
+    }
+    crate::print_ignoring_pipe(&format!(
+        "branch MPKI per predictor configuration (mean per suite)\n{}{}\n",
+        table.render(),
+        util::sweep_report()
+    ));
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,132 @@
+//! `rebalance trace record|info|verify` — snapshot management.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rebalance_experiments::util::TextTable;
+use rebalance_trace::{snapshot, SnapshotInfo, TraceCache};
+
+use crate::args;
+
+/// `trace info`/`trace verify` operate on explicit snapshot files, so
+/// every workload/cache/scale option is inapplicable.
+fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
+    args::forbid(&[
+        (parsed.no_cache, "--no-cache"),
+        (parsed.cache_dir.is_some(), "--cache"),
+        (parsed.json_dir.is_some(), "--json"),
+        (parsed.all, "--all"),
+        (parsed.force, "--force"),
+    ])
+}
+
+fn info_row(table: &mut TextTable, label: &str, info: &SnapshotInfo) {
+    table.row(vec![
+        label.to_owned(),
+        info.summary.instructions.to_string(),
+        info.summary.branches.to_string(),
+        info.sections.serial.to_string(),
+        info.sections.parallel.to_string(),
+        info.total_bytes.to_string(),
+        format!("{:.2}", info.bytes_per_event()),
+        format!("{:016x}", info.fingerprint),
+    ]);
+}
+
+fn info_table() -> TextTable {
+    TextTable::new(vec![
+        "snapshot",
+        "instructions",
+        "branches",
+        "serial",
+        "parallel",
+        "bytes",
+        "B/event",
+        "fingerprint",
+    ])
+}
+
+/// `rebalance trace record`: synthesize each workload once and store
+/// its snapshot in the cache (skipping fresh entries unless `--force`).
+pub fn record(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    args::forbid(&[
+        (
+            parsed.no_cache,
+            "--no-cache (record always writes the cache)",
+        ),
+        (parsed.json_dir.is_some(), "--json"),
+    ])?;
+    let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
+    let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;
+    let scale = parsed.scale;
+
+    let mut table = info_table();
+    let mut recorded = 0usize;
+    let mut skipped = 0usize;
+    for w in &workloads {
+        let key = w.trace_key(scale);
+        if !parsed.force && cache.contains(&key) {
+            if let Ok(info) = snapshot::read_info(&cache.path_for(&key)) {
+                info_row(&mut table, &format!("{} (cached)", w.name()), &info);
+                skipped += 1;
+                continue;
+            }
+            // Unreadable existing snapshot: fall through and rewrite.
+        }
+        let trace = w.trace(scale)?;
+        let info = cache.record(&key, &trace).map_err(|e| e.to_string())?;
+        info_row(&mut table, w.name(), &info);
+        recorded += 1;
+    }
+    print!("{}", table.render());
+    println!(
+        "recorded {recorded} snapshot(s), reused {skipped}, at scale {scale} in {}",
+        cache.dir().display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `rebalance trace info`: print header/footer metadata per file.
+pub fn info(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    forbid_file_subcommand_flags(&parsed)?;
+    if parsed.positional.is_empty() {
+        return Err("trace info needs at least one snapshot file".into());
+    }
+    let mut table = info_table();
+    for file in &parsed.positional {
+        let info = snapshot::read_info(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
+        info_row(&mut table, file, &info);
+    }
+    print!("{}", table.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `rebalance trace verify`: full validation per file; nonzero exit if
+/// any file fails.
+pub fn verify(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    forbid_file_subcommand_flags(&parsed)?;
+    if parsed.positional.is_empty() {
+        return Err("trace verify needs at least one snapshot file".into());
+    }
+    let mut failures = 0usize;
+    for file in &parsed.positional {
+        match snapshot::verify_file(Path::new(file)) {
+            Ok(info) => println!(
+                "{file}: OK ({} events, {} bytes)",
+                info.summary.instructions, info.total_bytes
+            ),
+            Err(e) => {
+                println!("{file}: FAILED ({e})");
+                failures += 1;
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

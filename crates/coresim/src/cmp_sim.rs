@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use rebalance_frontend::CoreKind;
 use rebalance_mcpat::{ed_product, energy_joules, CmpEstimate, CmpFloorplan, Technology};
-use rebalance_trace::{Section, SyntheticTrace};
+use rebalance_trace::{BySection, Section, TraceCache};
 use rebalance_workloads::{Scale, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,55 @@ pub fn simulate_floorplans(
 ) -> Result<Vec<CmpResult>, String> {
     let trace = workload.trace(scale)?;
     let backend = workload.profile().backend;
+    let models = distinct_core_models(sims);
+    let timings: HashMap<CoreKind, CoreTiming> = models
+        .iter()
+        .map(CoreModel::kind)
+        .zip(CoreModel::measure_many(&models, &trace, &backend))
+        .collect();
+    let sections = BySection::new(
+        trace.schedule().section_instructions(Section::Serial),
+        trace.schedule().section_instructions(Section::Parallel),
+    );
+    Ok(sims
+        .iter()
+        .map(|sim| sim.result_from_timings(workload.name(), sections, &timings))
+        .collect())
+}
+
+/// [`simulate_floorplans`] with the trace replay served by an on-disk
+/// [`TraceCache`]: on a warm cache the workload is **never
+/// synthesized** — core timings come from decoding its snapshot, and
+/// the serial/parallel instruction split the scheduling arithmetic
+/// needs comes from the snapshot footer.
+///
+/// # Errors
+///
+/// Propagates workload synthesis errors and cache I/O failures (both
+/// stringified, matching [`simulate_floorplans`]).
+pub fn simulate_floorplans_cached(
+    sims: &[CmpSim],
+    workload: &Workload,
+    scale: Scale,
+    cache: &TraceCache,
+) -> Result<Vec<CmpResult>, String> {
+    let backend = workload.profile().backend;
+    let models = distinct_core_models(sims);
+    let key = workload.trace_key(scale);
+    let (measured, replay) =
+        CoreModel::measure_many_cached(&models, cache, &key, || workload.trace(scale), &backend)
+            .map_err(|e| e.to_string())?;
+    let timings: HashMap<CoreKind, CoreTiming> =
+        models.iter().map(CoreModel::kind).zip(measured).collect();
+    Ok(sims
+        .iter()
+        .map(|sim| sim.result_from_timings(workload.name(), replay.sections, &timings))
+        .collect())
+}
+
+/// One [`CoreModel`] per distinct core kind used across `sims`, in
+/// first-appearance order.
+fn distinct_core_models(sims: &[CmpSim]) -> Vec<CoreModel> {
     let mut kinds: Vec<CoreKind> = Vec::new();
     for sim in sims {
         for &kind in &sim.floorplan.cores {
@@ -38,15 +87,7 @@ pub fn simulate_floorplans(
             }
         }
     }
-    let models: Vec<CoreModel> = kinds.iter().map(|&k| CoreModel::new(k)).collect();
-    let timings: HashMap<CoreKind, CoreTiming> = kinds
-        .into_iter()
-        .zip(CoreModel::measure_many(&models, &trace, &backend))
-        .collect();
-    Ok(sims
-        .iter()
-        .map(|sim| sim.result_from_timings(workload.name(), &trace, &timings))
-        .collect())
+    kinds.into_iter().map(CoreModel::new).collect()
 }
 
 /// Threads the paper runs per HPC application (one per baseline-CMP
@@ -138,7 +179,9 @@ impl CmpSim {
     }
 
     /// Computes this floorplan's result from per-core-kind timings that
-    /// were measured elsewhere (typically shared across floorplans).
+    /// were measured elsewhere (typically shared across floorplans) and
+    /// the master thread's per-section instruction counts (from a live
+    /// trace's schedule or a snapshot's footer).
     ///
     /// # Panics
     ///
@@ -146,7 +189,7 @@ impl CmpSim {
     pub fn result_from_timings(
         &self,
         workload_name: &str,
-        trace: &SyntheticTrace,
+        sections: BySection<u64>,
         timings: &HashMap<CoreKind, CoreTiming>,
     ) -> CmpResult {
         let cycle = self.tech.cycle_seconds();
@@ -155,13 +198,13 @@ impl CmpSim {
         let master_kind = self.floorplan.cores[master];
 
         // --- Serial phase: master core alone. ---
-        let serial_insts = trace.schedule().section_instructions(Section::Serial);
+        let serial_insts = sections.serial;
         let serial_cpi = timings[&master_kind].serial;
         let serial_time = serial_insts as f64 * serial_cpi.cpi * cycle;
 
         // --- Parallel phase: total work divided across all cores with a
         // barrier (the slowest core sets the phase time). ---
-        let par_master_insts = trace.schedule().section_instructions(Section::Parallel);
+        let par_master_insts = sections.parallel;
         let par_total = par_master_insts * PARALLEL_THREADS;
         let chunk = par_total as f64 / n as f64;
         let mut core_par_times = vec![0.0; n];
@@ -303,6 +346,25 @@ mod tests {
         assert!((r.energy_j - r.power_w * r.time_s).abs() / r.energy_j < 1e-9);
         assert!((r.ed - r.energy_j * r.time_s).abs() / r.ed < 1e-9);
         assert!((r.time_s - (r.serial_time_s + r.parallel_time_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cached_floorplans_match_uncached() {
+        let w = find("FT").unwrap();
+        let sims = [
+            CmpSim::new(CmpFloorplan::baseline(8)),
+            CmpSim::new(CmpFloorplan::tailored(8)),
+            CmpSim::new(CmpFloorplan::asymmetric(1, 7)),
+        ];
+        let live = simulate_floorplans(&sims, &w, Scale::Smoke).unwrap();
+        let cache = TraceCache::scratch().unwrap();
+        let cold = simulate_floorplans_cached(&sims, &w, Scale::Smoke, &cache).unwrap();
+        let warm = simulate_floorplans_cached(&sims, &w, Scale::Smoke, &cache).unwrap();
+        assert_eq!(cold, live);
+        assert_eq!(warm, live);
+        let stats = cache.stats();
+        assert_eq!((stats.generations, stats.hits), (1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
 use rebalance_frontend::{BtbSim, CoreKind, FrontendConfig, ICacheSim};
-use rebalance_trace::{Section, SyntheticTrace, ToolSet};
+use rebalance_trace::{
+    CacheError, CachedReplay, Section, SyntheticTrace, ToolSet, TraceCache, TraceKey,
+};
 use rebalance_workloads::BackendProfile;
 use serde::{Deserialize, Serialize};
 
@@ -160,6 +162,33 @@ impl CoreModel {
             .collect()
     }
 
+    /// [`CoreModel::measure_many`] with the shared replay served by an
+    /// on-disk [`TraceCache`]: `generate` only runs on a cache miss, so
+    /// a warm cache measures every design without synthesizing or
+    /// interpreting the trace at all. Also returns the replay's
+    /// [`CachedReplay`] accounting (per-section instruction counts,
+    /// hit/miss provenance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and cache failures.
+    pub fn measure_many_cached(
+        models: &[CoreModel],
+        cache: &TraceCache,
+        key: &TraceKey,
+        generate: impl FnOnce() -> Result<SyntheticTrace, String>,
+        backend: &BackendProfile,
+    ) -> Result<(Vec<CoreTiming>, CachedReplay), CacheError> {
+        let mut set: ToolSet<FrontendTools> = models.iter().map(CoreModel::tools).collect();
+        let replay = cache.replay_with(key, generate, &mut set)?;
+        let timings = models
+            .iter()
+            .zip(set.into_inner())
+            .map(|(model, tools)| model.timing(&tools, backend))
+            .collect();
+        Ok((timings, replay))
+    }
+
     /// Derives per-section CPI from already-replayed front-end tools.
     pub fn timing(&self, tools: &FrontendTools, backend: &BackendProfile) -> CoreTiming {
         let (bp, btb, ic) = tools;
@@ -293,6 +322,42 @@ mod tests {
         for (model, timing) in models.iter().zip(&fanned) {
             assert_eq!(*timing, model.measure(&trace, &backend));
         }
+    }
+
+    #[test]
+    fn measure_many_cached_matches_live_measurement() {
+        let w = find("MG").unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let backend = w.profile().backend;
+        let models = [
+            CoreModel::new(CoreKind::Baseline),
+            CoreModel::new(CoreKind::Tailored),
+        ];
+        let live = CoreModel::measure_many(&models, &trace, &backend);
+
+        let cache = TraceCache::scratch().unwrap();
+        let key = w.trace_key(Scale::Smoke);
+        let (cold, rep_cold) = CoreModel::measure_many_cached(
+            &models,
+            &cache,
+            &key,
+            || w.trace(Scale::Smoke),
+            &backend,
+        )
+        .unwrap();
+        let (warm, rep_warm) = CoreModel::measure_many_cached(
+            &models,
+            &cache,
+            &key,
+            || w.trace(Scale::Smoke),
+            &backend,
+        )
+        .unwrap();
+        assert!(!rep_cold.from_cache && rep_warm.from_cache);
+        assert_eq!(cold, live, "recording replay measures identically");
+        assert_eq!(warm, live, "decoded replay measures identically");
+        assert_eq!(cache.stats().generations, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -36,6 +36,8 @@ mod cmp_sim;
 mod core_model;
 mod penalties;
 
-pub use cmp_sim::{simulate_floorplans, CmpResult, CmpSim, PARALLEL_THREADS};
+pub use cmp_sim::{
+    simulate_floorplans, simulate_floorplans_cached, CmpResult, CmpSim, PARALLEL_THREADS,
+};
 pub use core_model::{CoreModel, CoreTiming, FrontendTools, SectionCpi};
 pub use penalties::Penalties;

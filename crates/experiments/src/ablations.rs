@@ -1,17 +1,16 @@
 //! Ablation studies for the design choices DESIGN.md calls out, plus
 //! the thread-scaling argument of Section III-D.
 
-use rebalance_coresim::{simulate_floorplans, CmpSim};
+use rebalance_coresim::CmpSim;
 use rebalance_frontend::predictor::{
     DirectionPredictor, PredictorSim, Tage, TageConfig, Tournament, WithLoop,
 };
 use rebalance_frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim};
 use rebalance_mcpat::CmpFloorplan;
-use rebalance_trace::SweepEngine;
-use rebalance_workloads::Scale;
+use rebalance_workloads::{Scale, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::util::{f2, TextTable};
+use crate::util::{self, f2, TextTable};
 
 /// One labelled measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,18 +49,15 @@ impl Ablation {
     }
 }
 
-fn trace(name: &str, scale: Scale) -> rebalance_workloads::SyntheticTrace {
-    rebalance_workloads::find(name)
-        .expect("ablation roster name")
-        .trace(scale)
-        .expect("valid roster profile")
+fn workload(name: &str) -> Workload {
+    rebalance_workloads::find(name).expect("ablation roster name")
 }
 
 /// Ablation 1: loop-BP entry count (16..256) on a loop-heavy workload,
 /// all variants fanned out over a single replay.
 /// The paper's 64-entry/512 B choice should sit at the knee.
 pub fn lbp_entries(scale: Scale) -> Ablation {
-    let trace = trace("imagick", scale);
+    let w = workload("imagick");
     let variants = [0usize, 16, 64, 256];
     let sims: Vec<PredictorSim<Box<dyn DirectionPredictor>>> = variants
         .iter()
@@ -74,7 +70,7 @@ pub fn lbp_entries(scale: Scale) -> Ablation {
             PredictorSim::new(predictor)
         })
         .collect();
-    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let (sims, _) = util::fan_out(&w, scale, sims);
     let points = variants
         .iter()
         .zip(&sims)
@@ -101,7 +97,7 @@ pub fn lbp_entries(scale: Scale) -> Ablation {
 /// Ablation 2: TAGE tagged-table count at fixed per-table size.
 /// The paper's small TAGE keeps only two tables (histories 4 and 16).
 pub fn tage_tables(scale: Scale) -> Ablation {
-    let trace = trace("CoEVP", scale);
+    let w = workload("CoEVP");
     let histories: [&[u32]; 4] = [
         &[4, 16],
         &[4, 11, 30, 81],
@@ -119,7 +115,7 @@ pub fn tage_tables(scale: Scale) -> Ablation {
             }))
         })
         .collect();
-    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let (sims, _) = util::fan_out(&w, scale, sims);
     let points = histories
         .iter()
         .zip(&sims)
@@ -142,7 +138,7 @@ pub fn tage_tables(scale: Scale) -> Ablation {
 /// Ablation 3: wide lines vs narrow lines + an explicit next-line
 /// prefetcher (the paper argues a wide line *is* a prefetch buffer).
 pub fn line_vs_prefetch(scale: Scale) -> Ablation {
-    let trace = trace("LULESH", scale);
+    let w = workload("LULESH");
     let configs: [(&str, CacheConfig, bool); 3] = [
         ("16KB/64B", CacheConfig::new(16 * 1024, 64, 8), false),
         (
@@ -163,7 +159,7 @@ pub fn line_vs_prefetch(scale: Scale) -> Ablation {
             }
         })
         .collect();
-    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let (sims, _) = util::fan_out(&w, scale, sims);
     let points = configs
         .iter()
         .zip(&sims)
@@ -186,13 +182,13 @@ pub fn line_vs_prefetch(scale: Scale) -> Ablation {
 /// Ablation 4: BTB associativity at 256 entries — the paper notes high
 /// associativity is needed with simple modulo indexing (ExMatEx).
 pub fn btb_associativity(scale: Scale) -> Ablation {
-    let trace = trace("CoEVP", scale);
+    let w = workload("CoEVP");
     let assocs = [1usize, 2, 4, 8];
     let sims: Vec<BtbSim> = assocs
         .iter()
         .map(|&assoc| BtbSim::new(BtbConfig::new(256, assoc)))
         .collect();
-    let (sims, _) = SweepEngine::new().fan_out(&trace, sims);
+    let (sims, _) = util::fan_out(&w, scale, sims);
     let points = assocs
         .iter()
         .zip(&sims)
@@ -216,7 +212,7 @@ pub fn btb_associativity(scale: Scale) -> Ablation {
 /// dominate and the asymmetric design's advantage over an all-tailored
 /// chip grows with them.
 pub fn thread_scaling(scale: Scale) -> Ablation {
-    let workload = rebalance_workloads::find("CoEVP").expect("roster");
+    let workload = workload("CoEVP");
     let core_counts = [8usize, 16, 32, 64];
     // All eight floorplans reuse one trace replay: the core designs are
     // the same two at every core count, only the scheduling arithmetic
@@ -230,7 +226,7 @@ pub fn thread_scaling(scale: Scale) -> Ablation {
             ]
         })
         .collect();
-    let results = simulate_floorplans(&sims, &workload, scale).expect("valid roster profile");
+    let results = util::floorplans(&sims, &workload, scale);
     let points = core_counts
         .iter()
         .zip(results.chunks_exact(2))

@@ -6,37 +6,21 @@
 //! repro all --scale full         # paper-scale instruction budgets
 //! repro fig10 --json results/    # also dump machine-readable JSON
 //! ```
+//!
+//! The exhibit dispatch lives in [`rebalance_experiments::driver`],
+//! shared with the `rebalance paper` subcommand (which adds trace-cache
+//! mediation on top).
 
-use std::io::Write as _;
 use std::path::PathBuf;
 
-use rebalance_experiments::{ablations, caches, characterization, cmp, detail, predictors};
+use rebalance_experiments::driver;
 use rebalance_workloads::Scale;
-
-const EXHIBITS: [&str; 16] = [
-    "fig1",
-    "fig2",
-    "table1",
-    "fig3",
-    "fig4",
-    "table2",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "table3",
-    "fig10",
-    "fig11",
-    "ablations",
-    "detail",
-];
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [EXHIBIT...] [--scale smoke|quick|full|<factor>] [--json DIR]\n\
          exhibits: all {}",
-        EXHIBITS.join(" ")
+        driver::EXHIBITS.join(" ")
     );
     std::process::exit(2);
 }
@@ -56,29 +40,17 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                scale = match v.as_str() {
-                    "smoke" => Scale::Smoke,
-                    "quick" => Scale::Quick,
-                    "full" => Scale::Full,
-                    other => match other.parse::<f64>() {
-                        Ok(f) if f > 0.0 => Scale::Custom(f),
-                        _ => usage(),
-                    },
-                };
+                scale = driver::parse_scale(&v).unwrap_or_else(|| usage());
             }
             "--json" => {
                 json_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
             "--help" | "-h" => usage(),
-            "all" => exhibits.extend(EXHIBITS.iter().map(|s| s.to_string())),
-            name if EXHIBITS.contains(&name) => exhibits.push(name.to_string()),
+            name if name == "all" || driver::is_exhibit(name) => exhibits.push(name.to_string()),
             _ => usage(),
         }
     }
-    if exhibits.is_empty() {
-        exhibits.extend(EXHIBITS.iter().map(|s| s.to_string()));
-    }
-    exhibits.dedup();
+    let exhibits = driver::resolve_exhibits(&exhibits).unwrap_or_else(|_| usage());
     Args {
         exhibits,
         scale,
@@ -86,124 +58,21 @@ fn parse_args() -> Args {
     }
 }
 
-fn dump_json<T: serde::Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
-    let Some(dir) = dir else { return };
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
-    }
-}
-
 fn main() {
     let args = parse_args();
     let mut out = std::io::stdout().lock();
-    let needs_characterization = args
-        .exhibits
-        .iter()
-        .any(|e| matches!(e.as_str(), "fig1" | "fig2" | "table1" | "fig3" | "fig4"));
-    let characterization_set = needs_characterization.then(|| characterization::run(args.scale));
-
-    let needs_cmp_runs = args.exhibits.iter().any(|e| e == "fig10");
-    let cmp_runs = needs_cmp_runs.then(|| cmp::run_cmps(args.scale));
-
-    for exhibit in &args.exhibits {
-        let text = match exhibit.as_str() {
-            "fig1" => {
-                let set = characterization_set.as_ref().expect("precomputed");
-                dump_json(&args.json_dir, "fig1", &set.fig1);
-                set.fig1.render()
-            }
-            "fig2" => {
-                let set = characterization_set.as_ref().expect("precomputed");
-                dump_json(&args.json_dir, "fig2", &set.fig2);
-                set.fig2.render()
-            }
-            "table1" => {
-                let set = characterization_set.as_ref().expect("precomputed");
-                dump_json(&args.json_dir, "table1", &set.table1);
-                set.table1.render()
-            }
-            "fig3" => {
-                let set = characterization_set.as_ref().expect("precomputed");
-                dump_json(&args.json_dir, "fig3", &set.fig3);
-                set.fig3.render()
-            }
-            "fig4" => {
-                let set = characterization_set.as_ref().expect("precomputed");
-                dump_json(&args.json_dir, "fig4", &set.fig4);
-                set.fig4.render()
-            }
-            "table2" => {
-                let t = predictors::table2();
-                dump_json(&args.json_dir, "table2", &t);
-                t.render()
-            }
-            "fig5" => {
-                let f = predictors::fig5(args.scale);
-                dump_json(&args.json_dir, "fig5", &f);
-                f.render()
-            }
-            "fig6" => {
-                let f = predictors::fig6(args.scale);
-                dump_json(&args.json_dir, "fig6", &f);
-                f.render()
-            }
-            "fig7" => {
-                let f = caches::fig7(args.scale);
-                dump_json(&args.json_dir, "fig7", &f);
-                f.render()
-            }
-            "fig8" => {
-                let f = caches::fig8(args.scale);
-                dump_json(&args.json_dir, "fig8", &f);
-                f.render()
-            }
-            "fig9" => {
-                let f = caches::fig9(args.scale);
-                dump_json(&args.json_dir, "fig9", &f);
-                f.render()
-            }
-            "table3" => {
-                let t = cmp::table3();
-                dump_json(&args.json_dir, "table3", &t);
-                t.render()
-            }
-            "fig10" => {
-                let runs = cmp_runs.as_ref().expect("precomputed");
-                let f = cmp::fig10_from_runs(runs);
-                dump_json(&args.json_dir, "fig10", &f);
-                dump_json(&args.json_dir, "fig10_raw", runs);
-                f.render()
-            }
-            "fig11" => {
-                let f = cmp::fig11(args.scale);
-                dump_json(&args.json_dir, "fig11", &f);
-                f.render()
-            }
-            "detail" => {
-                let d = detail::run(args.scale);
-                dump_json(&args.json_dir, "detail", &d);
-                d.render()
-            }
-            "ablations" => {
-                let all = ablations::run_all(args.scale);
-                dump_json(&args.json_dir, "ablations", &all);
-                all.iter()
-                    .map(|a| a.render())
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            }
-            _ => unreachable!("validated in parse_args"),
-        };
-        let _ = writeln!(out, "{text}");
+    if let Err(e) = driver::run_exhibits(
+        &args.exhibits,
+        args.scale,
+        args.json_dir.as_deref(),
+        &mut out,
+    ) {
+        // A closed pipe (`repro ... | head`) is a normal way to stop
+        // reading; anything else is a real I/O failure.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            return;
+        }
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,11 +1,10 @@
 //! Figures 7–9: BTB and I-cache sensitivity studies.
 
 use rebalance_frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim};
-use rebalance_trace::SweepEngine;
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::util::{f2, mean, TextTable};
+use crate::util::{self, f2, mean, TextTable};
 
 /// One Figure 7 row: per-suite BTB MPKI for one geometry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,18 +67,15 @@ pub fn fig7_configs() -> Vec<BtbConfig> {
 /// Runs Figure 7 (all geometries in one trace pass per workload).
 pub fn fig7(scale: Scale) -> Fig7 {
     let configs = fig7_configs();
-    let results: Vec<(Workload, Vec<f64>)> = SweepEngine::new()
-        .sweep(
-            rebalance_workloads::all(),
-            |w| w.trace(scale).expect("valid roster profile"),
-            |_| configs.iter().map(|c| BtbSim::new(*c)).collect(),
-        )
-        .into_iter()
-        .map(|o| {
-            let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
-            (o.item, mpki)
-        })
-        .collect();
+    let results: Vec<(Workload, Vec<f64>)> = util::sweep(rebalance_workloads::all(), scale, |_| {
+        configs.iter().map(|c| BtbSim::new(*c)).collect()
+    })
+    .into_iter()
+    .map(|o| {
+        let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
+        (o.item, mpki)
+    })
+    .collect();
     let rows = configs
         .iter()
         .enumerate()
@@ -164,18 +160,15 @@ pub fn fig8(scale: Scale) -> Fig8 {
             configs.push(CacheConfig::new(size_kb * 1024, 64, assoc));
         }
     }
-    let results: Vec<(Workload, Vec<f64>)> = SweepEngine::new()
-        .sweep(
-            rebalance_workloads::all(),
-            |w| w.trace(scale).expect("valid roster profile"),
-            |_| configs.iter().map(|c| ICacheSim::new(*c)).collect(),
-        )
-        .into_iter()
-        .map(|o| {
-            let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
-            (o.item, mpki)
-        })
-        .collect();
+    let results: Vec<(Workload, Vec<f64>)> = util::sweep(rebalance_workloads::all(), scale, |_| {
+        configs.iter().map(|c| ICacheSim::new(*c)).collect()
+    })
+    .into_iter()
+    .map(|o| {
+        let mpki = o.tools.iter().map(|s| s.report().total().mpki()).collect();
+        (o.item, mpki)
+    })
+    .collect();
     let rows = configs
         .iter()
         .enumerate()
@@ -258,29 +251,26 @@ pub fn fig9(scale: Scale) -> Fig9 {
         .iter()
         .map(|n| rebalance_workloads::find(n).expect("figure 9 roster name"))
         .collect();
-    let rows = SweepEngine::new()
-        .sweep(
-            subset,
-            |w| w.trace(scale).expect("valid roster profile"),
-            |_| configs.iter().map(|c| ICacheSim::new(*c)).collect(),
-        )
-        .into_iter()
-        .flat_map(|o| {
-            o.tools
-                .iter()
-                .map(|sim| {
-                    let rep = sim.report();
-                    Fig9Row {
-                        workload: o.item.name().to_owned(),
-                        line_bytes: rep.config.line_bytes,
-                        assoc: rep.config.assoc,
-                        mpki: rep.total().mpki(),
-                        usefulness: rep.usefulness,
-                    }
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let rows = util::sweep(subset, scale, |_| {
+        configs.iter().map(|c| ICacheSim::new(*c)).collect()
+    })
+    .into_iter()
+    .flat_map(|o| {
+        o.tools
+            .iter()
+            .map(|sim| {
+                let rep = sim.report();
+                Fig9Row {
+                    workload: o.item.name().to_owned(),
+                    line_bytes: rep.config.line_bytes,
+                    assoc: rep.config.assoc,
+                    mpki: rep.total().mpki(),
+                    usefulness: rep.usefulness,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .collect();
     Fig9 { rows }
 }
 

@@ -2,13 +2,13 @@
 //! characterization, regenerated in one trace pass per workload.
 
 use rebalance_isa::BranchKind;
-use rebalance_pintools::{characterize, Characterization, NUM_BIAS_BUCKETS};
-use rebalance_trace::{Section, SweepEngine};
+use rebalance_pintools::{Characterization, NUM_BIAS_BUCKETS};
+use rebalance_trace::Section;
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
-use crate::util::{f1, mean, pct, TextTable};
+use crate::util::{self, f1, mean, pct, TextTable};
 
 /// Which bars a row describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -329,16 +329,14 @@ fn bars_for(suite: Suite) -> Vec<Bars> {
 }
 
 /// Runs the characterization pass over the whole roster and aggregates
-/// per suite. Each workload is one engine item: [`characterize`] feeds
-/// all five pintools from a single replay, and workloads run in
-/// parallel on the engine's executor.
+/// per suite. Each workload is one engine item:
+/// [`util::characterize_workload`] feeds all five pintools from a
+/// single replay (served from the shared trace cache when one is
+/// configured), and workloads run in parallel on the shared engine's
+/// executor.
 pub fn run(scale: Scale) -> CharacterizationSet {
-    let engine = SweepEngine::new();
     let workloads = rebalance_workloads::all();
-    let characterized = engine.map(&workloads, |w| {
-        let trace = w.trace(scale).expect("roster profiles are valid");
-        characterize(&trace)
-    });
+    let characterized = util::engine().map(&workloads, |w| util::characterize_workload(w, scale));
     let results: Vec<(Workload, Characterization)> =
         workloads.into_iter().zip(characterized).collect();
 

@@ -1,13 +1,13 @@
 //! Table III and Figures 10–11: area/power and CMP-level evaluation.
 
-use rebalance_coresim::{simulate_floorplans, CmpResult, CmpSim};
+use rebalance_coresim::{CmpResult, CmpSim};
 use rebalance_frontend::CoreKind;
 use rebalance_mcpat::{CmpFloorplan, CoreEstimate};
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
-use crate::util::{f2, for_all_workloads, mean, par_map, TextTable};
+use crate::util::{self, f2, for_all_workloads, mean, par_map, TextTable};
 
 /// The four Figure 10 CMP simulators.
 fn figure10_sims() -> Vec<CmpSim> {
@@ -187,10 +187,11 @@ pub struct CmpRun {
 
 /// Simulates every workload on the four Figure 10 floorplans. The
 /// floorplans share one trace replay per workload
-/// ([`simulate_floorplans`]), and workloads run in parallel.
+/// ([`util::floorplans`], cache-served when configured), and workloads
+/// run in parallel.
 pub fn run_cmps(scale: Scale) -> Vec<CmpRun> {
     let sims = figure10_sims();
-    for_all_workloads(|w| simulate_floorplans(&sims, w, scale).expect("valid roster profile"))
+    for_all_workloads(|w| util::floorplans(&sims, w, scale))
         .into_iter()
         .map(|(w, results): (Workload, Vec<CmpResult>)| CmpRun {
             workload: w.name().to_owned(),
@@ -286,7 +287,7 @@ pub fn fig11(scale: Scale) -> Fig11 {
         .map(|n| rebalance_workloads::find(n).expect("figure 11 roster name"))
         .collect();
     let rows = par_map(subset, |w| {
-        let results = simulate_floorplans(&sims, w, scale).expect("valid roster profile");
+        let results = util::floorplans(&sims, w, scale);
         let base = results[0].time_s;
         results
             .into_iter()

@@ -2,11 +2,10 @@
 //! (BT's 312 B blocks, UA's 252 KB static footprint, CoEVP's 35% serial
 //! share, the indirect-branch outliers, ...).
 
-use rebalance_pintools::characterize;
 use rebalance_workloads::{Scale, Suite};
 use serde::{Deserialize, Serialize};
 
-use crate::util::{f1, for_all_workloads, pct, TextTable};
+use crate::util::{characterize_workload, f1, for_all_workloads, pct, TextTable};
 
 /// One benchmark's headline characterization numbers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,8 +83,7 @@ impl Detail {
 /// Characterizes every roster benchmark individually.
 pub fn run(scale: Scale) -> Detail {
     let rows = for_all_workloads(|w| {
-        let trace = w.trace(scale).expect("valid roster profile");
-        let c = characterize(&trace);
+        let c = characterize_workload(w, scale);
         let mix = c.mix.total();
         let branches = mix.branches().max(1);
         use rebalance_isa::BranchKind;

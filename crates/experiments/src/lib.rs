@@ -40,6 +40,7 @@ pub mod caches;
 pub mod characterization;
 pub mod cmp;
 pub mod detail;
+pub mod driver;
 pub mod paper;
 pub mod predictors;
 pub mod util;

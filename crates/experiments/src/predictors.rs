@@ -2,12 +2,11 @@
 
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorReport, PredictorSim};
 use rebalance_frontend::{PredictorChoice, PredictorClass, PredictorSize};
-use rebalance_trace::SweepEngine;
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
-use crate::util::{f2, mean, TextTable};
+use crate::util::{self, f2, mean, TextTable};
 
 /// Table II: the evaluated predictor parameterizations and their
 /// realized hardware budgets.
@@ -102,12 +101,10 @@ impl Fig5 {
 /// in one trace pass per workload.
 pub fn fig5(scale: Scale) -> Fig5 {
     let configs = PredictorChoice::figure5_set();
-    let results: Vec<(Workload, Vec<PredictorReport>)> = SweepEngine::new()
-        .sweep(
-            rebalance_workloads::all(),
-            |w| w.trace(scale).expect("valid roster profile"),
-            |_| PredictorChoice::build_sims(&configs),
-        )
+    let results: Vec<(Workload, Vec<PredictorReport>)> =
+        util::sweep(rebalance_workloads::all(), scale, |_| {
+            PredictorChoice::build_sims(&configs)
+        })
         .into_iter()
         .map(|o| (o.item, o.tools.iter().map(PredictorSim::report).collect()))
         .collect();
@@ -217,12 +214,7 @@ pub fn fig6(scale: Scale) -> Fig6 {
         .iter()
         .map(|n| rebalance_workloads::find(n).expect("figure 6 roster name"))
         .collect();
-    let rows = SweepEngine::new()
-        .sweep(
-            subset,
-            |w| w.trace(scale).expect("valid roster profile"),
-            |_| PredictorChoice::build_sims(&configs),
-        )
+    let rows = util::sweep(subset, scale, |_| PredictorChoice::build_sims(&configs))
         .into_iter()
         .flat_map(|o| {
             configs

@@ -33,6 +33,33 @@ use rebalance_isa::Addr;
 ///
 /// `Send` is a supertrait so boxed predictors (and the sims wrapping
 /// them) can migrate across the sweep engine's worker threads.
+///
+/// # Examples
+///
+/// A static always-taken predictor (zero hardware budget):
+///
+/// ```
+/// use rebalance_frontend::predictor::DirectionPredictor;
+/// use rebalance_isa::Addr;
+///
+/// struct AlwaysTaken;
+///
+/// impl DirectionPredictor for AlwaysTaken {
+///     fn predict(&mut self, _pc: Addr) -> bool {
+///         true
+///     }
+///     fn update(&mut self, _pc: Addr, _taken: bool) {}
+///     fn budget_bits(&self) -> u64 {
+///         0
+///     }
+///     fn name(&self) -> &'static str {
+///         "always-taken"
+///     }
+/// }
+///
+/// let mut p = AlwaysTaken;
+/// assert!(p.predict(Addr::new(0x100)));
+/// ```
 pub trait DirectionPredictor: Send {
     /// Predicts the direction of the conditional branch at `pc`.
     fn predict(&mut self, pc: Addr) -> bool;

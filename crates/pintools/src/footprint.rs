@@ -104,8 +104,15 @@ impl FootprintTool {
 
     /// Computes the full report including the program's static footprint.
     pub fn report(&self, program: &Program, coverage: f64) -> FootprintReport {
+        self.report_with_static(program.static_bytes(), coverage)
+    }
+
+    /// Like [`FootprintTool::report`], from a pre-computed static code
+    /// size — for callers replaying a cached snapshot, which carries
+    /// the dynamic stream but not the static program model.
+    pub fn report_with_static(&self, static_bytes: u64, coverage: f64) -> FootprintReport {
         let mut r = self.dynamic_footprint(coverage);
-        r.static_bytes = program.static_bytes();
+        r.static_bytes = static_bytes;
         r
     }
 

@@ -42,7 +42,10 @@ pub use bias::{BiasBuckets, BiasReport, BranchBiasTool, NUM_BIAS_BUCKETS};
 pub use direction::{DirectionReport, DirectionStats, DirectionTool};
 pub use footprint::{FootprintReport, FootprintTool};
 pub use mix::{BranchMixReport, BranchMixTool, MixCounts};
-pub use runner::{characterize, Characterization};
+pub use runner::{
+    characterization_from_tools, characterization_tools, characterize, Characterization,
+    CharacterizationTools,
+};
 
 // Re-exported for backwards-compatible access alongside the reports.
 pub use rebalance_trace::BySection;

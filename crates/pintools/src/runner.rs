@@ -44,19 +44,49 @@ pub struct Characterization {
 /// assert!(c.footprint.static_bytes > 0);
 /// ```
 pub fn characterize(trace: &SyntheticTrace) -> Characterization {
-    let mut tools = (
+    let mut tools = characterization_tools();
+    let summary = trace.replay(&mut tools);
+    characterization_from_tools(tools, trace.program().static_bytes(), summary)
+}
+
+/// The five characterization tools bundled as one fan-out
+/// [`Pintool`](rebalance_trace::Pintool) (the tuple combinator gives
+/// static dispatch).
+pub type CharacterizationTools = (
+    BranchMixTool,
+    BranchBiasTool,
+    DirectionTool,
+    FootprintTool,
+    BasicBlockTool,
+);
+
+/// Fresh characterization tools, ready to observe a replay — live, or
+/// decoded from a trace snapshot.
+pub fn characterization_tools() -> CharacterizationTools {
+    (
         BranchMixTool::new(),
         BranchBiasTool::new(),
         DirectionTool::new(),
         FootprintTool::new(),
         BasicBlockTool::new(),
-    );
-    let summary = trace.replay(&mut tools);
+    )
+}
+
+/// Assembles the [`Characterization`] from already-replayed tools.
+///
+/// `static_bytes` is the program's static code size — the one input a
+/// dynamic event stream cannot supply, so cached replays pass it from
+/// the (cheaply re-synthesized) program model.
+pub fn characterization_from_tools(
+    tools: CharacterizationTools,
+    static_bytes: u64,
+    summary: RunSummary,
+) -> Characterization {
     Characterization {
         mix: tools.0.report(),
         bias: tools.1.report(),
         direction: tools.2.report(),
-        footprint: tools.3.report(trace.program(), 0.99),
+        footprint: tools.3.report_with_static(static_bytes, 0.99),
         basic_blocks: tools.4.report(),
         summary,
     }

@@ -72,7 +72,7 @@ pub mod strategy {
     impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
     impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
-    /// Types with a full-range default strategy (see [`any`](super::any)).
+    /// Types with a full-range default strategy (see [`super::any`]).
     pub trait Arbitrary {
         /// Draws an unconstrained value.
         fn arbitrary(rng: &mut SmallRng) -> Self;
@@ -106,7 +106,7 @@ pub mod strategy {
         }
     }
 
-    /// The strategy behind [`any`](super::any).
+    /// The strategy behind [`super::any`].
     #[derive(Debug, Clone, Copy)]
     pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -175,7 +175,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -1,5 +1,5 @@
 //! Minimal, offline stand-in for `serde_json`: renders the vendored
-//! serde's [`Value`](serde::Value) tree as JSON text (compact and
+//! serde's [`serde::Value`] tree as JSON text (compact and
 //! pretty). Serialization is infallible; [`Error`] exists only to keep
 //! the familiar `Result` signatures.
 

@@ -1,0 +1,745 @@
+//! The on-disk replay cache: content-addressed trace snapshots.
+//!
+//! Sweeps regenerate the same synthetic traces over and over — after
+//! PR 1 made one replay serve N tools, *generation* (CFG synthesis plus
+//! interpretation) dominates repeated sweep cost. A [`TraceCache`]
+//! removes it: the first replay of a `(workload, scale, generator
+//! seed/params)` combination is recorded to a snapshot file
+//! ([`snapshot`](crate::snapshot) format) while the tools observe it;
+//! every later replay streams the snapshot from disk and never touches
+//! the generator. The cache is *transparent*: tools cannot tell a
+//! decoded replay from a live one — the streams are bit-identical.
+//!
+//! Cache keys are content-addressed by a stable fingerprint of the
+//! generator inputs, **not** by hashing the generated trace (which
+//! would defeat the point of skipping generation). See [`TraceKey`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rebalance_trace::{
+//!     CondBehavior, IterCount, NullTool, Phase, ProgramBuilder, Schedule, Section,
+//!     SyntheticTrace, Terminator, TraceCache, TraceKey,
+//! };
+//!
+//! fn tiny_trace() -> Result<SyntheticTrace, String> {
+//!     let mut b = ProgramBuilder::new();
+//!     let region = b.region("hot");
+//!     let body = b.reserve_block();
+//!     let exit = b.reserve_block();
+//!     b.define_block(body, region, 3, Terminator::Cond {
+//!         taken: body,
+//!         fall: exit,
+//!         behavior: CondBehavior::Loop { count: IterCount::Fixed(4) },
+//!     });
+//!     b.define_block(exit, region, 1, Terminator::Exit);
+//!     Ok(SyntheticTrace::new(
+//!         b.build().unwrap(),
+//!         Schedule::new(vec![Phase::new(Section::Parallel, body, 200)]),
+//!         1,
+//!     ))
+//! }
+//!
+//! let cache = TraceCache::scratch().unwrap();
+//! let key = TraceKey::new("doc", "smoke", 1, 0);
+//! let first = cache.replay_with(&key, tiny_trace, &mut NullTool).unwrap();
+//! let second = cache.replay_with(&key, tiny_trace, &mut NullTool).unwrap();
+//! assert!(!first.from_cache && second.from_cache);
+//! assert_eq!(first.summary, second.summary);
+//! assert_eq!(cache.stats().generations, 1, "generated exactly once");
+//! # std::fs::remove_dir_all(cache.dir()).unwrap();
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::by_section::BySection;
+use crate::exec::RunSummary;
+use crate::observer::Pintool;
+use crate::schedule::SyntheticTrace;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotInfo, SnapshotWriter};
+
+/// File extension of cached snapshots.
+pub const SNAPSHOT_EXT: &str = "rbts";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Identity of one generatable trace: the inputs that fully determine
+/// its event stream.
+///
+/// Two keys address the same cache entry iff all four components are
+/// equal: workload name, scale label, generator seed, and a fingerprint
+/// of the remaining generator parameters (for roster workloads, the
+/// profile — so editing a profile in the roster automatically misses
+/// stale snapshots instead of serving them).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceKey {
+    workload: String,
+    scale: String,
+    seed: u64,
+    params: u64,
+}
+
+impl TraceKey {
+    /// Builds a key from its components.
+    pub fn new(
+        workload: impl Into<String>,
+        scale: impl Into<String>,
+        seed: u64,
+        params: u64,
+    ) -> Self {
+        TraceKey {
+            workload: workload.into(),
+            scale: scale.into(),
+            seed,
+            params,
+        }
+    }
+
+    /// Workload name component.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Scale label component.
+    pub fn scale(&self) -> &str {
+        &self.scale
+    }
+
+    /// Generator seed component.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generator-parameter fingerprint component.
+    pub fn params(&self) -> u64 {
+        self.params
+    }
+
+    /// Stable 64-bit content address over all components.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.workload.as_bytes());
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, self.scale.as_bytes());
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, &self.seed.to_le_bytes());
+        fnv1a(h, &self.params.to_le_bytes())
+    }
+
+    /// The snapshot file name this key addresses:
+    /// `<workload>-<scale>-<fingerprint>.rbts` with non-portable
+    /// characters replaced (the fingerprint alone carries identity; the
+    /// readable prefix is for humans listing the cache directory).
+    pub fn file_name(&self) -> String {
+        fn sanitize(s: &str) -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        format!(
+            "{}-{}-{:016x}.{SNAPSHOT_EXT}",
+            sanitize(&self.workload),
+            sanitize(&self.scale),
+            self.fingerprint()
+        )
+    }
+}
+
+impl fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} (seed {}, params {:#x})",
+            self.workload, self.scale, self.seed, self.params
+        )
+    }
+}
+
+/// A point-in-time copy of a cache's counters.
+///
+/// Counters are cumulative over the cache's lifetime; use
+/// [`CacheStats::since`] for per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Replays served by decoding an existing snapshot.
+    pub hits: u64,
+    /// Replays that found no usable snapshot.
+    pub misses: u64,
+    /// Times the generator closure actually ran (== misses unless a
+    /// generation failed).
+    pub generations: u64,
+    /// Snapshots rejected at parse time (corrupt/truncated/stale
+    /// version) and regenerated.
+    pub rejected: u64,
+    /// Misses whose snapshot could not be persisted (unwritable cache
+    /// directory); the replay still ran live, just unrecorded.
+    pub write_failures: u64,
+    /// Total snapshot bytes decoded on hits.
+    pub bytes_read: u64,
+    /// Total snapshot bytes recorded on misses.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas relative to an earlier snapshot of the same
+    /// cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            generations: self.generations - earlier.generations,
+            rejected: self.rejected - earlier.rejected,
+            write_failures: self.write_failures - earlier.write_failures,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+
+    /// Hits as a fraction of all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} generated, {:.1}% hit rate, {:.1} MB read, {:.1} MB written)",
+            self.hits,
+            self.misses,
+            self.generations,
+            self.hit_rate() * 100.0,
+            self.bytes_read as f64 / 1e6,
+            self.bytes_written as f64 / 1e6,
+        )
+    }
+}
+
+/// Why a cached replay failed.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Filesystem trouble around the cache directory.
+    Io(io::Error),
+    /// Snapshot encode/decode trouble that regeneration cannot paper
+    /// over (e.g. a write failure while recording).
+    Snapshot(SnapshotError),
+    /// The generator closure itself failed.
+    Generate(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "trace cache I/O error: {e}"),
+            CacheError::Snapshot(e) => write!(f, "trace cache snapshot error: {e}"),
+            CacheError::Generate(e) => write!(f, "trace generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            CacheError::Snapshot(e) => Some(e),
+            CacheError::Generate(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CacheError {
+    fn from(e: io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for CacheError {
+    fn from(e: SnapshotError) -> Self {
+        CacheError::Snapshot(e)
+    }
+}
+
+/// Outcome of one cache-mediated replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedReplay {
+    /// Aggregate counters of the delivered stream.
+    pub summary: RunSummary,
+    /// Instructions per section (what CMP scheduling needs in place of
+    /// the schedule it no longer has on hits).
+    pub sections: BySection<u64>,
+    /// `true` if the stream came from a snapshot, `false` if this call
+    /// generated (and recorded) it.
+    pub from_cache: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    generations: AtomicU64,
+    rejected: AtomicU64,
+    write_failures: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A directory of content-addressed trace snapshots with hit/miss
+/// accounting.
+///
+/// Thread-safe: concurrent misses on the same key each record to a
+/// private temporary file and atomically rename into place, so readers
+/// never observe partial snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use rebalance_trace::{TraceCache, TraceKey};
+///
+/// let cache = TraceCache::scratch().unwrap();
+/// let key = TraceKey::new("CG", "smoke", 1, 2);
+/// assert!(!cache.contains(&key));
+/// assert!(cache.path_for(&key).starts_with(cache.dir()));
+/// assert_eq!(cache.stats().hits, 0);
+/// # std::fs::remove_dir_all(cache.dir()).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TraceCache {
+    dir: PathBuf,
+    counters: Counters,
+}
+
+impl TraceCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TraceCache {
+            dir,
+            counters: Counters::default(),
+        })
+    }
+
+    /// A cache in a fresh unique directory under the system temp dir —
+    /// for tests and benches. The caller owns cleanup
+    /// (`std::fs::remove_dir_all(cache.dir())`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn scratch() -> io::Result<Self> {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rebalance-trace-cache-{}-{n}", std::process::id()));
+        TraceCache::new(dir)
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path the given key's snapshot lives at (whether or not it
+    /// exists yet).
+    pub fn path_for(&self, key: &TraceKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// `true` if a snapshot file exists for the key (without
+    /// validating it).
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        self.path_for(key).is_file()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            generations: self.counters.generations.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            write_failures: self.counters.write_failures.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Unconditionally records `trace` under `key`, replacing any
+    /// existing snapshot. Used by `rebalance trace record`; sweeps
+    /// should prefer [`TraceCache::replay_with`].
+    ///
+    /// # Errors
+    ///
+    /// I/O or encoding failures.
+    pub fn record(
+        &self,
+        key: &TraceKey,
+        trace: &SyntheticTrace,
+    ) -> Result<SnapshotInfo, CacheError> {
+        let mut writer = self.start_recording(key)?;
+        trace.replay(&mut writer.snapshot);
+        let info = writer.commit(self)?;
+        Ok(info)
+    }
+
+    /// Replays the trace identified by `key` into `tool`: from its
+    /// snapshot when one is present and valid, otherwise by running
+    /// `generate` once and recording the resulting live replay for next
+    /// time.
+    ///
+    /// The cache is an optimization, never a point of failure:
+    ///
+    /// * a snapshot that fails framing or checksum validation (corrupt,
+    ///   truncated, older format version) is counted in
+    ///   [`CacheStats::rejected`] and regenerated in place;
+    /// * a filesystem failure while recording (unwritable or vanished
+    ///   cache directory) is counted in [`CacheStats::write_failures`]
+    ///   and the replay proceeds live, just unrecorded.
+    ///
+    /// The event stream `tool` observes is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Generation failures ([`CacheError::Generate`]) — exactly the
+    /// failures a cache-less replay would also hit — and
+    /// [`CacheError::Snapshot`] for a checksum-valid snapshot whose
+    /// record stream is malformed. The latter indicates a snapshot-
+    /// writer bug, and by the time decode detects it `tool` has already
+    /// observed a partial stream, so it is surfaced rather than papered
+    /// over with a regeneration into a tainted tool.
+    pub fn replay_with<T, F>(
+        &self,
+        key: &TraceKey,
+        generate: F,
+        tool: &mut T,
+    ) -> Result<CachedReplay, CacheError>
+    where
+        T: Pintool + ?Sized,
+        F: FnOnce() -> Result<SyntheticTrace, String>,
+    {
+        let path = self.path_for(key);
+        if let Ok(bytes) = fs::read(&path) {
+            match Snapshot::parse(&bytes) {
+                Ok(snapshot) => {
+                    let summary = snapshot.replay(tool)?;
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .bytes_read
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    return Ok(CachedReplay {
+                        summary,
+                        sections: snapshot.info().sections,
+                        from_cache: true,
+                    });
+                }
+                Err(_) => {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = generate().map_err(CacheError::Generate)?;
+        self.counters.generations.fetch_add(1, Ordering::Relaxed);
+        let sections = BySection::new(
+            trace
+                .schedule()
+                .section_instructions(crate::Section::Serial),
+            trace
+                .schedule()
+                .section_instructions(crate::Section::Parallel),
+        );
+
+        let mut writer = match self.start_recording(key) {
+            Ok(writer) => writer,
+            Err(_) => {
+                // Unwritable cache: replay live without recording.
+                self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+                let summary = trace.replay(tool);
+                return Ok(CachedReplay {
+                    summary,
+                    sections,
+                    from_cache: false,
+                });
+            }
+        };
+        let summary = {
+            let mut tee = (&mut writer.snapshot, tool);
+            trace.replay(&mut tee)
+        };
+        if writer.commit(self).is_err() {
+            // The tool already observed the full live stream; only the
+            // persistence failed.
+            self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(CachedReplay {
+            summary,
+            sections,
+            from_cache: false,
+        })
+    }
+
+    fn start_recording(&self, key: &TraceKey) -> Result<Recording, CacheError> {
+        static TMP_ID: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = BufWriter::new(fs::File::create(&tmp)?);
+        Ok(Recording {
+            snapshot: SnapshotWriter::new(file, key.seed(), key.fingerprint()),
+            tmp,
+            path: self.path_for(key),
+        })
+    }
+}
+
+/// An in-flight snapshot recording: a writer plus the tmp→final rename.
+struct Recording {
+    snapshot: SnapshotWriter<BufWriter<fs::File>>,
+    tmp: PathBuf,
+    path: PathBuf,
+}
+
+impl Recording {
+    fn commit(self, cache: &TraceCache) -> Result<SnapshotInfo, CacheError> {
+        let result = self.snapshot.finish();
+        let (sink, info) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                let _ = fs::remove_file(&self.tmp);
+                return Err(e.into());
+            }
+        };
+        drop(sink);
+        if let Err(e) = fs::rename(&self.tmp, &self.path) {
+            let _ = fs::remove_file(&self.tmp);
+            return Err(e.into());
+        }
+        cache
+            .counters
+            .bytes_written
+            .fetch_add(info.total_bytes, Ordering::Relaxed);
+        Ok(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::observer::{FnTool, NullTool};
+    use crate::program::{CondBehavior, IterCount, Terminator};
+    use crate::schedule::{Phase, Schedule};
+    use crate::section::Section;
+    use crate::TraceEvent;
+
+    fn make_trace(seed: u64) -> SyntheticTrace {
+        let mut b = ProgramBuilder::new();
+        let region = b.region("hot");
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.define_block(
+            body,
+            region,
+            5,
+            Terminator::Cond {
+                taken: body,
+                fall: exit,
+                behavior: CondBehavior::Loop {
+                    count: IterCount::Uniform { lo: 3, hi: 9 },
+                },
+            },
+        );
+        b.define_block(exit, region, 1, Terminator::Exit);
+        let schedule = Schedule::new(vec![
+            Phase::new(Section::Serial, body, 400),
+            Phase::new(Section::Parallel, body, 1_600),
+        ]);
+        SyntheticTrace::new(b.build().unwrap(), schedule, seed)
+    }
+
+    fn cleanup(cache: TraceCache) {
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_fingerprint_is_component_sensitive() {
+        let base = TraceKey::new("CG", "smoke", 1, 2);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        for other in [
+            TraceKey::new("FT", "smoke", 1, 2),
+            TraceKey::new("CG", "quick", 1, 2),
+            TraceKey::new("CG", "smoke", 9, 2),
+            TraceKey::new("CG", "smoke", 1, 9),
+        ] {
+            assert_ne!(base.fingerprint(), other.fingerprint(), "{other}");
+            assert_ne!(base.file_name(), other.file_name());
+        }
+        assert_eq!(base.workload(), "CG");
+        assert_eq!(base.scale(), "smoke");
+        assert_eq!(base.seed(), 1);
+        assert_eq!(base.params(), 2);
+        assert!(base.to_string().contains("CG@smoke"));
+    }
+
+    #[test]
+    fn file_names_are_portable() {
+        let key = TraceKey::new("357.bt331/x", "custom(0.5)", 0, 0);
+        let name = key.file_name();
+        assert!(name.ends_with(".rbts"));
+        assert!(!name.contains('('));
+        assert!(!name.contains('/'));
+    }
+
+    #[test]
+    fn miss_then_hit_delivers_identical_streams() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 3, 0);
+        let collect = |cache: &TraceCache| {
+            let mut pcs = Vec::new();
+            let mut tool = FnTool::new(|ev: &TraceEvent| pcs.push((ev.pc, ev.len, ev.class)));
+            let rep = cache
+                .replay_with(&key, || Ok(make_trace(3)), &mut tool)
+                .unwrap();
+            (pcs, rep)
+        };
+        let (first_pcs, first) = collect(&cache);
+        assert!(!first.from_cache);
+        assert!(cache.contains(&key));
+        let (second_pcs, second) = collect(&cache);
+        assert!(second.from_cache);
+        assert_eq!(first_pcs, second_pcs, "hit replays the recorded stream");
+        assert_eq!(first.summary, second.summary);
+        assert_eq!(first.sections, second.sections);
+        assert_eq!(first.sections, BySection::new(400, 1_600));
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.generations), (1, 1, 1));
+        assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        cleanup(cache);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_and_regenerated() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 5, 0);
+        cache.record(&key, &make_trace(5)).unwrap();
+        let path = cache.path_for(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let rep = cache
+            .replay_with(&key, || Ok(make_trace(5)), &mut NullTool)
+            .unwrap();
+        assert!(!rep.from_cache, "corrupt snapshot must not be served");
+        let stats = cache.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.generations, 1);
+        // The rewritten snapshot is good again.
+        let rep = cache
+            .replay_with(&key, || Ok(make_trace(5)), &mut NullTool)
+            .unwrap();
+        assert!(rep.from_cache);
+        cleanup(cache);
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_to_live_replay() {
+        let cache = TraceCache::scratch().unwrap();
+        // Remove the directory out from under the cache: snapshot
+        // persistence must fail, the replay must still happen.
+        fs::remove_dir_all(cache.dir()).unwrap();
+        let key = TraceKey::new("w", "s", 11, 0);
+        let mut n = 0u64;
+        let mut tool = FnTool::new(|_: &TraceEvent| n += 1);
+        let rep = cache
+            .replay_with(&key, || Ok(make_trace(11)), &mut tool)
+            .unwrap();
+        assert!(!rep.from_cache);
+        assert_eq!(rep.summary.instructions, 2_000);
+        assert_eq!(rep.sections, BySection::new(400, 1_600));
+        assert_eq!(n, 2_000, "the tool observed the full live stream");
+        let stats = cache.stats();
+        assert_eq!(stats.write_failures, 1);
+        assert_eq!(stats.generations, 1);
+        assert_eq!(stats.bytes_written, 0);
+    }
+
+    #[test]
+    fn generation_failure_propagates() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 7, 0);
+        let err = cache
+            .replay_with(&key, || Err("boom".to_owned()), &mut NullTool)
+            .unwrap_err();
+        assert!(
+            matches!(err, CacheError::Generate(ref m) if m == "boom"),
+            "{err}"
+        );
+        assert!(!cache.contains(&key));
+        assert_eq!(cache.stats().generations, 0);
+        assert_eq!(cache.stats().misses, 1);
+        cleanup(cache);
+    }
+
+    #[test]
+    fn record_overwrites_and_stats_delta() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 9, 0);
+        let info1 = cache.record(&key, &make_trace(9)).unwrap();
+        let before = cache.stats();
+        let info2 = cache.record(&key, &make_trace(9)).unwrap();
+        assert_eq!(info1.summary, info2.summary);
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.bytes_written, info2.total_bytes);
+        assert_eq!(delta.hits, 0);
+        assert!(!delta.to_string().is_empty());
+        cleanup(cache);
+    }
+
+    #[test]
+    fn scratch_dirs_are_unique() {
+        let a = TraceCache::scratch().unwrap();
+        let b = TraceCache::scratch().unwrap();
+        assert_ne!(a.dir(), b.dir());
+        cleanup(a);
+        cleanup(b);
+    }
+}

@@ -17,7 +17,13 @@
 //! * a deterministic interpreter ([`Interpreter`]) that streams
 //!   [`TraceEvent`]s to any [`Pintool`] observer, and
 //! * a phase schedule ([`Schedule`], [`Phase`]) that alternates serial and
-//!   parallel sections the way an OpenMP master thread does.
+//!   parallel sections the way an OpenMP master thread does,
+//! * the one-pass sweep engine ([`SweepEngine`], [`ToolSet`],
+//!   [`Executor`]): N tools share one replay, items run in parallel, and
+//! * a binary snapshot format ([`snapshot`]) with an on-disk,
+//!   content-addressed replay cache ([`TraceCache`]): traces are
+//!   generated once and replayed from disk forever, with
+//!   [`Report`]-able hit/miss accounting.
 //!
 //! # Examples
 //!
@@ -65,27 +71,33 @@
 
 mod builder;
 mod by_section;
+mod cache;
 mod error;
 mod event;
 mod exec;
 mod executor;
 mod observer;
 mod program;
+mod report;
 mod schedule;
 mod section;
+pub mod snapshot;
 pub mod stats;
 mod sweep;
 mod toolset;
 
 pub use builder::ProgramBuilder;
 pub use by_section::BySection;
+pub use cache::{CacheError, CacheStats, CachedReplay, TraceCache, TraceKey, SNAPSHOT_EXT};
 pub use error::{BuildError, BuildErrorKind};
 pub use event::{BranchEvent, TraceEvent};
 pub use exec::{Interpreter, RunSummary};
 pub use executor::Executor;
 pub use observer::{FnTool, MultiTool, NullTool, Pintool};
 pub use program::{BasicBlock, BlockId, CondBehavior, IterCount, Program, RegionId, Terminator};
+pub use report::Report;
 pub use schedule::{replay_count, Phase, Schedule, SyntheticTrace};
 pub use section::Section;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotInfo, SnapshotWriter};
 pub use sweep::{SweepEngine, SweepOutcome};
 pub use toolset::ToolSet;

@@ -1,0 +1,1017 @@
+//! Binary trace snapshots: a versioned, checksummed, delta/varint
+//! encoding of [`TraceEvent`] streams.
+//!
+//! A snapshot captures exactly what a [`Pintool`] observes during one
+//! [`SyntheticTrace::replay`](crate::SyntheticTrace::replay): every
+//! instruction event **and** every section-start notification, in
+//! order. Decoding a snapshot therefore drives a tool bit-identically
+//! to the live replay that recorded it — without running the
+//! interpreter, drawing random numbers, or touching the program model.
+//! That is what makes the on-disk [`TraceCache`](crate::TraceCache)
+//! transparent: generate once, replay forever.
+//!
+//! # Format (version 1)
+//!
+//! All multi-byte integers are little-endian; `varint` is LEB128 and
+//! `zigzag` maps signed deltas onto it. The full byte layout:
+//!
+//! ```text
+//! header (24 bytes)
+//!   0   4  magic  "RBTS"
+//!   4   2  format version (= 1)
+//!   6   2  reserved (= 0)
+//!   8   8  replay seed
+//!   16  8  cache-key fingerprint (0 when unkeyed)
+//! records (variable; one tag byte each)
+//!   0x00..=0x3F  event  bits 0-2: class (0 = other, 1-7 = branch kind)
+//!                       bit  3:   branch outcome taken
+//!                       bit  4:   target present
+//!                       bit  5:   sequential (pc == previous next_pc)
+//!                payload: len u8
+//!                         [zigzag varint pc − expected]   unless sequential
+//!                         [zigzag varint target − pc]     if target present
+//!   0xFE  section-start (1 byte: 0 serial / 1 parallel), delivered
+//!         to the tool as `on_section_start`
+//!   0xFC  section-set   (1 byte), silent decoder state change only
+//!   0xFD  end of records
+//! footer (48 bytes)
+//!   0  40  instructions, branches, taken branches,
+//!          serial instructions, parallel instructions (5 × u64)
+//!   40  8  FNV-1a 64 checksum over every preceding byte of the file
+//! ```
+//!
+//! Branch kinds 1–7 follow [`BranchKind::ALL`] order as listed in
+//! [`KIND_TABLE`]. Event PCs are delta-encoded against the previous
+//! event's fall-through address, so straight-line code costs two bytes
+//! per instruction (tag + length).
+//!
+//! # Examples
+//!
+//! Round-trip a trace through an in-memory snapshot:
+//!
+//! ```
+//! use rebalance_trace::{
+//!     CondBehavior, IterCount, NullTool, Phase, ProgramBuilder, Schedule, Section,
+//!     Snapshot, SnapshotWriter, SyntheticTrace, Terminator,
+//! };
+//!
+//! let mut b = ProgramBuilder::new();
+//! let region = b.region("hot");
+//! let body = b.reserve_block();
+//! let exit = b.reserve_block();
+//! b.define_block(body, region, 3, Terminator::Cond {
+//!     taken: body,
+//!     fall: exit,
+//!     behavior: CondBehavior::Loop { count: IterCount::Fixed(4) },
+//! });
+//! b.define_block(exit, region, 1, Terminator::Exit);
+//! let trace = SyntheticTrace::new(
+//!     b.build().unwrap(),
+//!     Schedule::new(vec![Phase::new(Section::Parallel, body, 100)]),
+//!     7,
+//! );
+//!
+//! let mut writer = SnapshotWriter::new(Vec::new(), trace.seed(), 0);
+//! let live = trace.replay(&mut writer);
+//! let (bytes, info) = writer.finish().unwrap();
+//! assert_eq!(info.summary, live);
+//!
+//! let snapshot = Snapshot::parse(&bytes).unwrap();
+//! let decoded = snapshot.replay(&mut NullTool).unwrap();
+//! assert_eq!(decoded, live, "decode reproduces the live summary");
+//! ```
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+use rebalance_isa::{Addr, BranchKind, InstClass, Outcome};
+use serde::{Deserialize, Serialize};
+
+use crate::by_section::BySection;
+use crate::event::{BranchEvent, TraceEvent};
+use crate::exec::RunSummary;
+use crate::observer::Pintool;
+use crate::section::Section;
+
+/// The four magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"RBTS";
+
+/// Format version this build writes and the only one it reads.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Branch-kind wire codes: index+1 in this table is the on-disk class
+/// code (0 is reserved for non-branch instructions).
+pub const KIND_TABLE: [BranchKind; 7] = [
+    BranchKind::CondDirect,
+    BranchKind::UncondDirect,
+    BranchKind::Call,
+    BranchKind::IndirectCall,
+    BranchKind::IndirectBranch,
+    BranchKind::Return,
+    BranchKind::Syscall,
+];
+
+const HEADER_BYTES: usize = 24;
+const FOOTER_BYTES: usize = 48; // 5 counters + checksum
+const MIN_BYTES: usize = HEADER_BYTES + 1 + FOOTER_BYTES; // + end tag
+
+const TAG_END: u8 = 0xFD;
+const TAG_SECTION_START: u8 = 0xFE;
+const TAG_SECTION_SET: u8 = 0xFC;
+
+const EVT_TAKEN: u8 = 0x08;
+const EVT_HAS_TARGET: u8 = 0x10;
+const EVT_SEQUENTIAL: u8 = 0x20;
+
+/// Everything that can go wrong while writing or reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The file ends before the structure it promises.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        at: usize,
+    },
+    /// A structurally invalid byte sequence.
+    Malformed {
+        /// Byte offset of the offending record.
+        at: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// The stored checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        stored: u64,
+        /// Checksum recomputed over the file.
+        computed: u64,
+    },
+    /// A footer counter disagrees with the decoded record stream.
+    CountMismatch {
+        /// Name of the disagreeing counter.
+        field: &'static str,
+        /// Value recorded in the footer.
+        stored: u64,
+        /// Value observed while decoding.
+        decoded: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:02x?}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapshotError::Malformed { at, what } => {
+                write!(f, "malformed snapshot at byte {at}: {what}")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::CountMismatch {
+                field,
+                stored,
+                decoded,
+            } => write!(
+                f,
+                "snapshot {field} count mismatch: footer says {stored}, stream decodes {decoded}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Header and footer metadata of a snapshot, available without
+/// decoding the record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Format version of the file.
+    pub version: u16,
+    /// Seed the recorded replay ran with.
+    pub seed: u64,
+    /// Fingerprint of the cache key the snapshot was recorded under
+    /// (0 when recorded outside a cache).
+    pub fingerprint: u64,
+    /// Aggregate counters of the recorded stream.
+    pub summary: RunSummary,
+    /// Instructions per section.
+    pub sections: BySection<u64>,
+    /// Total encoded size in bytes, header and footer included.
+    pub total_bytes: u64,
+}
+
+impl SnapshotInfo {
+    /// Mean encoded bytes per instruction event.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.summary.instructions == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.summary.instructions as f64
+        }
+    }
+}
+
+// --- FNV-1a 64 ---
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+// --- varint / zigzag ---
+
+fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn push_varint(out: &mut [u8; 10], mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out[n] = byte;
+            return n + 1;
+        }
+        out[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, SnapshotError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let start = *pos;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(SnapshotError::Truncated { at: *pos });
+        };
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(SnapshotError::Malformed {
+                at: start,
+                what: "varint overflows 64 bits",
+            });
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn section_code(section: Section) -> u8 {
+    section.index() as u8
+}
+
+fn section_from_code(code: u8, at: usize) -> Result<Section, SnapshotError> {
+    match code {
+        0 => Ok(Section::Serial),
+        1 => Ok(Section::Parallel),
+        _ => Err(SnapshotError::Malformed {
+            at,
+            what: "invalid section code",
+        }),
+    }
+}
+
+fn kind_code(class: InstClass) -> u8 {
+    match class.branch_kind() {
+        None => 0,
+        Some(kind) => {
+            let idx = KIND_TABLE
+                .iter()
+                .position(|&k| k == kind)
+                .expect("KIND_TABLE is exhaustive");
+            (idx + 1) as u8
+        }
+    }
+}
+
+/// Records a live replay into any [`Write`] sink.
+///
+/// The writer is itself a [`Pintool`]: attach it (alone, or teed with
+/// real analysis tools via the tuple combinator) to a replay, then call
+/// [`SnapshotWriter::finish`] to emit the footer and retrieve the sink.
+/// I/O errors during the replay are deferred and surfaced by `finish`.
+pub struct SnapshotWriter<W: Write> {
+    sink: W,
+    hash: u64,
+    bytes: u64,
+    seed: u64,
+    fingerprint: u64,
+    expected_pc: u64,
+    section: Option<Section>,
+    summary: RunSummary,
+    sections: BySection<u64>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> fmt::Debug for SnapshotWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotWriter")
+            .field("bytes", &self.bytes)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Starts a snapshot: writes the header for the given replay seed
+    /// and cache-key fingerprint (use 0 when unkeyed).
+    pub fn new(sink: W, seed: u64, fingerprint: u64) -> Self {
+        let mut w = SnapshotWriter {
+            sink,
+            hash: FNV_OFFSET,
+            bytes: 0,
+            seed,
+            fingerprint,
+            expected_pc: 0,
+            section: None,
+            summary: RunSummary::default(),
+            sections: BySection::default(),
+            error: None,
+        };
+        let mut header = [0u8; HEADER_BYTES];
+        header[0..4].copy_from_slice(&SNAPSHOT_MAGIC);
+        header[4..6].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&seed.to_le_bytes());
+        header[16..24].copy_from_slice(&fingerprint.to_le_bytes());
+        w.emit(&header);
+        w
+    }
+
+    /// Events recorded so far.
+    pub fn recorded(&self) -> &RunSummary {
+        &self.summary
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.hash = fnv1a_extend(self.hash, bytes);
+        self.bytes += bytes.len() as u64;
+        if let Err(e) = self.sink.write_all(bytes) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Writes the end marker, footer counters, and checksum; flushes
+    /// and returns the sink plus the recorded metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit at any point of the recording.
+    pub fn finish(mut self) -> Result<(W, SnapshotInfo), SnapshotError> {
+        self.emit(&[TAG_END]);
+        let mut footer = [0u8; 40];
+        for (slot, value) in footer.chunks_exact_mut(8).zip([
+            self.summary.instructions,
+            self.summary.branches,
+            self.summary.taken_branches,
+            self.sections.serial,
+            self.sections.parallel,
+        ]) {
+            slot.copy_from_slice(&value.to_le_bytes());
+        }
+        self.emit(&footer);
+        // The checksum covers everything already emitted; it is the one
+        // field written outside the running hash.
+        let checksum = self.hash;
+        if self.error.is_none() {
+            self.bytes += 8;
+            if let Err(e) = self.sink.write_all(&checksum.to_le_bytes()) {
+                self.error = Some(e);
+            }
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.sink.flush() {
+                self.error = Some(e);
+            }
+        }
+        if let Some(e) = self.error {
+            return Err(SnapshotError::Io(e));
+        }
+        let info = SnapshotInfo {
+            version: SNAPSHOT_VERSION,
+            seed: self.seed,
+            fingerprint: self.fingerprint,
+            summary: self.summary,
+            sections: self.sections,
+            total_bytes: self.bytes,
+        };
+        Ok((self.sink, info))
+    }
+}
+
+impl<W: Write> Pintool for SnapshotWriter<W> {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        // A section switch without an explicit marker (a tool fed by
+        // hand rather than by the interpreter) is recorded silently so
+        // decode assigns the right section without inventing an
+        // `on_section_start` the original stream never delivered.
+        if self.section != Some(ev.section) {
+            self.emit(&[TAG_SECTION_SET, section_code(ev.section)]);
+            self.section = Some(ev.section);
+        }
+
+        let mut tag = kind_code(ev.class);
+        debug_assert!(
+            ev.branch.is_some() == ev.class.is_branch(),
+            "TraceEvent branch payload must match its class"
+        );
+        if let Some(branch) = &ev.branch {
+            if branch.outcome.is_taken() {
+                tag |= EVT_TAKEN;
+            }
+            if branch.target.is_some() {
+                tag |= EVT_HAS_TARGET;
+            }
+        }
+        let pc = ev.pc.as_u64();
+        let sequential = pc == self.expected_pc;
+        if sequential {
+            tag |= EVT_SEQUENTIAL;
+        }
+
+        let mut buf = [0u8; 32];
+        buf[0] = tag;
+        buf[1] = ev.len;
+        let mut n = 2;
+        let mut scratch = [0u8; 10];
+        if !sequential {
+            let delta = pc.wrapping_sub(self.expected_pc) as i64;
+            let len = push_varint(&mut scratch, zigzag(delta));
+            buf[n..n + len].copy_from_slice(&scratch[..len]);
+            n += len;
+        }
+        if let Some(target) = ev.branch.as_ref().and_then(|b| b.target) {
+            let delta = target.as_u64().wrapping_sub(pc) as i64;
+            let len = push_varint(&mut scratch, zigzag(delta));
+            buf[n..n + len].copy_from_slice(&scratch[..len]);
+            n += len;
+        }
+        self.emit(&buf[..n]);
+
+        self.expected_pc = pc.wrapping_add(u64::from(ev.len));
+        self.summary.instructions += 1;
+        *self.sections.get_mut(ev.section) += 1;
+        if let Some(branch) = &ev.branch {
+            self.summary.branches += 1;
+            if branch.outcome.is_taken() {
+                self.summary.taken_branches += 1;
+            }
+        }
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        self.emit(&[TAG_SECTION_START, section_code(section)]);
+        self.section = Some(section);
+    }
+}
+
+/// A parsed snapshot borrowing its underlying bytes — decode streams
+/// events straight off the buffer without materializing them.
+///
+/// [`Snapshot::parse`] validates the header **and the checksum up
+/// front**, so a tool replayed from a parsed snapshot never observes
+/// corrupt events.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot<'a> {
+    records: &'a [u8],
+    /// Offset of `records` within the original buffer (for error
+    /// positions).
+    base: usize,
+    info: SnapshotInfo,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Validates framing, version, footer, and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] variant except [`SnapshotError::Io`] and
+    /// [`SnapshotError::CountMismatch`] (the latter is a decode-time
+    /// check).
+    pub fn parse(data: &'a [u8]) -> Result<Snapshot<'a>, SnapshotError> {
+        if data.len() < MIN_BYTES {
+            return Err(SnapshotError::Truncated { at: data.len() });
+        }
+        let magic: [u8; 4] = data[0..4].try_into().expect("sliced to length");
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(data[4..6].try_into().expect("sliced to length"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let stored =
+            u64::from_le_bytes(data[data.len() - 8..].try_into().expect("sliced to length"));
+        let computed = fnv1a_extend(FNV_OFFSET, &data[..data.len() - 8]);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let end_tag_at = data.len() - FOOTER_BYTES - 1;
+        if data[end_tag_at] != TAG_END {
+            return Err(SnapshotError::Malformed {
+                at: end_tag_at,
+                what: "missing end-of-records tag",
+            });
+        }
+        let footer = &data[end_tag_at + 1..data.len() - 8];
+        let counter = |i: usize| {
+            u64::from_le_bytes(
+                footer[i * 8..i * 8 + 8]
+                    .try_into()
+                    .expect("sliced to length"),
+            )
+        };
+        let info = SnapshotInfo {
+            version,
+            seed: u64::from_le_bytes(data[8..16].try_into().expect("sliced to length")),
+            fingerprint: u64::from_le_bytes(data[16..24].try_into().expect("sliced to length")),
+            summary: RunSummary {
+                instructions: counter(0),
+                branches: counter(1),
+                taken_branches: counter(2),
+            },
+            sections: BySection::new(counter(3), counter(4)),
+            total_bytes: data.len() as u64,
+        };
+        Ok(Snapshot {
+            records: &data[HEADER_BYTES..end_tag_at],
+            base: HEADER_BYTES,
+            info,
+        })
+    }
+
+    /// Header/footer metadata (no record decoding needed).
+    pub fn info(&self) -> &SnapshotInfo {
+        &self.info
+    }
+
+    /// Streams the recorded events into `tool`, exactly as the original
+    /// replay delivered them.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`]/[`SnapshotError::Truncated`] on a
+    /// structurally invalid record stream, or
+    /// [`SnapshotError::CountMismatch`] if the decoded stream disagrees
+    /// with the footer counters (both indicate a writer bug — byte
+    /// corruption is already excluded by [`Snapshot::parse`]).
+    pub fn replay<T: Pintool + ?Sized>(&self, tool: &mut T) -> Result<RunSummary, SnapshotError> {
+        let data = self.records;
+        let mut pos = 0usize;
+        let mut expected_pc = 0u64;
+        let mut section = Section::Serial;
+        let mut summary = RunSummary::default();
+        let mut sections: BySection<u64> = BySection::default();
+
+        while pos < data.len() {
+            let at = self.base + pos;
+            let tag = data[pos];
+            pos += 1;
+            match tag {
+                TAG_SECTION_START | TAG_SECTION_SET => {
+                    let Some(&code) = data.get(pos) else {
+                        return Err(SnapshotError::Truncated {
+                            at: self.base + pos,
+                        });
+                    };
+                    pos += 1;
+                    section = section_from_code(code, at)?;
+                    if tag == TAG_SECTION_START {
+                        tool.on_section_start(section);
+                    }
+                }
+                0x00..=0x3F => {
+                    let class_code = tag & 0x07;
+                    let Some(&len) = data.get(pos) else {
+                        return Err(SnapshotError::Truncated {
+                            at: self.base + pos,
+                        });
+                    };
+                    pos += 1;
+                    let pc = if tag & EVT_SEQUENTIAL != 0 {
+                        expected_pc
+                    } else {
+                        let delta = unzigzag(read_varint(data, &mut pos)?);
+                        expected_pc.wrapping_add(delta as u64)
+                    };
+                    let (class, branch) = if class_code == 0 {
+                        if tag & (EVT_TAKEN | EVT_HAS_TARGET) != 0 {
+                            return Err(SnapshotError::Malformed {
+                                at,
+                                what: "branch flags on a non-branch event",
+                            });
+                        }
+                        (InstClass::Other, None)
+                    } else {
+                        let kind = KIND_TABLE[usize::from(class_code) - 1];
+                        let target = if tag & EVT_HAS_TARGET != 0 {
+                            let delta = unzigzag(read_varint(data, &mut pos)?);
+                            Some(Addr::new(pc.wrapping_add(delta as u64)))
+                        } else {
+                            None
+                        };
+                        (
+                            InstClass::Branch(kind),
+                            Some(BranchEvent {
+                                kind,
+                                outcome: Outcome::from_taken(tag & EVT_TAKEN != 0),
+                                target,
+                            }),
+                        )
+                    };
+                    let ev = TraceEvent {
+                        pc: Addr::new(pc),
+                        len,
+                        class,
+                        branch,
+                        section,
+                    };
+                    tool.on_inst(&ev);
+                    expected_pc = pc.wrapping_add(u64::from(len));
+                    summary.instructions += 1;
+                    *sections.get_mut(section) += 1;
+                    if let Some(b) = &branch {
+                        summary.branches += 1;
+                        if b.outcome.is_taken() {
+                            summary.taken_branches += 1;
+                        }
+                    }
+                }
+                _ => {
+                    return Err(SnapshotError::Malformed {
+                        at,
+                        what: "unknown record tag",
+                    });
+                }
+            }
+        }
+
+        for (field, stored, decoded) in [
+            (
+                "instruction",
+                self.info.summary.instructions,
+                summary.instructions,
+            ),
+            ("branch", self.info.summary.branches, summary.branches),
+            (
+                "taken-branch",
+                self.info.summary.taken_branches,
+                summary.taken_branches,
+            ),
+            (
+                "serial-instruction",
+                self.info.sections.serial,
+                sections.serial,
+            ),
+            (
+                "parallel-instruction",
+                self.info.sections.parallel,
+                sections.parallel,
+            ),
+        ] {
+            if stored != decoded {
+                return Err(SnapshotError::CountMismatch {
+                    field,
+                    stored,
+                    decoded,
+                });
+            }
+        }
+        Ok(summary)
+    }
+}
+
+/// Encodes one full replay of `trace` into an in-memory snapshot.
+///
+/// # Errors
+///
+/// Propagates writer errors (impossible for the `Vec` sink in
+/// practice).
+pub fn snapshot_bytes(
+    trace: &crate::SyntheticTrace,
+    fingerprint: u64,
+) -> Result<(Vec<u8>, SnapshotInfo), SnapshotError> {
+    let mut writer = SnapshotWriter::new(Vec::new(), trace.seed(), fingerprint);
+    trace.replay(&mut writer);
+    writer.finish()
+}
+
+/// Reads a snapshot file's metadata (header + footer) after validating
+/// framing and checksum.
+///
+/// # Errors
+///
+/// I/O errors, or any parse-level [`SnapshotError`].
+pub fn read_info(path: &Path) -> Result<SnapshotInfo, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    Ok(*Snapshot::parse(&bytes)?.info())
+}
+
+/// Fully validates a snapshot file: framing, checksum, record
+/// structure, and footer counters.
+///
+/// # Errors
+///
+/// The first [`SnapshotError`] encountered at any validation layer.
+pub fn verify_file(path: &Path) -> Result<SnapshotInfo, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let snapshot = Snapshot::parse(&bytes)?;
+    snapshot.replay(&mut crate::NullTool)?;
+    Ok(*snapshot.info())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::observer::FnTool;
+    use crate::program::{CondBehavior, IterCount, Terminator};
+    use crate::schedule::{Phase, Schedule, SyntheticTrace};
+
+    fn sample_trace() -> SyntheticTrace {
+        let mut b = ProgramBuilder::new();
+        let r = b.region("main");
+        let lib = b.region("lib");
+        let head = b.reserve_block();
+        let call = b.reserve_block();
+        let cont = b.reserve_block();
+        let callee = b.reserve_block();
+        let exit = b.reserve_block();
+        b.define_block(
+            head,
+            r,
+            4,
+            Terminator::Cond {
+                taken: head,
+                fall: call,
+                behavior: CondBehavior::Loop {
+                    count: IterCount::Uniform { lo: 2, hi: 6 },
+                },
+            },
+        );
+        b.define_block(
+            call,
+            r,
+            2,
+            Terminator::Call {
+                callee,
+                ret_to: cont,
+            },
+        );
+        b.define_block(callee, lib, 5, Terminator::Return);
+        b.define_block(cont, r, 2, Terminator::Jump { target: exit });
+        b.define_block(exit, r, 1, Terminator::Exit);
+        let schedule = Schedule::with_repeat(
+            vec![
+                Phase::new(Section::Serial, head, 700),
+                Phase::new(Section::Parallel, head, 2_300),
+            ],
+            2,
+        );
+        SyntheticTrace::new(b.build().unwrap(), schedule, 11)
+    }
+
+    fn collect_events(trace: &SyntheticTrace) -> (Vec<TraceEvent>, Vec<Section>) {
+        let mut events = Vec::new();
+        let mut starts = Vec::new();
+        struct Rec<'a>(&'a mut Vec<TraceEvent>, &'a mut Vec<Section>);
+        impl Pintool for Rec<'_> {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+            fn on_section_start(&mut self, section: Section) {
+                self.1.push(section);
+            }
+        }
+        trace.replay(&mut Rec(&mut events, &mut starts));
+        (events, starts)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let trace = sample_trace();
+        let (bytes, info) = snapshot_bytes(&trace, 0xABCD).unwrap();
+        assert_eq!(info.fingerprint, 0xABCD);
+        assert_eq!(info.seed, 11);
+        assert_eq!(info.total_bytes, bytes.len() as u64);
+        assert_eq!(info.summary.instructions, 6_000);
+
+        let (live_events, live_starts) = collect_events(&trace);
+        let snapshot = Snapshot::parse(&bytes).unwrap();
+        let mut events = Vec::new();
+        let mut starts = Vec::new();
+        struct Rec<'a>(&'a mut Vec<TraceEvent>, &'a mut Vec<Section>);
+        impl Pintool for Rec<'_> {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+            fn on_section_start(&mut self, section: Section) {
+                self.1.push(section);
+            }
+        }
+        let summary = snapshot.replay(&mut Rec(&mut events, &mut starts)).unwrap();
+        assert_eq!(events, live_events, "event streams identical");
+        assert_eq!(starts, live_starts, "section notifications identical");
+        assert_eq!(summary, info.summary);
+        assert_eq!(
+            snapshot.info().sections.serial + snapshot.info().sections.parallel,
+            summary.instructions
+        );
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let trace = sample_trace();
+        let (bytes, info) = snapshot_bytes(&trace, 0).unwrap();
+        let per_event = bytes.len() as f64 / info.summary.instructions as f64;
+        assert!(
+            per_event < 3.0,
+            "expected < 3 bytes/event, got {per_event:.2}"
+        );
+        assert!((info.bytes_per_event() - per_event).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flipped_byte_is_rejected() {
+        let trace = sample_trace();
+        let (bytes, _) = snapshot_bytes(&trace, 0).unwrap();
+        // Flip one byte in the record region and one in the checksum.
+        for &at in &[HEADER_BYTES + 7, bytes.len() - 3] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            let err = Snapshot::parse(&bad).expect_err("corruption must be caught");
+            assert!(
+                matches!(err, SnapshotError::ChecksumMismatch { .. }),
+                "at {at}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let trace = sample_trace();
+        let (bytes, _) = snapshot_bytes(&trace, 0).unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::parse(&bad),
+            Err(SnapshotError::BadMagic(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        // Version is checked before the checksum.
+        assert!(matches!(
+            Snapshot::parse(&bad),
+            Err(SnapshotError::UnsupportedVersion(9))
+        ));
+        assert!(matches!(
+            Snapshot::parse(&bytes[..40]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn section_markers_only_fire_for_real_starts() {
+        // Feed the writer by hand without section markers: decode must
+        // not invent on_section_start calls.
+        let ev = |pc: u64, section: Section| TraceEvent {
+            pc: Addr::new(pc),
+            len: 4,
+            class: InstClass::Other,
+            branch: None,
+            section,
+        };
+        let mut writer = SnapshotWriter::new(Vec::new(), 0, 0);
+        writer.on_inst(&ev(0x100, Section::Serial));
+        writer.on_inst(&ev(0x104, Section::Parallel));
+        writer.on_inst(&ev(0x108, Section::Serial));
+        let (bytes, info) = writer.finish().unwrap();
+        assert_eq!(info.sections, BySection::new(2, 1));
+
+        let snapshot = Snapshot::parse(&bytes).unwrap();
+        let mut starts = 0u32;
+        let mut seen = Vec::new();
+        struct Rec<'a>(&'a mut u32, &'a mut Vec<Section>);
+        impl Pintool for Rec<'_> {
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                self.1.push(ev.section);
+            }
+            fn on_section_start(&mut self, _s: Section) {
+                *self.0 += 1;
+            }
+        }
+        snapshot.replay(&mut Rec(&mut starts, &mut seen)).unwrap();
+        assert_eq!(starts, 0, "no synthetic section starts");
+        assert_eq!(
+            seen,
+            vec![Section::Serial, Section::Parallel, Section::Serial]
+        );
+    }
+
+    #[test]
+    fn varint_zigzag_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 20,
+            -(1 << 20),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut buf = [0u8; 10];
+            let n = push_varint(&mut buf, zigzag(v));
+            let mut pos = 0;
+            let back = unzigzag(read_varint(&buf[..n], &mut pos).unwrap());
+            assert_eq!(back, v);
+            assert_eq!(pos, n);
+        }
+        // Overlong varint rejected.
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&[0x80u8; 11], &mut pos),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn file_helpers_round_trip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join(format!(
+            "rebalance-snap-test-{}-{:p}",
+            std::process::id(),
+            &trace
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.rbts");
+        let (bytes, info) = snapshot_bytes(&trace, 7).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_info(&path).unwrap(), info);
+        assert_eq!(verify_file(&path).unwrap(), info);
+        // Truncate: must fail.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(verify_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_summary_matches_live_replay() {
+        let trace = sample_trace();
+        let mut live_sum = RunSummary::default();
+        let mut tool = FnTool::new(|_: &TraceEvent| {});
+        live_sum.merge(trace.replay(&mut tool));
+        let (bytes, _) = snapshot_bytes(&trace, 0).unwrap();
+        let decoded = Snapshot::parse(&bytes)
+            .unwrap()
+            .replay(&mut crate::NullTool)
+            .unwrap();
+        assert_eq!(decoded, live_sum);
+    }
+}

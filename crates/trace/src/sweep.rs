@@ -10,9 +10,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cache::{CacheError, CachedReplay, TraceCache, TraceKey};
 use crate::exec::RunSummary;
 use crate::executor::Executor;
 use crate::observer::Pintool;
+use crate::report::Report;
 use crate::schedule::SyntheticTrace;
 use crate::toolset::ToolSet;
 
@@ -162,6 +164,77 @@ impl SweepEngine {
             .collect()
     }
 
+    /// Replays the trace addressed by `key` once through all `tools`,
+    /// serving the stream from `cache` when possible: on a hit no
+    /// generation happens at all, on a miss the live replay is teed to
+    /// disk for next time. The cached counterpart of
+    /// [`SweepEngine::fan_out`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`]: generation failures, or a decode
+    /// failure on a checksum-valid snapshot (a writer bug). Corrupt
+    /// files and unwritable cache directories do **not** error — see
+    /// [`TraceCache::replay_with`].
+    pub fn fan_out_cached<T: Pintool>(
+        &self,
+        cache: &TraceCache,
+        key: &TraceKey,
+        make_trace: impl FnOnce() -> Result<SyntheticTrace, String>,
+        tools: Vec<T>,
+    ) -> Result<(Vec<T>, CachedReplay), CacheError> {
+        let mut set = ToolSet::from_tools(tools);
+        let replay = cache.replay_with(key, make_trace, &mut set)?;
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        Ok((set.into_inner(), replay))
+    }
+
+    /// [`SweepEngine::sweep`] with every replay mediated by `cache`:
+    /// items whose trace is already snapshotted are decoded from disk
+    /// and never regenerated. `trace_of` is only invoked on cache
+    /// misses — a fully warm sweep performs **zero** trace generations.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CacheError`] any item hits.
+    pub fn sweep_cached<I, T, KeyFn, TraceFn, ToolsFn>(
+        &self,
+        cache: &TraceCache,
+        items: Vec<I>,
+        key_of: KeyFn,
+        trace_of: TraceFn,
+        tools_for: ToolsFn,
+    ) -> Result<Vec<SweepOutcome<I, T>>, CacheError>
+    where
+        I: Send + Sync,
+        T: Pintool + Send,
+        KeyFn: Fn(&I) -> TraceKey + Sync,
+        TraceFn: Fn(&I) -> Result<SyntheticTrace, String> + Sync,
+        ToolsFn: Fn(&I) -> Vec<T> + Sync,
+    {
+        let measured = self.executor.map(&items, |item| {
+            self.fan_out_cached(cache, &key_of(item), || trace_of(item), tools_for(item))
+        });
+        items
+            .into_iter()
+            .zip(measured)
+            .map(|(item, measured)| {
+                let (tools, replay) = measured?;
+                Ok(SweepOutcome {
+                    item,
+                    tools,
+                    summary: replay.summary,
+                })
+            })
+            .collect()
+    }
+
+    /// This engine's accounting as a printable [`Report`] (attach cache
+    /// stats with [`Report::with_cache`]).
+    pub fn report(&self) -> Report {
+        Report::from_engine(self)
+    }
+
     /// Parallel map over independent items on the engine's executor —
     /// for work that is not a plain fan-out replay (e.g. full CMP
     /// simulations) but should share the sweep's scheduling.
@@ -260,6 +333,42 @@ mod tests {
                 assert_eq!(t.0, alone.0, "fan-out must be bit-identical");
             }
         }
+    }
+
+    #[test]
+    fn sweep_cached_generates_once_then_serves_hits() {
+        let cache = TraceCache::scratch().unwrap();
+        let engine = SweepEngine::new();
+        let run = |engine: &SweepEngine| {
+            engine
+                .sweep_cached(
+                    &cache,
+                    (0..3u64).collect(),
+                    |&i| TraceKey::new(format!("w{i}"), "t", i, 0),
+                    |&i| Ok(tiny_trace(300, i)),
+                    |_| vec![PcSum::default(); 2],
+                )
+                .unwrap()
+        };
+        let cold = run(&engine);
+        assert_eq!(cache.stats().generations, 3, "cold run generates each item");
+        let warm = run(&engine);
+        let stats = cache.stats();
+        assert_eq!(stats.generations, 3, "warm run generates nothing new");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(
+            engine.replays(),
+            6,
+            "replays tick for hits and misses alike"
+        );
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.tools[0].0, b.tools[0].0, "cached stream is identical");
+            assert_eq!(a.summary, b.summary);
+        }
+        let report = engine.report().with_cache(&cache);
+        assert_eq!(report.replays, 6);
+        assert_eq!(report.generations(), 3);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 
     #[test]

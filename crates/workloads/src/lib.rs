@@ -35,4 +35,4 @@ pub use synth::synthesize;
 
 // Re-exported so downstream crates rarely need a direct dependency on the
 // trace crate just to consume workloads.
-pub use rebalance_trace::{Section, SyntheticTrace};
+pub use rebalance_trace::{Section, SyntheticTrace, TraceCache, TraceKey};

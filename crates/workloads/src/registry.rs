@@ -3,13 +3,13 @@
 
 use std::fmt;
 
-use rebalance_trace::SyntheticTrace;
+use rebalance_trace::{SyntheticTrace, TraceKey};
 use serde::{Deserialize, Serialize};
 
 use crate::profile::WorkloadProfile;
 use crate::roster;
 use crate::suite::Suite;
-use crate::synth::synthesize;
+use crate::synth::{fnv1a, synthesis_seed, synthesize};
 
 /// How much of the full dynamic instruction budget to simulate.
 ///
@@ -82,6 +82,37 @@ impl Workload {
     /// The calibrated statistical profile.
     pub fn profile(&self) -> &WorkloadProfile {
         &self.profile
+    }
+
+    /// The cache identity of [`Workload::trace`] at the given scale:
+    /// workload name, scale label, the synthesizer's name-derived seed,
+    /// and a fingerprint of the full serialized profile. Editing a
+    /// roster profile therefore changes the key, so an on-disk
+    /// [`TraceCache`](rebalance_trace::TraceCache) misses stale
+    /// snapshots instead of serving them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rebalance_workloads::{find, Scale};
+    ///
+    /// let w = find("CG").unwrap();
+    /// let smoke = w.trace_key(Scale::Smoke);
+    /// assert_eq!(smoke.workload(), "CG");
+    /// assert_ne!(
+    ///     smoke.fingerprint(),
+    ///     w.trace_key(Scale::Full).fingerprint(),
+    ///     "scales address distinct cache entries"
+    /// );
+    /// ```
+    pub fn trace_key(&self, scale: Scale) -> TraceKey {
+        let profile_json = serde_json::to_string(&self.profile).expect("roster profiles serialize");
+        TraceKey::new(
+            self.name,
+            scale.to_string(),
+            synthesis_seed(self.name),
+            fnv1a(profile_json.as_bytes()),
+        )
     }
 
     /// Synthesizes the master-thread trace at the given scale.
@@ -228,6 +259,33 @@ mod tests {
         for w in hpc() {
             assert!(w.profile().serial_fraction < 0.5, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn trace_keys_are_stable_and_distinct() {
+        let cg = find("CG").unwrap();
+        assert_eq!(
+            cg.trace_key(Scale::Smoke),
+            cg.trace_key(Scale::Smoke),
+            "keys are deterministic"
+        );
+        assert_eq!(
+            cg.trace_key(Scale::Smoke).seed(),
+            cg.trace(Scale::Smoke).unwrap().seed(),
+            "key seed matches the synthesized trace's seed"
+        );
+        let mut fingerprints = std::collections::HashSet::new();
+        for w in all() {
+            assert!(
+                fingerprints.insert(w.trace_key(Scale::Quick).fingerprint()),
+                "{} collides",
+                w.name()
+            );
+        }
+        assert_ne!(
+            cg.trace_key(Scale::Custom(0.5)).scale(),
+            cg.trace_key(Scale::Custom(0.25)).scale()
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ const COLD_FANOUT: usize = 24;
 /// [`WorkloadProfile`] never fails to synthesize.
 pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrace, String> {
     profile.validate()?;
-    let seed = fnv1a(name.as_bytes());
+    let seed = synthesis_seed(name);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5deb_a511);
     let mut b = ProgramBuilder::with_length_model(profile.length_model());
 
@@ -133,6 +133,13 @@ pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrac
     let program = b.build().map_err(|e| e.to_string())?;
     let schedule = build_schedule(profile, ser_entry, par_entry);
     Ok(SyntheticTrace::new(program, schedule, seed))
+}
+
+/// The deterministic replay seed [`synthesize`] gives a workload's
+/// trace — derived from the name alone, so cache keys can compute it
+/// without synthesizing.
+pub(crate) fn synthesis_seed(name: &str) -> u64 {
+    fnv1a(name.as_bytes())
 }
 
 /// FNV-1a over bytes; stable workload seeds.
