@@ -8,9 +8,9 @@
 //! and the `cached_sweep` group shows the end-to-end effect on a
 //! multi-workload predictor sweep.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rebalance_bench::{bench_trace, figure5_sims, warmed_cache, workload, BENCH_SCALE};
-use rebalance_trace::{snapshot, NullTool, Snapshot, SweepEngine};
+use rebalance_trace::{snapshot, NullTool, Snapshot, SweepEngine, ToolSet};
 
 /// One workload, tool-free: isolates trace delivery cost
 /// (generation+interpretation vs snapshot decode).
@@ -44,6 +44,93 @@ fn bench_decode_vs_generate(c: &mut Criterion) {
 
     g.bench_function("record_snapshot", |b| {
         b.iter(|| snapshot::snapshot_bytes(&trace, 0).expect("encode").0.len())
+    });
+    g.finish();
+}
+
+/// The batching headline: cache-warm replay of the six-workload,
+/// nine-predictor sweep, delivered per event vs block-at-a-time.
+///
+/// Both sides decode the identical pre-validated snapshots into the
+/// identical fan-out tool set; the only difference is the delivery
+/// spine (`Snapshot::replay_per_event` vs the batched
+/// `Snapshot::replay`), so the ratio is the win from the
+/// batch-at-a-time refactor: branch-slice iteration and fused
+/// `observe` calls in the predictor sims, plus per-batch instead of
+/// per-event fan-out transitions. How much of it shows end-to-end
+/// depends on how compute-bound the tools are: the TAGE sims'
+/// per-branch table/fold work is inherent and paid by both sides
+/// (`update` now shares the fused `observe` pipeline everywhere), so
+/// this group lands ~1.2× overall on a small host, while
+/// delivery-bound tools (counting pintools, `MultiTool` fan-outs) see
+/// well over 2×.
+fn bench_warm_replay_per_event_vs_batched(c: &mut Criterion) {
+    let names = ["CG", "FT", "MG", "gcc", "CoMD", "swim"];
+    let snapshots: Vec<Vec<u8>> = names
+        .iter()
+        .map(|n| {
+            snapshot::snapshot_bytes(&bench_trace(n), 0)
+                .expect("encode")
+                .0
+        })
+        .collect();
+    // Parse (framing + checksum validation) happens once, outside the
+    // timed loop: both sides replay identical pre-validated snapshots,
+    // so the measured delta is purely the delivery spine.
+    let parsed: Vec<Snapshot> = snapshots
+        .iter()
+        .map(|b| Snapshot::parse(b).expect("parse"))
+        .collect();
+    let insts: u64 = parsed.iter().map(|s| s.info().summary.instructions).sum();
+
+    let mut g = c.benchmark_group("warm_replay_six_workloads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts * 9));
+
+    // Fresh (cold) sims per measurement, built outside the timed
+    // region: constructing 54 predictor tables is setup, not replay.
+    let fresh_sims = || -> Vec<_> {
+        (0..names.len())
+            .map(|_| ToolSet::from_tools(figure5_sims()))
+            .collect()
+    };
+
+    g.bench_function("per_event", |b| {
+        b.iter_batched(
+            fresh_sims,
+            |mut sims| {
+                parsed
+                    .iter()
+                    .zip(&mut sims)
+                    .map(|(snap, set)| {
+                        black_box(snap).replay_per_event(set).expect("decode");
+                        set.iter()
+                            .map(|sim| sim.report().total().mpki())
+                            .sum::<f64>()
+                    })
+                    .sum::<f64>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("batched", |b| {
+        b.iter_batched(
+            fresh_sims,
+            |mut sims| {
+                parsed
+                    .iter()
+                    .zip(&mut sims)
+                    .map(|(snap, set)| {
+                        black_box(snap).replay(set).expect("decode");
+                        set.iter()
+                            .map(|sim| sim.report().total().mpki())
+                            .sum::<f64>()
+                    })
+                    .sum::<f64>()
+            },
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }
@@ -98,5 +185,10 @@ fn bench_cached_sweep(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(cache.dir());
 }
 
-criterion_group!(benches, bench_decode_vs_generate, bench_cached_sweep);
+criterion_group!(
+    benches,
+    bench_decode_vs_generate,
+    bench_warm_replay_per_event_vs_batched,
+    bench_cached_sweep
+);
 criterion_main!(benches);

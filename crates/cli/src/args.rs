@@ -21,6 +21,9 @@ pub struct Parsed {
     pub force: bool,
     /// `--json DIR`.
     pub json_dir: Option<String>,
+    /// `--batch-size N` (events per delivery block; default
+    /// [`rebalance_trace::DEFAULT_BATCH_CAPACITY`]).
+    pub batch_size: Option<usize>,
 }
 
 /// Parses `argv` into [`Parsed`].
@@ -53,6 +56,20 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                 parsed
                     .positional
                     .push(it.next().ok_or("--workloads needs a name list")?.clone());
+            }
+            "--batch-size" => {
+                let v = it.next().ok_or("--batch-size needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=rebalance_trace::MAX_BATCH_CAPACITY).contains(&n))
+                    .ok_or_else(|| {
+                        format!(
+                            "invalid batch size `{v}` (expected 1..={})",
+                            rebalance_trace::MAX_BATCH_CAPACITY
+                        )
+                    })?;
+                parsed.batch_size = Some(n);
             }
             "--no-cache" => parsed.no_cache = true,
             "--all" => parsed.all = true,
@@ -103,6 +120,15 @@ pub fn configure_cache_env(parsed: &Parsed) {
     }
 }
 
+/// Applies `--batch-size` by exporting it as `REBALANCE_BATCH` before
+/// the first replay reads the process-wide capacity. Must run early in
+/// each subcommand (the capacity is latched on first use).
+pub fn configure_batch_env(parsed: &Parsed) {
+    if let Some(n) = parsed.batch_size {
+        std::env::set_var(rebalance_trace::BATCH_ENV, n.to_string());
+    }
+}
+
 /// Resolves workload names (or the whole roster) into `Workload`s.
 ///
 /// # Errors
@@ -148,6 +174,19 @@ mod tests {
         assert!(parse(&argv(&["--scale", "zero"])).is_err());
         assert!(parse(&argv(&["--bogus"])).is_err());
         assert!(parse(&argv(&["--no-cache", "--cache", "d"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_size() {
+        let p = parse(&argv(&["--batch-size", "512"])).unwrap();
+        assert_eq!(p.batch_size, Some(512));
+        assert_eq!(parse(&argv(&[])).unwrap().batch_size, None);
+        assert!(parse(&argv(&["--batch-size"])).is_err());
+        assert!(parse(&argv(&["--batch-size", "0"])).is_err());
+        assert!(parse(&argv(&["--batch-size", "many"])).is_err());
+        // Positions are u32-indexed; oversized capacities are a clean
+        // CLI error, not a panic deep in replay.
+        assert!(parse(&argv(&["--batch-size", "4294967296"])).is_err());
     }
 
     #[test]

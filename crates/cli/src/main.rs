@@ -36,18 +36,19 @@ fn usage() -> ExitCode {
         "usage: rebalance <COMMAND> [OPTIONS]\n\
          \n\
          commands:\n\
-         \x20 trace record [WORKLOAD...] [--all] [--scale S] [--cache DIR] [--force]\n\
+         \x20 trace record [WORKLOAD...] [--all] [--scale S] [--cache DIR] [--force] [--batch-size N]\n\
          \x20     synthesize workloads once and store their snapshots in the cache\n\
          \x20 trace info <FILE...>\n\
          \x20     print header/footer metadata of snapshot files\n\
-         \x20 trace verify <FILE...>\n\
+         \x20 trace verify <FILE...> [--batch-size N]\n\
          \x20     fully validate snapshot files (framing, checksum, structure)\n\
-         \x20 sweep [--workloads A,B,...] [--scale S] [--cache DIR] [--no-cache]\n\
+         \x20 sweep [--workloads A,B,...] [--scale S] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     run the nine-predictor sweep, replays served from the cache\n\
-         \x20 paper [EXHIBIT...|all] [--scale S] [--json DIR] [--cache DIR] [--no-cache]\n\
+         \x20 paper [EXHIBIT...|all] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
          \n\
-         scales: smoke | quick | full | <positive factor>   (default: smoke)"
+         scales: smoke | quick | full | <positive factor>   (default: smoke)\n\
+         --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)"
     );
     ExitCode::from(2)
 }

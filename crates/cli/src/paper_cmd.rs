@@ -17,6 +17,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.all, "--all (use the `all` exhibit name)"),
     ])?;
     args::configure_cache_env(&parsed);
+    args::configure_batch_env(&parsed);
     let exhibits = driver::resolve_exhibits(&parsed.positional)?;
 
     let json_dir = parsed.json_dir.as_ref().map(PathBuf::from);

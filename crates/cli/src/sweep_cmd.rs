@@ -20,8 +20,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
     // The experiments crate opens its process-wide cache from the
     // environment on first use; this routes every replay below through
-    // the on-disk cache (or explicitly disables it).
+    // the on-disk cache (or explicitly disables it). The batch size is
+    // latched the same way, before the first replay.
     args::configure_cache_env(&parsed);
+    args::configure_batch_env(&parsed);
 
     let configs = PredictorChoice::figure5_set();
     let outcomes = util::sweep(workloads, parsed.scale, |_| {

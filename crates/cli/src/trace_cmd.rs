@@ -20,6 +20,22 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
     ])
 }
 
+/// Per-file info rows plus the aggregate `bytes_per_event` across all
+/// listed snapshots.
+fn render_info_footer(infos: &[SnapshotInfo]) -> String {
+    let events: u64 = infos.iter().map(|i| i.summary.instructions).sum();
+    let bytes: u64 = infos.iter().map(|i| i.total_bytes).sum();
+    let per_event = if events == 0 {
+        0.0
+    } else {
+        bytes as f64 / events as f64
+    };
+    format!(
+        "total: {} snapshot(s), {events} events, {bytes} bytes, {per_event:.2} bytes/event\n",
+        infos.len()
+    )
+}
+
 fn info_row(table: &mut TextTable, label: &str, info: &SnapshotInfo) {
     table.row(vec![
         label.to_owned(),
@@ -57,6 +73,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         ),
         (parsed.json_dir.is_some(), "--json"),
     ])?;
+    args::configure_batch_env(&parsed);
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
     let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;
     let scale = parsed.scale;
@@ -84,6 +101,9 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         "recorded {recorded} snapshot(s), reused {skipped}, at scale {scale} in {}",
         cache.dir().display()
     );
+    // Full cache accounting, write failures included — a record run
+    // that silently failed to persist must be visible here.
+    println!("cache: {}", cache.stats());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -91,15 +111,20 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
 pub fn info(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     forbid_file_subcommand_flags(&parsed)?;
+    // Info never decodes the record stream, so a batch size is inert.
+    args::forbid(&[(parsed.batch_size.is_some(), "--batch-size")])?;
     if parsed.positional.is_empty() {
         return Err("trace info needs at least one snapshot file".into());
     }
     let mut table = info_table();
+    let mut infos = Vec::new();
     for file in &parsed.positional {
         let info = snapshot::read_info(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
         info_row(&mut table, file, &info);
+        infos.push(info);
     }
     print!("{}", table.render());
+    print!("{}", render_info_footer(&infos));
     Ok(ExitCode::SUCCESS)
 }
 
@@ -108,6 +133,9 @@ pub fn info(argv: &[String]) -> Result<ExitCode, String> {
 pub fn verify(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     forbid_file_subcommand_flags(&parsed)?;
+    // Verification decodes through the batched path; `--batch-size`
+    // picks the block size it validates with.
+    args::configure_batch_env(&parsed);
     if parsed.positional.is_empty() {
         return Err("trace verify needs at least one snapshot file".into());
     }

@@ -1,7 +1,7 @@
 //! Branch target buffer (Figure 7) with a return-address stack.
 
 use rebalance_isa::Addr;
-use rebalance_trace::{BySection, Pintool, Section, TraceEvent};
+use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::ras::ReturnAddressStack;
@@ -257,12 +257,13 @@ impl BtbSim {
     }
 }
 
-impl Pintool for BtbSim {
-    fn on_inst(&mut self, ev: &TraceEvent) {
-        let stats = self.sections.get_mut(ev.section);
-        stats.insts += 1;
-        let Some(br) = ev.branch else { return };
+impl BtbSim {
+    /// The branch-only step shared by per-event and batched delivery
+    /// (non-branch events only contribute to the instruction counters).
+    #[inline]
+    fn step_branch(&mut self, ev: &TraceEvent, br: &rebalance_trace::BranchEvent) {
         use rebalance_isa::BranchKind;
+        let stats = self.sections.get_mut(ev.section);
         // Calls push the fall-through PC for the matching return.
         if br.kind.is_call() && br.outcome.is_taken() {
             self.ras.push(ev.next_pc());
@@ -271,7 +272,7 @@ impl Pintool for BtbSim {
             stats.ras_predictions += 1;
             let predicted = self.ras.pop();
             if predicted != br.target {
-                stats.ras_misses += 1;
+                self.sections.get_mut(ev.section).ras_misses += 1;
             }
             return;
         }
@@ -279,13 +280,33 @@ impl Pintool for BtbSim {
             return;
         }
         let Some(actual) = br.target else { return };
-        stats.lookups += 1;
+        self.sections.get_mut(ev.section).lookups += 1;
         match self.btb.lookup(ev.pc) {
             Some(stored) if stored == actual => {}
             _ => {
-                stats.misses += 1;
+                self.sections.get_mut(ev.section).misses += 1;
                 self.btb.insert(ev.pc, actual);
             }
+        }
+    }
+}
+
+impl Pintool for BtbSim {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        self.sections.get_mut(ev.section).insts += 1;
+        let Some(br) = ev.branch else { return };
+        self.step_branch(ev, &br);
+    }
+
+    /// Hot path: instruction counts come from the batch's per-section
+    /// totals; only the branch slice reaches the BTB/RAS step.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        let insts = batch.sections();
+        self.sections.serial.insts += insts.serial;
+        self.sections.parallel.insts += insts.parallel;
+        for ev in batch.branch_events() {
+            let br = ev.branch.expect("branch slice carries branch events");
+            self.step_branch(ev, &br);
         }
     }
 }

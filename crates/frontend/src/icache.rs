@@ -2,7 +2,7 @@
 //! accounting.
 
 use rebalance_isa::Addr;
-use rebalance_trace::{BySection, Pintool, Section, TraceEvent};
+use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Cache geometry.
@@ -375,11 +375,13 @@ impl ICacheSim {
     }
 }
 
-impl Pintool for ICacheSim {
-    fn on_inst(&mut self, ev: &TraceEvent) {
+impl ICacheSim {
+    /// The fetch-model step shared by per-event and batched delivery;
+    /// `line_bytes` is hoisted out of the batched inner loop.
+    #[inline]
+    fn step(&mut self, ev: &TraceEvent, line_bytes: u64) {
         let stats = self.sections.get_mut(ev.section);
         stats.insts += 1;
-        let line_bytes = self.cache.config().line_bytes as u64;
         // An instruction may span two lines; touch each containing line.
         let first = ev.pc.line(line_bytes);
         let last = (ev.pc + (u64::from(ev.len) - 1)).line(line_bytes);
@@ -430,6 +432,23 @@ impl Pintool for ICacheSim {
                     }
                 }
             }
+        }
+    }
+}
+
+impl Pintool for ICacheSim {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        let line_bytes = self.cache.config().line_bytes as u64;
+        self.step(ev, line_bytes);
+    }
+
+    /// Hot path: one geometry lookup per block, then a tight
+    /// statically-dispatched loop over every event (the fetch model
+    /// needs each pc/len, so there is no slice to skip to).
+    fn on_batch(&mut self, batch: &EventBatch) {
+        let line_bytes = self.cache.config().line_bytes as u64;
+        for ev in batch.events() {
+            self.step(ev, line_bytes);
         }
     }
 }

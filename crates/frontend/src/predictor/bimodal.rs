@@ -56,8 +56,18 @@ impl DirectionPredictor for Bimodal {
     }
 
     fn update(&mut self, pc: Addr, taken: bool) {
+        // One canonical implementation: observe is update plus a
+        // returned (free) prediction read.
+        let _ = self.observe(pc, taken);
+    }
+
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        // One index computation and one table access for both halves.
         let i = self.index(pc);
-        self.table[i].update(taken);
+        let c = &mut self.table[i];
+        let predicted = c.predict();
+        c.update(taken);
+        predicted
     }
 
     fn budget_bits(&self) -> u64 {

@@ -59,9 +59,20 @@ impl DirectionPredictor for Gshare {
     }
 
     fn update(&mut self, pc: Addr, taken: bool) {
+        // One canonical implementation: observe is update plus a
+        // returned (free) prediction read.
+        let _ = self.observe(pc, taken);
+    }
+
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        // `predict` and `update` index with the same (pc, history) pair
+        // when called back to back; compute it once.
         let i = self.index(pc);
-        self.table[i].update(taken);
+        let c = &mut self.table[i];
+        let predicted = c.predict();
+        c.update(taken);
         self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        predicted
     }
 
     fn budget_bits(&self) -> u64 {

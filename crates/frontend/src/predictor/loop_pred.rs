@@ -187,6 +187,21 @@ impl<P: DirectionPredictor> DirectionPredictor for WithLoop<P> {
         self.base.update(pc, taken);
     }
 
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        // LBP and base are independent structures, so the base's fused
+        // path can run first; the prediction is read before any update
+        // touches state, exactly like the default sequence.
+        let predicted = match self.lbp.confident_prediction(pc) {
+            Some(pred) => {
+                self.base.update(pc, taken);
+                pred
+            }
+            None => self.base.observe(pc, taken),
+        };
+        self.lbp.update(pc, taken);
+        predicted
+    }
+
     fn budget_bits(&self) -> u64 {
         self.base.budget_bits() + self.lbp.budget_bits()
     }

@@ -67,6 +67,22 @@ pub trait DirectionPredictor: Send {
     /// Trains with the resolved direction.
     fn update(&mut self, pc: Addr, taken: bool);
 
+    /// Fused predict-then-update: returns the prediction made **before**
+    /// training, exactly as `predict(pc)` followed by
+    /// `update(pc, taken)` would.
+    ///
+    /// The default is literally that sequence. Table-based predictors
+    /// override it to compute indices/tags/matches **once** for both
+    /// halves — work `predict` and `update` otherwise repeat (TAGE's
+    /// `update` re-runs its whole match pipeline). Overrides must stay
+    /// bit-identical to the default; the batched measurement loop
+    /// ([`PredictorSim`]'s `on_batch`) relies on that equivalence.
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        let predicted = self.predict(pc);
+        self.update(pc, taken);
+        predicted
+    }
+
     /// Hardware budget in bits (the paper's Table II accounting).
     fn budget_bits(&self) -> u64;
 
@@ -81,6 +97,10 @@ impl<P: DirectionPredictor + ?Sized> DirectionPredictor for Box<P> {
 
     fn update(&mut self, pc: Addr, taken: bool) {
         (**self).update(pc, taken);
+    }
+
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        (**self).observe(pc, taken)
     }
 
     fn budget_bits(&self) -> u64 {

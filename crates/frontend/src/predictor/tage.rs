@@ -60,6 +60,10 @@ impl TageConfig {
         );
         assert!(!self.histories.is_empty(), "need at least one tagged table");
         assert!(
+            self.histories.len() <= MAX_TABLES,
+            "at most {MAX_TABLES} tagged tables"
+        );
+        assert!(
             self.histories.windows(2).all(|w| w[0] < w[1]),
             "histories must ascend"
         );
@@ -72,6 +76,9 @@ impl TageConfig {
 }
 
 const MAX_HISTORY: usize = 1024;
+/// Most tagged tables any configuration may use (sizes the fused
+/// `observe` path's stack-allocated index/tag caches).
+const MAX_TABLES: usize = 16;
 /// Useful-bit aging period (updates between `u` clears).
 const U_RESET_PERIOD: u64 = 256 * 1024;
 
@@ -105,6 +112,17 @@ impl Folded {
     }
 }
 
+/// One tagged table's three folded-history registers, stored together
+/// so the per-update shift streams one array instead of three.
+#[derive(Debug, Clone)]
+struct TableFolds {
+    /// History length of this table, cached next to its folds.
+    history: u32,
+    idx: Folded,
+    tag0: Folded,
+    tag1: Folded,
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct TageEntry {
     tag: u16,
@@ -132,13 +150,13 @@ pub struct Tage {
     cfg: TageConfig,
     base: Bimodal,
     tables: Vec<Vec<TageEntry>>,
-    // Global history ring.
-    ghist: Vec<u8>,
+    // Global history ring (power-of-two array: masked indexing needs no
+    // bounds checks).
+    ghist: Box<[u8; MAX_HISTORY]>,
     ghist_pos: usize,
-    // Folded histories per table: index fold and two tag folds.
-    fold_idx: Vec<Folded>,
-    fold_tag0: Vec<Folded>,
-    fold_tag1: Vec<Folded>,
+    // Per-table folded histories (index fold + two tag folds) packed
+    // together: the per-update shift walks one contiguous array.
+    folds: Vec<TableFolds>,
     updates: u64,
 }
 
@@ -152,29 +170,22 @@ impl Tage {
         cfg.check();
         let entries = 1usize << cfg.table_bits;
         let tables = vec![vec![TageEntry::default(); entries]; cfg.histories.len()];
-        let fold_idx = cfg
+        let folds = cfg
             .histories
             .iter()
-            .map(|&h| Folded::new(h, cfg.table_bits))
-            .collect();
-        let fold_tag0 = cfg
-            .histories
-            .iter()
-            .map(|&h| Folded::new(h, cfg.tag_bits))
-            .collect();
-        let fold_tag1 = cfg
-            .histories
-            .iter()
-            .map(|&h| Folded::new(h, cfg.tag_bits - 1))
+            .map(|&h| TableFolds {
+                history: h,
+                idx: Folded::new(h, cfg.table_bits),
+                tag0: Folded::new(h, cfg.tag_bits),
+                tag1: Folded::new(h, cfg.tag_bits - 1),
+            })
             .collect();
         Tage {
             base: Bimodal::new(cfg.bimodal_bits),
             tables,
-            ghist: vec![0; MAX_HISTORY],
+            ghist: Box::new([0; MAX_HISTORY]),
             ghist_pos: 0,
-            fold_idx,
-            fold_tag0,
-            fold_tag1,
+            folds,
             updates: 0,
             cfg,
         }
@@ -188,14 +199,14 @@ impl Tage {
     #[inline]
     fn table_index(&self, t: usize, pc: Addr) -> usize {
         let pc = pc.as_u64() >> 1;
-        let idx = pc ^ (pc >> self.cfg.table_bits) ^ self.fold_idx[t].comp ^ (t as u64);
+        let idx = pc ^ (pc >> self.cfg.table_bits) ^ self.folds[t].idx.comp ^ (t as u64);
         (idx & ((1u64 << self.cfg.table_bits) - 1)) as usize
     }
 
     #[inline]
     fn table_tag(&self, t: usize, pc: Addr) -> u16 {
         let pc = pc.as_u64() >> 1;
-        let tag = pc ^ self.fold_tag0[t].comp ^ (self.fold_tag1[t].comp << 1);
+        let tag = pc ^ self.folds[t].tag0.comp ^ (self.folds[t].tag1.comp << 1);
         (tag & ((1u64 << self.cfg.tag_bits) - 1)) as u16
     }
 
@@ -244,17 +255,68 @@ impl DirectionPredictor for Tage {
     }
 
     fn update(&mut self, pc: Addr, taken: bool) {
-        self.updates += 1;
-        // Capture what was predicted BEFORE any state changes.
-        let final_pred = self.predict(pc);
-        let (provider, alt) = self.find_matches(pc);
-        let provider_pred = self.component_prediction(pc, provider);
-        let alt_pred = self.component_prediction(pc, alt);
+        // One canonical training implementation: the fused path minus
+        // its returned prediction. Delegating keeps the per-event and
+        // batched modes identical by construction instead of by
+        // hand-maintained duplication.
+        let _ = self.observe(pc, taken);
+    }
 
-        match provider {
+    /// Fused predict + update: the separate calls walk the tagged
+    /// tables three times (`predict`, `update`'s internal re-predict,
+    /// and its `find_matches`), and each walk recomputes every table's
+    /// index and tag. This computes each table's (index, tag) pair
+    /// **once**, runs the match pipeline once, and feeds both halves —
+    /// bit-identical because no state changes between the reads.
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        self.updates += 1;
+        let n = self.tables.len();
+        debug_assert!(n <= MAX_TABLES, "checked at construction");
+        let mut idx = [0usize; MAX_TABLES];
+        let mut tag = [0u16; MAX_TABLES];
+        let pcs = pc.as_u64() >> 1;
+        let idx_mask = (1u64 << self.cfg.table_bits) - 1;
+        let tag_mask = (1u64 << self.cfg.tag_bits) - 1;
+        let pc_idx = pcs ^ (pcs >> self.cfg.table_bits);
+
+        // One longest-first pass computes every table's (index, tag)
+        // pair — cached for the update half below — and finds the
+        // provider/alternate matches along the way.
+        let mut provider = None;
+        let mut alt = None;
+        for t in (0..n.min(MAX_TABLES)).rev() {
+            let f = &self.folds[t];
+            let i = ((pc_idx ^ f.idx.comp ^ (t as u64)) & idx_mask) as usize;
+            let g = ((pcs ^ f.tag0.comp ^ (f.tag1.comp << 1)) & tag_mask) as u16;
+            idx[t] = i;
+            tag[t] = g;
+            if alt.is_none() && self.tables[t][i].tag == g {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt = Some(t);
+                }
+            }
+        }
+
+        // Prediction and training off the single match pass. When no
+        // table matched, the component predictions `update` would have
+        // computed are never consumed, so they are skipped outright.
+        let final_pred = match provider {
             Some(t) => {
-                let idx = self.table_index(t, pc);
-                let e = &mut self.tables[t][idx];
+                let e = self.tables[t][idx[t]];
+                let provider_pred = e.ctr >= 0;
+                let alt_pred = match alt {
+                    Some(a) => self.tables[a][idx[a]].ctr >= 0,
+                    None => self.base.predict(pc),
+                };
+                // Weak, never-useful entries defer to the alternate.
+                let final_pred = if (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+                    alt_pred
+                } else {
+                    provider_pred
+                };
+                let e = &mut self.tables[t][idx[t]];
                 e.ctr = if taken {
                     (e.ctr + 1).min(3)
                 } else {
@@ -267,20 +329,22 @@ impl DirectionPredictor for Tage {
                         e.useful = e.useful.saturating_sub(1);
                     }
                 }
+                final_pred
             }
-            None => self.base.update(pc, taken),
-        }
+            None => {
+                let final_pred = self.base.predict(pc);
+                self.base.update(pc, taken);
+                final_pred
+            }
+        };
 
-        // Allocate a longer-history entry on a misprediction.
         if final_pred != taken {
             let start = provider.map_or(0, |t| t + 1);
             let mut allocated = false;
-            for t in start..self.tables.len() {
-                let idx = self.table_index(t, pc);
-                if self.tables[t][idx].useful == 0 {
-                    let tag = self.table_tag(t, pc);
-                    self.tables[t][idx] = TageEntry {
-                        tag,
+            for (t, (&i, &g)) in idx[..n].iter().zip(&tag[..n]).enumerate().skip(start) {
+                if self.tables[t][i].useful == 0 {
+                    self.tables[t][i] = TageEntry {
+                        tag: g,
                         ctr: if taken { 0 } else { -1 },
                         useful: 0,
                     };
@@ -289,15 +353,13 @@ impl DirectionPredictor for Tage {
                 }
             }
             if !allocated {
-                for t in start..self.tables.len() {
-                    let idx = self.table_index(t, pc);
-                    let e = &mut self.tables[t][idx];
+                for (t, &i) in idx[..n].iter().enumerate().skip(start) {
+                    let e = &mut self.tables[t][i];
                     e.useful = e.useful.saturating_sub(1);
                 }
             }
         }
 
-        // Periodic useful-bit aging.
         if self.updates.is_multiple_of(U_RESET_PERIOD) {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
@@ -306,18 +368,8 @@ impl DirectionPredictor for Tage {
             }
         }
 
-        // Shift the outcome into the global history and folded registers.
-        let new_bit = u64::from(taken);
-        self.ghist_pos = (self.ghist_pos + 1) % MAX_HISTORY;
-        self.ghist[self.ghist_pos] = taken as u8;
-        for t in 0..self.cfg.histories.len() {
-            let h = self.cfg.histories[t] as usize;
-            let old_pos = (self.ghist_pos + MAX_HISTORY - h) % MAX_HISTORY;
-            let old_bit = u64::from(self.ghist[old_pos]);
-            self.fold_idx[t].update(new_bit, old_bit);
-            self.fold_tag0[t].update(new_bit, old_bit);
-            self.fold_tag1[t].update(new_bit, old_bit);
-        }
+        self.shift_history(taken);
+        final_pred
     }
 
     fn budget_bits(&self) -> u64 {
@@ -328,6 +380,24 @@ impl DirectionPredictor for Tage {
 
     fn name(&self) -> &'static str {
         "tage"
+    }
+}
+
+impl Tage {
+    /// Shifts the outcome into the global history and folded registers.
+    fn shift_history(&mut self, taken: bool) {
+        let new_bit = u64::from(taken);
+        let pos = (self.ghist_pos + 1) & (MAX_HISTORY - 1);
+        self.ghist_pos = pos;
+        self.ghist[pos] = taken as u8;
+        let ghist = &*self.ghist;
+        for f in &mut self.folds {
+            let old_pos = (pos + MAX_HISTORY - f.history as usize) & (MAX_HISTORY - 1);
+            let old_bit = u64::from(ghist[old_pos]);
+            f.idx.update(new_bit, old_bit);
+            f.tag0.update(new_bit, old_bit);
+            f.tag1.update(new_bit, old_bit);
+        }
     }
 }
 

@@ -99,13 +99,21 @@ impl DirectionPredictor for Tournament {
     }
 
     fn update(&mut self, pc: Addr, taken: bool) {
-        let (local, global, _) = self.components(pc);
+        // One canonical implementation: observe is update plus a
+        // returned (free) prediction select.
+        let _ = self.observe(pc, taken);
+    }
+
+    fn observe(&mut self, pc: Addr, taken: bool) -> bool {
+        // `predict` and `update` each recompute the component
+        // predictions; between back-to-back calls nothing changed, so
+        // compute them once and run both halves off the same values.
+        let (local, global, use_global) = self.components(pc);
+        let predicted = if use_global { global } else { local };
         let gi = self.global_index();
-        // Train the chooser towards whichever component was right.
         if local != global {
             self.choice[gi].update(global == taken);
         }
-        // Train both components.
         let li = self.local_index(pc);
         let hist = (self.local_history[li] as u64 & self.m_mask) as usize;
         self.local_pattern[hist].update(taken);
@@ -113,6 +121,7 @@ impl DirectionPredictor for Tournament {
             ((self.local_history[li] << 1) | u32::from(taken)) & ((1u32 << self.m.min(31)) - 1);
         self.global[gi].update(taken);
         self.global_history = (self.global_history << 1) | u64::from(taken);
+        predicted
     }
 
     fn budget_bits(&self) -> u64 {

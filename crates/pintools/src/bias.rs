@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use rebalance_trace::{Pintool, Section, TraceEvent};
+use rebalance_trace::{EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use rebalance_trace::BySection;
@@ -136,6 +136,25 @@ impl Pintool for BranchBiasTool {
         entry.1.total += 1;
         if br.outcome.is_taken() {
             entry.1.taken += 1;
+        }
+    }
+
+    /// Hot path: per-site accounting only ever touches conditionals, so
+    /// the loop walks the precomputed branch slice.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        for ev in batch.branch_events() {
+            let br = ev.branch.expect("branch slice carries branch events");
+            if !br.kind.is_conditional() {
+                continue;
+            }
+            let entry = self
+                .sites
+                .entry(ev.pc.as_u64())
+                .or_insert((ev.section, SiteStats::default()));
+            entry.1.total += 1;
+            if br.outcome.is_taken() {
+                entry.1.taken += 1;
+            }
         }
     }
 }

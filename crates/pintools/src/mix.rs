@@ -1,7 +1,7 @@
 //! Figure 1: dynamic branch-instruction breakdown.
 
 use rebalance_isa::BranchKind;
-use rebalance_trace::{Pintool, Section, TraceEvent};
+use rebalance_trace::{EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use rebalance_trace::BySection;
@@ -136,6 +136,18 @@ impl Pintool for BranchMixTool {
         c.insts += 1;
         if let Some(br) = ev.branch {
             c.by_kind[kind_index(br.kind)] += 1;
+        }
+    }
+
+    /// Hot path: instruction counts come from the batch's per-section
+    /// totals; only the branch slice is walked for the kind breakdown.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        let insts = batch.sections();
+        self.sections.serial.insts += insts.serial;
+        self.sections.parallel.insts += insts.parallel;
+        for ev in batch.branch_events() {
+            let br = ev.branch.expect("branch slice carries branch events");
+            self.sections.get_mut(ev.section).by_kind[kind_index(br.kind)] += 1;
         }
     }
 }

@@ -1,0 +1,480 @@
+//! [`EventBatch`]: block-at-a-time event delivery.
+//!
+//! PR 1 made a sweep cost one replay per `(workload, scale)` and PR 2
+//! made that replay come from a cached snapshot. What remains on the
+//! hot path is the per-event plumbing itself: every instruction used to
+//! cross `Interpreter::run` → `Pintool::on_inst` → each tool as one
+//! 40-byte struct, for billions of events per paper run. The
+//! HPM-engineering literature is unambiguous that analysis pipelines at
+//! this scale must be block-structured to amortize dispatch and stay in
+//! cache; an `EventBatch` is that block.
+//!
+//! A batch is a fixed-capacity run of [`TraceEvent`]s plus everything a
+//! tool needs to skip work it does not care about:
+//!
+//! * the **branch slice** ([`EventBatch::branch_events`]): most tools
+//!   only touch events with `ev.branch.is_some()`, so they stream the
+//!   (typically ~15%) branch subset as its own dense slice instead of
+//!   filtering the full block;
+//! * **per-section instruction counts** ([`EventBatch::sections`]): a
+//!   tool that only needs its MPKI denominator adds two integers per
+//!   batch instead of one per event;
+//! * the interleaved **section-start notifications**
+//!   ([`EventBatch::section_starts`]), so replaying a batch through
+//!   [`EventBatch::replay_into`] reproduces the exact per-event call
+//!   sequence — batched and per-event delivery are bit-identical by
+//!   construction.
+//!
+//! Producers ([`Interpreter`](crate::Interpreter),
+//! [`Snapshot`](crate::Snapshot) decode) fill a reusable batch and hand
+//! it to [`Pintool::on_batch`](crate::Pintool::on_batch) whenever it
+//! reaches capacity; combinators ([`ToolSet`](crate::ToolSet),
+//! [`MultiTool`](crate::MultiTool), tuples) forward whole batches, so an
+//! N-tool fan-out performs `N × (events / capacity)` virtual transitions
+//! instead of `N × events`.
+
+use std::sync::OnceLock;
+
+use crate::by_section::BySection;
+use crate::event::TraceEvent;
+use crate::exec::RunSummary;
+use crate::observer::Pintool;
+use crate::section::Section;
+
+/// Default number of events per batch when [`BATCH_ENV`] is unset.
+///
+/// 4096 events × ~40 bytes keep a block comfortably inside L2 while
+/// amortizing per-batch bookkeeping to noise.
+pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
+
+/// Environment variable overriding the default batch capacity
+/// (`REBALANCE_BATCH=1` degenerates to per-event-sized blocks — useful
+/// for equivalence smoke tests). Values outside
+/// `1..=`[`MAX_BATCH_CAPACITY`] (or unparsable ones) fall back to
+/// [`DEFAULT_BATCH_CAPACITY`]. Read once per process.
+pub const BATCH_ENV: &str = "REBALANCE_BATCH";
+
+/// Largest accepted batch capacity: batch positions are stored as
+/// `u32`, so capacities must stay indexable by one.
+pub const MAX_BATCH_CAPACITY: usize = u32::MAX as usize;
+
+/// The process-wide batch capacity: [`BATCH_ENV`] when set to an
+/// integer in `1..=`[`MAX_BATCH_CAPACITY`], otherwise
+/// [`DEFAULT_BATCH_CAPACITY`].
+pub fn batch_capacity() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| {
+        std::env::var(BATCH_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| (1..=MAX_BATCH_CAPACITY).contains(&n))
+            .unwrap_or(DEFAULT_BATCH_CAPACITY)
+    })
+}
+
+/// Where a producer's decode/interpret loop delivers events: directly
+/// into a tool (the per-event baseline) or into an [`EventBatch`]
+/// flushed block-at-a-time. Monomorphized, so neither path pays for the
+/// other.
+pub(crate) trait EventSink {
+    fn section_start(&mut self, section: Section);
+    fn event(&mut self, ev: TraceEvent);
+}
+
+/// Per-event delivery: one `on_inst` call per instruction — the
+/// pre-batching behavior, kept as the equivalence/benchmark baseline.
+pub(crate) struct DirectSink<'a, T: Pintool + ?Sized>(pub &'a mut T);
+
+impl<T: Pintool + ?Sized> EventSink for DirectSink<'_, T> {
+    #[inline]
+    fn section_start(&mut self, section: Section) {
+        self.0.on_section_start(section);
+    }
+
+    #[inline]
+    fn event(&mut self, ev: TraceEvent) {
+        self.0.on_inst(&ev);
+    }
+}
+
+/// Block-at-a-time delivery: events accumulate in the batch, and every
+/// time it reaches capacity the whole block goes to the tool's
+/// [`Pintool::on_batch`] in one call. The tail stays buffered — the
+/// producer owns the final [`EventBatch::flush_into`].
+pub(crate) struct BatchSink<'a, 'b, T: Pintool + ?Sized> {
+    pub batch: &'a mut EventBatch,
+    pub tool: &'b mut T,
+}
+
+impl<T: Pintool + ?Sized> EventSink for BatchSink<'_, '_, T> {
+    #[inline]
+    fn section_start(&mut self, section: Section) {
+        self.batch.push_section_start(section);
+    }
+
+    #[inline]
+    fn event(&mut self, ev: TraceEvent) {
+        self.batch.push(ev);
+        if self.batch.is_full() {
+            self.batch.flush_into(self.tool);
+        }
+    }
+}
+
+/// A fixed-capacity block of trace events with a dense branch slice,
+/// section counts, and interleaved section-start notifications.
+///
+/// # Examples
+///
+/// Fill a batch by hand and fan it out to a tool:
+///
+/// ```
+/// use rebalance_isa::{Addr, InstClass};
+/// use rebalance_trace::{EventBatch, Pintool, Section, TraceEvent};
+///
+/// #[derive(Default)]
+/// struct Counter(u64);
+/// impl Pintool for Counter {
+///     fn on_inst(&mut self, _ev: &TraceEvent) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut batch = EventBatch::with_capacity(8);
+/// batch.push_section_start(Section::Parallel);
+/// batch.push(TraceEvent {
+///     pc: Addr::new(0x100),
+///     len: 4,
+///     class: InstClass::Other,
+///     branch: None,
+///     section: Section::Parallel,
+/// });
+/// assert_eq!(batch.len(), 1);
+/// assert_eq!(batch.sections().parallel, 1);
+///
+/// let mut tool = Counter::default();
+/// batch.flush_into(&mut tool); // delivers via Pintool::on_batch
+/// assert_eq!(tool.0, 1);
+/// assert!(batch.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    events: Vec<TraceEvent>,
+    /// The branch events again, densely packed — branch-only tools
+    /// stream this contiguous ~15% instead of filtering `events` (one
+    /// extra copy at push time buys N tools a dense walk).
+    branches: Vec<TraceEvent>,
+    /// `(position, section)` pairs: the notification fires before the
+    /// event at `position` (== `events.len()` for a trailing start).
+    starts: Vec<(u32, Section)>,
+    sections: BySection<u64>,
+    taken_branches: u64,
+    capacity: usize,
+}
+
+impl Default for EventBatch {
+    /// An empty batch at the process-wide [`batch_capacity`]. Buffers
+    /// are not pre-allocated; they grow on first use and are retained
+    /// across [`EventBatch::clear`], so a reused batch allocates once.
+    fn default() -> Self {
+        EventBatch {
+            events: Vec::new(),
+            branches: Vec::new(),
+            starts: Vec::new(),
+            sections: BySection::default(),
+            taken_branches: 0,
+            capacity: batch_capacity(),
+        }
+    }
+}
+
+impl EventBatch {
+    /// An empty batch at the process-wide [`batch_capacity`], buffers
+    /// allocated lazily on first push.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch holding at most `capacity` events, with the event
+    /// buffer pre-allocated to that capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds [`MAX_BATCH_CAPACITY`]
+    /// (positions are stored as `u32`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity > 0 && capacity <= MAX_BATCH_CAPACITY,
+            "batch capacity must be in 1..={MAX_BATCH_CAPACITY}, got {capacity}"
+        );
+        EventBatch {
+            events: Vec::with_capacity(capacity),
+            branches: Vec::new(),
+            starts: Vec::new(),
+            sections: BySection::default(),
+            taken_branches: 0,
+            capacity,
+        }
+    }
+
+    /// Maximum events the batch holds before it reports
+    /// [`EventBatch::is_full`].
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the batch carries neither events nor pending
+    /// section-start notifications.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.starts.is_empty()
+    }
+
+    /// `true` once the batch holds `capacity` events (time to flush).
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.capacity
+    }
+
+    /// The buffered events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The branch-payload events, densely packed in delivery order —
+    /// the precomputed slice branch-only tools stream instead of
+    /// filtering the full block.
+    pub fn branch_events(&self) -> &[TraceEvent] {
+        &self.branches
+    }
+
+    /// Section-start notifications as `(position, section)`: the
+    /// notification precedes the event at `position` (a position equal
+    /// to [`EventBatch::len`] trails every event). Positions are
+    /// non-decreasing.
+    pub fn section_starts(&self) -> &[(u32, Section)] {
+        &self.starts
+    }
+
+    /// Buffered instructions per section.
+    pub fn sections(&self) -> BySection<u64> {
+        self.sections
+    }
+
+    /// Aggregate counters over the buffered events.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            instructions: self.events.len() as u64,
+            branches: self.branches.len() as u64,
+            taken_branches: self.taken_branches,
+        }
+    }
+
+    /// Appends an event, maintaining the branch index and counters.
+    ///
+    /// Producers should check [`EventBatch::is_full`] (and flush) after
+    /// each push; pushing past capacity only grows the block, it is not
+    /// an error.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(branch) = &ev.branch {
+            self.branches.push(ev);
+            if branch.outcome.is_taken() {
+                self.taken_branches += 1;
+            }
+        }
+        *self.sections.get_mut(ev.section) += 1;
+        self.events.push(ev);
+    }
+
+    /// Records an `on_section_start` notification at the current
+    /// position.
+    pub fn push_section_start(&mut self, section: Section) {
+        self.starts.push((self.events.len() as u32, section));
+    }
+
+    /// Empties the batch, retaining buffer allocations for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.branches.clear();
+        self.starts.clear();
+        self.sections = BySection::default();
+        self.taken_branches = 0;
+    }
+
+    /// Delivers the batch to `tool` via
+    /// [`Pintool::on_batch`](crate::Pintool::on_batch) and clears it.
+    /// A no-op on an empty batch.
+    pub fn flush_into<T: Pintool + ?Sized>(&mut self, tool: &mut T) {
+        if self.is_empty() {
+            return;
+        }
+        tool.on_batch(self);
+        self.clear();
+    }
+
+    /// Replays the buffered notifications and events **per event**, in
+    /// the exact order a per-event producer would have delivered them.
+    /// This is the default [`Pintool::on_batch`] implementation, which
+    /// is what makes batched delivery bit-identical for every tool that
+    /// only implements `on_inst`.
+    pub fn replay_into<T: Pintool + ?Sized>(&self, tool: &mut T) {
+        let mut starts = self.starts.iter();
+        let mut next_start = starts.next();
+        for (i, ev) in self.events.iter().enumerate() {
+            while let Some(&(pos, section)) = next_start {
+                if pos as usize > i {
+                    break;
+                }
+                tool.on_section_start(section);
+                next_start = starts.next();
+            }
+            tool.on_inst(ev);
+        }
+        while let Some(&(_, section)) = next_start {
+            tool.on_section_start(section);
+            next_start = starts.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebalance_isa::{Addr, BranchKind, InstClass, Outcome};
+
+    use crate::event::BranchEvent;
+
+    fn other(pc: u64, section: Section) -> TraceEvent {
+        TraceEvent {
+            pc: Addr::new(pc),
+            len: 4,
+            class: InstClass::Other,
+            branch: None,
+            section,
+        }
+    }
+
+    fn branch(pc: u64, taken: bool, section: Section) -> TraceEvent {
+        TraceEvent {
+            pc: Addr::new(pc),
+            len: 6,
+            class: InstClass::Branch(BranchKind::CondDirect),
+            branch: Some(BranchEvent {
+                kind: BranchKind::CondDirect,
+                outcome: Outcome::from_taken(taken),
+                target: Some(Addr::new(0x40)),
+            }),
+            section,
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        calls: Vec<Result<TraceEvent, Section>>,
+    }
+
+    impl Pintool for Recorder {
+        fn on_inst(&mut self, ev: &TraceEvent) {
+            self.calls.push(Ok(*ev));
+        }
+
+        fn on_section_start(&mut self, section: Section) {
+            self.calls.push(Err(section));
+        }
+    }
+
+    #[test]
+    fn push_maintains_index_counts_and_summary() {
+        let mut b = EventBatch::with_capacity(8);
+        assert!(b.is_empty());
+        b.push(other(0x100, Section::Serial));
+        b.push(branch(0x104, true, Section::Parallel));
+        b.push(branch(0x10A, false, Section::Parallel));
+        b.push(other(0x110, Section::Parallel));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.branch_events().len(), 2);
+        assert_eq!(
+            b.branch_events()
+                .iter()
+                .map(|e| e.pc.as_u64())
+                .collect::<Vec<_>>(),
+            vec![0x104, 0x10A],
+            "dense slice keeps delivery order"
+        );
+        assert_eq!(b.sections(), BySection::new(1, 3));
+        let s = b.summary();
+        assert_eq!((s.instructions, s.branches, s.taken_branches), (4, 2, 1));
+        assert!(!b.is_full());
+        for i in 0..4 {
+            b.push(other(0x200 + i * 4, Section::Serial));
+        }
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn replay_into_interleaves_starts_at_recorded_positions() {
+        let mut b = EventBatch::with_capacity(8);
+        b.push_section_start(Section::Serial);
+        b.push(other(0x100, Section::Serial));
+        b.push_section_start(Section::Parallel);
+        b.push_section_start(Section::Serial);
+        b.push(other(0x104, Section::Serial));
+        b.push_section_start(Section::Parallel); // trailing
+        let mut rec = Recorder::default();
+        b.replay_into(&mut rec);
+        assert_eq!(
+            rec.calls,
+            vec![
+                Err(Section::Serial),
+                Ok(other(0x100, Section::Serial)),
+                Err(Section::Parallel),
+                Err(Section::Serial),
+                Ok(other(0x104, Section::Serial)),
+                Err(Section::Parallel),
+            ]
+        );
+    }
+
+    #[test]
+    fn starts_only_batch_is_not_empty_and_flushes() {
+        let mut b = EventBatch::with_capacity(4);
+        b.push_section_start(Section::Parallel);
+        assert_eq!(b.len(), 0);
+        assert!(!b.is_empty(), "a pending start must not be dropped");
+        let mut rec = Recorder::default();
+        b.flush_into(&mut rec);
+        assert_eq!(rec.calls, vec![Err(Section::Parallel)]);
+        assert!(b.is_empty());
+        // Flushing an empty batch delivers nothing.
+        b.flush_into(&mut rec);
+        assert_eq!(rec.calls.len(), 1);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_counters() {
+        let mut b = EventBatch::with_capacity(2);
+        b.push(branch(0x100, true, Section::Serial));
+        b.push_section_start(Section::Parallel);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.summary(), RunSummary::default());
+        assert_eq!(b.sections(), BySection::default());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventBatch::with_capacity(0);
+    }
+
+    #[test]
+    fn default_capacity_is_positive() {
+        assert!(batch_capacity() > 0);
+        assert_eq!(EventBatch::new().capacity(), batch_capacity());
+    }
+}

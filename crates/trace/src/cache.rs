@@ -238,6 +238,11 @@ impl fmt::Display for CacheStats {
             self.hit_rate() * 100.0,
             self.bytes_read as f64 / 1e6,
             self.bytes_written as f64 / 1e6,
+        )?;
+        write!(
+            f,
+            " | degraded: {} rejected, {} write failures",
+            self.rejected, self.write_failures
         )
     }
 }
@@ -700,6 +705,10 @@ mod tests {
         assert_eq!(stats.write_failures, 1);
         assert_eq!(stats.generations, 1);
         assert_eq!(stats.bytes_written, 0);
+        assert!(
+            stats.to_string().contains("1 write failures"),
+            "write failures must survive into the printed report: {stats}"
+        );
     }
 
     #[test]
@@ -730,7 +739,11 @@ mod tests {
         let delta = cache.stats().since(&before);
         assert_eq!(delta.bytes_written, info2.total_bytes);
         assert_eq!(delta.hits, 0);
-        assert!(!delta.to_string().is_empty());
+        let text = delta.to_string();
+        assert!(
+            text.contains("0 rejected") && text.contains("0 write failures"),
+            "degraded-mode accounting must be visible: {text}"
+        );
         cleanup(cache);
     }
 

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng as _};
 use rebalance_isa::{Addr, InstClass, Outcome};
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{BatchSink, DirectSink, EventBatch, EventSink};
 use crate::event::{BranchEvent, TraceEvent};
 use crate::observer::Pintool;
 use crate::program::{BlockId, CondBehavior, IterCount, Program, Terminator};
@@ -60,6 +61,8 @@ pub struct Interpreter<'p> {
     /// through. `None`: the next encounter re-draws the trip count.
     loop_state: Vec<Option<u32>>,
     periodic_pos: Vec<u16>,
+    /// Reusable batch buffer for standalone [`Interpreter::run`] calls.
+    scratch: EventBatch,
 }
 
 impl<'p> Interpreter<'p> {
@@ -71,6 +74,7 @@ impl<'p> Interpreter<'p> {
             call_stack: Vec::new(),
             loop_state: vec![None; program.num_blocks()],
             periodic_pos: vec![0; program.num_blocks()],
+            scratch: EventBatch::new(),
         }
     }
 
@@ -81,6 +85,11 @@ impl<'p> Interpreter<'p> {
 
     /// Executes up to `max_insts` instructions starting at `entry`,
     /// delivering every instruction to `tool` tagged with `section`.
+    ///
+    /// Delivery is block-at-a-time through a reusable internal
+    /// [`EventBatch`] (flushed before returning); tools that only
+    /// implement [`Pintool::on_inst`] observe the identical per-event
+    /// call sequence via the default [`Pintool::on_batch`].
     ///
     /// Reaching an [`Terminator::Exit`] block restarts execution at
     /// `entry` with a cleared call stack — modelling the application's
@@ -98,11 +107,57 @@ impl<'p> Interpreter<'p> {
         max_insts: u64,
         tool: &mut T,
     ) -> RunSummary {
+        let mut batch = std::mem::take(&mut self.scratch);
+        let summary = self.run_batched(entry, section, max_insts, &mut batch, tool);
+        batch.flush_into(tool);
+        self.scratch = batch;
+        summary
+    }
+
+    /// [`Interpreter::run`] emitting into a caller-owned batch: the
+    /// batch is flushed into `tool` whenever it fills, and whatever
+    /// remains buffered at return is **left in the batch**, so a
+    /// [`Schedule`](crate::Schedule) can thread one buffer through many
+    /// phases and let blocks span phase boundaries. The caller owns the
+    /// final [`EventBatch::flush_into`].
+    pub fn run_batched<T: Pintool + ?Sized>(
+        &mut self,
+        entry: BlockId,
+        section: Section,
+        max_insts: u64,
+        batch: &mut EventBatch,
+        tool: &mut T,
+    ) -> RunSummary {
+        self.run_core(entry, section, max_insts, &mut BatchSink { batch, tool })
+    }
+
+    /// [`Interpreter::run`] with strict per-event delivery (one
+    /// `on_inst` per instruction, no batching) — the pre-batching code
+    /// path, kept as the baseline batched delivery is verified
+    /// bit-identical against.
+    pub fn run_per_event<T: Pintool + ?Sized>(
+        &mut self,
+        entry: BlockId,
+        section: Section,
+        max_insts: u64,
+        tool: &mut T,
+    ) -> RunSummary {
+        self.run_core(entry, section, max_insts, &mut DirectSink(tool))
+    }
+
+    /// The CFG walk shared by both delivery modes.
+    fn run_core<S: EventSink>(
+        &mut self,
+        entry: BlockId,
+        section: Section,
+        max_insts: u64,
+        sink: &mut S,
+    ) -> RunSummary {
         let mut summary = RunSummary::default();
         if max_insts == 0 {
             return summary;
         }
-        tool.on_section_start(section);
+        sink.section_start(section);
         let mut current = entry;
         'outer: loop {
             let blk = &self.program.blocks[current.index()];
@@ -116,14 +171,13 @@ impl<'p> Interpreter<'p> {
                     break 'outer;
                 }
                 let (off, len) = blk.inst_offsets[i];
-                let ev = TraceEvent {
+                sink.event(TraceEvent {
                     pc: blk.start + u64::from(off),
                     len,
                     class: InstClass::Other,
                     branch: None,
                     section,
-                };
-                tool.on_inst(&ev);
+                });
                 summary.instructions += 1;
             }
 
@@ -148,7 +202,7 @@ impl<'p> Interpreter<'p> {
                     let kind = term.branch_kind().expect("non-branch handled above");
                     let (outcome, target_block, target_addr, next) =
                         self.resolve_branch(current, term, entry);
-                    let ev = TraceEvent {
+                    sink.event(TraceEvent {
                         pc,
                         len,
                         class: InstClass::Branch(kind),
@@ -158,8 +212,7 @@ impl<'p> Interpreter<'p> {
                             target: target_addr,
                         }),
                         section,
-                    };
-                    tool.on_inst(&ev);
+                    });
                     summary.instructions += 1;
                     summary.branches += 1;
                     if outcome.is_taken() {
@@ -617,6 +670,57 @@ mod tests {
         assert_eq!(a.taken_branches, 3);
         assert!((a.branch_ratio() - 5.0 / 15.0).abs() < 1e-12);
         assert_eq!(RunSummary::default().branch_ratio(), 0.0);
+    }
+
+    #[test]
+    fn batched_run_matches_per_event_run_bit_identically() {
+        let (p, entry) = loop_program(IterCount::Geometric { mean: 5.0 });
+        let collect = |batched: Option<usize>| {
+            let mut calls: Vec<Result<TraceEvent, Section>> = Vec::new();
+            struct Rec<'a>(&'a mut Vec<Result<TraceEvent, Section>>);
+            impl Pintool for Rec<'_> {
+                fn on_inst(&mut self, ev: &TraceEvent) {
+                    self.0.push(Ok(*ev));
+                }
+                fn on_section_start(&mut self, section: Section) {
+                    self.0.push(Err(section));
+                }
+            }
+            let mut interp = p.interpreter(13);
+            let summary = match batched {
+                None => interp.run_per_event(entry, Section::Parallel, 4_097, &mut Rec(&mut calls)),
+                Some(cap) => {
+                    let mut batch = EventBatch::with_capacity(cap);
+                    let s = interp.run_batched(
+                        entry,
+                        Section::Parallel,
+                        4_097,
+                        &mut batch,
+                        &mut Rec(&mut calls),
+                    );
+                    batch.flush_into(&mut Rec(&mut calls));
+                    s
+                }
+            };
+            (calls, summary)
+        };
+        let baseline = collect(None);
+        for cap in [1usize, 7, 4096, 100_000] {
+            assert_eq!(collect(Some(cap)), baseline, "capacity {cap}");
+        }
+        // The plain `run` front (internal scratch batch) matches too.
+        let mut pcs = Vec::new();
+        let mut tool = FnTool::new(|ev: &TraceEvent| pcs.push(ev.pc));
+        let s = p
+            .interpreter(13)
+            .run(entry, Section::Parallel, 4_097, &mut tool);
+        assert_eq!(s, baseline.1);
+        let expected: Vec<_> = baseline
+            .0
+            .iter()
+            .filter_map(|c| c.as_ref().ok().map(|ev| ev.pc))
+            .collect();
+        assert_eq!(pcs, expected);
     }
 
     #[test]

@@ -19,11 +19,16 @@
 //! * a phase schedule ([`Schedule`], [`Phase`]) that alternates serial and
 //!   parallel sections the way an OpenMP master thread does,
 //! * the one-pass sweep engine ([`SweepEngine`], [`ToolSet`],
-//!   [`Executor`]): N tools share one replay, items run in parallel, and
+//!   [`Executor`]): N tools share one replay, items run in parallel,
 //! * a binary snapshot format ([`snapshot`]) with an on-disk,
 //!   content-addressed replay cache ([`TraceCache`]): traces are
 //!   generated once and replayed from disk forever, with
-//!   [`Report`]-able hit/miss accounting.
+//!   [`Report`]-able hit/miss accounting, and
+//! * block-at-a-time event delivery ([`EventBatch`],
+//!   [`Pintool::on_batch`]): producers hand tools ~[`batch_capacity`]
+//!   events per call instead of one, with a precomputed branch-index
+//!   slice and per-section counts so hot tools skip the events they
+//!   ignore — bit-identical to per-event delivery by construction.
 //!
 //! # Examples
 //!
@@ -69,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod builder;
 mod by_section;
 mod cache;
@@ -86,6 +92,9 @@ pub mod stats;
 mod sweep;
 mod toolset;
 
+pub use batch::{
+    batch_capacity, EventBatch, BATCH_ENV, DEFAULT_BATCH_CAPACITY, MAX_BATCH_CAPACITY,
+};
 pub use builder::ProgramBuilder;
 pub use by_section::BySection;
 pub use cache::{CacheError, CacheStats, CachedReplay, TraceCache, TraceKey, SNAPSHOT_EXT};

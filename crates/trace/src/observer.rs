@@ -1,5 +1,6 @@
 //! The `Pintool` observer interface and combinators.
 
+use crate::batch::EventBatch;
 use crate::event::TraceEvent;
 use crate::section::Section;
 
@@ -10,10 +11,18 @@ use crate::section::Section;
 /// [`Pintool::on_inst`]. Tools that care about phase boundaries can
 /// override [`Pintool::on_section_start`].
 ///
+/// Producers deliver events **block-at-a-time** through
+/// [`Pintool::on_batch`]; its default implementation replays the batch
+/// into `on_inst`/`on_section_start` in the exact per-event order, so a
+/// tool that only implements `on_inst` observes an identical call
+/// sequence either way. Hot tools override `on_batch` with a tight loop
+/// over [`EventBatch::events`] or the precomputed dense
+/// [`EventBatch::branch_events`] slice.
+///
 /// # Examples
 ///
 /// ```
-/// use rebalance_trace::{Pintool, TraceEvent};
+/// use rebalance_trace::{EventBatch, Pintool, TraceEvent};
 ///
 /// #[derive(Default)]
 /// struct TakenCounter {
@@ -26,6 +35,11 @@ use crate::section::Section;
 ///             self.taken += 1;
 ///         }
 ///     }
+///
+///     // Optional: one add per batch instead of one check per event.
+///     fn on_batch(&mut self, batch: &EventBatch) {
+///         self.taken += batch.summary().taken_branches;
+///     }
 /// }
 /// ```
 pub trait Pintool {
@@ -36,27 +50,40 @@ pub trait Pintool {
     fn on_section_start(&mut self, section: Section) {
         let _ = section;
     }
-}
 
-impl<T: Pintool + ?Sized> Pintool for &mut T {
-    fn on_inst(&mut self, ev: &TraceEvent) {
-        (**self).on_inst(ev);
-    }
-
-    fn on_section_start(&mut self, section: Section) {
-        (**self).on_section_start(section);
+    /// Called with each block of events (and interleaved section
+    /// starts). The default forwards per event, preserving the exact
+    /// per-event call order — override with a tight loop in hot tools.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        batch.replay_into(self);
     }
 }
 
-impl<T: Pintool + ?Sized> Pintool for Box<T> {
-    fn on_inst(&mut self, ev: &TraceEvent) {
-        (**self).on_inst(ev);
-    }
+/// Forwards the full `Pintool` surface through a pointer-like wrapper,
+/// so `&mut T` and `Box<T>` never silently fall back to the default
+/// (slow-path) `on_batch` of a hand-written partial impl.
+macro_rules! impl_pintool_forward {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl<T: Pintool + ?Sized> Pintool for $ty {
+            #[inline]
+            fn on_inst(&mut self, ev: &TraceEvent) {
+                (**self).on_inst(ev);
+            }
 
-    fn on_section_start(&mut self, section: Section) {
-        (**self).on_section_start(section);
-    }
+            #[inline]
+            fn on_section_start(&mut self, section: Section) {
+                (**self).on_section_start(section);
+            }
+
+            #[inline]
+            fn on_batch(&mut self, batch: &EventBatch) {
+                (**self).on_batch(batch);
+            }
+        }
+    )+};
 }
+
+impl_pintool_forward!(&mut T, Box<T>);
 
 macro_rules! impl_pintool_tuple {
     ($($name:ident : $idx:tt),+) => {
@@ -67,6 +94,10 @@ macro_rules! impl_pintool_tuple {
 
             fn on_section_start(&mut self, section: Section) {
                 $(self.$idx.on_section_start(section);)+
+            }
+
+            fn on_batch(&mut self, batch: &EventBatch) {
+                $(self.$idx.on_batch(batch);)+
             }
         }
     };
@@ -87,6 +118,9 @@ pub struct NullTool;
 impl Pintool for NullTool {
     #[inline]
     fn on_inst(&mut self, _ev: &TraceEvent) {}
+
+    #[inline]
+    fn on_batch(&mut self, _batch: &EventBatch) {}
 }
 
 /// Adapts a closure into a [`Pintool`].
@@ -175,6 +209,15 @@ impl Pintool for MultiTool<'_> {
     fn on_section_start(&mut self, section: Section) {
         for t in &mut self.tools {
             t.on_section_start(section);
+        }
+    }
+
+    /// One virtual transition per tool per **batch** instead of per
+    /// event — the whole point of block-at-a-time delivery for
+    /// dynamically-composed tool sets.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        for t in &mut self.tools {
+            t.on_batch(batch);
         }
     }
 }
@@ -274,5 +317,78 @@ mod tests {
         let mut t = NullTool;
         t.on_inst(&ev());
         t.on_section_start(Section::Parallel);
+        t.on_batch(&EventBatch::with_capacity(4));
+    }
+
+    /// A tool whose `on_batch` override is observable: wrappers must
+    /// reach it, not the per-event default.
+    #[derive(Default)]
+    struct BatchAware {
+        batches: u64,
+        insts: u64,
+    }
+
+    impl Pintool for BatchAware {
+        fn on_inst(&mut self, _ev: &TraceEvent) {
+            self.insts += 1;
+        }
+
+        fn on_batch(&mut self, batch: &EventBatch) {
+            self.batches += 1;
+            self.insts += batch.len() as u64;
+        }
+    }
+
+    fn two_event_batch() -> EventBatch {
+        let mut batch = EventBatch::with_capacity(4);
+        batch.push(ev());
+        batch.push(ev());
+        batch
+    }
+
+    #[test]
+    fn wrappers_forward_on_batch_to_the_override() {
+        let batch = two_event_batch();
+        let mut tool = BatchAware::default();
+        {
+            let mut as_ref = &mut tool;
+            <&mut BatchAware as Pintool>::on_batch(&mut as_ref, &batch);
+        }
+        assert_eq!(tool.batches, 1, "&mut T must reach the override");
+        let mut boxed = Box::new(BatchAware::default());
+        <Box<BatchAware> as Pintool>::on_batch(&mut boxed, &batch);
+        assert_eq!(boxed.batches, 1, "Box<T> must reach the override");
+
+        let mut pair = (BatchAware::default(), Recorder::default());
+        pair.on_batch(&batch);
+        assert_eq!(pair.0.batches, 1, "tuples forward whole batches");
+        assert_eq!(pair.1.insts, 2, "default impl replays per event");
+    }
+
+    #[test]
+    fn multi_tool_forwards_whole_batches() {
+        let batch = two_event_batch();
+        let mut a = BatchAware::default();
+        let mut b = Recorder::default();
+        {
+            let mut multi = MultiTool::new().with(&mut a).with(&mut b);
+            multi.on_batch(&batch);
+        }
+        assert_eq!(a.batches, 1);
+        assert_eq!(a.insts, 2);
+        assert_eq!(b.insts, 2);
+    }
+
+    #[test]
+    fn default_on_batch_preserves_per_event_order() {
+        let mut batch = EventBatch::with_capacity(4);
+        batch.push_section_start(Section::Parallel);
+        batch.push(ev());
+        batch.push(ev());
+        batch.push_section_start(Section::Serial);
+        let mut rec = Recorder::default();
+        rec.on_batch(&batch);
+        assert_eq!(rec.insts, 2);
+        assert_eq!(rec.sections, vec![Section::Parallel, Section::Serial]);
     }
 }

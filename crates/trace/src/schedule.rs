@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{batch_capacity, EventBatch};
 use crate::exec::RunSummary;
 use crate::observer::Pintool;
 use crate::program::{BlockId, Program};
@@ -181,9 +182,41 @@ impl SyntheticTrace {
         self
     }
 
-    /// Replays the full schedule into `tool`.
+    /// Replays the full schedule into `tool`, block-at-a-time: one
+    /// reusable [`EventBatch`] (at the process-wide
+    /// [`batch_capacity`](crate::batch_capacity)) is threaded through
+    /// every phase, so blocks span phase boundaries and the tool sees
+    /// `events / capacity` [`Pintool::on_batch`] calls instead of one
+    /// `on_inst` per instruction. Tools without an `on_batch` override
+    /// observe the identical per-event call sequence.
     pub fn replay<T: Pintool + ?Sized>(&self, tool: &mut T) -> RunSummary {
-        self.replay_if(tool, |_| true)
+        self.replay_if(tool, batch_capacity(), |_| true)
+    }
+
+    /// [`SyntheticTrace::replay`] with an explicit batch capacity
+    /// (exercised down to capacity 1 by the equivalence tests).
+    pub fn replay_batched<T: Pintool + ?Sized>(&self, tool: &mut T, capacity: usize) -> RunSummary {
+        self.replay_if(tool, capacity, |_| true)
+    }
+
+    /// Replays the full schedule with strict per-event delivery — the
+    /// pre-batching path, kept as the baseline that batched replay is
+    /// verified bit-identical against (and benchmarked against).
+    pub fn replay_per_event<T: Pintool + ?Sized>(&self, tool: &mut T) -> RunSummary {
+        let mut interp = self.program.interpreter(self.seed);
+        let mut summary = RunSummary::default();
+        for _ in 0..self.schedule.repeat() {
+            for phase in self.schedule.phases() {
+                summary.merge(interp.run_per_event(
+                    phase.entry,
+                    phase.section,
+                    phase.instructions,
+                    tool,
+                ));
+            }
+        }
+        REPLAYS.fetch_add(1, Ordering::Relaxed);
+        summary
     }
 
     /// Replays only the phases of the given section (interpreter state
@@ -194,23 +227,31 @@ impl SyntheticTrace {
         section: Section,
         tool: &mut T,
     ) -> RunSummary {
-        self.replay_if(tool, |p| p.section == section)
+        self.replay_if(tool, batch_capacity(), |p| p.section == section)
     }
 
-    fn replay_if<T, F>(&self, tool: &mut T, mut keep: F) -> RunSummary
+    fn replay_if<T, F>(&self, tool: &mut T, capacity: usize, mut keep: F) -> RunSummary
     where
         T: Pintool + ?Sized,
         F: FnMut(&Phase) -> bool,
     {
         let mut interp = self.program.interpreter(self.seed);
+        let mut batch = EventBatch::with_capacity(capacity);
         let mut summary = RunSummary::default();
         for _ in 0..self.schedule.repeat() {
             for phase in self.schedule.phases() {
                 if keep(phase) {
-                    summary.merge(interp.run(phase.entry, phase.section, phase.instructions, tool));
+                    summary.merge(interp.run_batched(
+                        phase.entry,
+                        phase.section,
+                        phase.instructions,
+                        &mut batch,
+                        tool,
+                    ));
                 }
             }
         }
+        batch.flush_into(tool);
         REPLAYS.fetch_add(1, Ordering::Relaxed);
         summary
     }

@@ -88,6 +88,7 @@ use std::path::Path;
 use rebalance_isa::{Addr, BranchKind, InstClass, Outcome};
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{batch_capacity, BatchSink, DirectSink, EventBatch, EventSink};
 use crate::by_section::BySection;
 use crate::event::{BranchEvent, TraceEvent};
 use crate::exec::RunSummary;
@@ -444,6 +445,11 @@ impl<W: Write> SnapshotWriter<W> {
     }
 }
 
+/// The writer records through the standard observer interface, so it
+/// tees **whole batches** when attached alongside analysis tools (the
+/// tuple/`ToolSet` combinators forward one `on_batch` per block; the
+/// default implementation then drives `on_inst` per event, which is
+/// inherent — the wire format is a per-event encoding).
 impl<W: Write> Pintool for SnapshotWriter<W> {
     fn on_inst(&mut self, ev: &TraceEvent) {
         // A section switch without an explicit marker (a tool fed by
@@ -591,7 +597,13 @@ impl<'a> Snapshot<'a> {
     }
 
     /// Streams the recorded events into `tool`, exactly as the original
-    /// replay delivered them.
+    /// replay delivered them — decoded **block-at-a-time**: varint
+    /// deltas are expanded directly into a reusable [`EventBatch`] (no
+    /// per-event closure or virtual call), and the tool receives whole
+    /// blocks via [`Pintool::on_batch`] at the process-wide
+    /// [`batch_capacity`]. Byte-level validation
+    /// happened once in [`Snapshot::parse`]; the decode loop performs
+    /// only structural checks.
     ///
     /// # Errors
     ///
@@ -601,6 +613,47 @@ impl<'a> Snapshot<'a> {
     /// with the footer counters (both indicate a writer bug — byte
     /// corruption is already excluded by [`Snapshot::parse`]).
     pub fn replay<T: Pintool + ?Sized>(&self, tool: &mut T) -> Result<RunSummary, SnapshotError> {
+        self.replay_batched(tool, batch_capacity())
+    }
+
+    /// [`Snapshot::replay`] with an explicit batch capacity (exercised
+    /// down to capacity 1 by the equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Snapshot::replay`].
+    pub fn replay_batched<T: Pintool + ?Sized>(
+        &self,
+        tool: &mut T,
+        capacity: usize,
+    ) -> Result<RunSummary, SnapshotError> {
+        let mut batch = EventBatch::with_capacity(capacity);
+        let result = self.decode_into(&mut BatchSink {
+            batch: &mut batch,
+            tool,
+        });
+        // Deliver the buffered tail (also on error, so the tool observes
+        // the same prefix a per-event decode would have delivered).
+        batch.flush_into(tool);
+        result
+    }
+
+    /// [`Snapshot::replay`] with strict per-event delivery — the
+    /// pre-batching decode path, kept as the baseline batched decode is
+    /// verified bit-identical against (and benchmarked against).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Snapshot::replay`].
+    pub fn replay_per_event<T: Pintool + ?Sized>(
+        &self,
+        tool: &mut T,
+    ) -> Result<RunSummary, SnapshotError> {
+        self.decode_into(&mut DirectSink(tool))
+    }
+
+    /// The record-stream decode shared by both delivery modes.
+    fn decode_into<S: EventSink>(&self, sink: &mut S) -> Result<RunSummary, SnapshotError> {
         let data = self.records;
         let mut pos = 0usize;
         let mut expected_pc = 0u64;
@@ -622,7 +675,7 @@ impl<'a> Snapshot<'a> {
                     pos += 1;
                     section = section_from_code(code, at)?;
                     if tag == TAG_SECTION_START {
-                        tool.on_section_start(section);
+                        sink.section_start(section);
                     }
                 }
                 0x00..=0x3F => {
@@ -664,14 +717,13 @@ impl<'a> Snapshot<'a> {
                             }),
                         )
                     };
-                    let ev = TraceEvent {
+                    sink.event(TraceEvent {
                         pc: Addr::new(pc),
                         len,
                         class,
                         branch,
                         section,
-                    };
-                    tool.on_inst(&ev);
+                    });
                     expected_pc = pc.wrapping_add(u64::from(len));
                     summary.instructions += 1;
                     *sections.get_mut(section) += 1;

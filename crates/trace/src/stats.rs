@@ -253,6 +253,61 @@ mod tests {
         assert_eq!(s.min(), Some(10.0));
     }
 
+    /// The `branch_ratio`-style division guards: every accessor of an
+    /// empty accumulator is well-defined (no NaN, no panic), and a
+    /// zero-weight push is a true no-op.
+    #[test]
+    fn empty_accumulator_divisions_are_guarded() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0, "empty mean must not be NaN");
+        assert!(s.mean().is_finite());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn zero_weight_push_is_a_full_no_op() {
+        let mut s = OnlineStats::new();
+        s.push_weighted(123.0, 0);
+        assert_eq!(s, OnlineStats::new(), "state untouched by weight 0");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None, "weight 0 must not seed min");
+        assert_eq!(s.max(), None, "weight 0 must not seed max");
+        // A later real sample is unaffected by the discarded one.
+        s.push_weighted(-2.0, 3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), -2.0);
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(-2.0));
+    }
+
+    #[test]
+    fn merging_empties_stays_empty_and_guarded() {
+        let mut a = OnlineStats::new();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+        // Empty-into-populated keeps the population intact.
+        let mut b = OnlineStats::new();
+        b.push(7.0);
+        b.merge(&OnlineStats::new());
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.mean(), 7.0);
+    }
+
+    #[test]
+    fn ratio_and_per_kilo_empty_are_zero_not_nan() {
+        assert_eq!(Ratio::new().value(), 0.0);
+        assert!(Ratio::new().value().is_finite());
+        assert_eq!(PerKilo::new().per_kilo(), 0.0);
+        assert!(PerKilo::new().per_kilo().is_finite());
+        let mut m = PerKilo::new();
+        m.add_events(5); // events without instructions: still guarded
+        assert_eq!(m.per_kilo(), 0.0);
+    }
+
     #[test]
     fn online_stats_merge() {
         let mut a = OnlineStats::new();

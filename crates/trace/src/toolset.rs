@@ -1,6 +1,7 @@
 //! [`ToolSet`]: a homogeneous fan-out combinator — N tools of one type
 //! fed by a single trace replay.
 
+use crate::batch::EventBatch;
 use crate::event::TraceEvent;
 use crate::observer::Pintool;
 use crate::section::Section;
@@ -125,6 +126,16 @@ impl<T: Pintool> Pintool for ToolSet<T> {
     fn on_section_start(&mut self, section: Section) {
         for tool in &mut self.tools {
             tool.on_section_start(section);
+        }
+    }
+
+    /// Fans the whole block out: each tool walks the batch with its own
+    /// (statically dispatched, possibly branch-slice-only) loop while
+    /// the block is hot in cache, instead of interleaving all N tools
+    /// on every single event.
+    fn on_batch(&mut self, batch: &EventBatch) {
+        for tool in &mut self.tools {
+            tool.on_batch(batch);
         }
     }
 }

@@ -1,0 +1,223 @@
+//! End-to-end guarantees of batched (block-at-a-time) event delivery
+//! on real synthesized workloads:
+//!
+//! 1. batched live replay is **bit-identical** to per-event replay —
+//!    same events, same section notifications, same summary — at the
+//!    default capacity, at capacity 1, and at a capacity that lands
+//!    batch edges exactly on phase boundaries;
+//! 2. batched snapshot decode is bit-identical to per-event decode;
+//! 3. every hot tool's `on_batch` override produces exactly the
+//!    results of its per-event path, live and from a snapshot.
+//!
+//! CI runs this file twice: once at the default batch size and once
+//! with `REBALANCE_BATCH=1` (the worst-case block size), so the
+//! process-wide capacity is covered at both extremes.
+
+use rebalance::frontend::predictor::{DirectionPredictor, PredictorSim};
+use rebalance::frontend::{BtbConfig, BtbSim, CacheConfig, ICacheSim, PredictorChoice};
+use rebalance::pintools::{characterization_from_tools, characterization_tools};
+use rebalance::trace::{
+    snapshot, EventBatch, Phase, Pintool, ProgramBuilder, Schedule, Section, Snapshot,
+    SyntheticTrace, Terminator, ToolSet, TraceEvent,
+};
+use rebalance::workloads::find;
+use rebalance::Scale;
+
+/// Records the exact observer call sequence.
+#[derive(Default, PartialEq, Debug)]
+struct CallLog {
+    calls: Vec<Result<TraceEvent, Section>>,
+}
+
+impl Pintool for CallLog {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        self.calls.push(Ok(*ev));
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        self.calls.push(Err(section));
+    }
+}
+
+fn smoke_trace(name: &str) -> SyntheticTrace {
+    find(name).unwrap().trace(Scale::Smoke).unwrap()
+}
+
+#[test]
+fn batched_live_replay_is_bit_identical_to_per_event() {
+    let trace = smoke_trace("CG");
+    let mut baseline = CallLog::default();
+    let base_summary = trace.replay_per_event(&mut baseline);
+
+    // Default capacity (whatever REBALANCE_BATCH says for this run).
+    let mut batched = CallLog::default();
+    let summary = trace.replay(&mut batched);
+    assert_eq!(summary, base_summary);
+    assert_eq!(batched, baseline, "default-capacity replay must match");
+
+    // Worst case (1) and a mid-size capacity.
+    for cap in [1usize, 1013] {
+        let mut b = CallLog::default();
+        let s = trace.replay_batched(&mut b, cap);
+        assert_eq!(s, base_summary, "capacity {cap}");
+        assert_eq!(b, baseline, "capacity {cap} replay must match");
+    }
+}
+
+#[test]
+fn batch_edges_on_section_boundaries_change_nothing() {
+    // Phases of exactly 8 instructions: with capacity 8 every batch
+    // edge lands exactly on a section boundary, with capacity 3 the
+    // boundaries fall mid-batch, with capacity 1 every position is an
+    // edge.
+    let mut b = ProgramBuilder::new();
+    let r = b.region("main");
+    let blk = b.add_block(r, 4, Terminator::Exit);
+    let program = b.build().unwrap();
+    let schedule = Schedule::with_repeat(
+        vec![
+            Phase::new(Section::Serial, blk, 8),
+            Phase::new(Section::Parallel, blk, 8),
+        ],
+        5,
+    );
+    let trace = SyntheticTrace::new(program, schedule, 3);
+
+    let mut baseline = CallLog::default();
+    trace.replay_per_event(&mut baseline);
+    assert_eq!(
+        baseline.calls.iter().filter(|c| c.is_err()).count(),
+        10,
+        "every phase announces itself"
+    );
+    for cap in [1usize, 3, 8, 16] {
+        let mut batched = CallLog::default();
+        trace.replay_batched(&mut batched, cap);
+        assert_eq!(batched, baseline, "capacity {cap}");
+    }
+}
+
+#[test]
+fn batched_snapshot_decode_is_bit_identical_to_per_event_decode() {
+    let trace = smoke_trace("CoMD");
+    let (bytes, info) = snapshot::snapshot_bytes(&trace, 0).unwrap();
+    let snapshot = Snapshot::parse(&bytes).unwrap();
+
+    let mut baseline = CallLog::default();
+    let base_summary = snapshot.replay_per_event(&mut baseline).unwrap();
+    assert_eq!(base_summary, info.summary);
+
+    let mut batched = CallLog::default();
+    let summary = snapshot.replay(&mut batched).unwrap();
+    assert_eq!(summary, base_summary);
+    assert_eq!(batched, baseline, "default-capacity decode must match");
+
+    for cap in [1usize, 977] {
+        let mut b = CallLog::default();
+        let s = snapshot.replay_batched(&mut b, cap).unwrap();
+        assert_eq!(s, base_summary, "capacity {cap}");
+        assert_eq!(b, baseline, "capacity {cap} decode must match");
+    }
+
+    // And the decoded stream equals the live stream (the PR 2
+    // guarantee survives batching).
+    let mut live = CallLog::default();
+    trace.replay(&mut live);
+    assert_eq!(live, baseline);
+}
+
+/// Every hot front-end tool + the characterization set, batched vs
+/// per-event, live and snapshot-decoded: reports must be equal.
+#[test]
+fn hot_tool_on_batch_overrides_match_per_event_results() {
+    let trace = smoke_trace("FT");
+
+    fn predictor_sims() -> ToolSet<PredictorSim<Box<dyn DirectionPredictor>>> {
+        ToolSet::from_tools(PredictorChoice::build_sims(&PredictorChoice::figure5_set()))
+    }
+
+    let static_bytes = trace.program().static_bytes();
+
+    // One measurement = all tools over one shared replay, delivered by
+    // the requested mode. Returns comparable report values.
+    type Measured = (
+        Vec<rebalance::frontend::predictor::PredictorReport>,
+        rebalance::frontend::BtbReport,
+        rebalance::frontend::ICacheReport,
+        rebalance::Characterization,
+    );
+    let measure = |mode: &str, cap: usize| -> Measured {
+        let mut preds = predictor_sims();
+        let mut btb = BtbSim::new(BtbConfig::new(512, 4));
+        let mut icache = ICacheSim::new(CacheConfig::new(16 * 1024, 64, 4));
+        let mut chars = characterization_tools();
+        {
+            let mut tools = (&mut preds, &mut btb, &mut icache, &mut chars);
+            match mode {
+                "per-event" => {
+                    trace.replay_per_event(&mut tools);
+                }
+                "batched" => {
+                    trace.replay_batched(&mut tools, cap);
+                }
+                "snapshot" => {
+                    let (bytes, _) = snapshot::snapshot_bytes(&trace, 0).unwrap();
+                    Snapshot::parse(&bytes)
+                        .unwrap()
+                        .replay_batched(&mut tools, cap)
+                        .unwrap();
+                }
+                other => panic!("unknown mode {other}"),
+            }
+        }
+        (
+            preds.iter().map(|s| s.report()).collect(),
+            btb.report(),
+            icache.report(),
+            characterization_from_tools(chars, static_bytes, Default::default()),
+        )
+    };
+
+    let baseline = measure("per-event", 0);
+    for cap in [1usize, rebalance::trace::batch_capacity()] {
+        assert_eq!(
+            measure("batched", cap),
+            baseline,
+            "live batched (cap {cap}) diverged from per-event results"
+        );
+        assert_eq!(
+            measure("snapshot", cap),
+            baseline,
+            "snapshot batched (cap {cap}) diverged from per-event results"
+        );
+    }
+}
+
+/// Hand-filled batches flush their buffered tail (including
+/// trailing section starts) exactly once.
+#[test]
+fn manual_batch_round_trip() {
+    let trace = smoke_trace("EP");
+    let mut events = Vec::new();
+    {
+        let mut tool = rebalance::trace::FnTool::new(|ev: &TraceEvent| events.push(*ev));
+        trace.replay_per_event(&mut tool);
+    }
+
+    let mut batch = EventBatch::with_capacity(64);
+    let mut replayed = CallLog::default();
+    for ev in &events {
+        batch.push(*ev);
+        if batch.is_full() {
+            batch.flush_into(&mut replayed);
+        }
+    }
+    batch.flush_into(&mut replayed);
+    let got: Vec<_> = replayed
+        .calls
+        .iter()
+        .filter_map(|c| c.as_ref().ok())
+        .copied()
+        .collect();
+    assert_eq!(got, events);
+}

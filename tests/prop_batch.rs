@@ -1,0 +1,194 @@
+//! Property tests for block-at-a-time delivery: for **arbitrary**
+//! event streams (arbitrary pcs, lengths, branch shapes, sections, and
+//! section-start placement) and arbitrary batch capacities — including
+//! the degenerate capacity 1, where every position is a batch edge —
+//! batched delivery is bit-identical to per-event delivery:
+//!
+//! 1. pushing the stream through an [`EventBatch`] and flushing on
+//!    capacity reproduces the exact per-event call sequence,
+//! 2. decoding a snapshot of the stream block-at-a-time equals the
+//!    per-event decode, and
+//! 3. a stateful, section-sensitive tool ([`BasicBlockTool`], which
+//!    relies on the default batch delivery to replay its section
+//!    boundaries in order) accumulates identical statistics either
+//!    way — even when boundaries land exactly on batch edges.
+
+use proptest::prelude::*;
+
+use rebalance::isa::{Addr, InstClass, Outcome};
+use rebalance::pintools::BasicBlockTool;
+use rebalance::trace::snapshot::KIND_TABLE;
+use rebalance::trace::{
+    BranchEvent, EventBatch, Pintool, Section, Snapshot, SnapshotWriter, TraceEvent,
+};
+
+/// One drawn raw event: `(class selector, pc, len, taken, target,
+/// parallel?)` — the same shape as `prop_snapshot`'s strategy, kept
+/// within the vendored proptest's 6-element tuple limit.
+type RawEvent = (u8, u64, u8, bool, u64, bool);
+
+fn build_event(raw: RawEvent) -> TraceEvent {
+    let (class_sel, pc, len, taken, target, parallel) = raw;
+    let section = if parallel {
+        Section::Parallel
+    } else {
+        Section::Serial
+    };
+    let (class, branch) = if class_sel == 0 {
+        (InstClass::Other, None)
+    } else {
+        let kind = KIND_TABLE[usize::from(class_sel - 1) % KIND_TABLE.len()];
+        let target = (target % 2 == 0).then_some(Addr::new(target));
+        (
+            InstClass::Branch(kind),
+            Some(BranchEvent {
+                kind,
+                outcome: Outcome::from_taken(taken),
+                target,
+            }),
+        )
+    };
+    TraceEvent {
+        pc: Addr::new(pc),
+        len,
+        class,
+        branch,
+        section,
+    }
+}
+
+/// A section boundary precedes the event iff its drawn pc is 0 mod 7 —
+/// arbitrary but deterministic placement, so boundaries land on batch
+/// edges for many (raws, capacity) draws.
+fn boundary_here(raw: &RawEvent) -> bool {
+    raw.1.is_multiple_of(7)
+}
+
+#[derive(Default, PartialEq, Debug)]
+struct CallLog {
+    calls: Vec<Result<TraceEvent, Section>>,
+}
+
+impl Pintool for CallLog {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        self.calls.push(Ok(*ev));
+    }
+
+    fn on_section_start(&mut self, section: Section) {
+        self.calls.push(Err(section));
+    }
+}
+
+/// Feeds the stream per event into `tool`, the baseline delivery.
+fn deliver_per_event<T: Pintool>(raws: &[RawEvent], tool: &mut T) {
+    for raw in raws {
+        let ev = build_event(*raw);
+        if boundary_here(raw) {
+            tool.on_section_start(ev.section);
+        }
+        tool.on_inst(&ev);
+    }
+}
+
+/// Feeds the stream through an [`EventBatch`] of the given capacity,
+/// flushing whenever it fills, exactly as the producers do.
+fn deliver_batched<T: Pintool>(raws: &[RawEvent], capacity: usize, tool: &mut T) {
+    let mut batch = EventBatch::with_capacity(capacity);
+    for raw in raws {
+        let ev = build_event(*raw);
+        if boundary_here(raw) {
+            batch.push_section_start(ev.section);
+        }
+        batch.push(ev);
+        if batch.is_full() {
+            batch.flush_into(tool);
+        }
+    }
+    batch.flush_into(tool);
+}
+
+/// Snapshot-encodes the stream the way a live replay would.
+fn encode(raws: &[RawEvent]) -> Vec<u8> {
+    let mut writer = SnapshotWriter::new(Vec::new(), 1, 0);
+    deliver_per_event(raws, &mut writer);
+    writer.finish().expect("Vec sink cannot fail").0
+}
+
+fn raw_events(max: usize) -> impl Strategy<Value = Vec<RawEvent>> {
+    proptest::collection::vec(
+        (
+            0u8..8,
+            any::<u64>(),
+            1u8..=15,
+            any::<bool>(),
+            any::<u64>(),
+            any::<bool>(),
+        ),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Live-side equivalence: the batch buffer itself preserves the
+    /// call sequence for any stream and any capacity.
+    #[test]
+    fn batched_delivery_is_bit_identical_to_per_event(
+        raws in raw_events(120),
+        capacity in 1usize..10,
+    ) {
+        let mut baseline = CallLog::default();
+        deliver_per_event(&raws, &mut baseline);
+        let mut batched = CallLog::default();
+        deliver_batched(&raws, capacity, &mut batched);
+        prop_assert_eq!(batched, baseline);
+    }
+
+    /// Snapshot-side equivalence: batched decode equals per-event
+    /// decode (and both equal the original stream).
+    #[test]
+    fn batched_decode_is_bit_identical_to_per_event_decode(
+        raws in raw_events(120),
+        capacity in 1usize..10,
+    ) {
+        let bytes = encode(&raws);
+        let snapshot = Snapshot::parse(&bytes).expect("writer output parses");
+
+        let mut baseline = CallLog::default();
+        let base_summary = snapshot.replay_per_event(&mut baseline).expect("decodes");
+
+        let mut original = CallLog::default();
+        deliver_per_event(&raws, &mut original);
+        prop_assert_eq!(&baseline, &original, "per-event decode = recorded stream");
+
+        let mut batched = CallLog::default();
+        let summary = snapshot.replay_batched(&mut batched, capacity).expect("decodes");
+        prop_assert_eq!(batched, baseline);
+        prop_assert_eq!(summary, base_summary);
+    }
+
+    /// A stateful section-sensitive tool: `BasicBlockTool` resets its
+    /// open block/run at every section boundary, so batch delivery
+    /// must replay boundaries in exactly the right slots — including
+    /// boundaries that land on (or trail) a batch edge and the
+    /// capacity-1 case where every event is its own batch.
+    #[test]
+    fn stateful_tool_statistics_survive_batching(
+        raws in raw_events(120),
+        capacity in 1usize..10,
+    ) {
+        let mut baseline = BasicBlockTool::new();
+        deliver_per_event(&raws, &mut baseline);
+        let mut batched = BasicBlockTool::new();
+        deliver_batched(&raws, capacity, &mut batched);
+        prop_assert_eq!(batched.report(), baseline.report());
+
+        // And through the snapshot decoder.
+        let bytes = encode(&raws);
+        let snapshot = Snapshot::parse(&bytes).expect("parses");
+        let mut decoded = BasicBlockTool::new();
+        snapshot.replay_batched(&mut decoded, capacity).expect("decodes");
+        prop_assert_eq!(decoded.report(), baseline.report());
+    }
+}
