@@ -1,7 +1,7 @@
 //! Minimal flag parsing shared by the subcommands (the workspace builds
 //! offline, so no clap — the same hand-rolled style as `repro`).
 
-use rebalance_workloads::Scale;
+use rebalance_workloads::{Scale, Suite};
 
 /// Accumulates positional arguments and recognized flags; rejects
 /// anything else.
@@ -11,6 +11,8 @@ pub struct Parsed {
     pub positional: Vec<String>,
     /// `--scale` value (default smoke: CLI runs favor fast iteration).
     pub scale: Scale,
+    /// `--suite NAME` (restrict the selection to one suite).
+    pub suite: Option<Suite>,
     /// `--cache DIR`.
     pub cache_dir: Option<String>,
     /// `--no-cache`.
@@ -46,6 +48,12 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
             }
             "--cache" => {
                 parsed.cache_dir = Some(it.next().ok_or("--cache needs a directory")?.clone());
+            }
+            "--suite" => {
+                let v = it.next().ok_or("--suite needs a name")?;
+                parsed.suite = Some(Suite::parse(v).ok_or_else(|| {
+                    format!("unknown suite `{v}` (expected: exmatex specomp npb specint kernels)")
+                })?);
             }
             "--json" => {
                 parsed.json_dir = Some(it.next().ok_or("--json needs a directory")?.clone());
@@ -129,7 +137,8 @@ pub fn configure_batch_env(parsed: &Parsed) {
     }
 }
 
-/// Resolves workload names (or the whole roster) into `Workload`s.
+/// Resolves a suite filter, workload names, or the whole roster into
+/// `Workload`s.
 ///
 /// # Errors
 ///
@@ -137,7 +146,16 @@ pub fn configure_batch_env(parsed: &Parsed) {
 pub fn resolve_workloads(
     names: &[String],
     all: bool,
+    suite: Option<Suite>,
 ) -> Result<Vec<rebalance_workloads::Workload>, String> {
+    if let Some(suite) = suite {
+        if !names.is_empty() || all {
+            return Err(
+                "--suite is mutually exclusive with --all and explicit workload names".into(),
+            );
+        }
+        return Ok(rebalance_workloads::by_suite(suite));
+    }
     if all || names.is_empty() {
         return Ok(rebalance_workloads::all());
     }
@@ -191,9 +209,32 @@ mod tests {
 
     #[test]
     fn workload_resolution() {
-        let ws = resolve_workloads(&argv(&["CG,FT", "gcc"]), false).unwrap();
+        let ws = resolve_workloads(&argv(&["CG,FT", "gcc"]), false, None).unwrap();
         assert_eq!(ws.len(), 3);
-        assert!(resolve_workloads(&argv(&["nope"]), false).is_err());
-        assert_eq!(resolve_workloads(&[], false).unwrap().len(), 41);
+        assert!(resolve_workloads(&argv(&["nope"]), false, None).is_err());
+        assert_eq!(
+            resolve_workloads(&[], false, None).unwrap().len(),
+            rebalance_workloads::all().len()
+        );
+        // A suite filter selects exactly that suite's roster.
+        let kernels = resolve_workloads(&[], false, Some(Suite::Kernels)).unwrap();
+        assert!(kernels.len() >= 6);
+        assert!(kernels.iter().all(|w| w.suite() == Suite::Kernels));
+    }
+
+    #[test]
+    fn parses_suite_filter() {
+        let p = parse(&argv(&["--suite", "kernels"])).unwrap();
+        assert_eq!(p.suite, Some(Suite::Kernels));
+        assert!(parse(&argv(&["--suite"])).is_err());
+        assert!(parse(&argv(&["--suite", "quake3"])).is_err());
+        assert!(
+            resolve_workloads(&argv(&["CG"]), false, Some(Suite::Npb)).is_err(),
+            "suite filter and names are mutually exclusive"
+        );
+        assert!(
+            resolve_workloads(&[], true, Some(Suite::Npb)).is_err(),
+            "suite filter and --all are mutually exclusive"
+        );
     }
 }

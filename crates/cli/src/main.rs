@@ -5,6 +5,8 @@
 //! rebalance trace info  <file.rbts>...            # header/footer of snapshot files
 //! rebalance trace verify <file.rbts>...           # full checksum + structure check
 //! rebalance sweep --scale quick                   # predictor sweep, cache-served
+//! rebalance sweep --suite kernels                 # kernel-archetype sweep
+//! rebalance workloads list --suite kernels        # roster with design knobs
 //! rebalance paper fig5 table3 --scale quick       # regenerate paper exhibits
 //! ```
 //!
@@ -19,6 +21,7 @@ mod args;
 mod paper_cmd;
 mod sweep_cmd;
 mod trace_cmd;
+mod workloads_cmd;
 
 /// Cache directory used when `--cache` is not given.
 const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
@@ -42,12 +45,15 @@ fn usage() -> ExitCode {
          \x20     print header/footer metadata of snapshot files\n\
          \x20 trace verify <FILE...> [--batch-size N]\n\
          \x20     fully validate snapshot files (framing, checksum, structure)\n\
-         \x20 sweep [--workloads A,B,...] [--scale S] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     run the nine-predictor sweep, replays served from the cache\n\
+         \x20 workloads list [--suite S]\n\
+         \x20     list the registered roster (paper suites + kernel archetypes)\n\
          \x20 paper [EXHIBIT...|all] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
          \n\
          scales: smoke | quick | full | <positive factor>   (default: smoke)\n\
+         suites: exmatex | specomp | npb | specint | kernels\n\
          --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)"
     );
     ExitCode::from(2)
@@ -70,6 +76,10 @@ fn main() -> ExitCode {
         },
         "sweep" => sweep_cmd::run(rest),
         "paper" => paper_cmd::run(rest),
+        "workloads" => match rest.split_first() {
+            Some((sub, rest)) if sub == "list" => workloads_cmd::list(rest),
+            _ => return usage(),
+        },
         "--help" | "-h" | "help" => return usage(),
         _ => return usage(),
     };

@@ -15,6 +15,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::forbid(&[
         (parsed.force, "--force"),
         (parsed.all, "--all (use the `all` exhibit name)"),
+        (
+            parsed.suite.is_some(),
+            "--suite (exhibits define their own rosters)",
+        ),
     ])?;
     args::configure_cache_env(&parsed);
     args::configure_batch_env(&parsed);

@@ -9,15 +9,16 @@ use rebalance_workloads::Suite;
 
 use crate::args;
 
-/// Runs the sweep and prints per-suite mean MPKI plus the shared
-/// replay/cache report.
+/// Runs the sweep and prints MPKI plus the shared replay/cache report:
+/// per-suite means over multi-suite selections, per-workload rows when
+/// a single suite is selected (`--suite kernels` reads best that way).
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     args::forbid(&[
         (parsed.json_dir.is_some(), "--json"),
         (parsed.force, "--force"),
     ])?;
-    let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
+    let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     // The experiments crate opens its process-wide cache from the
     // environment on first use; this routes every replay below through
     // the on-disk cache (or explicitly disables it). The batch size is
@@ -30,22 +31,49 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         PredictorChoice::build_sims(&configs)
     });
 
-    let mut table = TextTable::new(vec!["config", "ExMatEx", "SPEC OMP", "NPB", "SPEC CPU INT"]);
-    for (ci, config) in configs.iter().enumerate() {
-        let mut cells = vec![config.label()];
-        for suite in Suite::ALL {
-            let mpki = util::mean(
-                outcomes
-                    .iter()
-                    .filter(|o| o.item.suite() == suite)
-                    .map(|o| o.tools[ci].report().total().mpki()),
-            );
-            cells.push(f2(mpki));
+    let suites: Vec<Suite> = Suite::ALL
+        .into_iter()
+        .filter(|s| outcomes.iter().any(|o| o.item.suite() == *s))
+        .collect();
+
+    let table = if suites.len() == 1 {
+        // Single suite: per-workload rows, configs as columns.
+        let mut header = vec!["workload".to_owned()];
+        header.extend(configs.iter().map(|c| c.label()));
+        let mut t = TextTable::new(header);
+        for o in &outcomes {
+            let mut cells = vec![o.item.name().to_owned()];
+            cells.extend(o.tools.iter().map(|s| f2(s.report().total().mpki())));
+            t.row(cells);
         }
-        table.row(cells);
-    }
+        t
+    } else {
+        // Multi-suite: per-suite means, suites as columns.
+        let mut header = vec!["config".to_owned()];
+        header.extend(suites.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
+        for (ci, config) in configs.iter().enumerate() {
+            let mut cells = vec![config.label()];
+            for suite in &suites {
+                let mpki = util::mean(
+                    outcomes
+                        .iter()
+                        .filter(|o| o.item.suite() == *suite)
+                        .map(|o| o.tools[ci].report().total().mpki()),
+                );
+                cells.push(f2(mpki));
+            }
+            t.row(cells);
+        }
+        t
+    };
+    let heading = if suites.len() == 1 {
+        format!("branch MPKI per workload ({} suite)", suites[0])
+    } else {
+        "branch MPKI per predictor configuration (mean per suite)".to_owned()
+    };
     crate::print_ignoring_pipe(&format!(
-        "branch MPKI per predictor configuration (mean per suite)\n{}{}\n",
+        "{heading}\n{}{}\n",
         table.render(),
         util::sweep_report()
     ));

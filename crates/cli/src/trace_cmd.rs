@@ -17,6 +17,7 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
         (parsed.json_dir.is_some(), "--json"),
         (parsed.all, "--all"),
         (parsed.force, "--force"),
+        (parsed.suite.is_some(), "--suite"),
     ])
 }
 
@@ -74,7 +75,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.json_dir.is_some(), "--json"),
     ])?;
     args::configure_batch_env(&parsed);
-    let workloads = args::resolve_workloads(&parsed.positional, parsed.all)?;
+    let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;
     let scale = parsed.scale;
 

@@ -14,7 +14,7 @@ pub struct Fig7Row {
     /// Associativity.
     pub assoc: usize,
     /// Mean MPKI per suite in [`Suite::ALL`] order.
-    pub mpki: [f64; 4],
+    pub mpki: [f64; Suite::COUNT],
 }
 
 /// Figure 7: BTB MPKI vs entries and associativity.
@@ -36,15 +36,13 @@ impl Fig7 {
 
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec!["BTB", "ExMatEx", "SPEC OMP", "NPB", "SPEC CPU INT"]);
+        let mut header = vec!["BTB".to_owned()];
+        header.extend(Suite::ALL.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
         for r in &self.rows {
-            t.row(vec![
-                format!("{}-entry {}-way", r.entries, r.assoc),
-                f2(r.mpki[0]),
-                f2(r.mpki[1]),
-                f2(r.mpki[2]),
-                f2(r.mpki[3]),
-            ]);
+            let mut cells = vec![format!("{}-entry {}-way", r.entries, r.assoc)];
+            cells.extend(r.mpki.iter().map(|m| f2(*m)));
+            t.row(cells);
         }
         format!(
             "Figure 7: BTB MPKI vs size and associativity\n{}",
@@ -80,7 +78,7 @@ pub fn fig7(scale: Scale) -> Fig7 {
         .iter()
         .enumerate()
         .map(|(ci, c)| {
-            let mut mpki = [0.0; 4];
+            let mut mpki = [0.0; Suite::COUNT];
             for (si, suite) in Suite::ALL.iter().enumerate() {
                 mpki[si] = mean(
                     results
@@ -107,7 +105,7 @@ pub struct Fig8Row {
     /// Associativity.
     pub assoc: usize,
     /// Mean MPKI per suite in [`Suite::ALL`] order.
-    pub mpki: [f64; 4],
+    pub mpki: [f64; Suite::COUNT],
 }
 
 /// Figure 8: I-cache MPKI vs size and associativity at 64 B lines.
@@ -129,21 +127,13 @@ impl Fig8 {
 
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec![
-            "I-cache",
-            "ExMatEx",
-            "SPEC OMP",
-            "NPB",
-            "SPEC CPU INT",
-        ]);
+        let mut header = vec!["I-cache".to_owned()];
+        header.extend(Suite::ALL.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
         for r in &self.rows {
-            t.row(vec![
-                format!("{}KB {}-way", r.size_kb, r.assoc),
-                f2(r.mpki[0]),
-                f2(r.mpki[1]),
-                f2(r.mpki[2]),
-                f2(r.mpki[3]),
-            ]);
+            let mut cells = vec![format!("{}KB {}-way", r.size_kb, r.assoc)];
+            cells.extend(r.mpki.iter().map(|m| f2(*m)));
+            t.row(cells);
         }
         format!(
             "Figure 8: I-cache MPKI vs size and associativity (64B lines)\n{}",
@@ -173,7 +163,7 @@ pub fn fig8(scale: Scale) -> Fig8 {
         .iter()
         .enumerate()
         .map(|(ci, c)| {
-            let mut mpki = [0.0; 4];
+            let mut mpki = [0.0; Suite::COUNT];
             for (si, suite) in Suite::ALL.iter().enumerate() {
                 mpki[si] = mean(
                     results

@@ -4,7 +4,7 @@
 use rebalance_isa::BranchKind;
 use rebalance_pintools::{Characterization, NUM_BIAS_BUCKETS};
 use rebalance_trace::Section;
-use rebalance_workloads::{Scale, Suite, Workload};
+use rebalance_workloads::{KernelSpec, Scale, Suite, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::paper;
@@ -178,7 +178,7 @@ impl Table1 {
         ]);
         for r in &self.rows {
             let (ps, pp) = paper::backward_taken(r.suite);
-            let par = if r.suite == Suite::SpecCpuInt {
+            let par = if !r.suite.has_parallel_sections() {
                 "-".to_string()
             } else {
                 format!(
@@ -187,7 +187,7 @@ impl Table1 {
                     (1.0 - r.parallel_backward) * 100.0
                 )
             };
-            let paper_par = if r.suite == Suite::SpecCpuInt {
+            let paper_par = if !r.suite.has_parallel_sections() {
                 "-".to_string()
             } else {
                 format!("{:.0}%/{:.0}%", pp * 100.0, (1.0 - pp) * 100.0)
@@ -321,7 +321,7 @@ pub struct CharacterizationSet {
 }
 
 fn bars_for(suite: Suite) -> Vec<Bars> {
-    if suite.is_hpc() {
+    if suite.has_parallel_sections() {
         vec![Bars::Total, Bars::Serial, Bars::Parallel]
     } else {
         vec![Bars::Total]
@@ -360,6 +360,15 @@ pub fn run(scale: Scale) -> CharacterizationSet {
                 Bars::Serial => *c.mix.section(Section::Serial),
                 Bars::Parallel => *c.mix.section(Section::Parallel),
             };
+            // Suites can mix parallel and purely-serial workloads (the
+            // kernel roster does); a section bar averages only the
+            // workloads that execute that section.
+            let present: Vec<&Characterization> = in_suite
+                .iter()
+                .copied()
+                .filter(|c| mix_of(c).insts > 0)
+                .collect();
+            let in_suite = &present;
             let avg_kind = |kind: BranchKind| {
                 mean(
                     in_suite
@@ -423,18 +432,21 @@ pub fn run(scale: Scale) -> CharacterizationSet {
             });
         }
 
-        // Table I.
+        // Table I. As above, section averages cover only the workloads
+        // executing that section.
         table1.push(Table1Row {
             suite,
             serial_backward: mean(
                 in_suite
                     .iter()
+                    .filter(|c| c.mix.section(Section::Serial).insts > 0)
                     .map(|c| c.direction.section(Section::Serial).backward_fraction()),
             ),
-            parallel_backward: if suite.is_hpc() {
+            parallel_backward: if suite.has_parallel_sections() {
                 mean(
                     in_suite
                         .iter()
+                        .filter(|c| c.mix.section(Section::Parallel).insts > 0)
                         .map(|c| c.direction.section(Section::Parallel).backward_fraction()),
                 )
             } else {
@@ -450,6 +462,111 @@ pub fn run(scale: Scale) -> CharacterizationSet {
         fig3: Fig3 { rows: fig3 },
         fig4: Fig4 { rows: fig4 },
     }
+}
+
+/// One kernel-archetype row: measured characterization next to the
+/// [`KernelSpec`] design targets it was generated from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsRow {
+    /// Workload name.
+    pub workload: String,
+    /// Archetype label.
+    pub archetype: String,
+    /// Measured overall branch fraction.
+    pub branch_fraction: f64,
+    /// The spec's section-weighted branch-fraction target.
+    pub target_branch_fraction: f64,
+    /// Measured share of dynamic conditionals from strongly biased
+    /// sites.
+    pub strongly_biased: f64,
+    /// Measured kernel-section 99% dynamic footprint, KB.
+    pub dyn99_kb: f64,
+    /// The spec's kernel hot-footprint target, KB.
+    pub target_hot_kb: f64,
+    /// Measured average basic-block length, bytes.
+    pub bbl_bytes: f64,
+    /// Schedule epochs (phase-shape knob).
+    pub epochs: u32,
+    /// Footprint drift windows (phase-shape knob).
+    pub drift_windows: u32,
+}
+
+/// The kernels sweep: per-archetype characterization vs design targets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsSet {
+    /// One row per kernel workload.
+    pub rows: Vec<KernelsRow>,
+}
+
+impl KernelsSet {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "workload",
+            "archetype",
+            "bf%",
+            "target bf%",
+            "biased",
+            "dyn99 KB",
+            "target KB",
+            "avg BBL",
+            "epochs",
+            "drift",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.archetype.clone(),
+                f1(r.branch_fraction * 100.0),
+                f1(r.target_branch_fraction * 100.0),
+                pct(r.strongly_biased),
+                f1(r.dyn99_kb),
+                f1(r.target_hot_kb),
+                f1(r.bbl_bytes),
+                r.epochs.to_string(),
+                r.drift_windows.to_string(),
+            ]);
+        }
+        format!(
+            "Kernels: archetype characterization vs design targets\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Runs the characterization pass over the kernel-archetype roster
+/// only, one engine item per workload, reporting measured values
+/// against each [`KernelSpec`]'s design targets.
+pub fn kernels(scale: Scale) -> KernelsSet {
+    let workloads = rebalance_workloads::kernels();
+    let characterized = util::engine().map(&workloads, |w| util::characterize_workload(w, scale));
+    let rows = workloads
+        .iter()
+        .zip(characterized)
+        .map(|(w, c)| {
+            let spec = KernelSpec::find(w.name()).expect("kernel roster name has a spec");
+            let serial_only = w.profile().serial_fraction >= 1.0;
+            let kernel_fp = if serial_only {
+                c.footprint.sections.serial
+            } else {
+                c.footprint.sections.parallel
+            };
+            let mix = c.mix.total();
+            KernelsRow {
+                workload: w.name().to_owned(),
+                archetype: format!("{:?}", spec.archetype),
+                branch_fraction: mix.branch_fraction(),
+                target_branch_fraction: spec.target_branch_fraction(),
+                strongly_biased: c.bias.total.strongly_biased_fraction(),
+                dyn99_kb: kernel_fp.dyn99_kb(),
+                target_hot_kb: spec.hot_kb,
+                bbl_bytes: c.basic_blocks.total().avg_block_bytes(),
+                epochs: spec.phases.epochs,
+                drift_windows: spec.phases.drift_windows,
+            }
+        })
+        .collect();
+    KernelsSet { rows }
 }
 
 #[cfg(test)]
@@ -584,6 +701,37 @@ mod tests {
                 assert!(r.taken_distance >= r.bbl_bytes * 0.9);
             }
         }
+    }
+
+    #[test]
+    fn kernels_sweep_reports_measured_vs_targets() {
+        let set = kernels(Scale::Smoke);
+        assert!(set.rows.len() >= 6, "six archetypes minimum");
+        for r in &set.rows {
+            assert!(r.branch_fraction > 0.0, "{}", r.workload);
+            let rel =
+                (r.branch_fraction - r.target_branch_fraction).abs() / r.target_branch_fraction;
+            assert!(
+                rel < 0.5,
+                "{}: measured bf {:.4} far from target {:.4}",
+                r.workload,
+                r.branch_fraction,
+                r.target_branch_fraction
+            );
+            assert!(r.dyn99_kb > 0.0, "{}", r.workload);
+        }
+        // The archetype spectrum survives measurement: streaming is far
+        // less branchy than the desktop-style kernel.
+        let bf = |name: &str| {
+            set.rows
+                .iter()
+                .find(|r| r.workload == name)
+                .unwrap()
+                .branch_fraction
+        };
+        assert!(bf("k.branchy") > 5.0 * bf("k.triad"));
+        let text = set.render();
+        assert!(text.contains("k.stencil") && text.contains("target"));
     }
 
     #[test]

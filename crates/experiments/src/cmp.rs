@@ -335,7 +335,7 @@ mod tests {
     #[test]
     fn fig10_smoke_shape() {
         let f = fig10(Scale::Smoke);
-        assert_eq!(f.rows.len(), 16);
+        assert_eq!(f.rows.len(), Suite::COUNT * 4);
         // Baseline rows are exactly 1.0 (self-normalized).
         for suite in Suite::ALL {
             let base = f.row(suite, "Baseline").unwrap();

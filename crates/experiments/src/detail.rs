@@ -74,7 +74,7 @@ impl Detail {
             ]);
         }
         format!(
-            "Per-benchmark characterization detail (all 41 workloads)\n{}",
+            "Per-benchmark characterization detail (full roster)\n{}",
             t.render()
         )
     }
@@ -114,17 +114,25 @@ mod tests {
     #[test]
     fn named_paper_observations_hold_per_benchmark() {
         let d = run(Scale::Smoke);
-        assert_eq!(d.rows.len(), 41);
+        assert_eq!(d.rows.len(), rebalance_workloads::all().len());
 
-        // BT has the longest basic blocks of the study (~312 B).
+        // BT has the longest basic blocks of the *study* (~312 B); our
+        // synthetic streaming kernel may exceed it, so the named
+        // observations range over the paper roster only.
+        let paper_rows: Vec<&DetailRow> = d.rows.iter().filter(|r| r.suite.is_paper()).collect();
         let bt = d.row("BT").unwrap();
-        let max_bbl = d.rows.iter().map(|r| r.bbl_bytes).fold(0.0f64, f64::max);
+        let max_bbl = paper_rows
+            .iter()
+            .map(|r| r.bbl_bytes)
+            .fold(0.0f64, f64::max);
         assert!(bt.bbl_bytes > 200.0, "BT {:.0}B", bt.bbl_bytes);
         assert!((max_bbl - bt.bbl_bytes).abs() < 1e-9, "BT is the max");
 
         // VPFFT carries the largest static footprint (libraries).
         let vpfft = d.row("VPFFT").unwrap();
-        assert!(d.rows.iter().all(|r| r.static_kb <= vpfft.static_kb + 1.0));
+        assert!(paper_rows
+            .iter()
+            .all(|r| r.static_kb <= vpfft.static_kb + 1.0));
 
         // CoEVP is the serial-share outlier and an indirect outlier.
         let coevp = d.row("CoEVP").unwrap();

@@ -9,8 +9,10 @@ use rebalance_workloads::Scale;
 
 use crate::{ablations, caches, characterization, cmp, detail, predictors};
 
-/// Every exhibit name the driver understands, in paper order.
-pub const EXHIBITS: [&str; 16] = [
+/// Every exhibit name the driver understands, in paper order (the
+/// `kernels` exhibit — archetype characterization + predictor sweep —
+/// is ours, appended after the paper's).
+pub const EXHIBITS: [&str; 17] = [
     "fig1",
     "fig2",
     "table1",
@@ -27,6 +29,7 @@ pub const EXHIBITS: [&str; 16] = [
     "fig11",
     "ablations",
     "detail",
+    "kernels",
 ];
 
 /// `true` if `name` is a known exhibit.
@@ -196,6 +199,13 @@ pub fn run_exhibits(
                 dump_json(json_dir, "detail", &d);
                 d.render()
             }
+            "kernels" => {
+                let c = characterization::kernels(scale);
+                let p = predictors::kernels_sweep(scale);
+                dump_json(json_dir, "kernels_characterization", &c);
+                dump_json(json_dir, "kernels_predictors", &p);
+                format!("{}\n{}", c.render(), p.render())
+            }
             "ablations" => {
                 let all = ablations::run_all(scale);
                 dump_json(json_dir, "ablations", &all);
@@ -222,15 +232,16 @@ mod tests {
     fn exhibit_names_are_known() {
         assert!(is_exhibit("fig5"));
         assert!(is_exhibit("ablations"));
+        assert!(is_exhibit("kernels"));
         assert!(!is_exhibit("fig99"));
-        assert_eq!(EXHIBITS.len(), 16);
+        assert_eq!(EXHIBITS.len(), 17);
     }
 
     #[test]
     fn resolve_expands_validates_and_dedups() {
         let names = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 16);
-        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 16);
+        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 17);
+        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 17);
         // Non-adjacent duplicates are dropped, order preserved.
         assert_eq!(
             resolve_exhibits(&names(&["fig5", "table2", "fig5"])).unwrap(),

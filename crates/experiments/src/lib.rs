@@ -27,8 +27,9 @@
 //! use rebalance_workloads::Scale;
 //!
 //! let set = characterization::run(Scale::Smoke);
-//! // 3 HPC suites x (total/serial/parallel) + SPEC CPU INT (total only).
-//! assert_eq!(set.fig1.rows.len(), 3 * 3 + 1);
+//! // 3 HPC suites and the kernel archetypes get total/serial/parallel
+//! // bars; the sequentially-run SPEC CPU INT gets totals only.
+//! assert_eq!(set.fig1.rows.len(), 4 * 3 + 1);
 //! println!("{}", set.fig1.render());
 //! ```
 

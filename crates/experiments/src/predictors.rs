@@ -50,7 +50,7 @@ pub struct Fig5Row {
     /// Configuration label (paper legend order).
     pub config: String,
     /// Mean MPKI per suite, in [`Suite::ALL`] order.
-    pub mpki: [f64; 4],
+    pub mpki: [f64; Suite::COUNT],
 }
 
 /// Figure 5: branch MPKI across predictors and suites.
@@ -72,27 +72,22 @@ impl Fig5 {
 
     /// Text rendering with the paper's gshare-big row for comparison.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec!["config", "ExMatEx", "SPEC OMP", "NPB", "SPEC CPU INT"]);
+        let mut header = vec!["config".to_owned()];
+        header.extend(Suite::ALL.iter().map(|s| s.to_string()));
+        let mut t = TextTable::new(header);
         for r in &self.rows {
-            t.row(vec![
-                r.config.clone(),
-                f2(r.mpki[0]),
-                f2(r.mpki[1]),
-                f2(r.mpki[2]),
-                f2(r.mpki[3]),
-            ]);
+            let mut cells = vec![r.config.clone()];
+            cells.extend(r.mpki.iter().map(|m| f2(*m)));
+            t.row(cells);
         }
         let paper_row: Vec<String> = Suite::ALL
             .iter()
             .map(|s| f2(paper::gshare_big_mpki(*s)))
             .collect();
         format!(
-            "Figure 5: branch MPKI per predictor configuration\n{}\npaper gshare-big: {} / {} / {} / {}\n",
+            "Figure 5: branch MPKI per predictor configuration\n{}\npaper gshare-big: {}\n",
             t.render(),
-            paper_row[0],
-            paper_row[1],
-            paper_row[2],
-            paper_row[3]
+            paper_row.join(" / ")
         )
     }
 }
@@ -113,7 +108,7 @@ pub fn fig5(scale: Scale) -> Fig5 {
         .iter()
         .enumerate()
         .map(|(ci, c)| {
-            let mut mpki = [0.0; 4];
+            let mut mpki = [0.0; Suite::COUNT];
             for (si, suite) in Suite::ALL.iter().enumerate() {
                 mpki[si] = mean(
                     results
@@ -129,6 +124,73 @@ pub fn fig5(scale: Scale) -> Fig5 {
         })
         .collect();
     Fig5 { rows }
+}
+
+/// One kernels-sweep row: per-configuration branch MPKI for one kernel
+/// archetype workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsSweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// MPKI per configuration, in [`KernelsSweep::configs`] order.
+    pub mpki: Vec<f64>,
+}
+
+/// The kernels predictor sweep: all nine Figure 5 configurations over
+/// the kernel-archetype roster, one replay per workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsSweep {
+    /// Configuration labels (paper legend order).
+    pub configs: Vec<String>,
+    /// One row per kernel workload.
+    pub rows: Vec<KernelsSweepRow>,
+}
+
+impl KernelsSweep {
+    /// Looks one cell up.
+    pub fn mpki(&self, workload: &str, config: &str) -> Option<f64> {
+        let ci = self.configs.iter().position(|c| c == config)?;
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload)
+            .map(|r| r.mpki[ci])
+    }
+
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut header = vec!["workload".to_owned()];
+        header.extend(self.configs.iter().cloned());
+        let mut t = TextTable::new(header);
+        for r in &self.rows {
+            let mut cells = vec![r.workload.clone()];
+            cells.extend(r.mpki.iter().map(|m| f2(*m)));
+            t.row(cells);
+        }
+        format!(
+            "Kernels: branch MPKI per predictor configuration\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Runs the nine-configuration predictor sweep over the kernel
+/// archetypes, per workload instead of per suite (the archetypes are
+/// the point, not their mean).
+pub fn kernels_sweep(scale: Scale) -> KernelsSweep {
+    let configs = PredictorChoice::figure5_set();
+    let rows = util::sweep(rebalance_workloads::kernels(), scale, |_| {
+        PredictorChoice::build_sims(&configs)
+    })
+    .into_iter()
+    .map(|o| KernelsSweepRow {
+        workload: o.item.name().to_owned(),
+        mpki: o.tools.iter().map(|s| s.report().total().mpki()).collect(),
+    })
+    .collect();
+    KernelsSweep {
+        configs: configs.iter().map(|c| c.label()).collect(),
+        rows,
+    }
 }
 
 /// The benchmarks Figure 6 highlights.
@@ -279,6 +341,26 @@ mod tests {
         let with_loop = f.mpki("L-gshare-small", Suite::Npb).unwrap();
         assert!(with_loop <= small + 0.05, "{with_loop} vs {small}");
         assert!(f.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn kernels_sweep_orders_archetypes_by_difficulty() {
+        let k = kernels_sweep(Scale::Smoke);
+        assert_eq!(k.configs.len(), 9);
+        assert!(k.rows.len() >= 6);
+        // The streaming and stencil kernels are nearly perfectly
+        // predicted; the branchy/graph kernels are the hard ones.
+        let big = "tage-big";
+        let easy = k.mpki("k.triad", big).unwrap();
+        let hard = k
+            .mpki("k.branchy", big)
+            .unwrap()
+            .max(k.mpki("k.bfs", big).unwrap());
+        assert!(
+            hard > 3.0 * easy.max(0.05),
+            "hard {hard:.2} vs easy {easy:.2}"
+        );
+        assert!(k.render().contains("k.spmv"));
     }
 
     #[test]

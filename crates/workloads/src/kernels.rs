@@ -1,0 +1,551 @@
+//! The kernel-archetype generator: parameterized [`KernelSpec`]s that
+//! compose multi-phase [`WorkloadProfile`]s for the `Suite::Kernels`
+//! roster.
+//!
+//! HPM-assisted performance engineering organizes analysis around
+//! recognizable kernel archetypes — stencil sweeps, sparse
+//! matrix-vector products, graph traversals, staged transforms,
+//! branchy integer codes, streaming kernels — rather than named
+//! benchmarks. The paper roster in [`roster`](crate::roster) pins each
+//! benchmark's knobs to published measurements; this module instead
+//! *derives* the profile from an archetype plus a handful of
+//! parameters (branch fraction, footprint, loop shape, phase
+//! structure), so the front-end pipeline can be stressed along the
+//! archetype axis with known design targets.
+//!
+//! Every spec also declares the tolerance band its synthesized trace
+//! must land in; `tests/prop_kernels.rs` holds the generator to those
+//! bands, and the golden-report harness freezes the resulting reports.
+
+use crate::profile::{
+    BackendProfile, BiasMix, BranchMix, LoopSpec, PhaseShape, SectionProfile, WorkloadProfile,
+};
+use crate::registry::Workload;
+use crate::suite::Suite;
+
+/// Full-scale instruction budget for kernel workloads (matching the
+/// paper roster's default).
+const KERNEL_INSTS: u64 = 4_000_000;
+
+/// The synthesized kernel archetypes, ordered roughly from the most
+/// regular (streaming) to the least (branchy integer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum KernelArchetype {
+    /// Regular grid sweeps: long constant-trip loops, planes walked in
+    /// drifting footprint windows.
+    Stencil,
+    /// Sparse matrix-vector product: short data-dependent rows, bimodal
+    /// branch bias, memory-bound back-end.
+    Spmv,
+    /// Graph BFS / pointer chase: irregular short loops, balanced
+    /// branches, visible indirect jumps, ramping frontier.
+    GraphBfs,
+    /// FFT-style staged transform: butterfly stages as drift windows,
+    /// library twiddle code, long basic blocks.
+    Transform,
+    /// Branchy integer kernel: desktop-style control flow run serially.
+    BranchyInt,
+    /// Streaming triad: almost branch-free long vector loops.
+    StreamTriad,
+}
+
+impl KernelArchetype {
+    /// One-line description for `rebalance workloads list`.
+    pub fn description(self) -> &'static str {
+        match self {
+            KernelArchetype::Stencil => "regular grid sweep, drifting plane windows",
+            KernelArchetype::Spmv => "sparse matrix-vector, bimodal short rows",
+            KernelArchetype::GraphBfs => "pointer-chase BFS, ramping frontier",
+            KernelArchetype::Transform => "staged FFT butterflies over library code",
+            KernelArchetype::BranchyInt => "desktop-style branchy integer kernel",
+            KernelArchetype::StreamTriad => "streaming triad, almost branch-free",
+        }
+    }
+}
+
+/// A parameterized kernel workload: archetype plus the knobs a
+/// performance engineer would quote about it. [`KernelSpec::profile`]
+/// composes these into a full [`WorkloadProfile`] (section mixes,
+/// bias populations, layout, phase structure) instead of hand-tuning
+/// every constant per workload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelSpec {
+    /// Workload name (`k.`-prefixed to keep the roster namespace tidy).
+    pub name: &'static str,
+    /// Which archetype composes the profile.
+    pub archetype: KernelArchetype,
+    /// Branch fraction target of the kernel (hot-section) code.
+    pub branch_fraction: f64,
+    /// Hot-footprint target of the kernel code, in KB.
+    pub hot_kb: f64,
+    /// Loop trip-count shape of the kernel code.
+    pub loops: LoopSpec,
+    /// Fraction of dynamic instructions run serially by the master
+    /// thread (`1.0` makes the kernel itself serial).
+    pub serial_fraction: f64,
+    /// Phase structure: epochs, budget ramp, footprint drift.
+    pub phases: PhaseShape,
+}
+
+impl KernelSpec {
+    /// The kernel roster: six archetypes spanning the HPC–desktop
+    /// front-end spectrum.
+    pub fn all() -> Vec<KernelSpec> {
+        vec![
+            KernelSpec {
+                name: "k.stencil",
+                archetype: KernelArchetype::Stencil,
+                branch_fraction: 0.05,
+                hot_kb: 3.0,
+                loops: LoopSpec {
+                    mean_iterations: 96.0,
+                    constant_fraction: 0.9,
+                },
+                serial_fraction: 0.02,
+                phases: PhaseShape {
+                    epochs: 8,
+                    ramp: 1.0,
+                    drift_windows: 3,
+                },
+            },
+            KernelSpec {
+                name: "k.spmv",
+                archetype: KernelArchetype::Spmv,
+                branch_fraction: 0.15,
+                hot_kb: 1.5,
+                loops: LoopSpec {
+                    mean_iterations: 7.0,
+                    constant_fraction: 0.05,
+                },
+                serial_fraction: 0.03,
+                phases: PhaseShape {
+                    epochs: 8,
+                    ramp: 1.0,
+                    drift_windows: 3,
+                },
+            },
+            KernelSpec {
+                name: "k.bfs",
+                archetype: KernelArchetype::GraphBfs,
+                branch_fraction: 0.18,
+                hot_kb: 10.0,
+                loops: LoopSpec {
+                    mean_iterations: 4.0,
+                    constant_fraction: 0.0,
+                },
+                serial_fraction: 0.05,
+                phases: PhaseShape {
+                    epochs: 6,
+                    ramp: 3.0,
+                    drift_windows: 3,
+                },
+            },
+            KernelSpec {
+                name: "k.fft",
+                archetype: KernelArchetype::Transform,
+                branch_fraction: 0.045,
+                hot_kb: 6.0,
+                loops: LoopSpec {
+                    mean_iterations: 64.0,
+                    constant_fraction: 0.85,
+                },
+                serial_fraction: 0.04,
+                phases: PhaseShape {
+                    epochs: 5,
+                    ramp: 1.0,
+                    drift_windows: 5,
+                },
+            },
+            KernelSpec {
+                name: "k.branchy",
+                archetype: KernelArchetype::BranchyInt,
+                branch_fraction: 0.21,
+                hot_kb: 40.0,
+                loops: LoopSpec::desktop(),
+                serial_fraction: 1.0,
+                phases: PhaseShape {
+                    epochs: 2,
+                    ramp: 1.5,
+                    drift_windows: 1,
+                },
+            },
+            KernelSpec {
+                name: "k.triad",
+                archetype: KernelArchetype::StreamTriad,
+                branch_fraction: 0.012,
+                // The floor the synthesizer's kernel granularity allows
+                // at this branch fraction (~320 B blocks): one tight
+                // vector loop.
+                hot_kb: 1.5,
+                loops: LoopSpec {
+                    mean_iterations: 200.0,
+                    constant_fraction: 0.95,
+                },
+                serial_fraction: 0.01,
+                phases: PhaseShape {
+                    epochs: 4,
+                    ramp: 1.0,
+                    drift_windows: 1,
+                },
+            },
+        ]
+    }
+
+    /// Looks a spec up by (case-insensitive) workload name.
+    pub fn find(name: &str) -> Option<KernelSpec> {
+        Self::all()
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Composes the full [`WorkloadProfile`] from the archetype and the
+    /// spec's knobs.
+    pub fn profile(&self) -> WorkloadProfile {
+        let kernel = self.kernel_section();
+        let a = self.archetype;
+        let (serial, parallel) = if self.serial_fraction >= 1.0 {
+            // The kernel itself is the serial code; the parallel slot
+            // is never scheduled but must still validate.
+            (kernel, unused_parallel())
+        } else {
+            (master_serial_section(), kernel)
+        };
+        let static_kb = match a {
+            KernelArchetype::Stencil => 120.0,
+            KernelArchetype::Spmv => 80.0,
+            KernelArchetype::GraphBfs => 140.0,
+            KernelArchetype::Transform => 300.0,
+            KernelArchetype::BranchyInt => 320.0,
+            KernelArchetype::StreamTriad => 60.0,
+        };
+        let lib_kb = match a {
+            // FFT kernels live on top of a transform library.
+            KernelArchetype::Transform => 160.0,
+            _ => 0.0,
+        };
+        let mean_inst_bytes = match a {
+            KernelArchetype::Stencil => 5.8,
+            KernelArchetype::Spmv => 4.8,
+            KernelArchetype::GraphBfs => 4.0,
+            KernelArchetype::Transform => 5.6,
+            KernelArchetype::BranchyInt => 3.4,
+            KernelArchetype::StreamTriad => 6.2,
+        };
+        let backend = match a {
+            KernelArchetype::Stencil => be(0.9, 0.7),
+            KernelArchetype::Spmv => be(1.0, 1.5),
+            KernelArchetype::GraphBfs => be(1.1, 2.0),
+            KernelArchetype::Transform => be(0.9, 0.8),
+            KernelArchetype::BranchyInt => be(1.1, 0.6),
+            KernelArchetype::StreamTriad => be(0.85, 1.8),
+        };
+        WorkloadProfile {
+            serial,
+            parallel,
+            serial_fraction: self.serial_fraction,
+            static_kb,
+            lib_kb,
+            instructions: KERNEL_INSTS,
+            mean_inst_bytes,
+            backend,
+            phases: self.phases,
+        }
+    }
+
+    /// The kernel (hot) section composed from the archetype.
+    fn kernel_section(&self) -> SectionProfile {
+        let (mix, bias) = self.control_flow();
+        let (backedge, backward_if, else_fraction) = match self.archetype {
+            KernelArchetype::Stencil => (0.50, 0.04, 0.10),
+            KernelArchetype::Spmv => (0.60, 0.10, 0.15),
+            KernelArchetype::GraphBfs => (0.30, 0.30, 0.35),
+            KernelArchetype::Transform => (0.45, 0.05, 0.12),
+            KernelArchetype::BranchyInt => (0.18, 0.45, 0.65),
+            KernelArchetype::StreamTriad => (0.52, 0.02, 0.05),
+        };
+        let (burst, slack, call_targets, fanout) = match self.archetype {
+            KernelArchetype::Stencil => (8.0, 0.05, 4, 4),
+            KernelArchetype::Spmv => (3.0, 0.10, 4, 4),
+            KernelArchetype::GraphBfs => (4.0, 0.50, 12, 8),
+            KernelArchetype::Transform => (6.0, 0.08, 16, 4),
+            KernelArchetype::BranchyInt => (12.0, 1.10, 64, 6),
+            KernelArchetype::StreamTriad => (2.0, 0.0, 2, 2),
+        };
+        SectionProfile {
+            branch_fraction: self.branch_fraction,
+            mix,
+            bias,
+            backedge_cond_share: backedge,
+            backward_if_fraction: backward_if,
+            else_fraction,
+            burst_kernels: burst,
+            layout_slack: slack,
+            hot_kb: self.hot_kb,
+            loops: self.loops,
+            call_targets,
+            indirect_fanout: fanout,
+        }
+    }
+
+    /// Branch-type mix and bias-site population per archetype.
+    fn control_flow(&self) -> (BranchMix, BiasMix) {
+        match self.archetype {
+            // Loop-dominated: overwhelmingly biased back-edges.
+            KernelArchetype::Stencil | KernelArchetype::StreamTriad => (
+                BranchMix::hpc(),
+                BiasMix {
+                    strongly_taken: 0.15,
+                    strongly_not_taken: 0.75,
+                    moderately_taken: 0.02,
+                    moderately_not_taken: 0.03,
+                    balanced: 0.01,
+                    patterned: 0.04,
+                },
+            ),
+            // Bimodal: rows either empty or dense, little middle ground.
+            KernelArchetype::Spmv => (
+                BranchMix::hpc(),
+                BiasMix {
+                    strongly_taken: 0.30,
+                    strongly_not_taken: 0.55,
+                    moderately_taken: 0.04,
+                    moderately_not_taken: 0.04,
+                    balanced: 0.05,
+                    patterned: 0.02,
+                },
+            ),
+            // Frontier checks: heavy mid-range mass, visible indirect
+            // control flow.
+            KernelArchetype::GraphBfs => (
+                BranchMix {
+                    cond: 0.72,
+                    uncond: 0.07,
+                    call: 0.06,
+                    indirect_call: 0.006,
+                    indirect_branch: 0.012,
+                    syscall: 0.0005,
+                },
+                BiasMix {
+                    strongly_taken: 0.12,
+                    strongly_not_taken: 0.38,
+                    moderately_taken: 0.12,
+                    moderately_not_taken: 0.12,
+                    balanced: 0.16,
+                    patterned: 0.10,
+                },
+            ),
+            // Staged butterflies: loop-regular with library calls.
+            KernelArchetype::Transform => (
+                BranchMix {
+                    cond: 0.76,
+                    uncond: 0.06,
+                    call: 0.08,
+                    indirect_call: 0.002,
+                    indirect_branch: 0.002,
+                    syscall: 0.0005,
+                },
+                BiasMix {
+                    strongly_taken: 0.20,
+                    strongly_not_taken: 0.70,
+                    moderately_taken: 0.03,
+                    moderately_not_taken: 0.03,
+                    balanced: 0.01,
+                    patterned: 0.03,
+                },
+            ),
+            // Desktop-style control flow.
+            KernelArchetype::BranchyInt => (BranchMix::desktop(), BiasMix::desktop()),
+        }
+    }
+
+    /// Builds the registered [`Workload`] for this spec.
+    pub fn workload(&self) -> Workload {
+        Workload::new(self.name, Suite::Kernels, self.profile())
+    }
+
+    /// Overall (section-weighted) branch-fraction design target.
+    pub fn target_branch_fraction(&self) -> f64 {
+        let p = self.profile();
+        p.serial_fraction * p.serial.branch_fraction
+            + (1.0 - p.serial_fraction) * p.parallel.branch_fraction
+    }
+
+    /// Relative tolerance on the measured overall branch fraction.
+    pub fn branch_fraction_tolerance(&self) -> f64 {
+        match self.archetype {
+            // Very low branch fractions amplify relative error.
+            KernelArchetype::StreamTriad => 0.45,
+            _ => 0.35,
+        }
+    }
+
+    /// Allowed band on the measured kernel-section 99% dynamic
+    /// footprint, as `(low, high)` factors of [`KernelSpec::hot_kb`].
+    pub fn footprint_band(&self) -> (f64, f64) {
+        match self.archetype {
+            // Short irregular loops concentrate execution more than the
+            // plan's uniform estimate.
+            KernelArchetype::GraphBfs | KernelArchetype::Spmv => (0.12, 1.8),
+            // Large serial footprints are only partially touched at
+            // small scales.
+            KernelArchetype::BranchyInt => (0.12, 1.8),
+            _ => (0.2, 1.8),
+        }
+    }
+}
+
+fn be(base_cpi: f64, data_stall_cpi: f64) -> BackendProfile {
+    BackendProfile {
+        base_cpi,
+        data_stall_cpi,
+    }
+}
+
+/// The master-thread serial template shared by parallel kernels: a
+/// desktop-leaning driver between kernel epochs.
+fn master_serial_section() -> SectionProfile {
+    SectionProfile {
+        branch_fraction: 0.16,
+        mix: BranchMix {
+            cond: 0.74,
+            uncond: 0.075,
+            call: 0.075,
+            indirect_call: 0.004,
+            indirect_branch: 0.006,
+            syscall: 0.001,
+        },
+        bias: BiasMix {
+            strongly_taken: 0.12,
+            strongly_not_taken: 0.48,
+            moderately_taken: 0.08,
+            moderately_not_taken: 0.08,
+            balanced: 0.04,
+            patterned: 0.20,
+        },
+        backedge_cond_share: 0.30,
+        backward_if_fraction: 0.22,
+        else_fraction: 0.45,
+        burst_kernels: 8.0,
+        layout_slack: 0.45,
+        hot_kb: 3.0,
+        loops: LoopSpec {
+            mean_iterations: 14.0,
+            constant_fraction: 0.35,
+        },
+        call_targets: 10,
+        indirect_fanout: 4,
+    }
+}
+
+/// Parallel slot for serial-only kernels; never scheduled, must
+/// validate.
+fn unused_parallel() -> SectionProfile {
+    SectionProfile {
+        branch_fraction: 0.06,
+        mix: BranchMix::hpc(),
+        bias: BiasMix::hpc(),
+        backedge_cond_share: 0.45,
+        backward_if_fraction: 0.08,
+        else_fraction: 0.15,
+        burst_kernels: 6.0,
+        layout_slack: 0.10,
+        hot_kb: 2.0,
+        loops: LoopSpec::hpc(),
+        call_targets: 6,
+        indirect_fanout: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Scale;
+
+    #[test]
+    fn roster_has_six_archetypes() {
+        let specs = KernelSpec::all();
+        assert!(specs.len() >= 6, "at least six archetypes");
+        let mut archetypes = std::collections::BTreeSet::new();
+        let mut names = std::collections::BTreeSet::new();
+        for s in &specs {
+            assert!(names.insert(s.name.to_lowercase()), "dup name {}", s.name);
+            archetypes.insert(format!("{:?}", s.archetype));
+            assert!(s.name.starts_with("k."), "{} keeps the k. prefix", s.name);
+        }
+        assert_eq!(archetypes.len(), 6, "all six archetypes covered");
+    }
+
+    #[test]
+    fn every_spec_profile_validates() {
+        for s in KernelSpec::all() {
+            s.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn every_kernel_synthesizes_at_smoke_scale() {
+        for s in KernelSpec::all() {
+            let w = s.workload();
+            assert_eq!(w.suite(), Suite::Kernels);
+            let trace = w
+                .trace(Scale::Smoke)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(trace.schedule().total_instructions() > 0);
+        }
+    }
+
+    #[test]
+    fn phase_shapes_are_exercised() {
+        let specs = KernelSpec::all();
+        assert!(
+            specs.iter().any(|s| s.phases.drift_windows > 1),
+            "some kernel drifts its footprint"
+        );
+        assert!(
+            specs.iter().any(|s| s.phases.ramp > 1.0),
+            "some kernel ramps its epochs"
+        );
+        assert!(
+            specs.iter().any(|s| !s.phases.is_legacy()),
+            "kernels use non-legacy phase shapes"
+        );
+        assert!(
+            specs.iter().any(|s| s.serial_fraction >= 1.0),
+            "one kernel is a serial (desktop-style) workload"
+        );
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(KernelSpec::find("K.FFT").unwrap().name, "k.fft");
+        assert!(KernelSpec::find("k.quake").is_none());
+    }
+
+    #[test]
+    fn targets_and_tolerances_are_sane() {
+        for s in KernelSpec::all() {
+            let t = s.target_branch_fraction();
+            assert!((0.005..=0.5).contains(&t), "{}: target bf {t}", s.name);
+            assert!(s.branch_fraction_tolerance() > 0.0);
+            let (lo, hi) = s.footprint_band();
+            assert!(lo > 0.0 && hi > lo, "{}: band ({lo}, {hi})", s.name);
+        }
+    }
+
+    #[test]
+    fn archetypes_span_the_spectrum() {
+        let bf = |name: &str| KernelSpec::find(name).unwrap().target_branch_fraction();
+        // Streaming is the least branchy, branchy-int the most, with
+        // more than an order of magnitude between them.
+        assert!(bf("k.triad") < 0.02);
+        assert!(bf("k.branchy") > 0.19);
+        assert!(bf("k.branchy") > 10.0 * bf("k.triad"));
+        // The transform carries library code; the graph kernel shows
+        // indirect control flow.
+        assert!(KernelSpec::find("k.fft").unwrap().profile().lib_kb > 0.0);
+        let bfs = KernelSpec::find("k.bfs").unwrap().profile();
+        assert!(bfs.parallel.mix.indirect_branch + bfs.parallel.mix.indirect_call >= 0.006);
+    }
+}

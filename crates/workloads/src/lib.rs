@@ -3,34 +3,42 @@
 //! This crate is the study's stand-in for the benchmark binaries: 29 HPC
 //! applications (ExMatEx, SPEC OMP 2012, NPB) and 12 desktop applications
 //! (SPEC CPU INT 2006), each described by a [`WorkloadProfile`] calibrated
-//! to the paper's measured characteristics, plus a synthesizer that turns
-//! a profile into a deterministic [`SyntheticTrace`].
+//! to the paper's measured characteristics, plus the [`Suite::Kernels`]
+//! roster of parameterized kernel archetypes ([`KernelSpec`]) and a
+//! synthesizer that turns a profile into a deterministic
+//! [`SyntheticTrace`].
 //!
 //! # Examples
 //!
 //! ```
 //! use rebalance_workloads::{Scale, Suite, Workload};
 //!
-//! let roster = rebalance_workloads::all();
-//! assert_eq!(roster.len(), 41);
+//! assert_eq!(rebalance_workloads::paper_roster().len(), 41);
+//! assert!(rebalance_workloads::kernels().len() >= 6);
 //! let comd = rebalance_workloads::find("CoMD").expect("CoMD is in the roster");
 //! assert_eq!(comd.suite(), Suite::ExMatEx);
 //! let trace = comd.trace(Scale::Smoke).expect("valid profile");
 //! assert!(trace.schedule().total_instructions() > 0);
+//! let spmv = rebalance_workloads::find("k.spmv").expect("kernel archetype");
+//! assert_eq!(spmv.suite(), Suite::Kernels);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod kernels;
 mod profile;
 mod registry;
 mod roster;
 mod suite;
 mod synth;
 
-pub use profile::{BackendProfile, BiasMix, BranchMix, LoopSpec, SectionProfile, WorkloadProfile};
-pub use registry::{all, by_suite, find, hpc, Scale, Workload};
-pub use suite::Suite;
+pub use kernels::{KernelArchetype, KernelSpec};
+pub use profile::{
+    BackendProfile, BiasMix, BranchMix, LoopSpec, PhaseShape, SectionProfile, WorkloadProfile,
+};
+pub use registry::{all, by_suite, find, hpc, kernels, paper_roster, Scale, Workload};
+pub use suite::{Suite, SuiteClass};
 pub use synth::synthesize;
 
 // Re-exported so downstream crates rarely need a direct dependency on the

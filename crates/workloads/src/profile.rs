@@ -327,6 +327,75 @@ impl SectionProfile {
     }
 }
 
+/// Phase structure of a workload's schedule: how the instruction budget
+/// is cut into serial/parallel epochs, whether the per-epoch budgets
+/// ramp up over the run, and whether the parallel working set drifts
+/// across distinct footprint windows from epoch to epoch.
+///
+/// The paper's roster uses the fixed legacy shape (eight identical
+/// serial→parallel alternations). Kernel-archetype workloads compose
+/// richer shapes: an FFT's butterfly stages become drift windows, a
+/// BFS's growing frontier becomes a budget ramp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseShape {
+    /// Number of serial→parallel alternations (epochs) in the schedule.
+    pub epochs: u32,
+    /// Ratio of the last epoch's instruction budget to the first's.
+    /// `1.0` keeps every epoch the same length; `>1` ramps the run up
+    /// (growing working sets, refining solvers), `<1` ramps it down.
+    pub ramp: f64,
+    /// Number of distinct parallel-footprint windows the epochs sweep
+    /// through. `1` keeps the legacy single hot region; `W > 1` splits
+    /// the parallel hot footprint into `W` disjoint kernel populations
+    /// and walks the schedule's epochs across them, so the dynamic
+    /// working set drifts over the run while the total footprint stays
+    /// on target.
+    pub drift_windows: u32,
+}
+
+impl PhaseShape {
+    /// The fixed shape the paper roster has always used: eight equal
+    /// serial→parallel alternations over one hot region.
+    pub fn legacy() -> Self {
+        PhaseShape {
+            epochs: 8,
+            ramp: 1.0,
+            drift_windows: 1,
+        }
+    }
+
+    /// `true` when this shape is exactly the legacy schedule (which the
+    /// synthesizer then emits through the original repeat-compressed
+    /// path, byte-identical to pre-phase-shape traces).
+    pub fn is_legacy(&self) -> bool {
+        *self == Self::legacy()
+    }
+
+    /// Validates sane bounds: 1–64 epochs, ramp within [0.1, 10], and
+    /// at most one drift window per epoch (capped at 16).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=64).contains(&self.epochs) {
+            return Err(format!("epochs {} outside 1..=64", self.epochs));
+        }
+        if !(self.ramp.is_finite() && (0.1..=10.0).contains(&self.ramp)) {
+            return Err(format!("ramp {} outside [0.1, 10]", self.ramp));
+        }
+        if !(1..=16).contains(&self.drift_windows) {
+            return Err(format!(
+                "drift_windows {} outside 1..=16",
+                self.drift_windows
+            ));
+        }
+        if self.drift_windows > self.epochs {
+            return Err(format!(
+                "drift_windows {} exceeds epochs {} (some windows would never run)",
+                self.drift_windows, self.epochs
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Back-end (non-front-end) behaviour used by the interval core model.
 ///
 /// The paper's CMP evaluation varies only front-end structures; data-side
@@ -379,6 +448,9 @@ pub struct WorkloadProfile {
     pub mean_inst_bytes: f64,
     /// Back-end behaviour for the interval model.
     pub backend: BackendProfile,
+    /// Phase structure of the schedule (epoch count, budget ramp,
+    /// footprint drift). The paper roster uses [`PhaseShape::legacy`].
+    pub phases: PhaseShape,
 }
 
 impl WorkloadProfile {
@@ -387,6 +459,7 @@ impl WorkloadProfile {
         self.serial.validate()?;
         self.parallel.validate()?;
         self.backend.validate()?;
+        self.phases.validate()?;
         if !(0.0..=1.0).contains(&self.serial_fraction) {
             return Err("serial_fraction must be in [0,1]".into());
         }
@@ -592,7 +665,47 @@ mod tests {
                 base_cpi: 1.0,
                 data_stall_cpi: 0.4,
             },
+            phases: PhaseShape::legacy(),
         }
+    }
+
+    #[test]
+    fn phase_shape_validation() {
+        PhaseShape::legacy().validate().unwrap();
+        assert!(PhaseShape::legacy().is_legacy());
+        let ramped = PhaseShape {
+            epochs: 6,
+            ramp: 3.0,
+            drift_windows: 3,
+        };
+        ramped.validate().unwrap();
+        assert!(!ramped.is_legacy());
+        let mut bad = PhaseShape::legacy();
+        bad.epochs = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = PhaseShape::legacy();
+        bad.ramp = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = PhaseShape::legacy();
+        bad.drift_windows = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = PhaseShape::legacy();
+        bad.drift_windows = 32;
+        assert!(bad.validate().is_err());
+        // More windows than epochs would leave windows unvisited.
+        let bad = PhaseShape {
+            epochs: 2,
+            ramp: 1.0,
+            drift_windows: 4,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn workload_profile_rejects_bad_phase_shape() {
+        let mut p = sample_profile();
+        p.phases.epochs = 0;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -141,14 +141,31 @@ impl fmt::Display for Workload {
     }
 }
 
-/// All 41 benchmarks in presentation order (ExMatEx, SPEC OMP, NPB,
-/// SPEC CPU INT).
+/// The full roster in presentation order: the paper's 41 benchmarks
+/// (ExMatEx, SPEC OMP, NPB, SPEC CPU INT) followed by the synthetic
+/// kernel archetypes.
 pub fn all() -> Vec<Workload> {
+    let mut v = paper_roster();
+    v.extend(kernels());
+    v
+}
+
+/// The paper's 41 calibrated benchmarks only.
+pub fn paper_roster() -> Vec<Workload> {
     let mut v = roster::exmatex();
     v.extend(roster::spec_omp());
     v.extend(roster::npb());
     v.extend(roster::spec_int());
     v
+}
+
+/// The synthetic kernel-archetype workloads (the `Suite::Kernels`
+/// roster), generated from [`KernelSpec`](crate::KernelSpec)s.
+pub fn kernels() -> Vec<Workload> {
+    crate::kernels::KernelSpec::all()
+        .iter()
+        .map(|s| s.workload())
+        .collect()
 }
 
 /// The 29 HPC benchmarks.
@@ -174,12 +191,20 @@ mod tests {
 
     #[test]
     fn roster_counts_match_paper() {
-        assert_eq!(all().len(), 41);
+        assert_eq!(paper_roster().len(), 41);
         assert_eq!(hpc().len(), 29);
         assert_eq!(by_suite(Suite::ExMatEx).len(), 8);
         assert_eq!(by_suite(Suite::SpecOmp).len(), 11);
         assert_eq!(by_suite(Suite::Npb).len(), 10);
         assert_eq!(by_suite(Suite::SpecCpuInt).len(), 12);
+        // The full roster adds the kernel archetypes on top.
+        assert!(by_suite(Suite::Kernels).len() >= 6);
+        assert_eq!(all().len(), 41 + by_suite(Suite::Kernels).len());
+        assert_eq!(kernels().len(), by_suite(Suite::Kernels).len());
+        // Every suite in the taxonomy has at least one workload.
+        for suite in Suite::ALL {
+            assert!(!by_suite(suite).is_empty(), "{suite} has no workloads");
+        }
     }
 
     #[test]

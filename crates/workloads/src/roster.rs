@@ -19,7 +19,7 @@
 //!   others <1%).
 
 use crate::profile::{
-    BackendProfile, BiasMix, BranchMix, LoopSpec, SectionProfile, WorkloadProfile,
+    BackendProfile, BiasMix, BranchMix, LoopSpec, PhaseShape, SectionProfile, WorkloadProfile,
 };
 use crate::registry::Workload;
 use crate::suite::Suite;
@@ -127,6 +127,7 @@ fn wl(
             instructions: DEFAULT_INSTS,
             mean_inst_bytes,
             backend,
+            phases: PhaseShape::legacy(),
         },
     )
 }

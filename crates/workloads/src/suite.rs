@@ -4,10 +4,15 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-/// The four benchmark suites of the study.
+/// The benchmark suites of the study, plus the synthetic kernel
+/// archetypes.
 ///
 /// Three HPC suites (29 applications) are compared against one desktop
-/// suite (12 applications), exactly as in the paper's methodology section.
+/// suite (12 applications), exactly as in the paper's methodology
+/// section. The [`Suite::Kernels`] suite is ours: parameterized
+/// kernel archetypes (stencil, SpMV, graph, transform, branchy integer,
+/// streaming) that span the HPC–desktop front-end spectrum with known
+/// design targets instead of paper-calibrated constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Suite {
     /// ExMatEx proxy applications (8): recent DOE co-design apps with
@@ -21,23 +26,89 @@ pub enum Suite {
     /// SPEC CPU INT 2006 (12): the desktop/server comparison point,
     /// run sequentially.
     SpecCpuInt,
+    /// Synthetic kernel archetypes generated from
+    /// [`KernelSpec`](crate::KernelSpec)s: not part of the paper's
+    /// roster, but the axis along which HPM-assisted performance
+    /// engineering organizes analysis.
+    Kernels,
+}
+
+/// Coarse classification of a suite, decided by one exhaustive match
+/// (see [`Suite::class`]) so a new variant cannot be left unclassified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteClass {
+    /// Paper HPC suites (ExMatEx, SPEC OMP, NPB).
+    Hpc,
+    /// Paper desktop suite (SPEC CPU INT).
+    Desktop,
+    /// Our synthetic kernel-archetype suite.
+    Synthetic,
 }
 
 impl Suite {
-    /// All suites in the paper's presentation order.
-    pub const ALL: [Suite; 4] = [
+    /// Number of suites; checked against [`Suite::ALL`] and the
+    /// exhaustive [`Suite::index`] match by a compile-time guard below.
+    pub const COUNT: usize = 5;
+
+    /// All suites in presentation order: the paper's four, then ours.
+    pub const ALL: [Suite; Suite::COUNT] = [
+        Suite::ExMatEx,
+        Suite::SpecOmp,
+        Suite::Npb,
+        Suite::SpecCpuInt,
+        Suite::Kernels,
+    ];
+
+    /// The four suites the paper evaluates.
+    pub const PAPER: [Suite; 4] = [
         Suite::ExMatEx,
         Suite::SpecOmp,
         Suite::Npb,
         Suite::SpecCpuInt,
     ];
 
-    /// The three HPC suites.
+    /// The three HPC suites of the paper.
     pub const HPC: [Suite; 3] = [Suite::ExMatEx, Suite::SpecOmp, Suite::Npb];
 
-    /// `true` for the HPC suites, `false` for SPEC CPU INT.
-    pub fn is_hpc(self) -> bool {
-        !matches!(self, Suite::SpecCpuInt)
+    /// Position of this suite in [`Suite::ALL`]. The match is
+    /// exhaustive on purpose: adding a variant without deciding its
+    /// presentation position is a compile error, and the const guard
+    /// below rejects an `ALL` that disagrees with it.
+    pub const fn index(self) -> usize {
+        match self {
+            Suite::ExMatEx => 0,
+            Suite::SpecOmp => 1,
+            Suite::Npb => 2,
+            Suite::SpecCpuInt => 3,
+            Suite::Kernels => 4,
+        }
+    }
+
+    /// The suite's classification — the single exhaustive match every
+    /// derived predicate ([`Suite::is_hpc`], [`Suite::is_paper`],
+    /// [`Suite::has_parallel_sections`]) funnels through.
+    pub const fn class(self) -> SuiteClass {
+        match self {
+            Suite::ExMatEx | Suite::SpecOmp | Suite::Npb => SuiteClass::Hpc,
+            Suite::SpecCpuInt => SuiteClass::Desktop,
+            Suite::Kernels => SuiteClass::Synthetic,
+        }
+    }
+
+    /// `true` for the paper's HPC suites.
+    pub const fn is_hpc(self) -> bool {
+        matches!(self.class(), SuiteClass::Hpc)
+    }
+
+    /// `true` for the four suites the paper evaluates.
+    pub const fn is_paper(self) -> bool {
+        !matches!(self.class(), SuiteClass::Synthetic)
+    }
+
+    /// `true` when the suite's workloads schedule parallel sections
+    /// (everything except the sequentially-run SPEC CPU INT).
+    pub const fn has_parallel_sections(self) -> bool {
+        !matches!(self.class(), SuiteClass::Desktop)
     }
 
     /// Display label matching the paper's figures.
@@ -47,9 +118,42 @@ impl Suite {
             Suite::SpecOmp => "SPEC OMP",
             Suite::Npb => "NPB",
             Suite::SpecCpuInt => "SPEC CPU INT",
+            Suite::Kernels => "Kernels",
+        }
+    }
+
+    /// Parses a (case-insensitive) suite name as the CLI spells it:
+    /// `exmatex`, `specomp`/`spec-omp`, `npb`, `specint`/`spec-cpu-int`,
+    /// `kernels`.
+    pub fn parse(name: &str) -> Option<Suite> {
+        let canon: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match canon.as_str() {
+            "exmatex" => Some(Suite::ExMatEx),
+            "specomp" | "specomp2012" | "omp" => Some(Suite::SpecOmp),
+            "npb" | "nas" => Some(Suite::Npb),
+            "specint" | "speccpuint" | "speccpuint2006" | "int" => Some(Suite::SpecCpuInt),
+            "kernels" | "kernel" => Some(Suite::Kernels),
+            _ => None,
         }
     }
 }
+
+// Compile-time guard: `ALL` must list every suite exactly once, in
+// `index` order, and `COUNT` must match. Together with the exhaustive
+// matches in `index`/`class`, adding a `Suite` variant without
+// classifying and ordering it fails the build instead of going stale.
+const _: () = {
+    assert!(Suite::ALL.len() == Suite::COUNT);
+    let mut i = 0;
+    while i < Suite::ALL.len() {
+        assert!(Suite::ALL[i].index() == i);
+        i += 1;
+    }
+};
 
 impl fmt::Display for Suite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -67,8 +171,29 @@ mod tests {
         assert!(Suite::SpecOmp.is_hpc());
         assert!(Suite::Npb.is_hpc());
         assert!(!Suite::SpecCpuInt.is_hpc());
+        assert!(!Suite::Kernels.is_hpc());
         assert_eq!(Suite::HPC.len(), 3);
         assert!(Suite::HPC.iter().all(|s| s.is_hpc()));
+    }
+
+    #[test]
+    fn paper_and_parallel_classification() {
+        assert!(Suite::PAPER.iter().all(|s| s.is_paper()));
+        assert!(!Suite::Kernels.is_paper());
+        assert!(Suite::Kernels.has_parallel_sections());
+        assert!(!Suite::SpecCpuInt.has_parallel_sections());
+        assert!(Suite::HPC.iter().all(|s| s.has_parallel_sections()));
+    }
+
+    /// The const arrays are derived views of the classification: they
+    /// must agree exactly with filtering `ALL` through the exhaustive
+    /// predicates, so none of them can silently drift.
+    #[test]
+    fn const_arrays_match_derived_filters() {
+        let hpc: Vec<Suite> = Suite::ALL.into_iter().filter(|s| s.is_hpc()).collect();
+        assert_eq!(hpc, Suite::HPC.to_vec());
+        let paper: Vec<Suite> = Suite::ALL.into_iter().filter(|s| s.is_paper()).collect();
+        assert_eq!(paper, Suite::PAPER.to_vec());
     }
 
     #[test]
@@ -77,14 +202,26 @@ mod tests {
         assert_eq!(Suite::SpecOmp.to_string(), "SPEC OMP");
         assert_eq!(Suite::Npb.to_string(), "NPB");
         assert_eq!(Suite::SpecCpuInt.to_string(), "SPEC CPU INT");
+        assert_eq!(Suite::Kernels.to_string(), "Kernels");
     }
 
     #[test]
     fn all_is_ordered_and_unique() {
-        assert_eq!(Suite::ALL.len(), 4);
+        assert_eq!(Suite::ALL.len(), Suite::COUNT);
         let mut set = std::collections::BTreeSet::new();
-        for s in Suite::ALL {
+        for (i, s) in Suite::ALL.into_iter().enumerate() {
             assert!(set.insert(s));
+            assert_eq!(s.index(), i);
         }
+    }
+
+    #[test]
+    fn parse_accepts_cli_spellings() {
+        assert_eq!(Suite::parse("kernels"), Some(Suite::Kernels));
+        assert_eq!(Suite::parse("ExMatEx"), Some(Suite::ExMatEx));
+        assert_eq!(Suite::parse("spec-omp"), Some(Suite::SpecOmp));
+        assert_eq!(Suite::parse("SPEC CPU INT"), Some(Suite::SpecCpuInt));
+        assert_eq!(Suite::parse("npb"), Some(Suite::Npb));
+        assert_eq!(Suite::parse("quake"), None);
     }
 }

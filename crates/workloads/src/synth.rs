@@ -62,10 +62,20 @@ pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrac
     let has_serial = profile.serial_fraction > 0.0;
     let has_parallel = profile.serial_fraction < 1.0;
 
-    // Region declaration order fixes the address map: hot code first,
-    // then shared functions, then (far away) library code, then cold
-    // init/error code.
+    // Region declaration order fixes the address map: hot code first
+    // (one region per drift window when the phase shape asks for
+    // footprint drift), then shared functions, then (far away) library
+    // code, then cold init/error code.
+    let windows = if has_parallel {
+        effective_drift_windows(profile)
+    } else {
+        1
+    };
     let hot_par = b.region("hot.parallel");
+    let mut par_regions = vec![hot_par];
+    for w in 1..windows {
+        par_regions.push(b.region(&format!("hot.parallel.w{w}")));
+    }
     let hot_ser = b.region("hot.serial");
     let funcs_region = b.region("funcs");
     let lib_region = if profile.lib_kb > 0.0 {
@@ -102,21 +112,40 @@ pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrac
     let mut excursion_funcs = cold_funcs.clone();
     excursion_funcs.extend(lib_cold_funcs.iter().copied());
 
-    // Sections.
-    let par_entry = if has_parallel {
-        Some(build_section(
-            &mut b,
-            hot_par,
-            &profile.parallel,
-            mean_len,
-            &hot_funcs,
-            &excursion_funcs,
-            &mut rng,
-        ))
+    // Sections. With drift, the parallel hot footprint is split into
+    // `windows` disjoint kernel populations (one region each) whose
+    // combined size stays on the profile's `hot_kb` target; each builds
+    // a self-contained dispatch structure, so an epoch entering window
+    // `w` keeps its working set inside that window.
+    let par_entries: Vec<BlockId> = if has_parallel {
+        // One SectionCtx spans all windows, so the bias-archetype
+        // population and backward/else shares stay proportional over
+        // the whole section no matter how it is partitioned.
+        let mut ctx = SectionCtx::new(&profile.parallel);
+        par_regions
+            .iter()
+            .map(|&region| {
+                let mut section = profile.parallel;
+                if windows > 1 {
+                    section.hot_kb = (section.hot_kb / windows as f64).max(0.3);
+                }
+                build_section(
+                    &mut b,
+                    region,
+                    &section,
+                    mean_len,
+                    &hot_funcs,
+                    &excursion_funcs,
+                    &mut rng,
+                    &mut ctx,
+                )
+            })
+            .collect()
     } else {
-        None
+        Vec::new()
     };
     let ser_entry = if has_serial {
+        let mut ctx = SectionCtx::new(&profile.serial);
         Some(build_section(
             &mut b,
             hot_ser,
@@ -125,14 +154,22 @@ pub fn synthesize(name: &str, profile: &WorkloadProfile) -> Result<SyntheticTrac
             &hot_funcs,
             &excursion_funcs,
             &mut rng,
+            &mut ctx,
         ))
     } else {
         None
     };
 
     let program = b.build().map_err(|e| e.to_string())?;
-    let schedule = build_schedule(profile, ser_entry, par_entry);
+    let schedule = build_schedule(profile, ser_entry, &par_entries);
     Ok(SyntheticTrace::new(program, schedule, seed))
+}
+
+/// Drift windows actually synthesized: the requested count, capped so
+/// every window keeps a meaningful (≥ 0.5 KB) kernel population.
+fn effective_drift_windows(profile: &WorkloadProfile) -> u32 {
+    let max_by_footprint = (profile.parallel.hot_kb / 0.5).floor() as u32;
+    profile.phases.drift_windows.min(max_by_footprint).max(1)
 }
 
 /// The deterministic replay seed [`synthesize`] gives a workload's
@@ -311,7 +348,34 @@ struct KernelPlan {
     iters: IterCount,
 }
 
-fn plan_section(profile: &SectionProfile, mean_len: f64, rng: &mut SmallRng) -> SectionPlan {
+/// Per-section synthesis state shared across a section's drift
+/// windows: the bias-archetype picker and the Bresenham accumulators
+/// must span *all* of a section's if-sites, or each (small) window
+/// would restart the largest-remainder sequence and skew its local
+/// site population toward the heaviest archetypes.
+#[derive(Debug)]
+struct SectionCtx {
+    bias_picker: ProportionalPicker,
+    backward_acc: f64,
+    else_acc: f64,
+}
+
+impl SectionCtx {
+    fn new(profile: &SectionProfile) -> Self {
+        SectionCtx {
+            bias_picker: ProportionalPicker::new(&profile.bias.weights()),
+            backward_acc: 0.0,
+            else_acc: 0.0,
+        }
+    }
+}
+
+fn plan_section(
+    profile: &SectionProfile,
+    mean_len: f64,
+    rng: &mut SmallRng,
+    ctx: &mut SectionCtx,
+) -> SectionPlan {
     let bf = profile.branch_fraction;
     let mix_total = profile.mix.total();
     let f = |x: f64| x / mix_total;
@@ -393,27 +457,19 @@ fn plan_section(profile: &SectionProfile, mean_len: f64, rng: &mut SmallRng) -> 
         }
     }
 
-    // Bias archetypes for if-sites, proportional across the section.
-    let mut bias_picker = ProportionalPicker::new(&profile.bias.weights());
-    // Bresenham accumulators marking `backward_if_fraction` of eligible
-    // if-sites as backward-jumping retry loops and `else_fraction` as
-    // if/else diamonds.
-    let mut backward_acc = 0.0f64;
-    let mut else_acc = 0.0f64;
-
     let constant_count = (profile.loops.constant_fraction * k as f64).round() as usize;
     let mut kernels = Vec::with_capacity(k);
     for (ki, extra) in per_kernel_extra.iter().enumerate() {
         let mut slots = Vec::new();
         for _ in 0..n_if {
-            let arch = bias_picker.pick();
+            let arch = ctx.bias_picker.pick();
             // Strongly-taken sites never jump backward (a ~97%-taken
             // backward branch would be an uncounted hot loop); all other
             // archetypes are eligible retry-loop sites.
             let backward = if arch != 0 {
-                backward_acc += profile.backward_if_fraction;
-                if backward_acc >= 1.0 {
-                    backward_acc -= 1.0;
+                ctx.backward_acc += profile.backward_if_fraction;
+                if ctx.backward_acc >= 1.0 {
+                    ctx.backward_acc -= 1.0;
                     true
                 } else {
                     false
@@ -435,9 +491,9 @@ fn plan_section(profile: &SectionProfile, mean_len: f64, rng: &mut SmallRng) -> 
                 });
                 continue;
             }
-            else_acc += profile.else_fraction;
-            let has_else = if else_acc >= 1.0 {
-                else_acc -= 1.0;
+            ctx.else_acc += profile.else_fraction;
+            let has_else = if ctx.else_acc >= 1.0 {
+                ctx.else_acc -= 1.0;
                 true
             } else {
                 false
@@ -532,6 +588,7 @@ enum SlotKind {
 
 /// Builds one section's dispatch hub, kernels, links, and excursion
 /// stubs. Returns the section entry block (the hub).
+#[allow(clippy::too_many_arguments)]
 fn build_section(
     b: &mut ProgramBuilder,
     region: RegionId,
@@ -540,8 +597,9 @@ fn build_section(
     hot_funcs: &[BlockId],
     cold_funcs: &[BlockId],
     rng: &mut SmallRng,
+    ctx: &mut SectionCtx,
 ) -> BlockId {
-    let plan = plan_section(profile, mean_len, rng);
+    let plan = plan_section(profile, mean_len, rng, ctx);
     let k = plan.kernels.len();
     let n_funcs = (profile.call_targets as usize).min(hot_funcs.len()).max(1);
     let funcs = &hot_funcs[..n_funcs];
@@ -876,41 +934,102 @@ fn build_section(
 
 /// Builds the serial/parallel phase schedule at the profile's default
 /// instruction budget.
+///
+/// The legacy [`PhaseShape`] reproduces the original repeat-compressed
+/// structure byte-for-byte; any other shape unrolls into an explicit
+/// phase list with ramped per-epoch budgets (summing exactly to the
+/// profile's budget) whose parallel epochs sweep across the drift
+/// windows in `par_entries`.
 fn build_schedule(
     profile: &WorkloadProfile,
     ser_entry: Option<BlockId>,
-    par_entry: Option<BlockId>,
+    par_entries: &[BlockId],
 ) -> Schedule {
-    const REPS: u64 = 8;
     let total = profile.instructions;
     let serial_total = (profile.serial_fraction * total as f64).round() as u64;
     let parallel_total = total - serial_total;
-    let mut phases = Vec::new();
-    match (ser_entry, par_entry) {
-        (Some(s), Some(p)) => {
-            let s_per = (serial_total / REPS).max(1);
-            let p_per = (parallel_total / REPS).max(1);
-            phases.push(Phase::new(Section::Serial, s, s_per));
-            phases.push(Phase::new(Section::Parallel, p, p_per));
-            Schedule::with_repeat(phases, REPS as u32)
-        }
-        (Some(s), None) => {
-            phases.push(Phase::new(Section::Serial, s, total));
-            Schedule::new(phases)
-        }
-        (None, Some(p)) => {
-            phases.push(Phase::new(Section::Parallel, p, total));
-            Schedule::new(phases)
-        }
-        (None, None) => unreachable!("serial_fraction is within [0,1]"),
+    let par_entry = par_entries.first().copied();
+
+    if profile.phases.is_legacy() {
+        const REPS: u64 = 8;
+        let mut phases = Vec::new();
+        return match (ser_entry, par_entry) {
+            (Some(s), Some(p)) => {
+                let s_per = (serial_total / REPS).max(1);
+                let p_per = (parallel_total / REPS).max(1);
+                phases.push(Phase::new(Section::Serial, s, s_per));
+                phases.push(Phase::new(Section::Parallel, p, p_per));
+                Schedule::with_repeat(phases, REPS as u32)
+            }
+            (Some(s), None) => {
+                phases.push(Phase::new(Section::Serial, s, total));
+                Schedule::new(phases)
+            }
+            (None, Some(p)) => {
+                phases.push(Phase::new(Section::Parallel, p, total));
+                Schedule::new(phases)
+            }
+            (None, None) => unreachable!("serial_fraction is within [0,1]"),
+        };
     }
+
+    let shape = profile.phases;
+    let epochs = shape.epochs as usize;
+    let ser_budgets = ser_entry.map(|_| epoch_budgets(serial_total, shape.epochs, shape.ramp));
+    let par_budgets = par_entry.map(|_| epoch_budgets(parallel_total, shape.epochs, shape.ramp));
+    let windows = par_entries.len().max(1);
+    let mut phases = Vec::new();
+    for e in 0..epochs {
+        if let (Some(s), Some(budgets)) = (ser_entry, &ser_budgets) {
+            if budgets[e] > 0 {
+                phases.push(Phase::new(Section::Serial, s, budgets[e]));
+            }
+        }
+        if let Some(budgets) = &par_budgets {
+            if budgets[e] > 0 {
+                // Progressive sweep: epoch e runs inside window
+                // floor(e * W / E), so the working set drifts across
+                // the footprint over the run.
+                let w = e * windows / epochs;
+                phases.push(Phase::new(Section::Parallel, par_entries[w], budgets[e]));
+            }
+        }
+    }
+    Schedule::new(phases)
+}
+
+/// Cuts `total` instructions into `epochs` budgets whose sizes follow a
+/// geometric ramp (`last/first == ramp`) and sum to exactly `total`.
+fn epoch_budgets(total: u64, epochs: u32, ramp: f64) -> Vec<u64> {
+    let n = epochs as usize;
+    if n <= 1 {
+        return vec![total];
+    }
+    let weights: Vec<f64> = (0..n)
+        .map(|i| ramp.powf(i as f64 / (n - 1) as f64))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut budgets = Vec::with_capacity(n);
+    let mut cumulative = 0.0f64;
+    let mut assigned = 0u64;
+    for w in &weights {
+        cumulative += w / wsum * total as f64;
+        let target = (cumulative.round() as u64).min(total);
+        budgets.push(target - assigned);
+        assigned = target;
+    }
+    if let Some(last) = budgets.last_mut() {
+        *last += total - assigned;
+    }
+    budgets
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profile::{BackendProfile, BiasMix, BranchMix, LoopSpec};
+    use crate::profile::{BackendProfile, BiasMix, BranchMix, LoopSpec, PhaseShape};
     use rebalance_trace::{Pintool, TraceEvent};
+    use std::collections::BTreeSet;
 
     fn hpc_profile() -> WorkloadProfile {
         WorkloadProfile {
@@ -951,6 +1070,7 @@ mod tests {
                 base_cpi: 1.0,
                 data_stall_cpi: 0.4,
             },
+            phases: PhaseShape::legacy(),
         }
     }
 
@@ -1137,6 +1257,118 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"CoMD"), fnv1a(b"CoGL"));
         assert_eq!(fnv1a(b"LULESH"), fnv1a(b"LULESH"));
+    }
+
+    #[test]
+    fn epoch_budgets_sum_exactly_and_ramp() {
+        for (total, epochs, ramp) in [
+            (400_000u64, 8u32, 1.0f64),
+            (400_000, 6, 3.0),
+            (1_000_003, 5, 0.5),
+            (17, 8, 2.0),
+            (0, 4, 1.0),
+            (100, 1, 4.0),
+        ] {
+            let budgets = epoch_budgets(total, epochs, ramp);
+            assert_eq!(budgets.len(), epochs as usize);
+            assert_eq!(
+                budgets.iter().sum::<u64>(),
+                total,
+                "{total}/{epochs}/{ramp}"
+            );
+        }
+        // A ramp > 1 makes later epochs strictly larger overall.
+        let up = epoch_budgets(900_000, 6, 3.0);
+        assert!(up.last().unwrap() > up.first().unwrap());
+        assert!(
+            (*up.last().unwrap() as f64 / *up.first().unwrap() as f64 - 3.0).abs() < 0.1,
+            "last/first tracks the ramp: {up:?}"
+        );
+    }
+
+    #[test]
+    fn ramped_schedule_unrolls_with_exact_total() {
+        let mut p = hpc_profile();
+        p.phases = PhaseShape {
+            epochs: 6,
+            ramp: 3.0,
+            drift_windows: 1,
+        };
+        let trace = synthesize("unit.ramp", &p).unwrap();
+        let sched = trace.schedule();
+        assert_eq!(sched.repeat(), 1, "non-legacy shapes unroll");
+        assert_eq!(sched.total_instructions(), p.instructions);
+        assert!((sched.serial_fraction() - p.serial_fraction).abs() < 0.01);
+        // Parallel epoch budgets grow along the ramp.
+        let par: Vec<u64> = sched
+            .phases()
+            .iter()
+            .filter(|ph| ph.section == Section::Parallel)
+            .map(|ph| ph.instructions)
+            .collect();
+        assert_eq!(par.len(), 6);
+        assert!(par.last().unwrap() > par.first().unwrap());
+    }
+
+    #[test]
+    fn drift_windows_split_the_parallel_footprint() {
+        let mut p = hpc_profile();
+        p.parallel.hot_kb = 6.0;
+        p.phases = PhaseShape {
+            epochs: 6,
+            ramp: 1.0,
+            drift_windows: 3,
+        };
+        let trace = synthesize("unit.drift", &p).unwrap();
+        // Three parallel hot regions exist.
+        let names: Vec<String> = (0..trace.program().num_regions())
+            .map(|i| {
+                trace
+                    .program()
+                    .region_name(rebalance_trace::RegionId::new(i as u32))
+                    .to_owned()
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "hot.parallel"));
+        assert!(names.iter().any(|n| n == "hot.parallel.w1"));
+        assert!(names.iter().any(|n| n == "hot.parallel.w2"));
+        // The schedule's parallel epochs enter three distinct windows,
+        // in sweep order.
+        let entries: Vec<_> = trace
+            .schedule()
+            .phases()
+            .iter()
+            .filter(|ph| ph.section == Section::Parallel)
+            .map(|ph| ph.entry)
+            .collect();
+        let distinct: BTreeSet<_> = entries.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "epochs sweep three windows");
+        let mut sorted = entries.clone();
+        sorted.sort();
+        assert_eq!(entries, sorted, "windows are visited progressively");
+        // Budget stays exact.
+        assert_eq!(trace.schedule().total_instructions(), p.instructions);
+    }
+
+    #[test]
+    fn tiny_footprints_clamp_drift_windows() {
+        let mut p = hpc_profile();
+        p.parallel.hot_kb = 1.0;
+        p.phases = PhaseShape {
+            epochs: 8,
+            ramp: 1.0,
+            drift_windows: 8,
+        };
+        assert_eq!(effective_drift_windows(&p), 2, "0.5 KB per window floor");
+        let trace = synthesize("unit.clamp", &p).unwrap();
+        assert_eq!(trace.schedule().total_instructions(), p.instructions);
+    }
+
+    #[test]
+    fn legacy_shape_keeps_repeat_compressed_schedule() {
+        let trace = synthesize("unit.legacy", &hpc_profile()).unwrap();
+        assert_eq!(trace.schedule().repeat(), 8);
+        assert_eq!(trace.schedule().phases().len(), 2);
     }
 
     #[test]

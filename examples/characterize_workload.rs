@@ -8,7 +8,8 @@
 
 use rebalance::pintools::characterize;
 use rebalance::workloads::{
-    synthesize, BackendProfile, BiasMix, BranchMix, LoopSpec, SectionProfile, WorkloadProfile,
+    synthesize, BackendProfile, BiasMix, BranchMix, LoopSpec, PhaseShape, SectionProfile,
+    WorkloadProfile,
 };
 
 fn main() -> Result<(), String> {
@@ -60,6 +61,13 @@ fn main() -> Result<(), String> {
         backend: BackendProfile {
             base_cpi: 0.9,
             data_stall_cpi: 0.8,
+        },
+        // Six serial→parallel epochs whose parallel working set sweeps
+        // across three footprint windows (a plane-by-plane stencil).
+        phases: PhaseShape {
+            epochs: 6,
+            ramp: 1.0,
+            drift_windows: 3,
         },
     };
 

@@ -193,6 +193,58 @@ fn hot_tool_on_batch_overrides_match_per_event_results() {
     }
 }
 
+/// Differential oracle over the kernel-archetype suite: for every new
+/// kernel workload, per-event and batched delivery (capacity 1, 7, and
+/// the process default) produce bit-identical event streams, section
+/// notifications, summaries, and tool reports — including the
+/// phase-shape paths (drift windows, ramped epochs) the paper roster
+/// never exercises.
+#[test]
+fn kernel_archetypes_batched_delivery_is_bit_identical() {
+    for w in rebalance::workloads::kernels() {
+        let trace = w.trace(Scale::Smoke).unwrap();
+
+        let mut baseline = CallLog::default();
+        let base_summary = trace.replay_per_event(&mut baseline);
+        for cap in [1usize, 7, rebalance::trace::batch_capacity()] {
+            let mut batched = CallLog::default();
+            let summary = trace.replay_batched(&mut batched, cap);
+            assert_eq!(summary, base_summary, "{}: capacity {cap}", w.name());
+            assert_eq!(batched, baseline, "{}: capacity {cap}", w.name());
+        }
+
+        // Tool-report equivalence: the full characterization set and a
+        // predictor fan-out observed per-event vs batched.
+        let static_bytes = trace.program().static_bytes();
+        let measure = |per_event: bool, cap: usize| {
+            let mut preds =
+                ToolSet::from_tools(PredictorChoice::build_sims(&PredictorChoice::figure5_set()));
+            let mut chars = characterization_tools();
+            {
+                let mut tools = (&mut preds, &mut chars);
+                if per_event {
+                    trace.replay_per_event(&mut tools);
+                } else {
+                    trace.replay_batched(&mut tools, cap);
+                }
+            }
+            (
+                preds.iter().map(|s| s.report()).collect::<Vec<_>>(),
+                characterization_from_tools(chars, static_bytes, Default::default()),
+            )
+        };
+        let expected = measure(true, 0);
+        for cap in [1usize, 7, rebalance::trace::batch_capacity()] {
+            assert_eq!(
+                measure(false, cap),
+                expected,
+                "{}: tool reports diverged at capacity {cap}",
+                w.name()
+            );
+        }
+    }
+}
+
 /// Hand-filled batches flush their buffered tail (including
 /// trailing section starts) exactly once.
 #[test]

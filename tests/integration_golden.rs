@@ -1,0 +1,184 @@
+//! Golden-report conformance harness.
+//!
+//! For every workload in the full roster (paper suites + kernel
+//! archetypes) a canonical characterization report is committed under
+//! `tests/golden/<workload>.json`. This test regenerates each report at
+//! the smallest scale and diffs it against the committed fixture, so
+//! *any* behavioural change anywhere in the pipeline — synthesizer,
+//! interpreter, batching, pintools, schedule shapes — shows up as a
+//! fixture diff instead of slipping through spot asserts.
+//!
+//! To re-bless the fixtures after an *intentional* change:
+//!
+//! ```text
+//! REBALANCE_BLESS=1 cargo test --test integration_golden
+//! git diff tests/golden/   # review what actually changed, then commit
+//! ```
+//!
+//! The harness refuses to pass while blessing, so a CI run can never
+//! silently rewrite its own expectations.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use rebalance::pintools::characterize;
+use rebalance::workloads::Workload;
+use rebalance::{Characterization, Scale};
+use serde::Serialize;
+
+/// The scale every fixture is recorded at (the smallest, so the
+/// harness stays fast enough for every CI run).
+const GOLDEN_SCALE: Scale = Scale::Smoke;
+
+/// Environment knob: set to `1` to rewrite fixtures instead of
+/// diffing them.
+const BLESS_ENV: &str = "REBALANCE_BLESS";
+
+/// Everything a fixture freezes for one workload: identity, cache-key
+/// seed, schedule shape, and the full five-tool characterization.
+#[derive(Serialize)]
+struct GoldenReport {
+    workload: String,
+    suite: String,
+    seed: u64,
+    schedule_phases: usize,
+    schedule_repeat: u32,
+    total_instructions: u64,
+    serial_fraction: f64,
+    characterization: Characterization,
+}
+
+fn golden_dir() -> PathBuf {
+    // The facade crate owns the workspace-level tests; fixtures live
+    // next to this file at the repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn fixture_path(workload: &Workload) -> PathBuf {
+    golden_dir().join(format!("{}.json", workload.name()))
+}
+
+fn render_report(workload: &Workload) -> String {
+    let trace = workload.trace(GOLDEN_SCALE).expect("roster profile");
+    let report = GoldenReport {
+        workload: workload.name().to_owned(),
+        suite: workload.suite().to_string(),
+        seed: trace.seed(),
+        schedule_phases: trace.schedule().phases().len(),
+        schedule_repeat: trace.schedule().repeat(),
+        total_instructions: trace.schedule().total_instructions(),
+        serial_fraction: trace.schedule().serial_fraction(),
+        characterization: characterize(&trace),
+    };
+    let mut text = serde_json::to_string_pretty(&report).expect("report serializes");
+    text.push('\n');
+    text
+}
+
+fn blessing() -> bool {
+    std::env::var(BLESS_ENV).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Renders the whole roster in parallel (each workload is independent).
+fn render_all() -> Vec<(Workload, String)> {
+    let workloads = rebalance::workloads::all();
+    let mut rendered: Vec<(usize, Workload, String)> = Vec::with_capacity(workloads.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, w) in workloads.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                let text = render_report(&w);
+                (i, w, text)
+            }));
+        }
+        for h in handles {
+            rendered.push(h.join().expect("render thread"));
+        }
+    });
+    rendered.sort_by_key(|(i, _, _)| *i);
+    rendered.into_iter().map(|(_, w, text)| (w, text)).collect()
+}
+
+#[test]
+fn golden_reports_match_committed_fixtures() {
+    let dir = golden_dir();
+    let rendered = render_all();
+
+    if blessing() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+        for (w, text) in &rendered {
+            std::fs::write(fixture_path(w), text).expect("write fixture");
+        }
+        panic!(
+            "blessed {} fixtures into {}; unset {BLESS_ENV} and re-run to verify",
+            rendered.len(),
+            dir.display()
+        );
+    }
+
+    let mut failures = Vec::new();
+    for (w, text) in &rendered {
+        let path = fixture_path(w);
+        match std::fs::read_to_string(&path) {
+            Ok(committed) => {
+                if committed != *text {
+                    let first_diff = committed
+                        .lines()
+                        .zip(text.lines())
+                        .enumerate()
+                        .find(|(_, (a, b))| a != b)
+                        .map(|(n, (a, b))| format!("line {}: `{a}` != `{b}`", n + 1))
+                        .unwrap_or_else(|| "lengths differ".to_owned());
+                    failures.push(format!("{}: {first_diff}", w.name()));
+                }
+            }
+            Err(e) => failures.push(format!(
+                "{}: missing fixture {} ({e})",
+                w.name(),
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden report(s) drifted from tests/golden/ — if the change is \
+         intentional, re-bless with {BLESS_ENV}=1 and review the diff:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Every committed fixture must belong to a registered workload, so
+/// renames/removals cannot leave stale expectations behind.
+#[test]
+fn no_orphan_fixtures() {
+    let names: BTreeSet<String> = rebalance::workloads::all()
+        .iter()
+        .map(|w| format!("{}.json", w.name()))
+        .collect();
+    let dir = golden_dir();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        // Before the first bless the directory may not exist; the main
+        // conformance test reports the missing fixtures.
+        Err(_) => return,
+    };
+    for entry in entries {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(
+            names.contains(&name),
+            "orphan fixture tests/golden/{name}: no such workload in the roster"
+        );
+    }
+}
+
+/// The report renderer itself is deterministic — a fixture mismatch
+/// therefore always means behaviour changed, never flaky output.
+#[test]
+fn golden_rendering_is_deterministic() {
+    let w = rebalance::workloads::find("k.fft").expect("kernel roster");
+    assert_eq!(render_report(&w), render_report(&w));
+    let cg = rebalance::workloads::find("CG").expect("paper roster");
+    assert_eq!(render_report(&cg), render_report(&cg));
+}

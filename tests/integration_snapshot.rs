@@ -125,6 +125,67 @@ fn cache_warm_sweep_performs_zero_generations() {
     let _ = std::fs::remove_dir_all(cache.dir());
 }
 
+/// Differential oracle over the kernel-archetype suite: cached-snapshot
+/// replay (recording pass and decoded pass alike) must produce tool
+/// reports bit-identical to fresh generation, and a warm kernels sweep
+/// must perform zero generations — the drift-window/ramped-epoch
+/// schedules survive the snapshot encoding exactly.
+#[test]
+fn kernel_archetypes_cached_replay_matches_fresh() {
+    let cache = TraceCache::scratch().unwrap();
+    let kernels = rebalance::workloads::kernels();
+    assert!(kernels.len() >= 6, "six archetypes minimum");
+    let scale = Scale::Smoke;
+
+    for w in &kernels {
+        let trace = w.trace(scale).unwrap();
+        let live = characterize(&trace);
+        let run_cached = || {
+            let mut tools = characterization_tools();
+            let replay = cache
+                .replay_with(&w.trace_key(scale), || w.trace(scale), &mut tools)
+                .unwrap();
+            characterization_from_tools(tools, trace.program().static_bytes(), replay.summary)
+        };
+        assert_eq!(run_cached(), live, "{}: recording pass", w.name());
+        assert_eq!(run_cached(), live, "{}: decoded pass", w.name());
+    }
+    assert_eq!(
+        cache.stats().generations,
+        kernels.len() as u64,
+        "one generation per kernel, then pure cache hits"
+    );
+
+    // The full sweep path: cold (recording) and warm (decoding) engine
+    // sweeps over the kernels suite match an uncached sweep, and the
+    // warm sweep generates nothing.
+    let cached_sweep = |engine: &SweepEngine| {
+        engine
+            .sweep_cached(
+                &cache,
+                rebalance::workloads::kernels(),
+                |w| w.trace_key(scale),
+                |w| w.trace(scale),
+                |_| predictor_sims(),
+            )
+            .expect("cache replay")
+    };
+    let before = cache.stats();
+    let cold = cached_sweep(&SweepEngine::new());
+    let warm = cached_sweep(&SweepEngine::new());
+    let delta = cache.stats().since(&before);
+    assert_eq!(delta.generations, 0, "kernels were already recorded");
+    let live = SweepEngine::new().sweep(
+        rebalance::workloads::kernels(),
+        |w| w.trace(scale).expect("kernel profile"),
+        |_| predictor_sims(),
+    );
+    assert_eq!(reports(&cold), reports(&live));
+    assert_eq!(reports(&warm), reports(&live));
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
 #[test]
 fn cached_cmp_simulation_matches_live() {
     use rebalance::coresim::{simulate_floorplans, simulate_floorplans_cached, CmpSim};

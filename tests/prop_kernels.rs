@@ -1,0 +1,157 @@
+//! Properties of the kernel-archetype generator:
+//!
+//! 1. `synthesize` is **deterministic**: equal `(name, profile)` inputs
+//!    produce byte-identical programs, schedules, seeds, and event
+//!    streams, at every scale;
+//! 2. distinct kernel names never collide on replay seeds or cache
+//!    fingerprints;
+//! 3. every synthesized archetype **lands inside the tolerance band
+//!    its [`KernelSpec`] declares**, for both the measured branch
+//!    fraction and the measured kernel-section 99% dynamic footprint.
+
+use proptest::prelude::*;
+
+use rebalance::pintools::characterize;
+use rebalance::trace::{FnTool, Section, TraceEvent};
+use rebalance::workloads::{synthesize, KernelSpec};
+use rebalance::Scale;
+
+fn spec_by_index(i: usize) -> KernelSpec {
+    let all = KernelSpec::all();
+    all[i % all.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Equal (name, profile) inputs synthesize byte-identical traces,
+    /// and the scaled replay streams match event for event.
+    #[test]
+    fn synthesis_is_deterministic_for_equal_inputs(
+        idx in 0usize..6,
+        scale_pct in 1u32..6,
+    ) {
+        let spec = spec_by_index(idx);
+        let a = synthesize(spec.name, &spec.profile()).unwrap();
+        let b = synthesize(spec.name, &spec.profile()).unwrap();
+        prop_assert_eq!(&a, &b, "synthesize must be a pure function");
+        prop_assert_eq!(a.seed(), b.seed());
+
+        let factor = f64::from(scale_pct) / 100.0;
+        let collect = |t: &rebalance::trace::SyntheticTrace| {
+            let mut events = Vec::new();
+            let mut tool = FnTool::new(|ev: &TraceEvent| events.push(*ev));
+            let summary = t.clone().scaled(factor).replay(&mut tool);
+            (events, summary)
+        };
+        prop_assert_eq!(collect(&a), collect(&b));
+    }
+
+    /// The registered workload wrapper agrees with direct synthesis.
+    #[test]
+    fn workload_trace_matches_direct_synthesis(idx in 0usize..6) {
+        let spec = spec_by_index(idx);
+        let via_workload = spec.workload().trace(Scale::Full).unwrap();
+        let direct = synthesize(spec.name, &spec.profile()).unwrap();
+        prop_assert_eq!(via_workload, direct);
+    }
+}
+
+#[test]
+fn kernel_names_never_collide_on_seeds_or_fingerprints() {
+    let specs = KernelSpec::all();
+    let mut seeds = std::collections::HashSet::new();
+    let mut fingerprints = std::collections::HashSet::new();
+    for s in &specs {
+        let key = s.workload().trace_key(Scale::Smoke);
+        assert!(seeds.insert(key.seed()), "{}: seed collision", s.name);
+        assert!(
+            fingerprints.insert(key.fingerprint()),
+            "{}: fingerprint collision",
+            s.name
+        );
+    }
+    // Kernel parameters are part of the cache identity: the same name
+    // with a different phase shape must address a different entry.
+    let mut tweaked = specs[0];
+    tweaked.phases.epochs += 1;
+    assert_ne!(
+        tweaked.workload().trace_key(Scale::Smoke).fingerprint(),
+        specs[0].workload().trace_key(Scale::Smoke).fingerprint(),
+        "kernel params must be distinguished by the cache key"
+    );
+}
+
+/// Every archetype's measured branch fraction and kernel-section
+/// footprint land inside the tolerance band its spec declares.
+#[test]
+fn measured_characteristics_land_in_declared_tolerances() {
+    for spec in KernelSpec::all() {
+        let w = spec.workload();
+        let trace = w.trace(Scale::Quick).expect("kernel profile");
+        let c = characterize(&trace);
+
+        let measured_bf = c.mix.total().branch_fraction();
+        let target_bf = spec.target_branch_fraction();
+        let rel = (measured_bf - target_bf).abs() / target_bf;
+        assert!(
+            rel <= spec.branch_fraction_tolerance(),
+            "{}: branch fraction {measured_bf:.4} misses target {target_bf:.4} \
+             (rel err {rel:.2} > tol {:.2})",
+            spec.name,
+            spec.branch_fraction_tolerance()
+        );
+
+        let kernel_fp = if spec.serial_fraction >= 1.0 {
+            c.footprint.sections.serial
+        } else {
+            c.footprint.sections.parallel
+        };
+        let measured_kb = kernel_fp.dyn99_kb();
+        let (lo, hi) = spec.footprint_band();
+        assert!(
+            measured_kb >= spec.hot_kb * lo && measured_kb <= spec.hot_kb * hi,
+            "{}: dyn99 footprint {measured_kb:.2} KB outside [{:.2}, {:.2}] KB",
+            spec.name,
+            spec.hot_kb * lo,
+            spec.hot_kb * hi
+        );
+    }
+}
+
+/// Phase shapes survive into the replayed stream: a drifting kernel
+/// really moves its working set between epochs, and a ramped kernel
+/// really grows them.
+#[test]
+fn phase_shapes_are_observable_in_the_stream() {
+    // Drift: the stencil's first and last parallel epochs touch
+    // disjoint code windows.
+    let stencil = KernelSpec::find("k.stencil").unwrap();
+    let trace = stencil.workload().trace(Scale::Smoke).unwrap();
+    let entries: Vec<_> = trace
+        .schedule()
+        .phases()
+        .iter()
+        .filter(|p| p.section == Section::Parallel)
+        .map(|p| p.entry)
+        .collect();
+    assert!(entries.len() >= 2);
+    assert_ne!(entries.first(), entries.last(), "footprint drifted");
+
+    // Ramp: the BFS frontier's parallel budgets grow ~3x over the run.
+    let bfs = KernelSpec::find("k.bfs").unwrap();
+    let trace = bfs.workload().trace(Scale::Smoke).unwrap();
+    let budgets: Vec<u64> = trace
+        .schedule()
+        .phases()
+        .iter()
+        .filter(|p| p.section == Section::Parallel)
+        .map(|p| p.instructions)
+        .collect();
+    let (first, last) = (*budgets.first().unwrap(), *budgets.last().unwrap());
+    let ratio = last as f64 / first as f64;
+    assert!(
+        (2.0..=4.5).contains(&ratio),
+        "ramp 3.0 should be visible: first {first}, last {last}"
+    );
+}
