@@ -1,6 +1,7 @@
 //! Minimal flag parsing shared by the subcommands (the workspace builds
 //! offline, so no clap — the same hand-rolled style as `repro`).
 
+use rebalance_coresim::FetchModelKind;
 use rebalance_workloads::{Scale, Suite};
 
 /// Accumulates positional arguments and recognized flags; rejects
@@ -26,6 +27,8 @@ pub struct Parsed {
     /// `--batch-size N` (events per delivery block; default
     /// [`rebalance_trace::DEFAULT_BATCH_CAPACITY`]).
     pub batch_size: Option<usize>,
+    /// `--model {penalty,ftq}` (CPI timing backend).
+    pub model: Option<FetchModelKind>,
 }
 
 /// Parses `argv` into [`Parsed`].
@@ -78,6 +81,13 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                         )
                     })?;
                 parsed.batch_size = Some(n);
+            }
+            "--model" => {
+                let v = it.next().ok_or("--model needs a value")?;
+                parsed.model = Some(
+                    FetchModelKind::parse(v)
+                        .ok_or_else(|| format!("unknown model `{v}` (expected: penalty ftq)"))?,
+                );
             }
             "--no-cache" => parsed.no_cache = true,
             "--all" => parsed.all = true,
@@ -192,6 +202,17 @@ mod tests {
         assert!(parse(&argv(&["--scale", "zero"])).is_err());
         assert!(parse(&argv(&["--bogus"])).is_err());
         assert!(parse(&argv(&["--no-cache", "--cache", "d"])).is_err());
+    }
+
+    #[test]
+    fn parses_model() {
+        let p = parse(&argv(&["--model", "ftq"])).unwrap();
+        assert_eq!(p.model, Some(FetchModelKind::Ftq));
+        let p = parse(&argv(&["--model", "penalty"])).unwrap();
+        assert_eq!(p.model, Some(FetchModelKind::Penalty));
+        assert_eq!(parse(&argv(&[])).unwrap().model, None);
+        assert!(parse(&argv(&["--model"])).is_err());
+        assert!(parse(&argv(&["--model", "sniper"])).is_err());
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! rebalance trace verify <file.rbts>...           # full checksum + structure check
 //! rebalance sweep --scale quick                   # predictor sweep, cache-served
 //! rebalance sweep --suite kernels                 # kernel-archetype sweep
+//! rebalance sweep --model ftq --json out/         # + FTQ-model CPI, JSON dumps
+//! rebalance fetch --suite npb                     # decoupled front-end design grid
 //! rebalance workloads list --suite kernels        # roster with design knobs
 //! rebalance paper fig5 table3 --scale quick       # regenerate paper exhibits
+//! rebalance paper fig5 --suite npb --model ftq    # one suite, FTQ timing backend
 //! ```
 //!
 //! All replay-heavy subcommands route through the on-disk trace cache
@@ -18,6 +21,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod fetch_cmd;
 mod paper_cmd;
 mod sweep_cmd;
 mod trace_cmd;
@@ -34,6 +38,17 @@ fn print_ignoring_pipe(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
+/// Writes `value` as pretty-printed JSON to `dir/name.json`, creating
+/// the directory if needed (the `--json DIR` machine-readable outputs).
+fn write_json<T: serde::Serialize>(dir: &str, name: &str, value: &T) -> Result<(), String> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{name}.json"));
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rebalance <COMMAND> [OPTIONS]\n\
@@ -45,15 +60,18 @@ fn usage() -> ExitCode {
          \x20     print header/footer metadata of snapshot files\n\
          \x20 trace verify <FILE...> [--batch-size N]\n\
          \x20     fully validate snapshot files (framing, checksum, structure)\n\
-         \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--model M] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     run the nine-predictor sweep, replays served from the cache\n\
+         \x20 fetch [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20     sweep the decoupled front-end (FTQ + FDIP) design grid, one replay per workload\n\
          \x20 workloads list [--suite S]\n\
          \x20     list the registered roster (paper suites + kernel archetypes)\n\
-         \x20 paper [EXHIBIT...|all] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 paper [EXHIBIT...|all] [--suite S] [--scale S] [--model M] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
          \n\
          scales: smoke | quick | full | <positive factor>   (default: smoke)\n\
          suites: exmatex | specomp | npb | specint | kernels\n\
+         --model M: CPI timing backend, penalty (closed form) or ftq (decoupled fetch simulator)\n\
          --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)"
     );
     ExitCode::from(2)
@@ -75,6 +93,7 @@ fn main() -> ExitCode {
             None => return usage(),
         },
         "sweep" => sweep_cmd::run(rest),
+        "fetch" => fetch_cmd::run(rest),
         "paper" => paper_cmd::run(rest),
         "workloads" => match rest.split_first() {
             Some((sub, rest)) if sub == "list" => workloads_cmd::list(rest),

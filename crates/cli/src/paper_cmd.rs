@@ -9,19 +9,23 @@ use rebalance_experiments::{driver, util};
 use crate::args;
 
 /// Runs the requested exhibits (default: all) and prints the shared
-/// replay/cache report at the end.
+/// replay/cache report at the end. `--suite S` narrows every
+/// roster-driven exhibit to one suite; `--model {penalty,ftq}` selects
+/// the CPI timing backend for the CMP exhibits.
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     args::forbid(&[
         (parsed.force, "--force"),
         (parsed.all, "--all (use the `all` exhibit name)"),
-        (
-            parsed.suite.is_some(),
-            "--suite (exhibits define their own rosters)",
-        ),
     ])?;
     args::configure_cache_env(&parsed);
     args::configure_batch_env(&parsed);
+    // Both knobs latch process-wide state the exhibits consult; set
+    // them before the first exhibit computes anything.
+    rebalance_experiments::util::set_suite_filter(parsed.suite);
+    if let Some(kind) = parsed.model {
+        rebalance_coresim::set_default_fetch_model(kind);
+    }
     let exhibits = driver::resolve_exhibits(&parsed.positional)?;
 
     let json_dir = parsed.json_dir.as_ref().map(PathBuf::from);

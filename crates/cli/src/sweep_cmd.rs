@@ -3,21 +3,39 @@
 
 use std::process::ExitCode;
 
+use rebalance_coresim::{CoreModel, FetchModelKind};
 use rebalance_experiments::util::{self, f2, TextTable};
-use rebalance_frontend::PredictorChoice;
-use rebalance_workloads::Suite;
+use rebalance_frontend::{CoreKind, PredictorChoice};
+use rebalance_workloads::{Suite, Workload};
+use serde::Serialize;
 
 use crate::args;
+
+/// Machine-readable mirror of the printed MPKI table (`--json DIR`
+/// writes it as `sweep.json`, next to the shared `report.json`).
+#[derive(Debug, Serialize)]
+struct SweepJson {
+    scale: String,
+    configs: Vec<String>,
+    rows: Vec<SweepJsonRow>,
+}
+
+/// One workload's MPKI under every configuration.
+#[derive(Debug, Serialize)]
+struct SweepJsonRow {
+    workload: String,
+    suite: Suite,
+    mpki: Vec<f64>,
+}
 
 /// Runs the sweep and prints MPKI plus the shared replay/cache report:
 /// per-suite means over multi-suite selections, per-workload rows when
 /// a single suite is selected (`--suite kernels` reads best that way).
+/// With `--model {penalty,ftq}`, a per-workload CPI table measured
+/// through the chosen timing backend follows.
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
-    args::forbid(&[
-        (parsed.json_dir.is_some(), "--json"),
-        (parsed.force, "--force"),
-    ])?;
+    args::forbid(&[(parsed.force, "--force")])?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     // The experiments crate opens its process-wide cache from the
     // environment on first use; this routes every replay below through
@@ -27,7 +45,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::configure_batch_env(&parsed);
 
     let configs = PredictorChoice::figure5_set();
-    let outcomes = util::sweep(workloads, parsed.scale, |_| {
+    let outcomes = util::sweep(workloads.clone(), parsed.scale, |_| {
         PredictorChoice::build_sims(&configs)
     });
 
@@ -72,10 +90,121 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     } else {
         "branch MPKI per predictor configuration (mean per suite)".to_owned()
     };
+
+    let cpi = parsed
+        .model
+        .map(|kind| measure_cpi(&workloads, parsed.scale, kind));
+
+    if let Some(dir) = &parsed.json_dir {
+        let json = SweepJson {
+            scale: parsed.scale.to_string(),
+            configs: configs.iter().map(|c| c.label()).collect(),
+            rows: outcomes
+                .iter()
+                .map(|o| SweepJsonRow {
+                    workload: o.item.name().to_owned(),
+                    suite: o.item.suite(),
+                    mpki: o.tools.iter().map(|s| s.report().total().mpki()).collect(),
+                })
+                .collect(),
+        };
+        crate::write_json(dir, "sweep", &json)?;
+        // Everything `--model` adds to the terminal lands in the dump
+        // too, as its own file.
+        if let Some(cpi) = &cpi {
+            crate::write_json(dir, "cpi", cpi)?;
+        }
+        crate::write_json(dir, "report", &util::sweep_report())?;
+    }
+
     crate::print_ignoring_pipe(&format!(
-        "{heading}\n{}{}\n",
+        "{heading}\n{}{}{}\n",
         table.render(),
+        cpi.as_ref().map(render_cpi).unwrap_or_default(),
         util::sweep_report()
     ));
     Ok(ExitCode::SUCCESS)
+}
+
+/// Per-workload CPI of both paper cores under one timing backend — the
+/// `--model` addendum, printed and (with `--json`) dumped as
+/// `cpi.json`.
+#[derive(Debug, Serialize)]
+struct CpiJson {
+    model: String,
+    rows: Vec<CpiJsonRow>,
+}
+
+/// One workload's CPI on its dominant section.
+#[derive(Debug, Serialize)]
+struct CpiJsonRow {
+    workload: String,
+    suite: Suite,
+    section: String,
+    baseline_cpi: f64,
+    tailored_cpi: f64,
+}
+
+/// Measures both paper cores over the selection through the chosen
+/// timing backend (one additional cache-served replay per workload —
+/// both cores share it).
+fn measure_cpi(
+    workloads: &[Workload],
+    scale: rebalance_workloads::Scale,
+    kind: FetchModelKind,
+) -> CpiJson {
+    let models = [
+        CoreModel::new(CoreKind::Baseline).with_fetch_model(kind),
+        CoreModel::new(CoreKind::Tailored).with_fetch_model(kind),
+    ];
+    let rows = util::sweep(workloads.to_vec(), scale, |_| {
+        models.iter().map(CoreModel::fetch_tools).collect()
+    })
+    .iter()
+    .map(|o| {
+        let backend = o.item.profile().backend;
+        let section = if o.item.suite().has_parallel_sections() {
+            rebalance_trace::Section::Parallel
+        } else {
+            rebalance_trace::Section::Serial
+        };
+        let cpis: Vec<f64> = models
+            .iter()
+            .zip(&o.tools)
+            .map(|(m, tools)| m.timing_of(tools, &backend).section(section).cpi)
+            .collect();
+        CpiJsonRow {
+            workload: o.item.name().to_owned(),
+            suite: o.item.suite(),
+            section: format!("{section:?}").to_lowercase(),
+            baseline_cpi: cpis[0],
+            tailored_cpi: cpis[1],
+        }
+    })
+    .collect();
+    CpiJson {
+        model: kind.to_string(),
+        rows,
+    }
+}
+
+/// Renders the CPI addendum as a table.
+fn render_cpi(cpi: &CpiJson) -> String {
+    let mut t = TextTable::new(vec![
+        "workload",
+        "section",
+        "baseline CPI",
+        "tailored CPI",
+        "tailored/baseline",
+    ]);
+    for r in &cpi.rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.section.clone(),
+            f2(r.baseline_cpi),
+            f2(r.tailored_cpi),
+            f2(r.tailored_cpi / r.baseline_cpi),
+        ]);
+    }
+    format!("per-workload CPI ({} model)\n{}", cpi.model, t.render())
 }

@@ -18,6 +18,7 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
         (parsed.all, "--all"),
         (parsed.force, "--force"),
         (parsed.suite.is_some(), "--suite"),
+        (parsed.model.is_some(), "--model"),
     ])
 }
 
@@ -73,6 +74,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
             "--no-cache (record always writes the cache)",
         ),
         (parsed.json_dir.is_some(), "--json"),
+        (parsed.model.is_some(), "--model"),
     ])?;
     args::configure_batch_env(&parsed);
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;

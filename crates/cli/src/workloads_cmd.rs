@@ -19,6 +19,7 @@ pub fn list(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.json_dir.is_some(), "--json"),
         (parsed.force, "--force"),
         (parsed.batch_size.is_some(), "--batch-size"),
+        (parsed.model.is_some(), "--model"),
     ])?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
 

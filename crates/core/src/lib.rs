@@ -70,6 +70,11 @@ pub mod coresim {
     pub use rebalance_coresim::*;
 }
 
+/// Decoupled front-end (FTQ + FDIP) timing simulation.
+pub mod fetchsim {
+    pub use rebalance_fetchsim::*;
+}
+
 pub use rebalance_coresim::{CmpResult, CmpSim, CoreModel};
 pub use rebalance_frontend::{CoreKind, FrontendConfig};
 pub use rebalance_mcpat::{CmpFloorplan, CoreEstimate};

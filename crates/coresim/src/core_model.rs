@@ -1,5 +1,6 @@
 //! Per-core interval timing: front-end event rates → CPI.
 
+use rebalance_fetchsim::{FetchConfig, FetchReport, FetchSim, FtqConfig};
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
 use rebalance_frontend::{BtbSim, CoreKind, FrontendConfig, ICacheSim};
 use rebalance_trace::{
@@ -8,6 +9,7 @@ use rebalance_trace::{
 use rebalance_workloads::BackendProfile;
 use serde::{Deserialize, Serialize};
 
+use crate::fetch_model::{default_fetch_model, FetchModelKind, FetchTools};
 use crate::penalties::Penalties;
 
 /// One core design's front-end simulators, bundled as a single
@@ -89,15 +91,19 @@ pub struct CoreModel {
     kind: CoreKind,
     frontend: FrontendConfig,
     penalties: Penalties,
+    fetch_model: FetchModelKind,
 }
 
 impl CoreModel {
-    /// A core of one of the paper's two designs with default penalties.
+    /// A core of one of the paper's two designs with default penalties
+    /// and the process-default fetch model (see
+    /// [`set_default_fetch_model`](crate::set_default_fetch_model)).
     pub fn new(kind: CoreKind) -> Self {
         CoreModel {
             kind,
             frontend: FrontendConfig::for_core(kind),
             penalties: Penalties::default(),
+            fetch_model: default_fetch_model(),
         }
     }
 
@@ -107,12 +113,20 @@ impl CoreModel {
             kind,
             frontend,
             penalties: Penalties::default(),
+            fetch_model: default_fetch_model(),
         }
     }
 
     /// Overrides the penalty set.
     pub fn with_penalties(mut self, penalties: Penalties) -> Self {
         self.penalties = penalties;
+        self
+    }
+
+    /// Selects the timing backend ([`FetchModelKind::Penalty`] closed
+    /// form or the [`FetchModelKind::Ftq`] decoupled simulator).
+    pub fn with_fetch_model(mut self, fetch_model: FetchModelKind) -> Self {
+        self.fetch_model = fetch_model;
         self
     }
 
@@ -126,8 +140,35 @@ impl CoreModel {
         &self.frontend
     }
 
-    /// Builds this core's front-end simulators, ready to observe a
-    /// trace (directly or inside a fan-out [`ToolSet`]).
+    /// The selected timing backend.
+    pub fn fetch_model(&self) -> FetchModelKind {
+        self.fetch_model
+    }
+
+    /// The decoupled-front-end design point this core maps to: its
+    /// front-end structures around a default FTQ, with the fetch
+    /// engine's latencies taken from the core's penalty set (rounded
+    /// to whole cycles — the FTQ model is integer-timed) so the two
+    /// backends price the same events consistently.
+    pub fn fetch_config(&self) -> FetchConfig {
+        let cycles = |penalty: f64| penalty.round().max(0.0) as u64;
+        FetchConfig::new(
+            self.frontend,
+            FtqConfig::default()
+                .with_latencies(
+                    cycles(self.penalties.icache_miss),
+                    cycles(self.penalties.branch_mispredict),
+                    cycles(self.penalties.btb_miss),
+                )
+                .with_ras_penalty(cycles(self.penalties.ras_miss)),
+        )
+    }
+
+    /// Builds this core's front-end rate simulators, ready to observe a
+    /// trace (directly or inside a fan-out [`ToolSet`]). This is the
+    /// penalty backend's tool set, independent of
+    /// [`CoreModel::fetch_model`]; use [`CoreModel::fetch_tools`] for
+    /// the backend-selected set.
     pub fn tools(&self) -> FrontendTools {
         (
             PredictorSim::new(self.frontend.predictor.build()),
@@ -136,12 +177,20 @@ impl CoreModel {
         )
     }
 
+    /// Builds the measurement tools of the selected timing backend.
+    pub fn fetch_tools(&self) -> FetchTools {
+        match self.fetch_model {
+            FetchModelKind::Penalty => FetchTools::Penalty(Box::new(self.tools())),
+            FetchModelKind::Ftq => FetchTools::Ftq(Box::new(FetchSim::new(self.fetch_config()))),
+        }
+    }
+
     /// Replays `trace` through this core's front-end structures and
     /// derives per-section CPI with the workload's back-end profile.
     pub fn measure(&self, trace: &SyntheticTrace, backend: &BackendProfile) -> CoreTiming {
-        let mut tools = self.tools();
+        let mut tools = self.fetch_tools();
         trace.replay(&mut tools);
-        self.timing(&tools, backend)
+        self.timing_of(&tools, backend)
     }
 
     /// Measures several core designs over a **single** replay of
@@ -153,12 +202,12 @@ impl CoreModel {
         trace: &SyntheticTrace,
         backend: &BackendProfile,
     ) -> Vec<CoreTiming> {
-        let mut set: ToolSet<FrontendTools> = models.iter().map(CoreModel::tools).collect();
+        let mut set: ToolSet<FetchTools> = models.iter().map(CoreModel::fetch_tools).collect();
         trace.replay(&mut set);
         models
             .iter()
             .zip(set.into_inner())
-            .map(|(model, tools)| model.timing(&tools, backend))
+            .map(|(model, tools)| model.timing_of(&tools, backend))
             .collect()
     }
 
@@ -179,14 +228,64 @@ impl CoreModel {
         generate: impl FnOnce() -> Result<SyntheticTrace, String>,
         backend: &BackendProfile,
     ) -> Result<(Vec<CoreTiming>, CachedReplay), CacheError> {
-        let mut set: ToolSet<FrontendTools> = models.iter().map(CoreModel::tools).collect();
+        let mut set: ToolSet<FetchTools> = models.iter().map(CoreModel::fetch_tools).collect();
         let replay = cache.replay_with(key, generate, &mut set)?;
         let timings = models
             .iter()
             .zip(set.into_inner())
-            .map(|(model, tools)| model.timing(&tools, backend))
+            .map(|(model, tools)| model.timing_of(&tools, backend))
             .collect();
         Ok((timings, replay))
+    }
+
+    /// Derives per-section CPI from already-replayed backend-selected
+    /// tools, dispatching to the matching derivation.
+    pub fn timing_of(&self, tools: &FetchTools, backend: &BackendProfile) -> CoreTiming {
+        match tools {
+            FetchTools::Penalty(tools) => self.timing(tools, backend),
+            FetchTools::Ftq(sim) => self.timing_from_fetch(&sim.report(), backend),
+        }
+    }
+
+    /// Derives per-section CPI from a decoupled-front-end
+    /// [`FetchReport`]: the measured stall cycles replace the
+    /// closed-form `Σ (MPKI × penalty)` term, and the fetch stage's
+    /// busy throughput bounds the base CPI (a front-end that cannot
+    /// sustain the back-end's issue rate becomes the bottleneck).
+    pub fn timing_from_fetch(&self, report: &FetchReport, backend: &BackendProfile) -> CoreTiming {
+        let section_cpi = |section: Section| -> SectionCpi {
+            let fs = report.section(section);
+            let insts = fs.insts;
+            let per_kilo = |n: u64| {
+                if insts == 0 {
+                    0.0
+                } else {
+                    n as f64 * 1000.0 / insts as f64
+                }
+            };
+            let per_inst = |n: u64| {
+                if insts == 0 {
+                    0.0
+                } else {
+                    n as f64 / insts as f64
+                }
+            };
+            SectionCpi {
+                insts,
+                bp_mpki: per_kilo(fs.mispredicts),
+                btb_mpki: per_kilo(fs.resteers),
+                ras_mpki: per_kilo(fs.ras_misses),
+                icache_mpki: per_kilo(fs.icache_misses),
+                cpi: backend.base_cpi.max(per_inst(fs.busy))
+                    + backend.data_stall_cpi
+                    + per_inst(fs.stalls.total()),
+            }
+        };
+        CoreTiming {
+            kind: self.kind,
+            serial: section_cpi(Section::Serial),
+            parallel: section_cpi(Section::Parallel),
+        }
     }
 
     /// Derives per-section CPI from already-replayed front-end tools.
@@ -381,7 +480,115 @@ mod tests {
         let m = CoreModel::new(CoreKind::Tailored);
         assert_eq!(m.kind(), CoreKind::Tailored);
         assert_eq!(m.frontend().btb.entries, 256);
+        assert_eq!(m.fetch_model(), FetchModelKind::Penalty);
         let m2 = CoreModel::with_frontend(CoreKind::Baseline, *m.frontend());
         assert_eq!(m2.frontend().btb.entries, 256);
+        let m3 = m.with_fetch_model(FetchModelKind::Ftq);
+        assert_eq!(m3.fetch_model(), FetchModelKind::Ftq);
+        // The FTQ design point inherits the core's structures and
+        // prices events with the core's penalty set.
+        let fc = m3.fetch_config();
+        assert_eq!(fc.frontend, *m3.frontend());
+        assert_eq!(fc.ftq.mispredict_penalty, 12);
+        assert_eq!(fc.ftq.resteer_penalty, 8);
+        assert_eq!(fc.ftq.miss_latency, 20);
+        // The RAS penalty is carried separately (and fractional
+        // penalties round to whole cycles rather than truncating).
+        let custom = m3.with_penalties(Penalties {
+            ras_miss: 30.0,
+            icache_miss: 12.5,
+            ..Penalties::lean_core()
+        });
+        assert_eq!(custom.fetch_config().ftq.ras_penalty, 30);
+        assert_eq!(custom.fetch_config().ftq.miss_latency, 13);
+    }
+
+    #[test]
+    fn zero_penalties_collapse_cpi_to_the_backend_floor() {
+        let w = find("swim").unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let backend = w.profile().backend;
+        let t = CoreModel::new(CoreKind::Baseline)
+            .with_penalties(Penalties::zero())
+            .measure(&trace, &backend);
+        let floor = backend.base_cpi + backend.data_stall_cpi;
+        for section in [Section::Serial, Section::Parallel] {
+            let s = t.section(section);
+            assert_eq!(s.cpi, floor, "nothing left but the floor");
+            assert_eq!(s.ipc(), 1.0 / floor);
+            // The event rates are still measured — only their price is
+            // zero.
+            assert!(s.insts > 0);
+        }
+    }
+
+    #[test]
+    fn empty_section_pins_section_cpi_defaults() {
+        // SPEC CPU INT runs fully serially: the parallel section has no
+        // instructions at all, which must degrade to zeroed rates and
+        // the bare backend floor, not NaNs.
+        let w = find("gcc").unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let backend = w.profile().backend;
+        for model in [
+            CoreModel::new(CoreKind::Baseline),
+            CoreModel::new(CoreKind::Baseline).with_fetch_model(FetchModelKind::Ftq),
+        ] {
+            let t = model.measure(&trace, &backend);
+            let p = t.parallel;
+            assert_eq!(p.insts, 0, "gcc never enters a parallel section");
+            assert_eq!(p.bp_mpki, 0.0);
+            assert_eq!(p.btb_mpki, 0.0);
+            assert_eq!(p.ras_mpki, 0.0);
+            assert_eq!(p.icache_mpki, 0.0);
+            assert_eq!(p.cpi, backend.base_cpi + backend.data_stall_cpi);
+            assert!(p.ipc() > 0.0, "the floor is finite, so IPC is too");
+            assert!(t.serial.insts > 0);
+        }
+    }
+
+    #[test]
+    fn ftq_backend_cross_validates_against_the_penalty_model() {
+        // The two backends must tell the same qualitative story: CPI at
+        // or above the back-end floor, front-end stalls of the same
+        // order — with the FTQ model at or below the closed form, since
+        // run-ahead and FDIP hide work the penalty model prices in full.
+        for name in ["CG", "FT", "swim"] {
+            let w = find(name).unwrap();
+            let trace = w.trace(Scale::Smoke).unwrap();
+            let backend = w.profile().backend;
+            let penalty = CoreModel::new(CoreKind::Baseline).measure(&trace, &backend);
+            let ftq = CoreModel::new(CoreKind::Baseline)
+                .with_fetch_model(FetchModelKind::Ftq)
+                .measure(&trace, &backend);
+            let floor = backend.base_cpi + backend.data_stall_cpi;
+            assert!(ftq.parallel.cpi >= floor, "{name}");
+            assert!(
+                ftq.parallel.cpi <= penalty.parallel.cpi + 0.05,
+                "{name}: measured stalls {} should not exceed priced rates {}",
+                ftq.parallel.cpi,
+                penalty.parallel.cpi
+            );
+            assert!(
+                ftq.parallel.bp_mpki > 0.0 || penalty.parallel.bp_mpki < 0.1,
+                "{name}: both backends see mispredictions when there are any"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_backend_fan_out_matches_individual_measures() {
+        let w = find("MG").unwrap();
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let backend = w.profile().backend;
+        let models = [
+            CoreModel::new(CoreKind::Baseline),
+            CoreModel::new(CoreKind::Tailored).with_fetch_model(FetchModelKind::Ftq),
+            CoreModel::new(CoreKind::Baseline).with_fetch_model(FetchModelKind::Ftq),
+        ];
+        let fanned = CoreModel::measure_many(&models, &trace, &backend);
+        for (model, timing) in models.iter().zip(&fanned) {
+            assert_eq!(*timing, model.measure(&trace, &backend));
+        }
     }
 }

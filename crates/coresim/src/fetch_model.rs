@@ -1,0 +1,141 @@
+//! The fetch-model abstraction: interchangeable timing backends for
+//! [`SectionCpi`](crate::SectionCpi).
+//!
+//! The original interval model converts per-structure miss *rates* into
+//! CPI through closed-form penalties ([`Penalties`](crate::Penalties)).
+//! The decoupled FTQ simulator (`rebalance-fetchsim`) instead models
+//! the fetch pipeline cycle-approximately and attributes every fetch
+//! cycle. Both are valid backends for a
+//! [`CoreModel`](crate::CoreModel)'s per-section CPI; this module makes
+//! them interchangeable — and cross-validatable — behind one knob.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rebalance_fetchsim::FetchSim;
+use rebalance_trace::{EventBatch, Pintool, Section, TraceEvent};
+
+use crate::core_model::FrontendTools;
+
+/// Which timing backend a [`CoreModel`](crate::CoreModel) derives its
+/// [`SectionCpi`](crate::SectionCpi) from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FetchModelKind {
+    /// The closed-form interval model: `CPI = base + data stalls +
+    /// Σ (event MPKI × penalty)`.
+    #[default]
+    Penalty,
+    /// The decoupled FTQ simulator: fetch stall cycles are measured,
+    /// not estimated, so redirects the run-ahead hides cost nothing.
+    Ftq,
+}
+
+impl FetchModelKind {
+    /// Parses a CLI spelling (`penalty` or `ftq`, case-insensitive).
+    pub fn parse(name: &str) -> Option<FetchModelKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "penalty" => Some(FetchModelKind::Penalty),
+            "ftq" => Some(FetchModelKind::Ftq),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FetchModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchModelKind::Penalty => f.write_str("penalty"),
+            FetchModelKind::Ftq => f.write_str("ftq"),
+        }
+    }
+}
+
+/// Process-wide default backend for cores built without an explicit
+/// [`CoreModel::with_fetch_model`](crate::CoreModel::with_fetch_model).
+/// `0 = Penalty, 1 = Ftq`.
+static DEFAULT_FETCH_MODEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default fetch model (the CLI's `--model` flag;
+/// call before constructing cores).
+pub fn set_default_fetch_model(kind: FetchModelKind) {
+    DEFAULT_FETCH_MODEL.store(kind as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default fetch model ([`FetchModelKind::Penalty`]
+/// unless [`set_default_fetch_model`] changed it).
+pub fn default_fetch_model() -> FetchModelKind {
+    match DEFAULT_FETCH_MODEL.load(Ordering::Relaxed) {
+        1 => FetchModelKind::Ftq,
+        _ => FetchModelKind::Penalty,
+    }
+}
+
+/// One core design's measurement tools under either backend — a single
+/// [`Pintool`] either way, so mixed-model tool sets still share one
+/// trace replay.
+pub enum FetchTools {
+    /// Rate counters for the closed-form model.
+    Penalty(Box<FrontendTools>),
+    /// The decoupled fetch-pipeline simulator.
+    Ftq(Box<FetchSim>),
+}
+
+impl fmt::Debug for FetchTools {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchTools::Penalty(_) => f.write_str("FetchTools::Penalty(..)"),
+            FetchTools::Ftq(sim) => f.debug_tuple("FetchTools::Ftq").field(sim).finish(),
+        }
+    }
+}
+
+impl Pintool for FetchTools {
+    #[inline]
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        match self {
+            FetchTools::Penalty(tools) => tools.on_inst(ev),
+            FetchTools::Ftq(sim) => sim.on_inst(ev),
+        }
+    }
+
+    #[inline]
+    fn on_section_start(&mut self, section: Section) {
+        match self {
+            FetchTools::Penalty(tools) => tools.on_section_start(section),
+            FetchTools::Ftq(sim) => sim.on_section_start(section),
+        }
+    }
+
+    /// One dispatch per block, then each backend's own batched loops.
+    #[inline]
+    fn on_batch(&mut self, batch: &EventBatch) {
+        match self {
+            FetchTools::Penalty(tools) => tools.on_batch(batch),
+            FetchTools::Ftq(sim) => sim.on_batch(batch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in [FetchModelKind::Penalty, FetchModelKind::Ftq] {
+            assert_eq!(FetchModelKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(FetchModelKind::parse("FTQ"), Some(FetchModelKind::Ftq));
+        assert_eq!(FetchModelKind::parse("sniper"), None);
+        assert_eq!(FetchModelKind::default(), FetchModelKind::Penalty);
+    }
+
+    #[test]
+    fn process_default_starts_as_penalty() {
+        // Other tests rely on the penalty default; exercise the setter
+        // only with the value that is already in effect.
+        assert_eq!(default_fetch_model(), FetchModelKind::Penalty);
+        set_default_fetch_model(FetchModelKind::Penalty);
+        assert_eq!(default_fetch_model(), FetchModelKind::Penalty);
+    }
+}

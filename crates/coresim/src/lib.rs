@@ -34,10 +34,12 @@
 
 mod cmp_sim;
 mod core_model;
+mod fetch_model;
 mod penalties;
 
 pub use cmp_sim::{
     simulate_floorplans, simulate_floorplans_cached, CmpResult, CmpSim, PARALLEL_THREADS,
 };
 pub use core_model::{CoreModel, CoreTiming, FrontendTools, SectionCpi};
+pub use fetch_model::{default_fetch_model, set_default_fetch_model, FetchModelKind, FetchTools};
 pub use penalties::Penalties;

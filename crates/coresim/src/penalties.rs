@@ -27,6 +27,18 @@ impl Penalties {
             icache_miss: 20.0,
         }
     }
+
+    /// All-zero penalties: an ideal front-end whose CPI collapses to
+    /// the back-end floor. Useful as a sensitivity-analysis endpoint
+    /// and to pin the interval model's additive structure in tests.
+    pub fn zero() -> Self {
+        Penalties {
+            branch_mispredict: 0.0,
+            btb_miss: 0.0,
+            ras_miss: 0.0,
+            icache_miss: 0.0,
+        }
+    }
 }
 
 impl Default for Penalties {
@@ -46,5 +58,34 @@ mod tests {
         assert!(p.btb_miss < p.branch_mispredict);
         assert!(p.icache_miss > p.branch_mispredict);
         assert_eq!(p, Penalties::lean_core());
+    }
+
+    #[test]
+    fn lean_core_preset_pins_every_field() {
+        let p = Penalties::lean_core();
+        assert_eq!(p.branch_mispredict, 12.0, "Table III: 12-cycle BP miss");
+        assert_eq!(p.btb_miss, 8.0, "decode-resolved resteer is cheaper");
+        assert_eq!(p.ras_miss, 12.0, "a RAS miss flushes like a mispredict");
+        assert_eq!(p.icache_miss, 20.0, "private-L2 service latency");
+    }
+
+    #[test]
+    fn zero_preset_is_the_ideal_front_end() {
+        let z = Penalties::zero();
+        assert_eq!(z.branch_mispredict, 0.0);
+        assert_eq!(z.btb_miss, 0.0);
+        assert_eq!(z.ras_miss, 0.0);
+        assert_eq!(z.icache_miss, 0.0);
+        assert_ne!(z, Penalties::lean_core());
+    }
+
+    #[test]
+    fn presets_serialize_every_field() {
+        for p in [Penalties::lean_core(), Penalties::zero()] {
+            let json = serde_json::to_string(&p).unwrap();
+            for field in ["branch_mispredict", "btb_miss", "ras_miss", "icache_miss"] {
+                assert!(json.contains(field), "{json} lacks {field}");
+            }
+        }
     }
 }

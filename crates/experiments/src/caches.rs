@@ -65,7 +65,7 @@ pub fn fig7_configs() -> Vec<BtbConfig> {
 /// Runs Figure 7 (all geometries in one trace pass per workload).
 pub fn fig7(scale: Scale) -> Fig7 {
     let configs = fig7_configs();
-    let results: Vec<(Workload, Vec<f64>)> = util::sweep(rebalance_workloads::all(), scale, |_| {
+    let results: Vec<(Workload, Vec<f64>)> = util::sweep(util::roster(), scale, |_| {
         configs.iter().map(|c| BtbSim::new(*c)).collect()
     })
     .into_iter()
@@ -150,7 +150,7 @@ pub fn fig8(scale: Scale) -> Fig8 {
             configs.push(CacheConfig::new(size_kb * 1024, 64, assoc));
         }
     }
-    let results: Vec<(Workload, Vec<f64>)> = util::sweep(rebalance_workloads::all(), scale, |_| {
+    let results: Vec<(Workload, Vec<f64>)> = util::sweep(util::roster(), scale, |_| {
         configs.iter().map(|c| ICacheSim::new(*c)).collect()
     })
     .into_iter()
@@ -237,10 +237,12 @@ pub fn fig9(scale: Scale) -> Fig9 {
             configs.push(CacheConfig::new(16 * 1024, line, assoc));
         }
     }
-    let subset: Vec<Workload> = FIG9_WORKLOADS
-        .iter()
-        .map(|n| rebalance_workloads::find(n).expect("figure 9 roster name"))
-        .collect();
+    let subset = util::filtered(
+        FIG9_WORKLOADS
+            .iter()
+            .map(|n| rebalance_workloads::find(n).expect("figure 9 roster name"))
+            .collect(),
+    );
     let rows = util::sweep(subset, scale, |_| {
         configs.iter().map(|c| ICacheSim::new(*c)).collect()
     })

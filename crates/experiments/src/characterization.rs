@@ -335,7 +335,7 @@ fn bars_for(suite: Suite) -> Vec<Bars> {
 /// configured), and workloads run in parallel on the shared engine's
 /// executor.
 pub fn run(scale: Scale) -> CharacterizationSet {
-    let workloads = rebalance_workloads::all();
+    let workloads = util::roster();
     let characterized = util::engine().map(&workloads, |w| util::characterize_workload(w, scale));
     let results: Vec<(Workload, Characterization)> =
         workloads.into_iter().zip(characterized).collect();
@@ -538,7 +538,7 @@ impl KernelsSet {
 /// only, one engine item per workload, reporting measured values
 /// against each [`KernelSpec`]'s design targets.
 pub fn kernels(scale: Scale) -> KernelsSet {
-    let workloads = rebalance_workloads::kernels();
+    let workloads = util::filtered(rebalance_workloads::kernels());
     let characterized = util::engine().map(&workloads, |w| util::characterize_workload(w, scale));
     let rows = workloads
         .iter()

@@ -282,10 +282,12 @@ impl Fig11 {
 /// workload across the four floorplans).
 pub fn fig11(scale: Scale) -> Fig11 {
     let sims = figure10_sims();
-    let subset: Vec<Workload> = FIG11_WORKLOADS
-        .iter()
-        .map(|n| rebalance_workloads::find(n).expect("figure 11 roster name"))
-        .collect();
+    let subset = util::filtered(
+        FIG11_WORKLOADS
+            .iter()
+            .map(|n| rebalance_workloads::find(n).expect("figure 11 roster name"))
+            .collect(),
+    );
     let rows = par_map(subset, |w| {
         let results = util::floorplans(&sims, w, scale);
         let base = results[0].time_s;

@@ -7,12 +7,13 @@ use std::path::Path;
 
 use rebalance_workloads::Scale;
 
-use crate::{ablations, caches, characterization, cmp, detail, predictors};
+use crate::{ablations, caches, characterization, cmp, detail, fetchsim, predictors};
 
 /// Every exhibit name the driver understands, in paper order (the
 /// `kernels` exhibit — archetype characterization + predictor sweep —
-/// is ours, appended after the paper's).
-pub const EXHIBITS: [&str; 17] = [
+/// and the `fetchsim` decoupled-front-end grid are ours, appended
+/// after the paper's).
+pub const EXHIBITS: [&str; 18] = [
     "fig1",
     "fig2",
     "table1",
@@ -30,6 +31,7 @@ pub const EXHIBITS: [&str; 17] = [
     "ablations",
     "detail",
     "kernels",
+    "fetchsim",
 ];
 
 /// `true` if `name` is a known exhibit.
@@ -206,6 +208,11 @@ pub fn run_exhibits(
                 dump_json(json_dir, "kernels_predictors", &p);
                 format!("{}\n{}", c.render(), p.render())
             }
+            "fetchsim" => {
+                let f = fetchsim::run(scale);
+                dump_json(json_dir, "fetchsim", &f);
+                f.render()
+            }
             "ablations" => {
                 let all = ablations::run_all(scale);
                 dump_json(json_dir, "ablations", &all);
@@ -233,15 +240,16 @@ mod tests {
         assert!(is_exhibit("fig5"));
         assert!(is_exhibit("ablations"));
         assert!(is_exhibit("kernels"));
+        assert!(is_exhibit("fetchsim"));
         assert!(!is_exhibit("fig99"));
-        assert_eq!(EXHIBITS.len(), 17);
+        assert_eq!(EXHIBITS.len(), 18);
     }
 
     #[test]
     fn resolve_expands_validates_and_dedups() {
         let names = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 17);
-        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 17);
+        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 18);
+        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 18);
         // Non-adjacent duplicates are dropped, order preserved.
         assert_eq!(
             resolve_exhibits(&names(&["fig5", "table2", "fig5"])).unwrap(),

@@ -12,6 +12,7 @@
 //! | [`cmp`] | Table III, Figures 10 and 11 |
 //! | [`ablations`] | design-choice ablations + the thread-scaling study |
 //! | [`detail`] | per-benchmark characterization rows |
+//! | [`fetchsim`] | decoupled front-end (FTQ + FDIP) design grid |
 //!
 //! The `repro` binary drives them:
 //!
@@ -42,6 +43,7 @@ pub mod characterization;
 pub mod cmp;
 pub mod detail;
 pub mod driver;
+pub mod fetchsim;
 pub mod paper;
 pub mod predictors;
 pub mod util;

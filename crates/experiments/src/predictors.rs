@@ -96,13 +96,12 @@ impl Fig5 {
 /// in one trace pass per workload.
 pub fn fig5(scale: Scale) -> Fig5 {
     let configs = PredictorChoice::figure5_set();
-    let results: Vec<(Workload, Vec<PredictorReport>)> =
-        util::sweep(rebalance_workloads::all(), scale, |_| {
-            PredictorChoice::build_sims(&configs)
-        })
-        .into_iter()
-        .map(|o| (o.item, o.tools.iter().map(PredictorSim::report).collect()))
-        .collect();
+    let results: Vec<(Workload, Vec<PredictorReport>)> = util::sweep(util::roster(), scale, |_| {
+        PredictorChoice::build_sims(&configs)
+    })
+    .into_iter()
+    .map(|o| (o.item, o.tools.iter().map(PredictorSim::report).collect()))
+    .collect();
 
     let rows = configs
         .iter()
@@ -178,9 +177,11 @@ impl KernelsSweep {
 /// the point, not their mean).
 pub fn kernels_sweep(scale: Scale) -> KernelsSweep {
     let configs = PredictorChoice::figure5_set();
-    let rows = util::sweep(rebalance_workloads::kernels(), scale, |_| {
-        PredictorChoice::build_sims(&configs)
-    })
+    let rows = util::sweep(
+        util::filtered(rebalance_workloads::kernels()),
+        scale,
+        |_| PredictorChoice::build_sims(&configs),
+    )
     .into_iter()
     .map(|o| KernelsSweepRow {
         workload: o.item.name().to_owned(),
@@ -272,10 +273,12 @@ pub fn fig6(scale: Scale) -> Fig6 {
         PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, false),
         PredictorChoice::new(PredictorClass::Gshare, PredictorSize::Small, true),
     ];
-    let subset: Vec<Workload> = FIG6_WORKLOADS
-        .iter()
-        .map(|n| rebalance_workloads::find(n).expect("figure 6 roster name"))
-        .collect();
+    let subset = util::filtered(
+        FIG6_WORKLOADS
+            .iter()
+            .map(|n| rebalance_workloads::find(n).expect("figure 6 roster name"))
+            .collect(),
+    );
     let rows = util::sweep(subset, scale, |_| PredictorChoice::build_sims(&configs))
         .into_iter()
         .flat_map(|o| {

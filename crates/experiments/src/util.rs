@@ -9,17 +9,58 @@
 //! engines and stat printing this module used to encourage.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use rebalance_coresim::{simulate_floorplans, simulate_floorplans_cached, CmpResult, CmpSim};
 use rebalance_pintools::{characterization_from_tools, characterization_tools, Characterization};
 use rebalance_trace::{Pintool, Report, RunSummary, SweepEngine, SweepOutcome, TraceCache};
-use rebalance_workloads::{Scale, Workload};
+use rebalance_workloads::{Scale, Suite, Workload};
 
 /// Environment variable naming the trace-cache directory. When set,
 /// every experiment replay is served through the cache; when unset,
 /// traces are generated live (the pre-cache behavior).
 pub const TRACE_CACHE_ENV: &str = "REBALANCE_TRACE_CACHE";
+
+/// Process-wide suite filter: [`u8::MAX`] means "no filter", anything
+/// else is a [`Suite::index`]. Set once (by the CLI's `--suite`) before
+/// exhibits run; unit tests leave it untouched.
+static SUITE_FILTER: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Restricts every roster-driven exhibit in this process to one suite
+/// (`None` clears the filter). The CLI's `rebalance paper --suite S`
+/// sets this exactly once, before any exhibit runs.
+pub fn set_suite_filter(suite: Option<Suite>) {
+    let value = suite.map_or(u8::MAX, |s| s.index() as u8);
+    SUITE_FILTER.store(value, Ordering::Relaxed);
+}
+
+/// The active suite filter, if any.
+pub fn suite_filter() -> Option<Suite> {
+    match SUITE_FILTER.load(Ordering::Relaxed) as usize {
+        i if i < Suite::COUNT => Some(Suite::ALL[i]),
+        _ => None,
+    }
+}
+
+/// Drops workloads outside the active suite filter (identity when no
+/// filter is set). Exhibits with hand-picked subsets route them through
+/// here so `--suite` narrows every exhibit consistently.
+pub fn filtered(workloads: Vec<Workload>) -> Vec<Workload> {
+    match suite_filter() {
+        Some(suite) => workloads
+            .into_iter()
+            .filter(|w| w.suite() == suite)
+            .collect(),
+        None => workloads,
+    }
+}
+
+/// The roster exhibits sweep: the full registry, narrowed by the
+/// active suite filter.
+pub fn roster() -> Vec<Workload> {
+    filtered(rebalance_workloads::all())
+}
 
 /// The process-wide sweep engine all experiments share.
 pub fn engine() -> &'static SweepEngine {
@@ -147,14 +188,14 @@ where
     engine().map(&items, f)
 }
 
-/// Runs `f` over the full roster in parallel, returning
-/// `(workload, result)` pairs in roster order.
+/// Runs `f` over the roster (narrowed by the active suite filter)
+/// in parallel, returning `(workload, result)` pairs in roster order.
 pub fn for_all_workloads<U, F>(f: F) -> Vec<(Workload, U)>
 where
     U: Send,
     F: Fn(&Workload) -> U + Sync,
 {
-    let ws = rebalance_workloads::all();
+    let ws = roster();
     let results = engine().map(&ws, f);
     ws.into_iter().zip(results).collect()
 }
@@ -295,6 +336,20 @@ mod tests {
         assert_eq!(names.len(), rebalance_workloads::all().len());
         assert!(names.len() > 41, "kernel archetypes ride along");
         assert_eq!(names[0].0.name(), names[0].1);
+    }
+
+    #[test]
+    fn roster_without_filter_is_the_full_registry() {
+        // Unit tests never set the filter (it is process-wide), so the
+        // default view must be the whole registry; `--suite` behavior
+        // is exercised end to end by the CLI smoke in CI.
+        assert_eq!(suite_filter(), None);
+        assert_eq!(roster().len(), rebalance_workloads::all().len());
+        let subset = filtered(rebalance_workloads::by_suite(Suite::Npb));
+        assert_eq!(
+            subset.len(),
+            rebalance_workloads::by_suite(Suite::Npb).len()
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Configuration of the decoupled front-end: FTQ geometry, fetch
+//! width, prefetch degree, and latencies.
+
+use std::fmt;
+
+use rebalance_frontend::{CoreKind, FrontendConfig};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latencies of the decoupled fetch engine itself (the
+/// structures in front of it — predictor, BTB, I-cache — come from the
+/// [`FrontendConfig`] half of a [`FetchConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtqConfig {
+    /// Fetch target queue depth in entries (each entry is one fetch
+    /// block). Depth 1 degenerates to a coupled front-end: the BP unit
+    /// cannot run ahead at all.
+    pub depth: usize,
+    /// Maximum instructions per fetch block (the fetch stage's width).
+    pub fetch_width: usize,
+    /// Line prefetches the FDIP engine may have outstanding for one
+    /// fetch block; `0` disables prefetching entirely. (Prefetches are
+    /// issued when a block enters the FTQ and its own fetch consumes
+    /// them, so the bound applies per block.)
+    pub prefetch_degree: usize,
+    /// Cycles to service an I-cache miss from the next level.
+    pub miss_latency: u64,
+    /// Redirect cycles for an execute-resolved misprediction (wrong
+    /// conditional direction or wrong indirect target).
+    pub mispredict_penalty: u64,
+    /// Redirect cycles for a return-address-stack misprediction (also
+    /// execute-resolved; separate so it can track a core's RAS penalty
+    /// independently).
+    pub ras_penalty: u64,
+    /// Resteer cycles for a decode-resolved BTB miss on a taken direct
+    /// branch (the target is in the instruction bytes, so the BP unit
+    /// corrects itself without waiting for execute).
+    pub resteer_penalty: u64,
+}
+
+impl FtqConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `fetch_width` is zero.
+    pub fn new(depth: usize, fetch_width: usize, prefetch_degree: usize) -> Self {
+        assert!(depth > 0, "FTQ depth must be positive");
+        assert!(fetch_width > 0, "fetch width must be positive");
+        FtqConfig {
+            depth,
+            fetch_width,
+            prefetch_degree,
+            ..FtqConfig::default()
+        }
+    }
+
+    /// Overrides the latency set (miss service, mispredict redirect,
+    /// BTB resteer). The RAS penalty follows the mispredict penalty;
+    /// override it separately with [`FtqConfig::with_ras_penalty`].
+    pub fn with_latencies(mut self, miss: u64, mispredict: u64, resteer: u64) -> Self {
+        self.miss_latency = miss;
+        self.mispredict_penalty = mispredict;
+        self.ras_penalty = mispredict;
+        self.resteer_penalty = resteer;
+        self
+    }
+
+    /// Overrides the RAS-misprediction redirect cycles alone.
+    pub fn with_ras_penalty(mut self, ras: u64) -> Self {
+        self.ras_penalty = ras;
+        self
+    }
+}
+
+impl Default for FtqConfig {
+    /// A 16-deep FTQ feeding a 4-wide fetch stage with 4 outstanding
+    /// FDIP prefetches, at the lean core's latencies (20-cycle I-cache
+    /// miss, 12-cycle mispredict redirect, 8-cycle BTB resteer —
+    /// matching `rebalance_coresim::Penalties::lean_core`).
+    fn default() -> Self {
+        FtqConfig {
+            depth: 16,
+            fetch_width: 4,
+            prefetch_degree: 4,
+            miss_latency: 20,
+            mispredict_penalty: 12,
+            ras_penalty: 12,
+            resteer_penalty: 8,
+        }
+    }
+}
+
+/// A complete decoupled-front-end design point: the hardware structures
+/// (predictor, BTB, I-cache) plus the fetch engine around them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetchConfig {
+    /// Predictor, BTB, and I-cache configuration.
+    pub frontend: FrontendConfig,
+    /// FTQ geometry and latencies.
+    pub ftq: FtqConfig,
+}
+
+impl FetchConfig {
+    /// Bundles a front-end with a fetch engine.
+    pub fn new(frontend: FrontendConfig, ftq: FtqConfig) -> Self {
+        FetchConfig { frontend, ftq }
+    }
+
+    /// The default fetch engine around one of the paper's two core
+    /// designs.
+    pub fn for_core(kind: CoreKind) -> Self {
+        FetchConfig {
+            frontend: FrontendConfig::for_core(kind),
+            ftq: FtqConfig::default(),
+        }
+    }
+
+    /// Compact design-point label, e.g. `"ftq16/w4/pf4/btb256"`.
+    pub fn label(&self) -> String {
+        format!(
+            "ftq{}/w{}/pf{}/btb{}",
+            self.ftq.depth,
+            self.ftq.fetch_width,
+            self.ftq.prefetch_degree,
+            self.frontend.btb.entries
+        )
+    }
+}
+
+impl fmt::Display for FetchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_lean_core_latencies() {
+        let c = FtqConfig::default();
+        assert_eq!(c.miss_latency, 20);
+        assert_eq!(c.mispredict_penalty, 12);
+        assert_eq!(c.resteer_penalty, 8);
+        assert!(c.resteer_penalty < c.mispredict_penalty);
+    }
+
+    #[test]
+    fn constructor_and_overrides() {
+        let c = FtqConfig::new(8, 2, 0).with_latencies(10, 6, 3);
+        assert_eq!((c.depth, c.fetch_width, c.prefetch_degree), (8, 2, 0));
+        assert_eq!(
+            (c.miss_latency, c.mispredict_penalty, c.resteer_penalty),
+            (10, 6, 3)
+        );
+        assert_eq!(c.ras_penalty, 6, "RAS penalty follows the mispredict one");
+        assert_eq!(c.with_ras_penalty(9).ras_penalty, 9);
+        assert_eq!(FtqConfig::default().ras_penalty, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = FtqConfig::new(0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = FtqConfig::new(4, 0, 4);
+    }
+
+    #[test]
+    fn labels_name_the_design_point() {
+        let c = FetchConfig::for_core(CoreKind::Tailored);
+        assert_eq!(c.label(), "ftq16/w4/pf4/btb256");
+        assert_eq!(c.to_string(), c.label());
+        let b = FetchConfig::for_core(CoreKind::Baseline);
+        assert_eq!(b.label(), "ftq16/w4/pf4/btb2048");
+    }
+}

@@ -1,0 +1,59 @@
+//! Decoupled front-end timing simulation: a branch-prediction unit
+//! running ahead of the I-cache through a **fetch target queue**, with
+//! **fetch-directed instruction prefetching** and exact stall-cycle
+//! attribution.
+//!
+//! The closed-form penalty model in `rebalance-coresim` converts MPKI
+//! rates into CPI but cannot say *where fetch cycles actually go* —
+//! whether a smaller BTB's extra resteers are hidden by run-ahead, or
+//! how much of the I-cache miss latency FDIP covers. This crate models
+//! the fetch pipeline itself, cycle-approximately, and attributes every
+//! modeled fetch cycle to exactly one of five buckets:
+//!
+//! * **busy** — delivering instructions,
+//! * **mispredict redirect** — execute-resolved flushes,
+//! * **BTB resteer** — decode-resolved target corrections not hidden
+//!   by the FTQ's lead,
+//! * **I-cache miss** — miss cycles not hidden by prefetch,
+//! * **FTQ empty** — the fetch stage starving for any other reason.
+//!
+//! The attribution is exact by construction and checked by
+//! [`FetchReport::check_attribution`].
+//!
+//! [`FetchSim`] is a batched [`Pintool`](rebalance_trace::Pintool), so
+//! a whole design grid (FTQ depth × fetch width × prefetch degree ×
+//! front-end) shares **one** trace replay through a
+//! [`ToolSet`](rebalance_trace::ToolSet), exactly like the MPKI sims.
+//!
+//! # Examples
+//!
+//! Sweep two design points over one replay:
+//!
+//! ```
+//! use rebalance_fetchsim::{FetchConfig, FetchSim};
+//! use rebalance_frontend::CoreKind;
+//! use rebalance_trace::ToolSet;
+//! use rebalance_workloads::{find, Scale};
+//!
+//! let trace = find("MG").unwrap().trace(Scale::Smoke).unwrap();
+//! let mut set: ToolSet<FetchSim> = [CoreKind::Baseline, CoreKind::Tailored]
+//!     .map(FetchConfig::for_core)
+//!     .map(FetchSim::new)
+//!     .into_iter()
+//!     .collect();
+//! trace.replay(&mut set);
+//! for sim in set.iter() {
+//!     sim.report().check_attribution().expect("exact attribution");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod report;
+mod sim;
+
+pub use config::{FetchConfig, FtqConfig};
+pub use report::{FetchReport, FetchStats, StallBreakdown};
+pub use sim::FetchSim;

@@ -1,0 +1,238 @@
+//! Fetch-cycle accounting: the stall breakdown and per-section report.
+
+use rebalance_trace::{BySection, Section};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FetchConfig;
+
+/// Where lost fetch cycles went. The four categories are disjoint by
+/// construction: every non-busy fetch cycle is attributed to exactly
+/// one of them, so `busy + total()` equals total modeled fetch cycles
+/// — the invariant the integration tests assert per workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles lost to execute-resolved redirects (conditional
+    /// direction, indirect target, and RAS mispredictions).
+    pub mispredict: u64,
+    /// Cycles lost to decode-resolved BTB resteers that the FTQ's
+    /// run-ahead lead did **not** hide.
+    pub resteer: u64,
+    /// I-cache miss cycles not hidden by fetch-directed prefetch.
+    pub icache: u64,
+    /// Cycles the fetch stage waited on an empty FTQ for reasons other
+    /// than a charged redirect (pipeline fill, BP throughput).
+    pub ftq_empty: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.mispredict + self.resteer + self.icache + self.ftq_empty
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.mispredict += other.mispredict;
+        self.resteer += other.resteer;
+        self.icache += other.icache;
+        self.ftq_empty += other.ftq_empty;
+    }
+}
+
+/// Per-section fetch-stage statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchStats {
+    /// Instructions delivered by the fetch stage.
+    pub insts: u64,
+    /// Fetch blocks (FTQ entries) consumed.
+    pub blocks: u64,
+    /// Cycles the fetch stage spent delivering instructions (one per
+    /// I-cache line each block touches).
+    pub busy: u64,
+    /// Attributed stall cycles.
+    pub stalls: StallBreakdown,
+    /// Execute-resolved redirects from the direction predictor or a
+    /// wrong indirect target.
+    pub mispredicts: u64,
+    /// Execute-resolved redirects from RAS mispredictions.
+    pub ras_misses: u64,
+    /// Decode-resolved BTB resteers (charged or hidden).
+    pub resteers: u64,
+    /// Demand line fetches that had to wait on the next level (fully
+    /// exposed misses plus late prefetches).
+    pub icache_misses: u64,
+    /// FDIP prefetch fills issued.
+    pub prefetches: u64,
+    /// Demand fetches whose line a prefetch delivered early enough to
+    /// hide the miss entirely.
+    pub prefetch_hits: u64,
+    /// Demand fetches that caught their prefetch still in flight (the
+    /// miss was only partially hidden).
+    pub prefetch_late: u64,
+}
+
+impl FetchStats {
+    /// Total fetch cycles this section consumed (busy + all stalls).
+    pub fn cycles(&self) -> u64 {
+        self.busy + self.stalls.total()
+    }
+
+    /// Instructions delivered per fetch cycle.
+    pub fn bandwidth(&self) -> f64 {
+        let cycles = self.cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / cycles as f64
+        }
+    }
+
+    /// Fetch cycles per instruction (the front-end's CPI contribution
+    /// ceiling).
+    pub fn fetch_cpi(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.cycles() as f64 / self.insts as f64
+        }
+    }
+
+    /// Stall cycles of one category per kilo-instruction.
+    pub fn stall_cpk(&self, cycles: u64) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            cycles as f64 * 1000.0 / self.insts as f64
+        }
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.insts += other.insts;
+        self.blocks += other.blocks;
+        self.busy += other.busy;
+        self.stalls.merge(&other.stalls);
+        self.mispredicts += other.mispredicts;
+        self.ras_misses += other.ras_misses;
+        self.resteers += other.resteers;
+        self.icache_misses += other.icache_misses;
+        self.prefetches += other.prefetches;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_late += other.prefetch_late;
+    }
+}
+
+/// Per-section + total decoupled-front-end report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetchReport {
+    /// Design point measured.
+    pub config: FetchConfig,
+    /// Per-section stats.
+    pub sections: BySection<FetchStats>,
+    /// Final value of the fetch clock. Every cycle from 0 to here is
+    /// attributed to exactly one section's busy/stall accounting, so
+    /// `sections.serial.cycles() + sections.parallel.cycles()` equals
+    /// this exactly — the stall-attribution invariant.
+    pub total_cycles: u64,
+}
+
+impl FetchReport {
+    /// Combined stats over both sections.
+    pub fn total(&self) -> FetchStats {
+        let mut t = self.sections.serial;
+        t.merge(&self.sections.parallel);
+        t
+    }
+
+    /// Stats for one section.
+    pub fn section(&self, section: Section) -> &FetchStats {
+        self.sections.get(section)
+    }
+
+    /// Checks the stall-attribution invariant: per-section busy + stall
+    /// cycles sum exactly to the fetch clock.
+    ///
+    /// # Errors
+    ///
+    /// Describes the mismatch.
+    pub fn check_attribution(&self) -> Result<(), String> {
+        let attributed = self.sections.serial.cycles() + self.sections.parallel.cycles();
+        if attributed == self.total_cycles {
+            Ok(())
+        } else {
+            Err(format!(
+                "attributed {attributed} cycles but the fetch clock reads {}",
+                self.total_cycles
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stats_are_inert() {
+        let s = FetchStats::default();
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.bandwidth(), 0.0);
+        assert_eq!(s.fetch_cpi(), 0.0);
+        assert_eq!(s.stall_cpk(5), 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_merge() {
+        let mut a = StallBreakdown {
+            mispredict: 1,
+            resteer: 2,
+            icache: 3,
+            ftq_empty: 4,
+        };
+        assert_eq!(a.total(), 10);
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+
+        let mut s = FetchStats {
+            insts: 1000,
+            blocks: 250,
+            busy: 260,
+            stalls: a,
+            ..FetchStats::default()
+        };
+        assert_eq!(s.cycles(), 280);
+        assert!((s.bandwidth() - 1000.0 / 280.0).abs() < 1e-12);
+        assert!((s.fetch_cpi() - 0.28).abs() < 1e-12);
+        assert_eq!(s.stall_cpk(s.stalls.icache), 6.0);
+        let other = s;
+        s.merge(&other);
+        assert_eq!(s.insts, 2000);
+        assert_eq!(s.cycles(), 560);
+    }
+
+    #[test]
+    fn attribution_check_reports_mismatch() {
+        let good = FetchReport {
+            config: crate::FetchConfig::for_core(rebalance_frontend::CoreKind::Baseline),
+            sections: BySection::new(
+                FetchStats {
+                    busy: 3,
+                    ..FetchStats::default()
+                },
+                FetchStats {
+                    busy: 4,
+                    ..FetchStats::default()
+                },
+            ),
+            total_cycles: 7,
+        };
+        assert!(good.check_attribution().is_ok());
+        assert_eq!(good.total().busy, 7);
+        assert_eq!(good.section(Section::Serial).busy, 3);
+        let bad = FetchReport {
+            total_cycles: 8,
+            ..good
+        };
+        assert!(bad.check_attribution().unwrap_err().contains("7"));
+    }
+}
