@@ -1,0 +1,140 @@
+//! Phase-sampling benchmarks: the warm sampled sweep against the warm
+//! full-replay sweep it substitutes for.
+//!
+//! Both sides replay cache-served snapshots (zero generation cost), so
+//! the delta is pure delivery volume. `sampled_cold_plan` pays the
+//! one-time fingerprint + clustering pass on every iteration — the
+//! first-sweep cost; `sampled_warm_plan` reuses the engine's cached
+//! plan — the steady-state cost of re-sweeping the same traces, where
+//! the default geometry replays under `1/k` of each trace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rebalance_bench::{figure5_sims, warmed_cache, workload, BENCH_SCALE};
+use rebalance_pintools::BbvTool;
+use rebalance_trace::{SamplingConfig, SweepEngine};
+use rebalance_workloads::Workload;
+
+/// Sum of MPKIs across every sim of every outcome — forces the whole
+/// sweep to be consumed so nothing is optimized away.
+fn full_checksum(
+    outcomes: &[rebalance_trace::SweepOutcome<
+        Workload,
+        rebalance_frontend::predictor::PredictorSim<
+            Box<dyn rebalance_frontend::predictor::DirectionPredictor>,
+        >,
+    >],
+) -> f64 {
+    outcomes
+        .iter()
+        .flat_map(|o| o.tools.iter().map(|sim| sim.report().total().mpki()))
+        .sum()
+}
+
+/// Full-replay warm sweep vs sampled warm sweep over the same roster
+/// slice, nine predictor sims fanned out per workload on both sides.
+fn bench_sampled_vs_full(c: &mut Criterion) {
+    let names = ["CG", "FT", "MG", "gcc", "CoMD", "swim"];
+    let cache = warmed_cache(&names);
+    let workloads: Vec<_> = names.iter().map(|n| workload(n)).collect();
+    let config = SamplingConfig::default();
+    let insts: u64 = workloads
+        .iter()
+        .map(|w| {
+            w.trace(BENCH_SCALE)
+                .expect("roster profile")
+                .schedule()
+                .total_instructions()
+        })
+        .sum();
+
+    let mut g = c.benchmark_group("sampled_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts));
+
+    g.bench_function("full_replay_warm", |b| {
+        b.iter(|| {
+            let engine = SweepEngine::new();
+            full_checksum(
+                &engine
+                    .sweep_cached(
+                        &cache,
+                        workloads.clone(),
+                        |w| w.trace_key(BENCH_SCALE),
+                        |w| w.trace(BENCH_SCALE),
+                        |_| figure5_sims(),
+                    )
+                    .expect("cache replay"),
+            )
+        })
+    });
+
+    g.bench_function("sampled_cold_plan", |b| {
+        b.iter(|| {
+            let engine = SweepEngine::new();
+            engine
+                .sweep_sampled(
+                    &cache,
+                    &config,
+                    workloads.clone(),
+                    |w| w.trace_key(BENCH_SCALE),
+                    |w| w.trace(BENCH_SCALE),
+                    |_| figure5_sims(),
+                    || BbvTool::new(config.dims),
+                )
+                .expect("sampled replay")
+                .iter()
+                .flat_map(|o| o.tools.iter().map(|sim| sim.report().total().mpki()))
+                .sum::<f64>()
+        })
+    });
+
+    // A persistent engine keeps each workload's sample plan cached, so
+    // iterations measure only the weighted partial replays.
+    let engine = SweepEngine::new();
+    let primed = engine
+        .sweep_sampled(
+            &cache,
+            &config,
+            workloads.clone(),
+            |w| w.trace_key(BENCH_SCALE),
+            |w| w.trace(BENCH_SCALE),
+            |_| figure5_sims(),
+            || BbvTool::new(config.dims),
+        )
+        .expect("priming sweep");
+    for o in &primed {
+        let cap = 1.0 / config.k as f64;
+        let frac = o.delivered_instructions as f64 / o.summary.instructions as f64;
+        assert!(
+            frac <= cap + 1e-9,
+            "{}: replayed {frac:.4} of the trace, budget is {cap:.4}",
+            o.item.name()
+        );
+    }
+    g.bench_function("sampled_warm_plan", |b| {
+        b.iter(|| {
+            engine
+                .sweep_sampled(
+                    &cache,
+                    &config,
+                    workloads.clone(),
+                    |w| w.trace_key(BENCH_SCALE),
+                    |w| w.trace(BENCH_SCALE),
+                    |_| figure5_sims(),
+                    || BbvTool::new(config.dims),
+                )
+                .expect("sampled replay")
+                .iter()
+                .flat_map(|o| o.tools.iter().map(|sim| sim.report().total().mpki()))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+
+    let stats = cache.stats();
+    assert_eq!(stats.generations, 0, "warm sweep bench must never generate");
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+criterion_group!(benches, bench_sampled_vs_full);
+criterion_main!(benches);

@@ -29,6 +29,12 @@ pub struct Parsed {
     pub batch_size: Option<usize>,
     /// `--model {penalty,ftq}` (CPI timing backend).
     pub model: Option<FetchModelKind>,
+    /// `--sample N` (slice each replay into N intervals and replay one
+    /// weighted representative per phase cluster).
+    pub sample: Option<usize>,
+    /// `--sample-k K` (number of phase clusters; implies `--sample`
+    /// with the default interval count when given alone).
+    pub sample_k: Option<usize>,
 }
 
 /// Parses `argv` into [`Parsed`].
@@ -89,6 +95,24 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                         .ok_or_else(|| format!("unknown model `{v}` (expected: penalty ftq)"))?,
                 );
             }
+            "--sample" => {
+                let v = it.next().ok_or("--sample needs an interval count")?;
+                parsed.sample = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("invalid interval count `{v}` (expected >= 1)"))?,
+                );
+            }
+            "--sample-k" => {
+                let v = it.next().ok_or("--sample-k needs a cluster count")?;
+                parsed.sample_k = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("invalid cluster count `{v}` (expected >= 1)"))?,
+                );
+            }
             "--no-cache" => parsed.no_cache = true,
             "--all" => parsed.all = true,
             "--force" => parsed.force = true,
@@ -115,6 +139,15 @@ pub fn forbid(flags: &[(bool, &str)]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The sampling flags as [`forbid`] entries, for subcommands that do
+/// not run timing sweeps.
+pub fn sampling_flags(parsed: &Parsed) -> [(bool, &'static str); 2] {
+    [
+        (parsed.sample.is_some(), "--sample"),
+        (parsed.sample_k.is_some(), "--sample-k"),
+    ]
 }
 
 /// The cache directory to use: explicit `--cache`, or the default.
@@ -144,6 +177,33 @@ pub fn configure_cache_env(parsed: &Parsed) {
 pub fn configure_batch_env(parsed: &Parsed) {
     if let Some(n) = parsed.batch_size {
         std::env::set_var(rebalance_trace::BATCH_ENV, n.to_string());
+    }
+}
+
+/// The sampling configuration implied by `--sample`/`--sample-k`:
+/// `None` when neither flag was given, otherwise the default geometry
+/// with the given knobs overridden (either flag alone implies the
+/// other's default).
+pub fn sampling_config(parsed: &Parsed) -> Option<rebalance_trace::SamplingConfig> {
+    if parsed.sample.is_none() && parsed.sample_k.is_none() {
+        return None;
+    }
+    let mut cfg = rebalance_trace::SamplingConfig::default();
+    if let Some(n) = parsed.sample {
+        cfg = cfg.with_intervals(n);
+    }
+    if let Some(k) = parsed.sample_k {
+        cfg = cfg.with_k(k);
+    }
+    Some(cfg)
+}
+
+/// Latches `--sample`/`--sample-k` into the process-wide sampling
+/// switch every weighted sweep consults. Like the cache and batch
+/// knobs, must run before the first replay.
+pub fn configure_sampling(parsed: &Parsed) {
+    if let Some(cfg) = sampling_config(parsed) {
+        rebalance_experiments::util::set_sampling(Some(cfg));
     }
 }
 
@@ -226,6 +286,28 @@ mod tests {
         // Positions are u32-indexed; oversized capacities are a clean
         // CLI error, not a panic deep in replay.
         assert!(parse(&argv(&["--batch-size", "4294967296"])).is_err());
+    }
+
+    #[test]
+    fn parses_sampling_knobs() {
+        let p = parse(&argv(&["--sample", "40", "--sample-k", "4"])).unwrap();
+        assert_eq!(p.sample, Some(40));
+        assert_eq!(p.sample_k, Some(4));
+        let cfg = sampling_config(&p).unwrap();
+        assert_eq!(cfg.intervals, 40);
+        assert_eq!(cfg.k, 4);
+        // Either knob alone implies the other's default.
+        let cfg = sampling_config(&parse(&argv(&["--sample", "40"])).unwrap()).unwrap();
+        assert_eq!(cfg.k, rebalance_trace::SamplingConfig::default().k);
+        let cfg = sampling_config(&parse(&argv(&["--sample-k", "2"])).unwrap()).unwrap();
+        assert_eq!(
+            cfg.intervals,
+            rebalance_trace::SamplingConfig::default().intervals
+        );
+        assert_eq!(sampling_config(&parse(&argv(&[])).unwrap()), None);
+        assert!(parse(&argv(&["--sample"])).is_err());
+        assert!(parse(&argv(&["--sample", "0"])).is_err());
+        assert!(parse(&argv(&["--sample-k", "none"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! rebalance sweep --model ftq --json out/         # + FTQ-model CPI, JSON dumps
 //! rebalance fetch --suite npb                     # decoupled front-end design grid
 //! rebalance workloads list --suite kernels        # roster with design knobs
+//! rebalance phases --suite kernels                # phase-cluster maps + weights
+//! rebalance sweep --sample 160 --sample-k 8       # phase-sampled predictor sweep
 //! rebalance paper fig5 table3 --scale quick       # regenerate paper exhibits
 //! rebalance paper fig5 --suite npb --model ftq    # one suite, FTQ timing backend
 //! ```
@@ -23,6 +25,7 @@ use std::process::ExitCode;
 mod args;
 mod fetch_cmd;
 mod paper_cmd;
+mod phases_cmd;
 mod sweep_cmd;
 mod trace_cmd;
 mod workloads_cmd;
@@ -66,12 +69,16 @@ fn usage() -> ExitCode {
          \x20     sweep the decoupled front-end (FTQ + FDIP) design grid, one replay per workload\n\
          \x20 workloads list [--suite S]\n\
          \x20     list the registered roster (paper suites + kernel archetypes)\n\
+         \x20 phases [--workloads A,B,...] [--suite S] [--scale S] [--sample N] [--sample-k K] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20     print each workload's phase-cluster map and per-cluster weights\n\
          \x20 paper [EXHIBIT...|all] [--suite S] [--scale S] [--model M] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
          \n\
          scales: smoke | quick | full | <positive factor>   (default: smoke)\n\
          suites: exmatex | specomp | npb | specint | kernels\n\
          --model M: CPI timing backend, penalty (closed form) or ftq (decoupled fetch simulator)\n\
+         --sample N [--sample-k K]: phase-sample sweep/fetch/paper replays into N intervals,\n\
+         \x20    K clusters, replaying one weighted representative per cluster (default 160/8)\n\
          --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)"
     );
     ExitCode::from(2)
@@ -95,6 +102,7 @@ fn main() -> ExitCode {
         "sweep" => sweep_cmd::run(rest),
         "fetch" => fetch_cmd::run(rest),
         "paper" => paper_cmd::run(rest),
+        "phases" => phases_cmd::run(rest),
         "workloads" => match rest.split_first() {
             Some((sub, rest)) if sub == "list" => workloads_cmd::list(rest),
             _ => return usage(),

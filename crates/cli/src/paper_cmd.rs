@@ -20,6 +20,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     ])?;
     args::configure_cache_env(&parsed);
     args::configure_batch_env(&parsed);
+    args::configure_sampling(&parsed);
     // Both knobs latch process-wide state the exhibits consult; set
     // them before the first exhibit computes anything.
     rebalance_experiments::util::set_suite_filter(parsed.suite);

@@ -43,9 +43,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     // latched the same way, before the first replay.
     args::configure_cache_env(&parsed);
     args::configure_batch_env(&parsed);
+    args::configure_sampling(&parsed);
 
     let configs = PredictorChoice::figure5_set();
-    let outcomes = util::sweep(workloads.clone(), parsed.scale, |_| {
+    let outcomes = util::sweep_weighted(workloads.clone(), parsed.scale, |_| {
         PredictorChoice::build_sims(&configs)
     });
 
@@ -157,7 +158,7 @@ fn measure_cpi(
         CoreModel::new(CoreKind::Baseline).with_fetch_model(kind),
         CoreModel::new(CoreKind::Tailored).with_fetch_model(kind),
     ];
-    let rows = util::sweep(workloads.to_vec(), scale, |_| {
+    let rows = util::sweep_weighted(workloads.to_vec(), scale, |_| {
         models.iter().map(CoreModel::fetch_tools).collect()
     })
     .iter()

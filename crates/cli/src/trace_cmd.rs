@@ -19,7 +19,8 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
         (parsed.force, "--force"),
         (parsed.suite.is_some(), "--suite"),
         (parsed.model.is_some(), "--model"),
-    ])
+    ])?;
+    args::forbid(&args::sampling_flags(parsed))
 }
 
 /// Per-file info rows plus the aggregate `bytes_per_event` across all
@@ -76,6 +77,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.json_dir.is_some(), "--json"),
         (parsed.model.is_some(), "--model"),
     ])?;
+    args::forbid(&args::sampling_flags(&parsed))?;
     args::configure_batch_env(&parsed);
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;

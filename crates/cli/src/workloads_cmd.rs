@@ -21,6 +21,7 @@ pub fn list(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.batch_size.is_some(), "--batch-size"),
         (parsed.model.is_some(), "--model"),
     ])?;
+    args::forbid(&args::sampling_flags(&parsed))?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
 
     let mut t = TextTable::new(vec![

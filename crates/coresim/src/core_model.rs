@@ -4,7 +4,8 @@ use rebalance_fetchsim::{FetchConfig, FetchReport, FetchSim, FtqConfig};
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
 use rebalance_frontend::{BtbSim, CoreKind, FrontendConfig, ICacheSim};
 use rebalance_trace::{
-    CacheError, CachedReplay, Section, SyntheticTrace, ToolSet, TraceCache, TraceKey,
+    CacheError, CachedReplay, SamplePlan, SampledReplay, Section, Snapshot, SnapshotError,
+    SyntheticTrace, ToolSet, TraceCache, TraceKey,
 };
 use rebalance_workloads::BackendProfile;
 use serde::{Deserialize, Serialize};
@@ -238,6 +239,33 @@ impl CoreModel {
         Ok((timings, replay))
     }
 
+    /// [`CoreModel::measure_many`] over a phase-sampled replay: every
+    /// design's tools observe only `plan`'s weighted representative
+    /// intervals of `snapshot` (see
+    /// [`Snapshot::replay_sampled`]), and per-section CPI is derived
+    /// from the weight-scaled counters. Also returns the
+    /// [`SampledReplay`] accounting (full-stream summary plus delivered
+    /// instruction count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decode failures.
+    pub fn measure_many_sampled(
+        models: &[CoreModel],
+        snapshot: &Snapshot<'_>,
+        plan: &SamplePlan,
+        backend: &BackendProfile,
+    ) -> Result<(Vec<CoreTiming>, SampledReplay), SnapshotError> {
+        let mut set: ToolSet<FetchTools> = models.iter().map(CoreModel::fetch_tools).collect();
+        let replay = snapshot.replay_sampled(&mut set, plan)?;
+        let timings = models
+            .iter()
+            .zip(set.into_inner())
+            .map(|(model, tools)| model.timing_of(&tools, backend))
+            .collect();
+        Ok((timings, replay))
+    }
+
     /// Derives per-section CPI from already-replayed backend-selected
     /// tools, dispatching to the matching derivation.
     pub fn timing_of(&self, tools: &FetchTools, backend: &BackendProfile) -> CoreTiming {
@@ -456,6 +484,38 @@ mod tests {
         assert_eq!(cold, live, "recording replay measures identically");
         assert_eq!(warm, live, "decoded replay measures identically");
         assert_eq!(cache.stats().generations, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn sampled_measurement_degenerates_to_full_replay() {
+        use rebalance_trace::SamplingConfig;
+
+        let w = find("CG").unwrap();
+        let backend = w.profile().backend;
+        let models = [
+            CoreModel::new(CoreKind::Baseline),
+            CoreModel::new(CoreKind::Baseline).with_fetch_model(FetchModelKind::Ftq),
+        ];
+        let trace = w.trace(Scale::Smoke).unwrap();
+        let full = CoreModel::measure_many(&models, &trace, &backend);
+
+        let cache = TraceCache::scratch().unwrap();
+        let key = w.trace_key(Scale::Smoke);
+        let bytes = cache
+            .snapshot_bytes(&key, || w.trace(Scale::Smoke))
+            .unwrap();
+        let snapshot = Snapshot::parse(&bytes).unwrap();
+        let total = snapshot.info().summary.instructions;
+        let cfg = SamplingConfig::default().with_intervals(10).with_k(32);
+        let vectors = vec![vec![1.0]; 10];
+        let plan = SamplePlan::from_vectors(&vectors, cfg.interval_insts(total), total, &cfg);
+        assert!(plan.is_full_replay(), "k >= intervals degenerates");
+
+        let (timings, replay) =
+            CoreModel::measure_many_sampled(&models, &snapshot, &plan, &backend).unwrap();
+        assert_eq!(timings, full, "degenerate sampling is bit-identical");
+        assert_eq!(replay.delivered_instructions, total);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -114,6 +114,30 @@ impl Pintool for FetchTools {
             FetchTools::Ftq(sim) => sim.on_batch(batch),
         }
     }
+
+    #[inline]
+    fn on_sample_weight(&mut self, weight: u64) {
+        match self {
+            FetchTools::Penalty(tools) => tools.on_sample_weight(weight),
+            FetchTools::Ftq(sim) => sim.on_sample_weight(weight),
+        }
+    }
+
+    #[inline]
+    fn on_sample_gap(&mut self) {
+        match self {
+            FetchTools::Penalty(tools) => tools.on_sample_gap(),
+            FetchTools::Ftq(sim) => sim.on_sample_gap(),
+        }
+    }
+
+    #[inline]
+    fn supports_sampled_replay(&self) -> bool {
+        match self {
+            FetchTools::Penalty(tools) => tools.supports_sampled_replay(),
+            FetchTools::Ftq(sim) => sim.supports_sampled_replay(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,13 +7,13 @@ use std::path::Path;
 
 use rebalance_workloads::Scale;
 
-use crate::{ablations, caches, characterization, cmp, detail, fetchsim, predictors};
+use crate::{ablations, caches, characterization, cmp, detail, fetchsim, predictors, sampling};
 
 /// Every exhibit name the driver understands, in paper order (the
 /// `kernels` exhibit — archetype characterization + predictor sweep —
-/// and the `fetchsim` decoupled-front-end grid are ours, appended
-/// after the paper's).
-pub const EXHIBITS: [&str; 18] = [
+/// the `fetchsim` decoupled-front-end grid, and the `sampling`
+/// phase-sampling validation are ours, appended after the paper's).
+pub const EXHIBITS: [&str; 19] = [
     "fig1",
     "fig2",
     "table1",
@@ -32,6 +32,7 @@ pub const EXHIBITS: [&str; 18] = [
     "detail",
     "kernels",
     "fetchsim",
+    "sampling",
 ];
 
 /// `true` if `name` is a known exhibit.
@@ -213,6 +214,11 @@ pub fn run_exhibits(
                 dump_json(json_dir, "fetchsim", &f);
                 f.render()
             }
+            "sampling" => {
+                let s = sampling::run(scale);
+                dump_json(json_dir, "sampling", &s);
+                s.render()
+            }
             "ablations" => {
                 let all = ablations::run_all(scale);
                 dump_json(json_dir, "ablations", &all);
@@ -241,15 +247,16 @@ mod tests {
         assert!(is_exhibit("ablations"));
         assert!(is_exhibit("kernels"));
         assert!(is_exhibit("fetchsim"));
+        assert!(is_exhibit("sampling"));
         assert!(!is_exhibit("fig99"));
-        assert_eq!(EXHIBITS.len(), 18);
+        assert_eq!(EXHIBITS.len(), 19);
     }
 
     #[test]
     fn resolve_expands_validates_and_dedups() {
         let names = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 18);
-        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 18);
+        assert_eq!(resolve_exhibits(&[]).unwrap().len(), 19);
+        assert_eq!(resolve_exhibits(&names(&["all"])).unwrap().len(), 19);
         // Non-adjacent duplicates are dropped, order preserved.
         assert_eq!(
             resolve_exhibits(&names(&["fig5", "table2", "fig5"])).unwrap(),

@@ -118,9 +118,11 @@ impl FetchsimSweep {
 /// Sweeps the design grid over `workloads`: the whole grid joins one
 /// [`ToolSet`](rebalance_trace::ToolSet), so the cost is one replay per
 /// `(workload, scale)` — cache-served when a cache is configured —
-/// regardless of grid size.
+/// regardless of grid size. Honors the process-wide phase-sampling
+/// latch (`--sample`): when set, each replay covers only weighted
+/// representative intervals.
 pub fn sweep_grid(workloads: Vec<Workload>, scale: Scale, grid: &[FetchConfig]) -> FetchsimSweep {
-    let rows = util::sweep(workloads, scale, |_| {
+    let rows = util::sweep_weighted(workloads, scale, |_| {
         grid.iter().copied().map(FetchSim::new).collect()
     })
     .into_iter()

@@ -13,6 +13,7 @@
 //! | [`ablations`] | design-choice ablations + the thread-scaling study |
 //! | [`detail`] | per-benchmark characterization rows |
 //! | [`fetchsim`] | decoupled front-end (FTQ + FDIP) design grid |
+//! | [`sampling`] | phase-sampled vs full-replay error validation |
 //!
 //! The `repro` binary drives them:
 //!
@@ -46,4 +47,5 @@ pub mod driver;
 pub mod fetchsim;
 pub mod paper;
 pub mod predictors;
+pub mod sampling;
 pub mod util;

@@ -9,12 +9,17 @@
 //! engines and stat printing this module used to encourage.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use rebalance_coresim::{simulate_floorplans, simulate_floorplans_cached, CmpResult, CmpSim};
-use rebalance_pintools::{characterization_from_tools, characterization_tools, Characterization};
-use rebalance_trace::{Pintool, Report, RunSummary, SweepEngine, SweepOutcome, TraceCache};
+use rebalance_pintools::{
+    characterization_from_tools, characterization_tools, BbvTool, Characterization,
+};
+use rebalance_trace::{
+    Pintool, Report, RunSummary, SampledOutcome, SamplingConfig, SweepEngine, SweepOutcome,
+    TraceCache,
+};
 use rebalance_workloads::{Scale, Suite, Workload};
 
 /// Environment variable naming the trace-cache directory. When set,
@@ -60,6 +65,59 @@ pub fn filtered(workloads: Vec<Workload>) -> Vec<Workload> {
 /// active suite filter.
 pub fn roster() -> Vec<Workload> {
     filtered(rebalance_workloads::all())
+}
+
+/// Process-wide phase-sampling latch: 0 intervals means "full replay".
+/// Set once (by the CLI's `--sample`/`--sample-k`) before exhibits run,
+/// like [`set_suite_filter`].
+static SAMPLE_INTERVALS: AtomicUsize = AtomicUsize::new(0);
+static SAMPLE_K: AtomicUsize = AtomicUsize::new(0);
+
+/// Turns phase sampling on (`Some(config)`) or off (`None`) for every
+/// timing sweep in this process that goes through [`sweep_weighted`].
+/// The CLI's `--sample N [--sample-k K]` sets this exactly once, before
+/// any exhibit runs.
+pub fn set_sampling(config: Option<SamplingConfig>) {
+    match config {
+        Some(cfg) => {
+            SAMPLE_INTERVALS.store(cfg.intervals.max(1), Ordering::Relaxed);
+            SAMPLE_K.store(cfg.k.max(1), Ordering::Relaxed);
+        }
+        None => {
+            SAMPLE_INTERVALS.store(0, Ordering::Relaxed);
+            SAMPLE_K.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The active sampling configuration, if phase sampling is on.
+pub fn sampling() -> Option<SamplingConfig> {
+    let intervals = SAMPLE_INTERVALS.load(Ordering::Relaxed);
+    if intervals == 0 {
+        return None;
+    }
+    let k = SAMPLE_K.load(Ordering::Relaxed).max(1);
+    Some(
+        SamplingConfig::default()
+            .with_intervals(intervals)
+            .with_k(k),
+    )
+}
+
+/// The cache sampled sweeps draw snapshot bytes from: the shared cache
+/// when `REBALANCE_TRACE_CACHE` is set, else a process-lifetime scratch
+/// directory under the system temp dir (sampling needs a recorded
+/// snapshot to slice, so it always snapshots — pointing the env var at
+/// a persistent directory makes warm sampled sweeps skip generation
+/// entirely).
+pub fn sampling_cache() -> &'static TraceCache {
+    match shared_cache() {
+        Some(cache) => cache,
+        None => {
+            static SCRATCH: OnceLock<TraceCache> = OnceLock::new();
+            SCRATCH.get_or_init(|| TraceCache::scratch().expect("temp dir must be writable"))
+        }
+    }
 }
 
 /// The process-wide sweep engine all experiments share.
@@ -117,6 +175,60 @@ where
             |w| w.trace(scale).expect("valid roster profile"),
             tools_for,
         ),
+    }
+}
+
+/// Sweeps `tools_for` over `workloads` at `scale` replaying only each
+/// trace's weighted representative intervals under `config` — the
+/// phase-sampled sibling of [`sweep`]. Tools must be weight-aware
+/// ([`Pintool::supports_sampled_replay`]).
+pub fn sweep_sampled<T, ToolsFn>(
+    config: &SamplingConfig,
+    workloads: Vec<Workload>,
+    scale: Scale,
+    tools_for: ToolsFn,
+) -> Vec<SampledOutcome<Workload, T>>
+where
+    T: Pintool + Send,
+    ToolsFn: Fn(&Workload) -> Vec<T> + Sync,
+{
+    let dims = config.dims;
+    engine()
+        .sweep_sampled(
+            sampling_cache(),
+            config,
+            workloads,
+            |w| w.trace_key(scale),
+            |w| w.trace(scale),
+            tools_for,
+            || BbvTool::new(dims),
+        )
+        .expect("sampled trace replay")
+}
+
+/// [`sweep`] that honors the process-wide sampling latch: a full replay
+/// per workload when sampling is off, a weighted representative replay
+/// when [`set_sampling`] turned it on. Only timing sweeps whose tools
+/// are weight-aware should route through here.
+pub fn sweep_weighted<T, ToolsFn>(
+    workloads: Vec<Workload>,
+    scale: Scale,
+    tools_for: ToolsFn,
+) -> Vec<SweepOutcome<Workload, T>>
+where
+    T: Pintool + Send,
+    ToolsFn: Fn(&Workload) -> Vec<T> + Sync,
+{
+    match sampling() {
+        Some(config) => sweep_sampled(&config, workloads, scale, tools_for)
+            .into_iter()
+            .map(|o| SweepOutcome {
+                item: o.item,
+                tools: o.tools,
+                summary: o.summary,
+            })
+            .collect(),
+        None => sweep(workloads, scale, tools_for),
     }
 }
 
@@ -374,6 +486,45 @@ mod tests {
         // per-fan-out accounting is asserted on private engines in the
         // trace crate's tests.
         assert!(sweep_report().replays > before, "the shared ledger moved");
+    }
+
+    #[test]
+    fn sampling_latch_defaults_to_off() {
+        // The latch is process-wide; exhibits' own unit tests run in
+        // this binary, so nothing here may flip it on. Round-trip
+        // behavior is exercised by `tests/integration_sampling.rs`,
+        // which owns its process.
+        assert_eq!(sampling(), None);
+    }
+
+    #[test]
+    fn sampled_sweep_delivers_a_fraction_and_scales_counts() {
+        use rebalance_coresim::CoreModel;
+        use rebalance_frontend::CoreKind;
+
+        let w = rebalance_workloads::find("CG").unwrap();
+        let config = SamplingConfig::default().with_intervals(40).with_k(4);
+        let out = sweep_sampled(&config, vec![w.clone()], Scale::Smoke, |_| {
+            vec![CoreModel::new(CoreKind::Baseline).fetch_tools()]
+        });
+        assert_eq!(out.len(), 1);
+        let o = &out[0];
+        let total = o.summary.instructions;
+        assert!(total > 0);
+        assert!(
+            o.delivered_instructions * 4 <= total,
+            "{} of {total} delivered — more than 1/k",
+            o.delivered_instructions
+        );
+        let weights: u64 = o.plan.clusters().iter().map(|c| c.weight).sum();
+        assert_eq!(weights as usize, o.plan.num_intervals());
+        // The weighted tools still account for roughly every
+        // instruction.
+        let timing =
+            CoreModel::new(CoreKind::Baseline).timing_of(&o.tools[0], &w.profile().backend);
+        let counted = timing.serial.insts + timing.parallel.insts;
+        let err = (counted as f64 - total as f64).abs() / total as f64;
+        assert!(err < 0.02, "weighted inst count {counted} vs {total}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fetch-cycle accounting: the stall breakdown and per-section report.
 
-use rebalance_trace::{BySection, Section};
+use rebalance_trace::{weighted_add, BySection, Section};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FetchConfig;
@@ -36,6 +36,15 @@ impl StallBreakdown {
         self.resteer += other.resteer;
         self.icache += other.icache;
         self.ftq_empty += other.ftq_empty;
+    }
+
+    /// Rescales the cycles accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times.
+    pub fn scale_from(&mut self, mark: &StallBreakdown, weight: u64) {
+        self.mispredict = weighted_add(mark.mispredict, self.mispredict - mark.mispredict, weight);
+        self.resteer = weighted_add(mark.resteer, self.resteer - mark.resteer, weight);
+        self.icache = weighted_add(mark.icache, self.icache - mark.icache, weight);
+        self.ftq_empty = weighted_add(mark.ftq_empty, self.ftq_empty - mark.ftq_empty, weight);
     }
 }
 
@@ -119,6 +128,40 @@ impl FetchStats {
         self.prefetches += other.prefetches;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_late += other.prefetch_late;
+    }
+
+    /// Rescales the counts accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times — saturating
+    /// u128 math via [`weighted_add`], so extreme weights truncate to
+    /// `u64::MAX` instead of wrapping.
+    pub fn scale_from(&mut self, mark: &FetchStats, weight: u64) {
+        self.insts = weighted_add(mark.insts, self.insts - mark.insts, weight);
+        self.blocks = weighted_add(mark.blocks, self.blocks - mark.blocks, weight);
+        self.busy = weighted_add(mark.busy, self.busy - mark.busy, weight);
+        self.stalls.scale_from(&mark.stalls, weight);
+        self.mispredicts = weighted_add(
+            mark.mispredicts,
+            self.mispredicts - mark.mispredicts,
+            weight,
+        );
+        self.ras_misses = weighted_add(mark.ras_misses, self.ras_misses - mark.ras_misses, weight);
+        self.resteers = weighted_add(mark.resteers, self.resteers - mark.resteers, weight);
+        self.icache_misses = weighted_add(
+            mark.icache_misses,
+            self.icache_misses - mark.icache_misses,
+            weight,
+        );
+        self.prefetches = weighted_add(mark.prefetches, self.prefetches - mark.prefetches, weight);
+        self.prefetch_hits = weighted_add(
+            mark.prefetch_hits,
+            self.prefetch_hits - mark.prefetch_hits,
+            weight,
+        );
+        self.prefetch_late = weighted_add(
+            mark.prefetch_late,
+            self.prefetch_late - mark.prefetch_late,
+            weight,
+        );
     }
 }
 

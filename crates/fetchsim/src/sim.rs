@@ -123,6 +123,14 @@ struct FtqModel {
     /// Resteer-penalty cycles the next block may charge.
     carry_resteer: u64,
     block: Block,
+    /// Counter snapshot at the last sampled-replay boundary.
+    mark_sections: BySection<FetchStats>,
+    /// Fetch-clock reading at the last sampled-replay boundary.
+    mark_fetch_time: u64,
+    /// Fetch cycles spent in weight-0 (warmup) windows of a sampled
+    /// replay: they advance the clock and warm the structures but are
+    /// excluded from the report's attributed total.
+    discarded: u64,
 }
 
 impl FtqModel {
@@ -139,7 +147,53 @@ impl FtqModel {
             carry_mispredict: 0,
             carry_resteer: 0,
             block: Block::idle(),
+            mark_sections: BySection::default(),
+            mark_fetch_time: 0,
+            discarded: 0,
         }
+    }
+
+    /// Sampled-replay boundary: settle the pending block so the window
+    /// ends on a block edge, scale the window's counters **and** the
+    /// fetch-clock delta by `weight` (keeping
+    /// [`FetchReport::check_attribution`] exact), and shift the BP
+    /// clock, FTQ ring, and in-flight prefetches forward by the same
+    /// amount so their lead over the fetch stage is preserved.
+    ///
+    /// Weight 0 is the warmup contract: the window's events warmed the
+    /// predictors and the I-cache, but its counters revert to the mark
+    /// and its fetch cycles move to `discarded` (subtracted from the
+    /// report's total) — the clocks themselves keep running forward, so
+    /// no monotonic state has to be rewound.
+    fn apply_sample_weight(&mut self, weight: u64) {
+        self.finalize_block(None);
+        if weight == 0 {
+            self.sections = self.mark_sections;
+            self.discarded += self.fetch_time - self.mark_fetch_time;
+        } else if weight > 1 {
+            self.sections
+                .serial
+                .scale_from(&self.mark_sections.serial, weight);
+            self.sections
+                .parallel
+                .scale_from(&self.mark_sections.parallel, weight);
+            let old = self.fetch_time;
+            self.fetch_time = rebalance_trace::weighted_add(
+                self.mark_fetch_time,
+                old - self.mark_fetch_time,
+                weight,
+            );
+            let shift = self.fetch_time - old;
+            self.bp_time += shift;
+            for t in &mut self.ring {
+                *t += shift;
+            }
+            for (_, ready) in &mut self.pending {
+                *ready += shift;
+            }
+        }
+        self.mark_sections = self.sections;
+        self.mark_fetch_time = self.fetch_time;
     }
 
     /// Runs the assembled block through enqueue, prefetch, and fetch,
@@ -259,7 +313,7 @@ impl FtqModel {
         FetchReport {
             config,
             sections: settled.sections,
-            total_cycles: settled.fetch_time,
+            total_cycles: settled.fetch_time - settled.discarded,
         }
     }
 }
@@ -425,6 +479,14 @@ impl Pintool for FetchSim {
         for ev in batch.events() {
             self.step(ev);
         }
+    }
+
+    fn on_sample_weight(&mut self, weight: u64) {
+        self.model.apply_sample_weight(weight);
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        true
     }
 }
 

@@ -1,7 +1,7 @@
 //! Branch target buffer (Figure 7) with a return-address stack.
 
 use rebalance_isa::Addr;
-use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{weighted_add, BySection, EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::ras::ReturnAddressStack;
@@ -182,6 +182,21 @@ impl BtbStats {
         self.ras_predictions += other.ras_predictions;
         self.ras_misses += other.ras_misses;
     }
+
+    /// Rescales the counts accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times — saturating
+    /// u128 math via [`weighted_add`].
+    pub fn scale_from(&mut self, mark: &BtbStats, weight: u64) {
+        self.insts = weighted_add(mark.insts, self.insts - mark.insts, weight);
+        self.lookups = weighted_add(mark.lookups, self.lookups - mark.lookups, weight);
+        self.misses = weighted_add(mark.misses, self.misses - mark.misses, weight);
+        self.ras_predictions = weighted_add(
+            mark.ras_predictions,
+            self.ras_predictions - mark.ras_predictions,
+            weight,
+        );
+        self.ras_misses = weighted_add(mark.ras_misses, self.ras_misses - mark.ras_misses, weight);
+    }
 }
 
 /// Per-section + total BTB report.
@@ -236,6 +251,8 @@ pub struct BtbSim {
     btb: Btb,
     ras: ReturnAddressStack,
     sections: BySection<BtbStats>,
+    /// Counter snapshot at the last sampled-replay boundary.
+    mark: BySection<BtbStats>,
 }
 
 impl BtbSim {
@@ -245,6 +262,7 @@ impl BtbSim {
             btb: Btb::new(cfg),
             ras: ReturnAddressStack::new(8),
             sections: BySection::default(),
+            mark: BySection::default(),
         }
     }
 
@@ -308,6 +326,22 @@ impl Pintool for BtbSim {
             let br = ev.branch.expect("branch slice carries branch events");
             self.step_branch(ev, &br);
         }
+    }
+
+    /// Scales the counter deltas of the window since the last boundary;
+    /// BTB/RAS state stays live across representatives.
+    fn on_sample_weight(&mut self, weight: u64) {
+        if weight != 1 {
+            self.sections.serial.scale_from(&self.mark.serial, weight);
+            self.sections
+                .parallel
+                .scale_from(&self.mark.parallel, weight);
+        }
+        self.mark = self.sections;
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        true
     }
 }
 

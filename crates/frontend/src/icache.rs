@@ -2,7 +2,7 @@
 //! accounting.
 
 use rebalance_isa::Addr;
-use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{weighted_add, BySection, EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Cache geometry.
@@ -292,6 +292,16 @@ impl ICacheStats {
         self.misses += other.misses;
         self.prefetches += other.prefetches;
     }
+
+    /// Rescales the counts accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times — saturating
+    /// u128 math via [`weighted_add`].
+    pub fn scale_from(&mut self, mark: &ICacheStats, weight: u64) {
+        self.insts = weighted_add(mark.insts, self.insts - mark.insts, weight);
+        self.accesses = weighted_add(mark.accesses, self.accesses - mark.accesses, weight);
+        self.misses = weighted_add(mark.misses, self.misses - mark.misses, weight);
+        self.prefetches = weighted_add(mark.prefetches, self.prefetches - mark.prefetches, weight);
+    }
 }
 
 /// Per-section + total I-cache report.
@@ -343,6 +353,8 @@ pub struct ICacheSim {
     sections: BySection<ICacheStats>,
     current_line: Option<Addr>,
     next_line_prefetch: bool,
+    /// Counter snapshot at the last sampled-replay boundary.
+    mark: BySection<ICacheStats>,
 }
 
 impl ICacheSim {
@@ -353,6 +365,7 @@ impl ICacheSim {
             sections: BySection::default(),
             current_line: None,
             next_line_prefetch: false,
+            mark: BySection::default(),
         }
     }
 
@@ -450,6 +463,31 @@ impl Pintool for ICacheSim {
         for ev in batch.events() {
             self.step(ev, line_bytes);
         }
+    }
+
+    /// Scales the window's counter deltas; the line buffer is dropped
+    /// because the next representative is generally discontiguous (line
+    /// usefulness, derived from live cache state, stays unweighted).
+    fn on_sample_weight(&mut self, weight: u64) {
+        if weight != 1 {
+            self.sections.serial.scale_from(&self.mark.serial, weight);
+            self.sections
+                .parallel
+                .scale_from(&self.mark.parallel, weight);
+        }
+        self.mark = self.sections;
+    }
+
+    fn on_sample_gap(&mut self) {
+        // The next delivered instruction does not follow the last one:
+        // forget the line the sequential-fetch tracker was on, so the
+        // jump charges (at most) one honest cold fetch instead of
+        // pretending the stream never moved.
+        self.current_line = None;
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        true
     }
 }
 

@@ -1,7 +1,7 @@
 //! The branch-MPKI measurement harness (Figures 5 and 6).
 
 use rebalance_isa::{Addr, BranchTrajectory};
-use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{weighted_add, BySection, EventBatch, Pintool, Section, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use super::DirectionPredictor;
@@ -30,6 +30,22 @@ impl MissBreakdown {
         self.not_taken += other.not_taken;
         self.taken_backward += other.taken_backward;
         self.taken_forward += other.taken_forward;
+    }
+
+    /// Rescales the counts accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times.
+    pub fn scale_from(&mut self, mark: &MissBreakdown, weight: u64) {
+        self.not_taken = weighted_add(mark.not_taken, self.not_taken - mark.not_taken, weight);
+        self.taken_backward = weighted_add(
+            mark.taken_backward,
+            self.taken_backward - mark.taken_backward,
+            weight,
+        );
+        self.taken_forward = weighted_add(
+            mark.taken_forward,
+            self.taken_forward - mark.taken_forward,
+            weight,
+        );
     }
 }
 
@@ -68,6 +84,20 @@ impl PredictorStats {
         self.insts += other.insts;
         self.cond_branches += other.cond_branches;
         self.breakdown.merge(&other.breakdown);
+    }
+
+    /// Rescales the counts accumulated since `mark` (an earlier copy of
+    /// `self`) as if they had been observed `weight` times — saturating
+    /// u128 math via [`weighted_add`], so extreme weights truncate to
+    /// `u64::MAX` instead of wrapping.
+    pub fn scale_from(&mut self, mark: &PredictorStats, weight: u64) {
+        self.insts = weighted_add(mark.insts, self.insts - mark.insts, weight);
+        self.cond_branches = weighted_add(
+            mark.cond_branches,
+            self.cond_branches - mark.cond_branches,
+            weight,
+        );
+        self.breakdown.scale_from(&mark.breakdown, weight);
     }
 }
 
@@ -118,6 +148,8 @@ impl PredictorReport {
 pub struct PredictorSim<P> {
     predictor: P,
     sections: BySection<PredictorStats>,
+    /// Counter snapshot at the last sampled-replay boundary.
+    mark: BySection<PredictorStats>,
 }
 
 impl<P: DirectionPredictor> PredictorSim<P> {
@@ -126,6 +158,7 @@ impl<P: DirectionPredictor> PredictorSim<P> {
         PredictorSim {
             predictor,
             sections: BySection::default(),
+            mark: BySection::default(),
         }
     }
 
@@ -192,6 +225,23 @@ impl<P: DirectionPredictor> Pintool for PredictorSim<P> {
                 self.classify(ev.pc, br.trajectory(ev.pc), ev.section);
             }
         }
+    }
+
+    /// The window since the previous boundary stands in for `weight`
+    /// intervals: scale its counter deltas (predictor state stays live —
+    /// representative intervals warm it for the next window).
+    fn on_sample_weight(&mut self, weight: u64) {
+        if weight != 1 {
+            self.sections.serial.scale_from(&self.mark.serial, weight);
+            self.sections
+                .parallel
+                .scale_from(&self.mark.parallel, weight);
+        }
+        self.mark = self.sections;
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        true
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 mod basic_block;
+mod bbv;
 mod bias;
 mod direction;
 mod footprint;
@@ -38,6 +39,7 @@ mod mix;
 mod runner;
 
 pub use basic_block::{BasicBlockReport, BasicBlockStats, BasicBlockTool};
+pub use bbv::{BbvTool, BBV_FEATURES};
 pub use bias::{BiasBuckets, BiasReport, BranchBiasTool, NUM_BIAS_BUCKETS};
 pub use direction::{DirectionReport, DirectionStats, DirectionTool};
 pub use footprint::{FootprintReport, FootprintTool};

@@ -515,6 +515,68 @@ impl TraceCache {
         })
     }
 
+    /// Returns the raw snapshot bytes for `key`, generating and
+    /// recording them on a miss. This is how phase sampling shares one
+    /// snapshot pass: the same byte buffer is parsed once for
+    /// fingerprinting and again for the weighted representative replay,
+    /// with generation and disk I/O paid at most once.
+    ///
+    /// Counter accounting matches [`TraceCache::replay_with`]: a valid
+    /// existing snapshot is a hit, a miss generates and (best-effort)
+    /// persists, an unwritable directory counts a write failure but
+    /// still returns the in-memory bytes.
+    ///
+    /// # Errors
+    ///
+    /// Generation failures, or encoding failures while snapshotting the
+    /// generated trace.
+    pub fn snapshot_bytes<F>(&self, key: &TraceKey, generate: F) -> Result<Vec<u8>, CacheError>
+    where
+        F: FnOnce() -> Result<SyntheticTrace, String>,
+    {
+        let path = self.path_for(key);
+        if let Ok(bytes) = fs::read(&path) {
+            if Snapshot::parse(&bytes).is_ok() {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                return Ok(bytes);
+            }
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = generate().map_err(CacheError::Generate)?;
+        self.counters.generations.fetch_add(1, Ordering::Relaxed);
+        let (bytes, info) = {
+            let mut writer = SnapshotWriter::new(Vec::new(), key.seed(), key.fingerprint());
+            trace.replay(&mut writer);
+            writer.finish()?
+        };
+
+        static TMP_ID: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.mem-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let persisted = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, &path));
+        match persisted {
+            Ok(()) => {
+                self.counters
+                    .bytes_written
+                    .fetch_add(info.total_bytes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(bytes)
+    }
+
     fn start_recording(&self, key: &TraceKey) -> Result<Recording, CacheError> {
         static TMP_ID: AtomicU64 = AtomicU64::new(0);
         let tmp = self.dir.join(format!(
@@ -709,6 +771,47 @@ mod tests {
             stats.to_string().contains("1 write failures"),
             "write failures must survive into the printed report: {stats}"
         );
+    }
+
+    #[test]
+    fn snapshot_bytes_misses_then_hits_and_decodes() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 13, 0);
+        let first = cache.snapshot_bytes(&key, || Ok(make_trace(13))).unwrap();
+        assert!(cache.contains(&key));
+        let second = cache
+            .snapshot_bytes(&key, || Err("must not regenerate".into()))
+            .unwrap();
+        assert_eq!(first, second, "hit serves the recorded bytes");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.generations), (1, 1, 1));
+        assert!(stats.bytes_written > 0 && stats.bytes_read > 0);
+
+        let snapshot = Snapshot::parse(&second).unwrap();
+        let summary = snapshot.replay(&mut NullTool).unwrap();
+        assert_eq!(summary.instructions, 2_000);
+
+        // And replay_with serves the same snapshot (shared cache entry).
+        let rep = cache
+            .replay_with(&key, || Err("cached".into()), &mut NullTool)
+            .unwrap();
+        assert!(rep.from_cache);
+        assert_eq!(rep.summary, summary);
+        cleanup(cache);
+    }
+
+    #[test]
+    fn snapshot_bytes_survives_unwritable_cache() {
+        let cache = TraceCache::scratch().unwrap();
+        fs::remove_dir_all(cache.dir()).unwrap();
+        let key = TraceKey::new("w", "s", 17, 0);
+        let bytes = cache.snapshot_bytes(&key, || Ok(make_trace(17))).unwrap();
+        let snapshot = Snapshot::parse(&bytes).unwrap();
+        let summary = snapshot.replay(&mut NullTool).unwrap();
+        assert_eq!(summary.instructions, 2_000);
+        let stats = cache.stats();
+        assert_eq!(stats.write_failures, 1);
+        assert_eq!(stats.bytes_written, 0);
     }
 
     #[test]

@@ -85,6 +85,7 @@ mod executor;
 mod observer;
 mod program;
 mod report;
+pub mod sampling;
 mod schedule;
 mod section;
 pub mod snapshot;
@@ -105,8 +106,11 @@ pub use executor::Executor;
 pub use observer::{FnTool, MultiTool, NullTool, Pintool};
 pub use program::{BasicBlock, BlockId, CondBehavior, IterCount, Program, RegionId, Terminator};
 pub use report::Report;
+pub use sampling::{
+    weighted_add, ClusterInfo, Fingerprinter, SamplePlan, SampledReplay, SamplingConfig,
+};
 pub use schedule::{replay_count, Phase, Schedule, SyntheticTrace};
 pub use section::Section;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotInfo, SnapshotWriter};
-pub use sweep::{SweepEngine, SweepOutcome};
+pub use sweep::{SampledOutcome, SweepEngine, SweepOutcome};
 pub use toolset::ToolSet;

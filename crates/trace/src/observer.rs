@@ -57,6 +57,39 @@ pub trait Pintool {
     fn on_batch(&mut self, batch: &EventBatch) {
         batch.replay_into(self);
     }
+
+    /// Called by a sampled (phase-representative) replay after the
+    /// events of one representative interval have been delivered: the
+    /// stream observed since the previous call stands in for `weight`
+    /// intervals of the full trace, so weight-aware tools scale the
+    /// counters accumulated in that window by `weight`.
+    ///
+    /// `weight == 1` means the window represents exactly itself; tools
+    /// must treat that case as a no-op on their counters so a sampled
+    /// replay where every weight is 1 (k ≥ #intervals) stays
+    /// bit-identical to an unsampled replay.
+    fn on_sample_weight(&mut self, weight: u64) {
+        let _ = weight;
+    }
+
+    /// Called by a sampled replay when delivery is about to **skip**
+    /// events: the previous window has closed (its
+    /// [`Pintool::on_sample_weight`] already ran) and the next delivered
+    /// event will not be the successor of the last one. Tools that
+    /// track stream-position state (a current cache line, an
+    /// in-progress block) should drop it here — and only here, so
+    /// contiguous boundaries (a warmup prefix flowing into its
+    /// representative, adjacent representatives) don't pay a spurious
+    /// discontinuity.
+    fn on_sample_gap(&mut self) {}
+
+    /// `true` if this tool's counters scale correctly under
+    /// [`Pintool::on_sample_weight`]. Sampled replays refuse tools that
+    /// leave this `false` (the default), so a weight-oblivious tool can
+    /// never silently under-count.
+    fn supports_sampled_replay(&self) -> bool {
+        false
+    }
 }
 
 /// Forwards the full `Pintool` surface through a pointer-like wrapper,
@@ -79,6 +112,21 @@ macro_rules! impl_pintool_forward {
             fn on_batch(&mut self, batch: &EventBatch) {
                 (**self).on_batch(batch);
             }
+
+            #[inline]
+            fn on_sample_weight(&mut self, weight: u64) {
+                (**self).on_sample_weight(weight);
+            }
+
+            #[inline]
+            fn on_sample_gap(&mut self) {
+                (**self).on_sample_gap();
+            }
+
+            #[inline]
+            fn supports_sampled_replay(&self) -> bool {
+                (**self).supports_sampled_replay()
+            }
         }
     )+};
 }
@@ -98,6 +146,18 @@ macro_rules! impl_pintool_tuple {
 
             fn on_batch(&mut self, batch: &EventBatch) {
                 $(self.$idx.on_batch(batch);)+
+            }
+
+            fn on_sample_weight(&mut self, weight: u64) {
+                $(self.$idx.on_sample_weight(weight);)+
+            }
+
+            fn on_sample_gap(&mut self) {
+                $(self.$idx.on_sample_gap();)+
+            }
+
+            fn supports_sampled_replay(&self) -> bool {
+                true $(&& self.$idx.supports_sampled_replay())+
             }
         }
     };
@@ -121,6 +181,11 @@ impl Pintool for NullTool {
 
     #[inline]
     fn on_batch(&mut self, _batch: &EventBatch) {}
+
+    #[inline]
+    fn supports_sampled_replay(&self) -> bool {
+        true
+    }
 }
 
 /// Adapts a closure into a [`Pintool`].
@@ -219,6 +284,22 @@ impl Pintool for MultiTool<'_> {
         for t in &mut self.tools {
             t.on_batch(batch);
         }
+    }
+
+    fn on_sample_weight(&mut self, weight: u64) {
+        for t in &mut self.tools {
+            t.on_sample_weight(weight);
+        }
+    }
+
+    fn on_sample_gap(&mut self) {
+        for t in &mut self.tools {
+            t.on_sample_gap();
+        }
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        self.tools.iter().all(|t| t.supports_sampled_replay())
     }
 }
 

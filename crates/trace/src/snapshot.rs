@@ -652,8 +652,12 @@ impl<'a> Snapshot<'a> {
         self.decode_into(&mut DirectSink(tool))
     }
 
-    /// The record-stream decode shared by both delivery modes.
-    fn decode_into<S: EventSink>(&self, sink: &mut S) -> Result<RunSummary, SnapshotError> {
+    /// The record-stream decode shared by both delivery modes (and by
+    /// the sampled replay in [`crate::sampling`]).
+    pub(crate) fn decode_into<S: EventSink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<RunSummary, SnapshotError> {
         let data = self.records;
         let mut pos = 0usize;
         let mut expected_pc = 0u64;

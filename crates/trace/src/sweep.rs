@@ -8,14 +8,18 @@
 //! a shared [`Executor`]. Sweep cost drops from
 //! `O(tools × replays)` to `O(replays)`.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::cache::{CacheError, CachedReplay, TraceCache, TraceKey};
 use crate::exec::RunSummary;
 use crate::executor::Executor;
 use crate::observer::Pintool;
 use crate::report::Report;
+use crate::sampling::{Fingerprinter, SamplePlan, SamplingConfig};
 use crate::schedule::SyntheticTrace;
+use crate::snapshot::Snapshot;
 use crate::toolset::ToolSet;
 
 /// The result of sweeping one item: the item itself, its tools (now
@@ -29,6 +33,24 @@ pub struct SweepOutcome<I, T> {
     pub tools: Vec<T>,
     /// Interpreter summary of the single shared replay.
     pub summary: RunSummary,
+}
+
+/// The result of sampling one item: like [`SweepOutcome`], plus the
+/// sampling plan and how many instructions were actually delivered.
+#[derive(Debug)]
+pub struct SampledOutcome<I, T> {
+    /// The swept item (typically a workload).
+    pub item: I,
+    /// The tools after observing the weighted representative replay.
+    pub tools: Vec<T>,
+    /// Summary of the **full** decoded stream (sampling skips delivery,
+    /// not decoding — see [`Snapshot::replay_sampled`]).
+    pub summary: RunSummary,
+    /// Instructions delivered to the tools (representatives only).
+    pub delivered_instructions: u64,
+    /// The plan the replay followed (shared via the engine's plan
+    /// cache).
+    pub plan: Arc<SamplePlan>,
 }
 
 /// Replays traces once per item through fan-out tool sets, in parallel
@@ -84,6 +106,10 @@ pub struct SweepOutcome<I, T> {
 pub struct SweepEngine {
     executor: Executor,
     replays: AtomicU64,
+    /// Sampled-replay plans, keyed by `(trace fingerprint, sampling
+    /// config)` — building one costs a fingerprinting replay plus a
+    /// clustering, so a warm sampled sweep pays it zero times.
+    plans: Mutex<HashMap<(u64, SamplingConfig), Arc<SamplePlan>>>,
 }
 
 impl SweepEngine {
@@ -92,6 +118,7 @@ impl SweepEngine {
         SweepEngine {
             executor: Executor::new(),
             replays: AtomicU64::new(0),
+            plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -101,6 +128,7 @@ impl SweepEngine {
         SweepEngine {
             executor,
             replays: AtomicU64::new(0),
+            plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -224,6 +252,93 @@ impl SweepEngine {
                     item,
                     tools,
                     summary: replay.summary,
+                })
+            })
+            .collect()
+    }
+
+    /// Returns (building on first use) the sampling plan for `key`'s
+    /// snapshot under `config`. Plans are cached per engine, so
+    /// re-sweeping the same roster re-pays neither the fingerprinting
+    /// replay nor the clustering.
+    fn plan_for<FP, FpFn>(
+        &self,
+        key: &TraceKey,
+        config: &SamplingConfig,
+        snapshot: &Snapshot<'_>,
+        fingerprinter: &FpFn,
+    ) -> Result<Arc<SamplePlan>, CacheError>
+    where
+        FP: Fingerprinter,
+        FpFn: Fn() -> FP,
+    {
+        let cache_key = (key.fingerprint(), *config);
+        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&cache_key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Built outside the lock: a concurrent duplicate build is
+        // deterministic, so last-writer-wins is harmless.
+        let mut fp = fingerprinter();
+        let plan = Arc::new(SamplePlan::from_snapshot(snapshot, &mut fp, config)?);
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(cache_key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// [`SweepEngine::sweep_cached`]'s phase-sampled sibling: each item
+    /// obtains its snapshot **bytes** once through `cache`
+    /// ([`TraceCache::snapshot_bytes`]), fingerprints them into a
+    /// [`SamplePlan`] (cached per engine), and replays only the plan's
+    /// weighted representatives through the tools
+    /// ([`Snapshot::replay_sampled`]). Tools must be weight-aware
+    /// ([`Pintool::supports_sampled_replay`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`CacheError`] any item hits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_sampled<I, T, FP, KeyFn, TraceFn, ToolsFn, FpFn>(
+        &self,
+        cache: &TraceCache,
+        config: &SamplingConfig,
+        items: Vec<I>,
+        key_of: KeyFn,
+        trace_of: TraceFn,
+        tools_for: ToolsFn,
+        fingerprinter: FpFn,
+    ) -> Result<Vec<SampledOutcome<I, T>>, CacheError>
+    where
+        I: Send + Sync,
+        T: Pintool + Send,
+        FP: Fingerprinter,
+        KeyFn: Fn(&I) -> TraceKey + Sync,
+        TraceFn: Fn(&I) -> Result<SyntheticTrace, String> + Sync,
+        ToolsFn: Fn(&I) -> Vec<T> + Sync,
+        FpFn: Fn() -> FP + Sync,
+    {
+        let measured = self.executor.map(&items, |item| {
+            let key = key_of(item);
+            let bytes = cache.snapshot_bytes(&key, || trace_of(item))?;
+            let snapshot = Snapshot::parse(&bytes)?;
+            let plan = self.plan_for(&key, config, &snapshot, &fingerprinter)?;
+            let mut set = ToolSet::from_tools(tools_for(item));
+            let replay = snapshot.replay_sampled(&mut set, &plan)?;
+            self.replays.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, CacheError>((set.into_inner(), replay, plan))
+        });
+        items
+            .into_iter()
+            .zip(measured)
+            .map(|(item, measured)| {
+                let (tools, replay, plan) = measured?;
+                Ok(SampledOutcome {
+                    item,
+                    tools,
+                    summary: replay.summary,
+                    delivered_instructions: replay.delivered_instructions,
+                    plan,
                 })
             })
             .collect()
@@ -368,6 +483,141 @@ mod tests {
         let report = engine.report().with_cache(&cache);
         assert_eq!(report.replays, 6);
         assert_eq!(report.generations(), 3);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    /// Weight-aware instruction counter (mark/delta scaling).
+    #[derive(Default, Clone)]
+    struct WeightedCount {
+        insts: u64,
+        mark: u64,
+        weight_calls: u64,
+    }
+
+    impl Pintool for WeightedCount {
+        fn on_inst(&mut self, _ev: &TraceEvent) {
+            self.insts += 1;
+        }
+
+        fn on_sample_weight(&mut self, weight: u64) {
+            self.insts = crate::weighted_add(self.mark, self.insts - self.mark, weight);
+            self.mark = self.insts;
+            self.weight_calls += 1;
+        }
+
+        fn supports_sampled_replay(&self) -> bool {
+            true
+        }
+    }
+
+    /// A fingerprinter that gives every interval the same vector, so
+    /// all intervals collapse into one cluster.
+    #[derive(Default)]
+    struct ConstFp {
+        interval: u64,
+        seen: u64,
+        vectors: Vec<Vec<f64>>,
+    }
+
+    impl Pintool for ConstFp {
+        fn on_inst(&mut self, _ev: &TraceEvent) {
+            self.seen += 1;
+            if self.seen == self.interval {
+                self.vectors.push(vec![1.0]);
+                self.seen = 0;
+            }
+        }
+    }
+
+    impl crate::Fingerprinter for ConstFp {
+        fn set_interval_insts(&mut self, insts: u64) {
+            self.interval = insts;
+        }
+
+        fn finish(&mut self) -> Vec<Vec<f64>> {
+            if self.seen > 0 {
+                self.vectors.push(vec![1.0]);
+            }
+            std::mem::take(&mut self.vectors)
+        }
+    }
+
+    #[test]
+    fn sweep_sampled_reproduces_totals_from_one_representative() {
+        let cache = TraceCache::scratch().unwrap();
+        let engine = SweepEngine::new();
+        let config = crate::SamplingConfig::default()
+            .with_intervals(10)
+            .with_k(2);
+        let run = |engine: &SweepEngine| {
+            engine
+                .sweep_sampled(
+                    &cache,
+                    &config,
+                    vec![1u64, 2],
+                    |&i| TraceKey::new(format!("w{i}"), "t", i, 0),
+                    |&i| Ok(tiny_trace(2_000, i)),
+                    |_| vec![WeightedCount::default(); 2],
+                    ConstFp::default,
+                )
+                .unwrap()
+        };
+        let cold = run(&engine);
+        for o in &cold {
+            assert_eq!(o.summary.instructions, 2_000, "full stream still decoded");
+            // Identical fingerprints: the pinned startup interval
+            // (weight 1) plus one weight-9 cluster whose representative
+            // is interval 1 — adjacent to the pin, so no warmup window.
+            assert_eq!(o.plan.clusters().len(), 2);
+            assert_eq!(o.plan.clusters()[0].weight, 1);
+            assert_eq!(o.plan.clusters()[1].weight, 9);
+            assert_eq!(o.delivered_instructions, 400);
+            for t in &o.tools {
+                assert_eq!(t.insts, 2_000, "weighted counts match the full replay");
+                assert_eq!(t.weight_calls, 2);
+            }
+        }
+        let generations = cache.stats().generations;
+        assert_eq!(generations, 2, "one snapshot pass per item");
+
+        let warm = run(&engine);
+        assert_eq!(
+            cache.stats().generations,
+            2,
+            "warm sweep regenerates nothing"
+        );
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.tools[0].insts, b.tools[0].insts);
+            assert!(Arc::ptr_eq(&a.plan, &b.plan), "plans come from the cache");
+        }
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn sweep_sampled_degenerates_to_full_replay_for_large_k() {
+        let cache = TraceCache::scratch().unwrap();
+        let engine = SweepEngine::new();
+        let config = crate::SamplingConfig::default()
+            .with_intervals(4)
+            .with_k(64);
+        let out = engine
+            .sweep_sampled(
+                &cache,
+                &config,
+                vec![5u64],
+                |&i| TraceKey::new("w", "t", i, 0),
+                |&i| Ok(tiny_trace(1_000, i)),
+                |_| vec![WeightedCount::default()],
+                ConstFp::default,
+            )
+            .unwrap();
+        assert!(out[0].plan.is_full_replay());
+        assert_eq!(out[0].delivered_instructions, 1_000);
+        assert_eq!(out[0].tools[0].insts, 1_000);
+        assert_eq!(
+            out[0].tools[0].weight_calls, 0,
+            "degenerate plans take the unsampled path"
+        );
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 

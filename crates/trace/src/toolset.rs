@@ -138,6 +138,22 @@ impl<T: Pintool> Pintool for ToolSet<T> {
             tool.on_batch(batch);
         }
     }
+
+    fn on_sample_weight(&mut self, weight: u64) {
+        for tool in &mut self.tools {
+            tool.on_sample_weight(weight);
+        }
+    }
+
+    fn on_sample_gap(&mut self) {
+        for tool in &mut self.tools {
+            tool.on_sample_gap();
+        }
+    }
+
+    fn supports_sampled_replay(&self) -> bool {
+        self.tools.iter().all(Pintool::supports_sampled_replay)
+    }
 }
 
 #[cfg(test)]

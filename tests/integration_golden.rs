@@ -24,6 +24,8 @@ use std::path::PathBuf;
 use rebalance::pintools::characterize;
 use rebalance::workloads::Workload;
 use rebalance::{Characterization, Scale};
+use rebalance_experiments::sampling;
+use rebalance_trace::SamplingConfig;
 use serde::Serialize;
 
 /// The scale every fixture is recorded at (the smallest, so the
@@ -149,28 +151,159 @@ fn golden_reports_match_committed_fixtures() {
 }
 
 /// Every committed fixture must belong to a registered workload, so
-/// renames/removals cannot leave stale expectations behind.
+/// renames/removals cannot leave stale expectations behind. Applies to
+/// the characterization fixtures and the `sampling/` error records
+/// alike.
 #[test]
 fn no_orphan_fixtures() {
     let names: BTreeSet<String> = rebalance::workloads::all()
         .iter()
         .map(|w| format!("{}.json", w.name()))
         .collect();
-    let dir = golden_dir();
-    let entries = match std::fs::read_dir(&dir) {
-        Ok(e) => e,
-        // Before the first bless the directory may not exist; the main
-        // conformance test reports the missing fixtures.
-        Err(_) => return,
-    };
-    for entry in entries {
-        let name = entry.expect("dir entry").file_name();
-        let name = name.to_string_lossy().into_owned();
-        assert!(
-            names.contains(&name),
-            "orphan fixture tests/golden/{name}: no such workload in the roster"
+    for (dir, label) in [
+        (golden_dir(), "golden"),
+        (sampling_dir(), "golden/sampling"),
+    ] {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            // Before the first bless the directory may not exist; the
+            // main conformance tests report the missing fixtures.
+            Err(_) => continue,
+        };
+        for entry in entries {
+            let entry = entry.expect("dir entry");
+            if entry.file_type().expect("file type").is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                assert_eq!(
+                    name, "sampling",
+                    "unexpected directory tests/{label}/{name} among fixtures"
+                );
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            assert!(
+                names.contains(&name),
+                "orphan fixture tests/{label}/{name}: no such workload in the roster"
+            );
+        }
+    }
+}
+
+/// Where the per-workload sampled-error records live.
+fn sampling_dir() -> PathBuf {
+    golden_dir().join("sampling")
+}
+
+/// One workload's sampled-vs-full errors under one timing backend,
+/// rounded so the fixture freezes behaviour rather than float noise.
+#[derive(Serialize)]
+struct SampledErrorRow {
+    model: String,
+    cpi_err: f64,
+    max_mpki_err: f64,
+    mpki_max_absdiff: f64,
+    replayed_fraction: f64,
+}
+
+/// The committed sampled-error record for one workload: the sampling
+/// geometry it was measured under plus one row per timing backend.
+#[derive(Serialize)]
+struct SampledErrorRecord {
+    workload: String,
+    intervals: usize,
+    k: usize,
+    warmup_intervals: usize,
+    rows: Vec<SampledErrorRow>,
+}
+
+/// Six decimals is far below any behavioural change worth freezing and
+/// far above f64 printing jitter.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Renders every workload's sampled-error record from one shared
+/// full-replay + sampled sweep of the whole roster.
+fn render_sampling_records() -> Vec<(String, String)> {
+    let config = SamplingConfig::default();
+    let ex = sampling::run_subset(rebalance::workloads::all(), GOLDEN_SCALE, &config);
+    let mut records = Vec::new();
+    for w in rebalance::workloads::all() {
+        let rows = ["penalty", "ftq"]
+            .iter()
+            .map(|model| {
+                let r = ex.row(w.name(), model).expect("exhibit row per model");
+                let absdiff = r
+                    .full_mpki
+                    .iter()
+                    .zip(&r.sampled_mpki)
+                    .map(|(f, s)| (s - f).abs())
+                    .fold(0.0, f64::max);
+                SampledErrorRow {
+                    model: (*model).to_owned(),
+                    cpi_err: round6(r.cpi_err),
+                    max_mpki_err: round6(r.max_mpki_err),
+                    mpki_max_absdiff: round6(absdiff),
+                    replayed_fraction: round6(r.replayed_fraction),
+                }
+            })
+            .collect();
+        let record = SampledErrorRecord {
+            workload: w.name().to_owned(),
+            intervals: config.intervals,
+            k: config.k,
+            warmup_intervals: config.warmup_intervals,
+            rows,
+        };
+        let mut text = serde_json::to_string_pretty(&record).expect("record serializes");
+        text.push('\n');
+        records.push((format!("{}.json", w.name()), text));
+    }
+    records
+}
+
+/// The sampled-replay sibling of
+/// [`golden_reports_match_committed_fixtures`]: the per-workload
+/// sampled-vs-full error records under `tests/golden/sampling/` are
+/// regenerated and diffed, so any change to the sampler — fingerprints,
+/// clustering, warmup, weighting — shows up as a reviewable fixture
+/// diff. Bless with the same `REBALANCE_BLESS=1` flow.
+#[test]
+fn sampled_error_records_match_committed_fixtures() {
+    let dir = sampling_dir();
+    let rendered = render_sampling_records();
+
+    if blessing() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden/sampling");
+        for (name, text) in &rendered {
+            std::fs::write(dir.join(name), text).expect("write record");
+        }
+        panic!(
+            "blessed {} sampled-error records into {}; unset {BLESS_ENV} and re-run to verify",
+            rendered.len(),
+            dir.display()
         );
     }
+
+    let mut failures = Vec::new();
+    for (name, text) in &rendered {
+        let path = dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(committed) => {
+                if committed != *text {
+                    failures.push(format!("{name}: drifted"));
+                }
+            }
+            Err(e) => failures.push(format!("{name}: missing record {} ({e})", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} sampled-error record(s) drifted from tests/golden/sampling/ — if the \
+         change is intentional, re-bless with {BLESS_ENV}=1 and review the diff:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
 }
 
 /// The report renderer itself is deterministic — a fixture mismatch

@@ -1,0 +1,171 @@
+//! Property-based invariants of the phase-sampling pipeline: random
+//! fingerprint sets through the clusterer, and degenerate plans over
+//! real synthesized traces.
+
+use proptest::prelude::*;
+use rebalance::coresim::CoreModel;
+use rebalance::frontend::CoreKind;
+use rebalance::pintools::BbvTool;
+use rebalance::trace::snapshot;
+use rebalance::trace::{SamplePlan, SamplingConfig, Snapshot};
+use rebalance::Scale;
+
+/// A snapshot of one roster workload at Smoke scale, parsed in place.
+fn snapshot_of(name: &str) -> Vec<u8> {
+    let w = rebalance::workloads::find(name).expect("roster workload");
+    let trace = w.trace(Scale::Smoke).expect("valid roster profile");
+    let (bytes, _) = snapshot::snapshot_bytes(&trace, 0).expect("snapshot serializes");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clustering is a pure function of `(vectors, geometry, seed)`:
+    /// the same inputs always produce the identical plan.
+    #[test]
+    fn clustering_is_deterministic_for_a_fixed_seed(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 6),
+            2..64,
+        ),
+        k in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SamplingConfig::default().with_intervals(vectors.len()).with_k(k);
+        let cfg = SamplingConfig { seed, ..cfg };
+        let a = SamplePlan::from_vectors(&vectors, 100, vectors.len() as u64 * 100, &cfg);
+        let b = SamplePlan::from_vectors(&vectors, 100, vectors.len() as u64 * 100, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cluster weights always sum to the interval count exactly — the
+    /// weighted merge then scales counters by precisely the number of
+    /// intervals each representative stands in for.
+    #[test]
+    fn cluster_weights_sum_to_the_interval_count(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4),
+            1..96,
+        ),
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SamplingConfig { seed, ..SamplingConfig::default() }
+            .with_intervals(vectors.len())
+            .with_k(k);
+        let plan = SamplePlan::from_vectors(&vectors, 50, vectors.len() as u64 * 50, &cfg);
+        let total: u64 = plan.clusters().iter().map(|c| c.weight).sum();
+        prop_assert_eq!(total, vectors.len() as u64);
+        prop_assert_eq!(plan.assignments().len(), vectors.len());
+        // Every assignment points at a real cluster.
+        for &a in plan.assignments() {
+            prop_assert!((a as usize) < plan.clusters().len());
+        }
+    }
+
+    /// `k >= #intervals` degenerates to a plan that IS the full replay:
+    /// every interval its own weight-1 representative.
+    #[test]
+    fn k_at_least_interval_count_degenerates_to_full_replay(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4),
+            1..48,
+        ),
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SamplingConfig { seed, ..SamplingConfig::default() }
+            .with_intervals(vectors.len())
+            .with_k(vectors.len() + extra);
+        let plan = SamplePlan::from_vectors(&vectors, 10, vectors.len() as u64 * 10, &cfg);
+        prop_assert!(plan.is_full_replay());
+        prop_assert_eq!(plan.clusters().len(), vectors.len());
+        for (i, c) in plan.clusters().iter().enumerate() {
+            prop_assert_eq!(c.representative, i);
+            prop_assert_eq!(c.weight, 1);
+        }
+    }
+}
+
+/// A degenerate plan over a real trace is *bit-identical* to the full
+/// replay: same tool reports, every instruction delivered.
+#[test]
+fn degenerate_plan_replays_real_traces_bit_identically() {
+    for name in ["CG", "k.branchy"] {
+        let bytes = snapshot_of(name);
+        let snap = Snapshot::parse(&bytes).expect("snapshot parses");
+        let total = snap.info().summary.instructions;
+
+        let cfg = SamplingConfig::default().with_intervals(16).with_k(16);
+        let mut fp = BbvTool::new(cfg.dims);
+        let plan = SamplePlan::from_snapshot(&snap, &mut fp, &cfg).expect("plan");
+        assert!(
+            plan.is_full_replay(),
+            "{name}: k == intervals must degenerate"
+        );
+
+        let model = CoreModel::new(CoreKind::Baseline);
+        let mut full = model.tools();
+        snap.replay(&mut full).expect("full replay");
+        let mut sampled = model.tools();
+        let replay = snap
+            .replay_sampled(&mut sampled, &plan)
+            .expect("sampled replay");
+
+        assert_eq!(
+            replay.delivered_instructions, total,
+            "{name}: all delivered"
+        );
+        assert_eq!(
+            format!(
+                "{:?}",
+                (&full.0.report(), &full.1.report(), &full.2.report())
+            ),
+            format!(
+                "{:?}",
+                (
+                    &sampled.0.report(),
+                    &sampled.1.report(),
+                    &sampled.2.report()
+                )
+            ),
+            "{name}: degenerate sampled replay must be bit-identical"
+        );
+    }
+}
+
+/// Interval size 1 (as many intervals as instructions) loses no events:
+/// decoding still sees the whole stream, weights still cover every
+/// instruction, and the delivered count matches the plan's promise.
+#[test]
+fn interval_size_one_loses_no_events() {
+    let bytes = snapshot_of("k.triad");
+    let snap = Snapshot::parse(&bytes).expect("snapshot parses");
+    let total = snap.info().summary.instructions;
+
+    let cfg = SamplingConfig::default()
+        .with_intervals(total as usize)
+        .with_k(8);
+    let mut fp = BbvTool::new(cfg.dims);
+    let plan = SamplePlan::from_snapshot(&snap, &mut fp, &cfg).expect("plan");
+    assert_eq!(plan.interval_insts(), 1, "one instruction per interval");
+    assert_eq!(plan.num_intervals() as u64, total);
+    let weights: u64 = plan.clusters().iter().map(|c| c.weight).sum();
+    assert_eq!(weights, total, "every instruction is weighted exactly once");
+
+    let model = CoreModel::new(CoreKind::Baseline);
+    let mut tools = model.tools();
+    let replay = snap
+        .replay_sampled(&mut tools, &plan)
+        .expect("sampled replay");
+    assert_eq!(
+        replay.summary.instructions, total,
+        "sampling skips delivery, never decoding"
+    );
+    assert_eq!(
+        replay.delivered_instructions,
+        plan.replayed_instructions(),
+        "delivered exactly the planned windows"
+    );
+}
