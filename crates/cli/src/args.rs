@@ -2,6 +2,7 @@
 //! offline, so no clap — the same hand-rolled style as `repro`).
 
 use rebalance_coresim::FetchModelKind;
+use rebalance_trace::BackendChoice;
 use rebalance_workloads::{Scale, Suite};
 
 /// Accumulates positional arguments and recognized flags; rejects
@@ -27,6 +28,9 @@ pub struct Parsed {
     /// `--batch-size N` (events per delivery block; default
     /// [`rebalance_trace::DEFAULT_BATCH_CAPACITY`]).
     pub batch_size: Option<usize>,
+    /// `--backend {auto,scalar,wide}` (compute backend for the replay
+    /// hot path; default adapts per replay by trace size).
+    pub backend: Option<BackendChoice>,
     /// `--model {penalty,ftq}` (CPI timing backend).
     pub model: Option<FetchModelKind>,
     /// `--sample N` (slice each replay into N intervals and replay one
@@ -87,6 +91,12 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                         )
                     })?;
                 parsed.batch_size = Some(n);
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                parsed.backend = Some(BackendChoice::parse(v).ok_or_else(|| {
+                    format!("unknown backend `{v}` (expected: auto scalar wide)")
+                })?);
             }
             "--model" => {
                 let v = it.next().ok_or("--model needs a value")?;
@@ -171,13 +181,24 @@ pub fn configure_cache_env(parsed: &Parsed) {
     }
 }
 
-/// Applies `--batch-size` by exporting it as `REBALANCE_BATCH` before
-/// the first replay reads the process-wide capacity. Must run early in
-/// each subcommand (the capacity is latched on first use).
-pub fn configure_batch_env(parsed: &Parsed) {
+/// Applies the replay hot-path knobs: `--batch-size` through the
+/// explicit capacity setter (which takes precedence over
+/// `REBALANCE_BATCH` and turns a too-late conflicting set into a clean
+/// error instead of a silently ignored flag) and `--backend` through
+/// the process-wide compute-backend override. Must run early in each
+/// subcommand, before the first replay.
+///
+/// # Errors
+///
+/// The capacity was already latched to a different value.
+pub fn configure_replay(parsed: &Parsed) -> Result<(), String> {
     if let Some(n) = parsed.batch_size {
-        std::env::set_var(rebalance_trace::BATCH_ENV, n.to_string());
+        rebalance_trace::set_batch_capacity(n).map_err(|e| format!("--batch-size: {e}"))?;
     }
+    if let Some(choice) = parsed.backend {
+        rebalance_trace::set_compute_backend(choice);
+    }
+    Ok(())
 }
 
 /// The sampling configuration implied by `--sample`/`--sample-k`:
@@ -286,6 +307,23 @@ mod tests {
         // Positions are u32-indexed; oversized capacities are a clean
         // CLI error, not a panic deep in replay.
         assert!(parse(&argv(&["--batch-size", "4294967296"])).is_err());
+    }
+
+    #[test]
+    fn parses_backend() {
+        use rebalance_trace::ComputeBackend;
+        let p = parse(&argv(&["--backend", "wide"])).unwrap();
+        assert_eq!(p.backend, Some(BackendChoice::Forced(ComputeBackend::Wide)));
+        let p = parse(&argv(&["--backend", "scalar"])).unwrap();
+        assert_eq!(
+            p.backend,
+            Some(BackendChoice::Forced(ComputeBackend::Scalar))
+        );
+        let p = parse(&argv(&["--backend", "auto"])).unwrap();
+        assert_eq!(p.backend, Some(BackendChoice::Auto));
+        assert_eq!(parse(&argv(&[])).unwrap().backend, None);
+        assert!(parse(&argv(&["--backend"])).is_err());
+        assert!(parse(&argv(&["--backend", "simd"])).is_err());
     }
 
     #[test]

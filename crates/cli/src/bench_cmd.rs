@@ -1,0 +1,344 @@
+//! `rebalance bench` — replay-throughput measurement per compute
+//! backend, the CLI mirror of the `warm_replay_six_workloads` criterion
+//! group plus a sampled-sweep row.
+//!
+//! Three measurements, all over pre-validated in-memory snapshots so
+//! the timed region is purely the delivery spine and the tools:
+//!
+//! * **warm sweep** — the nine-predictor fan-out replayed per event,
+//!   batched-scalar (AoS event structs), and batched-wide (SoA lanes);
+//!   dominated by TAGE table compute both sides pay, so the delivery
+//!   win shows as a modest ratio here,
+//! * **pintools** — the branch-profiling fan-out (mix, direction,
+//!   bias) composed dynamically as `ToolSet<Box<dyn Pintool>>`, the
+//!   delivery-bound case: batched delivery pays the virtual
+//!   transitions once per block and walks only the dense branch
+//!   subset, while per-event delivery pays three virtual calls on
+//!   every instruction,
+//! * **sampled sweep** — phase-sampled replay per backend, reported as
+//!   both delivered and effective (full-trace-equivalent) throughput.
+//!
+//! Always writes `BENCH_replay.json` — into `--json DIR` when given,
+//! else the current directory.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rebalance_experiments::util::{f2, TextTable};
+use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
+use rebalance_frontend::PredictorChoice;
+use rebalance_pintools::{BbvTool, BranchBiasTool, BranchMixTool, DirectionTool};
+use rebalance_trace::{
+    batch_capacity, compute_backend_choice, set_compute_backend, snapshot, BackendChoice,
+    ComputeBackend, NullTool, Pintool, SamplePlan, Snapshot, ToolSet,
+};
+use serde::Serialize;
+
+use crate::args;
+
+/// Workloads measured when no selection is given — the same six the
+/// `warm_replay_six_workloads` criterion group replays, so CLI numbers
+/// line up with bench history.
+const DEFAULT_ROSTER: [&str; 6] = ["CG", "FT", "MG", "gcc", "CoMD", "swim"];
+
+/// Minimum measured wall time per mode (after one untimed warmup pass).
+const MIN_MEASURE: Duration = Duration::from_millis(300);
+
+/// Iteration cap so tiny traces do not spin for thousands of passes.
+const MAX_ITERS: u32 = 200;
+
+/// The whole dump, `BENCH_replay.json`.
+#[derive(Debug, Serialize)]
+struct BenchJson {
+    host: HostJson,
+    scale: String,
+    batch_capacity: usize,
+    workloads: Vec<String>,
+    total_instructions: u64,
+    /// Nine-predictor fan-out (the criterion group's tool set).
+    warm_sweep: Vec<ModeRow>,
+    /// Branch-profiling pintool fan-out (mix + direction + bias),
+    /// dynamically composed — the delivery-bound sweep shape.
+    pintools: Vec<ModeRow>,
+    /// Phase-sampled replay per backend.
+    sampled_sweep: Vec<SampledRow>,
+}
+
+/// Where the numbers came from.
+#[derive(Debug, Serialize)]
+struct HostJson {
+    cpu: String,
+    logical_cores: usize,
+    os: String,
+    arch: String,
+}
+
+/// One delivery mode's throughput over the full event stream.
+#[derive(Debug, Serialize)]
+struct ModeRow {
+    mode: String,
+    melem_per_s: f64,
+    speedup_vs_per_event: f64,
+}
+
+/// One backend's sampled-replay throughput. `delivered` counts only
+/// events handed to the tools; `effective` credits the full trace the
+/// sampled totals reproduce.
+#[derive(Debug, Serialize)]
+struct SampledRow {
+    backend: String,
+    delivered_fraction: f64,
+    delivered_melem_per_s: f64,
+    effective_melem_per_s: f64,
+}
+
+/// First `model name` from `/proc/cpuinfo`, or a placeholder off Linux.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn host() -> HostJson {
+    HostJson {
+        cpu: cpu_model(),
+        logical_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        os: std::env::consts::OS.to_owned(),
+        arch: std::env::consts::ARCH.to_owned(),
+    }
+}
+
+/// Times `routine` over fresh `setup()` inputs (setup is untimed, like
+/// criterion's `iter_batched`): one warmup pass, then passes until
+/// [`MIN_MEASURE`] of measured time or [`MAX_ITERS`]. Returns mean
+/// seconds per pass.
+fn measure<T>(mut setup: impl FnMut() -> T, mut routine: impl FnMut(&mut T)) -> f64 {
+    let mut warm = setup();
+    routine(&mut warm);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u32;
+    while (total < MIN_MEASURE || iters < 3) && iters < MAX_ITERS {
+        let mut input = setup();
+        let start = Instant::now();
+        routine(&mut input);
+        total += start.elapsed();
+        iters += 1;
+    }
+    total.as_secs_f64() / f64::from(iters)
+}
+
+/// Replays every snapshot into `tool` under one delivery mode:
+/// `None` = per event, `Some(backend)` = batched with that backend.
+fn replay_all<T: Pintool>(snaps: &[Snapshot<'_>], tool: &mut [T], mode: Option<ComputeBackend>) {
+    for (snap, tool) in snaps.iter().zip(tool.iter_mut()) {
+        let result = match mode {
+            None => snap.replay_per_event(tool),
+            Some(backend) => snap.replay_batched_backend(tool, batch_capacity(), backend),
+        };
+        result.expect("validated snapshot replays");
+    }
+}
+
+/// The three modes, with their display/JSON labels.
+fn modes() -> [(String, Option<ComputeBackend>); 3] {
+    [
+        ("per_event".to_owned(), None),
+        ("batched_scalar".to_owned(), Some(ComputeBackend::Scalar)),
+        ("batched_wide".to_owned(), Some(ComputeBackend::Wide)),
+    ]
+}
+
+/// Seconds-per-pass for each mode → rows with per-event-relative
+/// speedups.
+fn mode_rows(secs: &[(String, f64)], insts: u64) -> Vec<ModeRow> {
+    let per_event_secs = secs[0].1;
+    secs.iter()
+        .map(|(mode, s)| ModeRow {
+            mode: mode.clone(),
+            melem_per_s: insts as f64 / s / 1e6,
+            speedup_vs_per_event: per_event_secs / s,
+        })
+        .collect()
+}
+
+/// Runs the benchmark and writes `BENCH_replay.json`.
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = args::parse(argv)?;
+    args::forbid(&[
+        (parsed.force, "--force"),
+        (parsed.model.is_some(), "--model"),
+        // The bench pins each backend explicitly; a process-wide
+        // override would only make one of its own rows lie.
+        (
+            parsed.backend.is_some(),
+            "--backend (bench measures every backend)",
+        ),
+        // Snapshots are encoded in memory; the on-disk cache never
+        // participates.
+        (parsed.cache_dir.is_some(), "--cache"),
+        (parsed.no_cache, "--no-cache"),
+    ])?;
+    args::configure_replay(&parsed)?;
+
+    let workloads = if parsed.positional.is_empty() && !parsed.all && parsed.suite.is_none() {
+        let names: Vec<String> = DEFAULT_ROSTER.iter().map(|s| (*s).to_owned()).collect();
+        args::resolve_workloads(&names, false, None)?
+    } else {
+        args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?
+    };
+
+    // Synthesize + encode once; parse (framing, checksum) once. Every
+    // timed pass below replays identical pre-validated snapshots.
+    let mut names = Vec::new();
+    let mut encoded = Vec::new();
+    for w in &workloads {
+        let trace = w.trace(parsed.scale)?;
+        let (bytes, _info) = snapshot::snapshot_bytes(&trace, 0).map_err(|e| e.to_string())?;
+        names.push(w.name().to_owned());
+        encoded.push(bytes);
+    }
+    let snaps: Vec<Snapshot<'_>> = encoded
+        .iter()
+        .map(|b| Snapshot::parse(b).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let insts: u64 = snaps.iter().map(|s| s.info().summary.instructions).sum();
+    if insts == 0 {
+        return Err("selection replays zero instructions".into());
+    }
+
+    let configs = PredictorChoice::figure5_set();
+    let fresh_sims = || -> Vec<ToolSet<PredictorSim<Box<dyn DirectionPredictor>>>> {
+        snaps
+            .iter()
+            .map(|_| ToolSet::from_tools(PredictorChoice::build_sims(&configs)))
+            .collect()
+    };
+
+    let warm_secs: Vec<(String, f64)> = modes()
+        .into_iter()
+        .map(|(label, mode)| {
+            let s = measure(fresh_sims, |sims| replay_all(&snaps, sims, mode));
+            (label, s)
+        })
+        .collect();
+    let warm_sweep = mode_rows(&warm_secs, insts);
+
+    // The delivery-bound case: a dynamically-composed fan-out (the
+    // sweep-engine / MultiTool shape). Per-event delivery pays one
+    // virtual transition per tool per instruction; batched delivery
+    // pays them once per block, and the branch-profiling tools then
+    // walk only the dense branch subset (~10% of events).
+    let fresh_pintools = || -> Vec<ToolSet<Box<dyn Pintool>>> {
+        snaps
+            .iter()
+            .map(|_| {
+                ToolSet::from_tools(vec![
+                    Box::new(BranchMixTool::new()) as Box<dyn Pintool>,
+                    Box::new(DirectionTool::new()),
+                    Box::new(BranchBiasTool::new()),
+                ])
+            })
+            .collect()
+    };
+    let pintool_secs: Vec<(String, f64)> = modes()
+        .into_iter()
+        .map(|(label, mode)| {
+            let s = measure(fresh_pintools, |tools| replay_all(&snaps, tools, mode));
+            (label, s)
+        })
+        .collect();
+    let pintools = mode_rows(&pintool_secs, insts);
+
+    // Sampled sweep: one plan per snapshot (untimed — planning is a
+    // per-roster one-off in real sweeps too), then replay only the
+    // weighted representatives, per backend.
+    let config = args::sampling_config(&parsed).unwrap_or_default();
+    let plans: Vec<SamplePlan> = snaps
+        .iter()
+        .map(|s| {
+            SamplePlan::from_snapshot(s, &mut BbvTool::new(config.dims), &config)
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let delivered: u64 = snaps
+        .iter()
+        .zip(&plans)
+        .map(|(s, p)| {
+            s.replay_sampled(&mut NullTool, p)
+                .expect("validated snapshot replays")
+                .delivered_instructions
+        })
+        .sum();
+    let saved_choice = compute_backend_choice();
+    let sampled_sweep: Vec<SampledRow> = [ComputeBackend::Scalar, ComputeBackend::Wide]
+        .into_iter()
+        .map(|backend| {
+            set_compute_backend(BackendChoice::Forced(backend));
+            let secs = measure(fresh_sims, |sims| {
+                for ((snap, plan), set) in snaps.iter().zip(&plans).zip(sims.iter_mut()) {
+                    snap.replay_sampled(set, plan)
+                        .expect("validated snapshot replays");
+                }
+            });
+            SampledRow {
+                backend: backend.to_string(),
+                delivered_fraction: delivered as f64 / insts as f64,
+                delivered_melem_per_s: delivered as f64 / secs / 1e6,
+                effective_melem_per_s: insts as f64 / secs / 1e6,
+            }
+        })
+        .collect();
+    set_compute_backend(saved_choice);
+
+    let json = BenchJson {
+        host: host(),
+        scale: parsed.scale.to_string(),
+        batch_capacity: batch_capacity(),
+        workloads: names,
+        total_instructions: insts,
+        warm_sweep,
+        pintools,
+        sampled_sweep,
+    };
+    let dir = parsed.json_dir.as_deref().unwrap_or(".");
+    crate::write_json(dir, "BENCH_replay", &json)?;
+
+    let mut t = TextTable::new(vec!["group", "mode", "Melem/s", "vs per_event"]);
+    for (group, rows) in [
+        ("warm_sweep", &json.warm_sweep),
+        ("pintools", &json.pintools),
+    ] {
+        for r in rows {
+            t.row(vec![
+                group.to_owned(),
+                r.mode.clone(),
+                f2(r.melem_per_s),
+                format!("{}x", f2(r.speedup_vs_per_event)),
+            ]);
+        }
+    }
+    for r in &json.sampled_sweep {
+        t.row(vec![
+            "sampled_sweep".to_owned(),
+            format!("batched_{}", r.backend),
+            f2(r.delivered_melem_per_s),
+            format!("{} effective", f2(r.effective_melem_per_s)),
+        ]);
+    }
+    crate::print_ignoring_pipe(&format!(
+        "replay throughput ({} events over {} workload(s), scale {}, batch {})\n{}wrote {}/BENCH_replay.json\n",
+        insts,
+        json.workloads.len(),
+        json.scale,
+        json.batch_capacity,
+        t.render(),
+        dir,
+    ));
+    Ok(ExitCode::SUCCESS)
+}

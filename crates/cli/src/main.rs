@@ -23,6 +23,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod bench_cmd;
 mod fetch_cmd;
 mod paper_cmd;
 mod phases_cmd;
@@ -73,13 +74,16 @@ fn usage() -> ExitCode {
          \x20     print each workload's phase-cluster map and per-cluster weights\n\
          \x20 paper [EXHIBIT...|all] [--suite S] [--scale S] [--model M] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
+         \x20 bench [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20     measure replay throughput per compute backend, write BENCH_replay.json with --json\n\
          \n\
          scales: smoke | quick | full | <positive factor>   (default: smoke)\n\
          suites: exmatex | specomp | npb | specint | kernels\n\
          --model M: CPI timing backend, penalty (closed form) or ftq (decoupled fetch simulator)\n\
          --sample N [--sample-k K]: phase-sample sweep/fetch/paper replays into N intervals,\n\
          \x20    K clusters, replaying one weighted representative per cluster (default 160/8)\n\
-         --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)"
+         --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)\n\
+         --backend B: replay compute backend, auto | scalar | wide (default auto; env REBALANCE_BACKEND)"
     );
     ExitCode::from(2)
 }
@@ -100,6 +104,7 @@ fn main() -> ExitCode {
             None => return usage(),
         },
         "sweep" => sweep_cmd::run(rest),
+        "bench" => bench_cmd::run(rest),
         "fetch" => fetch_cmd::run(rest),
         "paper" => paper_cmd::run(rest),
         "phases" => phases_cmd::run(rest),

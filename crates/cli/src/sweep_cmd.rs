@@ -42,7 +42,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     // the on-disk cache (or explicitly disables it). The batch size is
     // latched the same way, before the first replay.
     args::configure_cache_env(&parsed);
-    args::configure_batch_env(&parsed);
+    args::configure_replay(&parsed)?;
     args::configure_sampling(&parsed);
 
     let configs = PredictorChoice::figure5_set();

@@ -4,7 +4,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use rebalance_experiments::util::TextTable;
-use rebalance_trace::{snapshot, SnapshotInfo, TraceCache};
+use rebalance_trace::{select_backend, snapshot, SnapshotInfo, TraceCache};
 
 use crate::args;
 
@@ -27,15 +27,23 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
 /// listed snapshots.
 fn render_info_footer(infos: &[SnapshotInfo]) -> String {
     let events: u64 = infos.iter().map(|i| i.summary.instructions).sum();
+    let branches: u64 = infos.iter().map(|i| i.summary.branches).sum();
     let bytes: u64 = infos.iter().map(|i| i.total_bytes).sum();
     let per_event = if events == 0 {
         0.0
     } else {
         bytes as f64 / events as f64
     };
+    let branch_pct = if events == 0 {
+        0.0
+    } else {
+        100.0 * branches as f64 / events as f64
+    };
     format!(
-        "total: {} snapshot(s), {events} events, {bytes} bytes, {per_event:.2} bytes/event\n",
-        infos.len()
+        "total: {} snapshot(s), {events} events, {bytes} bytes, {per_event:.2} bytes/event\n\
+         lanes: {branch_pct:.1}% branch fill, auto backend at replay: {}\n",
+        infos.len(),
+        select_backend(events)
     )
 }
 
@@ -48,6 +56,9 @@ fn info_row(table: &mut TextTable, label: &str, info: &SnapshotInfo) {
         info.sections.parallel.to_string(),
         info.total_bytes.to_string(),
         format!("{:.2}", info.bytes_per_event()),
+        // Which compute backend an auto-selected replay of this
+        // snapshot would use (size-based; env/CLI overrides still win).
+        select_backend(info.summary.instructions).to_string(),
         format!("{:016x}", info.fingerprint),
     ]);
 }
@@ -61,6 +72,7 @@ fn info_table() -> TextTable {
         "parallel",
         "bytes",
         "B/event",
+        "backend",
         "fingerprint",
     ])
 }
@@ -78,7 +90,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.model.is_some(), "--model"),
     ])?;
     args::forbid(&args::sampling_flags(&parsed))?;
-    args::configure_batch_env(&parsed);
+    args::configure_replay(&parsed)?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;
     let scale = parsed.scale;
@@ -140,7 +152,7 @@ pub fn verify(argv: &[String]) -> Result<ExitCode, String> {
     forbid_file_subcommand_flags(&parsed)?;
     // Verification decodes through the batched path; `--batch-size`
     // picks the block size it validates with.
-    args::configure_batch_env(&parsed);
+    args::configure_replay(&parsed)?;
     if parsed.positional.is_empty() {
         return Err("trace verify needs at least one snapshot file".into());
     }

@@ -142,7 +142,13 @@ pub fn shared_cache() -> Option<&'static TraceCache> {
 /// Replay and cache accounting for everything run through [`engine`]
 /// so far — the one report the CLI and benches print.
 pub fn sweep_report() -> Report {
-    let report = engine().report();
+    let mut report = engine().report().with_lanes(rebalance_trace::lane_fill());
+    // Attributed only when every delivered batch used one backend —
+    // an auto policy that split small and large traces stays unlabeled
+    // rather than mislabeled.
+    if let Some(backend) = rebalance_trace::delivered_backend() {
+        report = report.with_backend(backend);
+    }
     match shared_cache() {
         Some(cache) => report.with_cache(cache),
         None => report,

@@ -53,7 +53,10 @@ use std::fmt;
 use rebalance_frontend::predictor::DirectionPredictor;
 use rebalance_frontend::{Btb, ICache, ReturnAddressStack};
 use rebalance_isa::{Addr, BranchKind};
-use rebalance_trace::{BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{
+    branch_kind_from_index, BySection, ComputeBackend, EventBatch, Pintool, Section, TraceEvent,
+    BR_HAS_TARGET, BR_KIND_MASK, BR_TAKEN, LANE_BRANCH,
+};
 
 use crate::config::{FetchConfig, FtqConfig};
 use crate::report::{FetchReport, FetchStats};
@@ -384,18 +387,35 @@ impl FetchSim {
     /// delivery, which makes the two bit-identical by construction.
     #[inline]
     fn step(&mut self, ev: &TraceEvent) {
+        let branch = ev
+            .branch
+            .map(|br| (br.kind, br.outcome.is_taken(), br.target));
+        self.step_core(ev.pc, ev.len, ev.section, branch);
+    }
+
+    /// The representation-neutral step: both the AoS walk and the SoA
+    /// lane walk ([`FetchSim::batch_wide`]) decode into these values,
+    /// so the two backends run the exact same timing model.
+    #[inline]
+    fn step_core(
+        &mut self,
+        pc: Addr,
+        len: u8,
+        section: Section,
+        branch: Option<(BranchKind, bool, Option<Addr>)>,
+    ) {
         let model = &mut self.model;
-        if model.block.active && model.block.section != ev.section {
+        if model.block.active && model.block.section != section {
             model.finalize_block(None);
         }
         if !model.block.active {
             model.block.active = true;
-            model.block.section = ev.section;
+            model.block.section = section;
         }
         model.block.insts += 1;
         let line_bytes = model.line_bytes;
-        let first = ev.pc.line(line_bytes);
-        let last = (ev.pc + (u64::from(ev.len) - 1)).line(line_bytes);
+        let first = pc.line(line_bytes);
+        let last = (pc + (u64::from(len) - 1)).line(line_bytes);
         let mut line = first;
         loop {
             model.block.push_line(line);
@@ -405,7 +425,7 @@ impl FetchSim {
             line += line_bytes;
         }
 
-        let Some(br) = ev.branch else {
+        let Some((kind, taken, target)) = branch else {
             if model.block.insts >= model.ftq.fetch_width as u64 {
                 model.finalize_block(None);
             }
@@ -413,34 +433,33 @@ impl FetchSim {
         };
 
         // --- BP unit: predict, train, and detect redirects. ---
-        let taken = br.outcome.is_taken();
-        let stats = model.sections.get_mut(ev.section);
+        let stats = model.sections.get_mut(section);
         let mut redirect = None;
-        if br.kind.is_call() && taken {
-            self.ras.push(ev.next_pc());
+        if kind.is_call() && taken {
+            self.ras.push(pc + u64::from(len));
         }
-        if br.kind == BranchKind::Return {
-            if self.ras.pop() != br.target {
+        if kind == BranchKind::Return {
+            if self.ras.pop() != target {
                 stats.ras_misses += 1;
                 redirect = Some(Redirect::Mispredict {
                     penalty: model.ftq.ras_penalty,
                 });
             }
         } else {
-            if br.kind.is_conditional() && self.predictor.observe(ev.pc, taken) != taken {
+            if kind.is_conditional() && self.predictor.observe(pc, taken) != taken {
                 stats.mispredicts += 1;
                 redirect = Some(Redirect::Mispredict {
                     penalty: model.ftq.mispredict_penalty,
                 });
             }
-            if taken && br.kind.uses_btb() {
-                if let Some(actual) = br.target {
-                    match self.btb.lookup(ev.pc) {
+            if taken && kind.uses_btb() {
+                if let Some(actual) = target {
+                    match self.btb.lookup(pc) {
                         Some(stored) if stored == actual => {}
                         _ => {
-                            self.btb.insert(ev.pc, actual);
+                            self.btb.insert(pc, actual);
                             if redirect.is_none() {
-                                if br.kind.is_indirect() {
+                                if kind.is_indirect() {
                                     // The right target is only known at
                                     // execute: a full redirect.
                                     stats.mispredicts += 1;
@@ -464,6 +483,39 @@ impl FetchSim {
             model.finalize_block(None);
         }
     }
+
+    /// The SoA lane walk: block assembly needs every event, so this
+    /// streams the full-event lanes and keeps a running cursor into the
+    /// branch lanes (advanced on each branch-flagged event) to decode
+    /// kind, outcome, and target for the BP unit.
+    fn batch_wide(&mut self, batch: &EventBatch) {
+        let lanes = batch.lanes();
+        let branches = batch.branch_lanes();
+        let mut cursor = 0usize;
+        for i in 0..lanes.len() {
+            let pc = Addr::new(lanes.pcs[i]);
+            let len = lanes.lens[i];
+            let section = lanes.section(i);
+            let branch = if lanes.flags[i] & LANE_BRANCH != 0 {
+                let j = cursor;
+                cursor += 1;
+                let flags = branches.flags[j];
+                let target = if flags & BR_HAS_TARGET != 0 {
+                    Some(Addr::new(branches.targets[j]))
+                } else {
+                    None
+                };
+                Some((
+                    branch_kind_from_index(flags & BR_KIND_MASK),
+                    flags & BR_TAKEN != 0,
+                    target,
+                ))
+            } else {
+                None
+            };
+            self.step_core(pc, len, section, branch);
+        }
+    }
 }
 
 impl Pintool for FetchSim {
@@ -474,11 +526,23 @@ impl Pintool for FetchSim {
     /// Hot path: a tight statically-dispatched loop over every event
     /// (block assembly needs each pc/len, so there is no slice to skip
     /// to — the same situation as
-    /// [`ICacheSim`](rebalance_frontend::ICacheSim)).
+    /// [`ICacheSim`](rebalance_frontend::ICacheSim)). The batch's
+    /// [`ComputeBackend`] picks the event representation.
     fn on_batch(&mut self, batch: &EventBatch) {
-        for ev in batch.events() {
-            self.step(ev);
+        match batch.backend() {
+            ComputeBackend::Scalar => {
+                for ev in batch.events() {
+                    self.step(ev);
+                }
+            }
+            ComputeBackend::Wide => self.batch_wide(batch),
         }
+    }
+
+    /// The wide loop streams [`EventBatch::lanes`], so the flush-time
+    /// transpose must build the full-event lanes for this tool.
+    fn wants_event_lanes(&self) -> bool {
+        true
     }
 
     fn on_sample_weight(&mut self, weight: u64) {

@@ -2,7 +2,10 @@
 //! accounting.
 
 use rebalance_isa::Addr;
-use rebalance_trace::{weighted_add, BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{
+    weighted_add, BySection, ComputeBackend, EventBatch, Pintool, Section, TraceEvent,
+    BR_HAS_TARGET, LANE_BRANCH, LANE_TAKEN,
+};
 use serde::{Deserialize, Serialize};
 
 /// Cache geometry.
@@ -393,20 +396,43 @@ impl ICacheSim {
     /// `line_bytes` is hoisted out of the batched inner loop.
     #[inline]
     fn step(&mut self, ev: &TraceEvent, line_bytes: u64) {
-        let stats = self.sections.get_mut(ev.section);
+        // A taken branch redirects fetch only when it targets a
+        // different line (see `step_core`).
+        let redirect = if ev.is_taken_branch() {
+            ev.branch.and_then(|br| br.target)
+        } else {
+            None
+        };
+        self.step_core(ev.pc, ev.len, ev.section, redirect, line_bytes);
+    }
+
+    /// The representation-neutral fetch step: both the AoS walk
+    /// ([`ICacheSim::step`]) and the SoA lane walk
+    /// ([`ICacheSim::batch_wide`]) decode into these five values, so
+    /// the two backends execute the exact same model.
+    #[inline]
+    fn step_core(
+        &mut self,
+        pc: Addr,
+        len: u8,
+        section: Section,
+        redirect: Option<Addr>,
+        line_bytes: u64,
+    ) {
+        let stats = self.sections.get_mut(section);
         stats.insts += 1;
         // An instruction may span two lines; touch each containing line.
-        let first = ev.pc.line(line_bytes);
-        let last = (ev.pc + (u64::from(ev.len) - 1)).line(line_bytes);
+        let first = pc.line(line_bytes);
+        let last = (pc + (u64::from(len) - 1)).line(line_bytes);
         let mut line = first;
         loop {
             let start = if line == first {
-                ev.pc.line_offset(line_bytes)
+                pc.line_offset(line_bytes)
             } else {
                 0
             };
             let end = if line == last {
-                (ev.pc + (u64::from(ev.len) - 1)).line_offset(line_bytes) + 1
+                (pc + (u64::from(len) - 1)).line_offset(line_bytes) + 1
             } else {
                 line_bytes
             };
@@ -437,14 +463,42 @@ impl ICacheSim {
         // it is exactly sequential. Model: clear the line-buffer state on
         // taken branches to a different line; keep it for short forward
         // jumps inside the line.
-        if ev.is_taken_branch() {
-            if let Some(br) = ev.branch {
-                if let Some(target) = br.target {
-                    if target.line(line_bytes) != last {
-                        self.current_line = None;
-                    }
-                }
+        if let Some(target) = redirect {
+            if target.line(line_bytes) != last {
+                self.current_line = None;
             }
+        }
+    }
+
+    /// The SoA lane walk: the fetch model needs every event, so this
+    /// streams the full-event lanes (PC, length, flag byte) and keeps a
+    /// running cursor into the branch lanes, advanced on each
+    /// branch-flagged event, to pull redirect targets.
+    fn batch_wide(&mut self, batch: &EventBatch) {
+        let line_bytes = self.cache.config().line_bytes as u64;
+        let lanes = batch.lanes();
+        let branches = batch.branch_lanes();
+        let mut cursor = 0usize;
+        for i in 0..lanes.len() {
+            let flags = lanes.flags[i];
+            let redirect = if flags & LANE_BRANCH != 0 {
+                let j = cursor;
+                cursor += 1;
+                if flags & LANE_TAKEN != 0 && branches.flags[j] & BR_HAS_TARGET != 0 {
+                    Some(Addr::new(branches.targets[j]))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            self.step_core(
+                Addr::new(lanes.pcs[i]),
+                lanes.lens[i],
+                lanes.section(i),
+                redirect,
+                line_bytes,
+            );
         }
     }
 }
@@ -457,12 +511,25 @@ impl Pintool for ICacheSim {
 
     /// Hot path: one geometry lookup per block, then a tight
     /// statically-dispatched loop over every event (the fetch model
-    /// needs each pc/len, so there is no slice to skip to).
+    /// needs each pc/len, so there is no slice to skip to). The batch's
+    /// [`ComputeBackend`] picks the event representation: AoS structs
+    /// or SoA lanes.
     fn on_batch(&mut self, batch: &EventBatch) {
-        let line_bytes = self.cache.config().line_bytes as u64;
-        for ev in batch.events() {
-            self.step(ev, line_bytes);
+        match batch.backend() {
+            ComputeBackend::Scalar => {
+                let line_bytes = self.cache.config().line_bytes as u64;
+                for ev in batch.events() {
+                    self.step(ev, line_bytes);
+                }
+            }
+            ComputeBackend::Wide => self.batch_wide(batch),
         }
+    }
+
+    /// The wide loop streams [`EventBatch::lanes`], so the flush-time
+    /// transpose must build the full-event lanes for this tool.
+    fn wants_event_lanes(&self) -> bool {
+        true
     }
 
     /// Scales the window's counter deltas; the line buffer is dropped

@@ -1,7 +1,10 @@
 //! The branch-MPKI measurement harness (Figures 5 and 6).
 
 use rebalance_isa::{Addr, BranchTrajectory};
-use rebalance_trace::{weighted_add, BySection, EventBatch, Pintool, Section, TraceEvent};
+use rebalance_trace::{
+    weighted_add, BySection, ComputeBackend, EventBatch, Pintool, Section, TraceEvent,
+    BR_KIND_COND, BR_KIND_MASK, BR_TAKEN,
+};
 use serde::{Deserialize, Serialize};
 
 use super::DirectionPredictor;
@@ -185,6 +188,44 @@ impl<P: DirectionPredictor> PredictorSim<P> {
         }
         let _ = pc;
     }
+
+    /// The AoS batch loop — the scalar backend, and the oracle the wide
+    /// loop is verified bit-identical against.
+    fn batch_scalar(&mut self, batch: &EventBatch) {
+        for ev in batch.branch_events() {
+            let br = ev.branch.expect("branch slice carries branch events");
+            if !br.kind.is_conditional() {
+                continue;
+            }
+            self.sections.get_mut(ev.section).cond_branches += 1;
+            let taken = br.outcome.is_taken();
+            let predicted = self.predictor.observe(ev.pc, taken);
+            if predicted != taken {
+                self.classify(ev.pc, br.trajectory(ev.pc), ev.section);
+            }
+        }
+    }
+
+    /// The SoA lane loop — the wide backend: one flag byte decides
+    /// conditionality, takenness, and section, and only conditional
+    /// branches ever touch the PC/target lanes, so the filter streams
+    /// a dense `u8` slice instead of ~40-byte structs.
+    fn batch_wide(&mut self, batch: &EventBatch) {
+        let lanes = batch.branch_lanes();
+        for (i, &flags) in lanes.flags.iter().enumerate() {
+            if flags & BR_KIND_MASK != BR_KIND_COND {
+                continue;
+            }
+            let section = lanes.section(i);
+            self.sections.get_mut(section).cond_branches += 1;
+            let taken = flags & BR_TAKEN != 0;
+            let pc = Addr::new(lanes.pcs[i]);
+            let predicted = self.predictor.observe(pc, taken);
+            if predicted != taken {
+                self.classify(pc, lanes.trajectory(i), section);
+            }
+        }
+    }
 }
 
 impl<P: DirectionPredictor> Pintool for PredictorSim<P> {
@@ -205,25 +246,19 @@ impl<P: DirectionPredictor> Pintool for PredictorSim<P> {
 
     /// Hot path: the MPKI denominator comes from the batch's
     /// per-section counts (two adds per block), the predictor loop
-    /// walks only the precomputed branch slice (skipping the ~80-90% of
-    /// events a direction predictor never looks at), and predict+update
-    /// run as one fused [`DirectionPredictor::observe`] call — all
-    /// bit-identical to the per-event path by the observe contract.
+    /// walks only the precomputed branch subset (skipping the ~80-90%
+    /// of events a direction predictor never looks at), and
+    /// predict+update run as one fused [`DirectionPredictor::observe`]
+    /// call — all bit-identical to the per-event path by the observe
+    /// contract. The batch's [`ComputeBackend`] picks the subset's
+    /// representation: the AoS branch slice or the SoA branch lanes.
     fn on_batch(&mut self, batch: &EventBatch) {
         let insts = batch.sections();
         self.sections.serial.insts += insts.serial;
         self.sections.parallel.insts += insts.parallel;
-        for ev in batch.branch_events() {
-            let br = ev.branch.expect("branch slice carries branch events");
-            if !br.kind.is_conditional() {
-                continue;
-            }
-            self.sections.get_mut(ev.section).cond_branches += 1;
-            let taken = br.outcome.is_taken();
-            let predicted = self.predictor.observe(ev.pc, taken);
-            if predicted != taken {
-                self.classify(ev.pc, br.trajectory(ev.pc), ev.section);
-            }
+        match batch.backend() {
+            ComputeBackend::Scalar => self.batch_scalar(batch),
+            ComputeBackend::Wide => self.batch_wide(batch),
         }
     }
 

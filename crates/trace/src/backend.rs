@@ -1,0 +1,229 @@
+//! [`ComputeBackend`]: adaptive scalar vs wide-lane selection for the
+//! batched replay hot path.
+//!
+//! An [`EventBatch`](crate::EventBatch) carries its events twice: as the
+//! array-of-structs slices ([`EventBatch::events`](crate::EventBatch::events),
+//! [`EventBatch::branch_events`](crate::EventBatch::branch_events)) and as
+//! dense structure-of-arrays **lanes** (PCs, lengths, packed flag bytes,
+//! branch targets). Both carry bit-identical information; the backend
+//! decides which representation a tool's `on_batch` loop streams:
+//!
+//! * [`ComputeBackend::Scalar`] — walk the AoS event structs (the PR 3
+//!   baseline, and the equivalence oracle);
+//! * [`ComputeBackend::Wide`] — stream the SoA lanes: same-typed
+//!   contiguous data the compiler can keep in cache lines and
+//!   autovectorize around.
+//!
+//! Producers pick the backend **per replay** with [`select_backend`],
+//! keyed by trace size: short traces stay scalar (lane setup cannot
+//! amortize), long traces go wide. The policy can be forced process-wide
+//! with [`set_compute_backend`] (the CLI `--backend` flag) or the
+//! [`BACKEND_ENV`] environment variable — the same adaptive-backend
+//! shape renacer's HPU system uses to pick a clustering implementation
+//! by input scale.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable forcing the backend policy process-wide:
+/// `scalar`, `wide`, or `auto` (case-insensitive). Unset or unparsable
+/// values mean [`BackendChoice::Auto`]. Read once per process, but
+/// [`set_compute_backend`] overrides it at any time.
+pub const BACKEND_ENV: &str = "REBALANCE_BACKEND";
+
+/// Traces at or above this many instructions go wide under
+/// [`BackendChoice::Auto`]. Lane streaming pays a fixed porting-layer
+/// cost per batch; below ~64K events the scalar loop's simplicity wins.
+pub const WIDE_AUTO_THRESHOLD: u64 = 65_536;
+
+/// Which representation of a batch a tool's `on_batch` loop consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ComputeBackend {
+    /// Array-of-structs event walk — the baseline and equivalence
+    /// oracle.
+    #[default]
+    Scalar,
+    /// Structure-of-arrays lane streaming.
+    Wide,
+}
+
+impl ComputeBackend {
+    /// Parses a CLI/env spelling (`scalar` or `wide`, case-insensitive).
+    pub fn parse(name: &str) -> Option<ComputeBackend> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(ComputeBackend::Scalar),
+            "wide" => Some(ComputeBackend::Wide),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComputeBackend::Scalar => "scalar",
+            ComputeBackend::Wide => "wide",
+        }
+    }
+}
+
+impl fmt::Display for ComputeBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The process-wide backend policy: adapt per replay, or force one
+/// backend for every replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// Pick per replay by trace size ([`WIDE_AUTO_THRESHOLD`]).
+    #[default]
+    Auto,
+    /// Every replay uses this backend regardless of size.
+    Forced(ComputeBackend),
+}
+
+impl BackendChoice {
+    /// Parses a CLI/env spelling: `auto`, `scalar`, or `wide`
+    /// (case-insensitive).
+    pub fn parse(name: &str) -> Option<BackendChoice> {
+        if name.eq_ignore_ascii_case("auto") {
+            return Some(BackendChoice::Auto);
+        }
+        ComputeBackend::parse(name).map(BackendChoice::Forced)
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendChoice::Auto => f.write_str("auto"),
+            BackendChoice::Forced(b) => b.fmt(f),
+        }
+    }
+}
+
+/// Runtime override slot: 0 = none (fall back to [`BACKEND_ENV`]),
+/// 1 = auto, 2 = scalar, 3 = wide. An atomic rather than a `OnceLock`
+/// deliberately: benchmarks and equivalence tests flip the backend
+/// mid-process, which is exactly the use a read-once latch forbids.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_choice() -> BackendChoice {
+    static ENV: OnceLock<BackendChoice> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .and_then(|v| BackendChoice::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
+/// Overrides the process-wide backend policy (the CLI `--backend`
+/// flag). Unlike the batch-capacity latch this can be changed at any
+/// time; batches already handed to tools keep the backend they were
+/// filled under.
+pub fn set_compute_backend(choice: BackendChoice) {
+    let code = match choice {
+        BackendChoice::Auto => 1,
+        BackendChoice::Forced(ComputeBackend::Scalar) => 2,
+        BackendChoice::Forced(ComputeBackend::Wide) => 3,
+    };
+    BACKEND_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// The effective backend policy: the [`set_compute_backend`] override
+/// if one was made, else [`BACKEND_ENV`], else [`BackendChoice::Auto`].
+pub fn compute_backend_choice() -> BackendChoice {
+    match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => BackendChoice::Auto,
+        2 => BackendChoice::Forced(ComputeBackend::Scalar),
+        3 => BackendChoice::Forced(ComputeBackend::Wide),
+        _ => env_choice(),
+    }
+}
+
+/// Resolves the backend for one replay of `trace_insts` instructions
+/// under the current [`compute_backend_choice`].
+pub fn select_backend(trace_insts: u64) -> ComputeBackend {
+    match compute_backend_choice() {
+        BackendChoice::Forced(b) => b,
+        BackendChoice::Auto => {
+            if trace_insts >= WIDE_AUTO_THRESHOLD {
+                ComputeBackend::Wide
+            } else {
+                ComputeBackend::Scalar
+            }
+        }
+    }
+}
+
+/// [`select_backend`] applied to a policy value directly — the pure
+/// core of the auto heuristic, testable without process state.
+pub fn resolve_backend(choice: BackendChoice, trace_insts: u64) -> ComputeBackend {
+    match choice {
+        BackendChoice::Forced(b) => b,
+        BackendChoice::Auto => {
+            if trace_insts >= WIDE_AUTO_THRESHOLD {
+                ComputeBackend::Wide
+            } else {
+                ComputeBackend::Scalar
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for b in [ComputeBackend::Scalar, ComputeBackend::Wide] {
+            assert_eq!(ComputeBackend::parse(&b.to_string()), Some(b));
+            assert_eq!(
+                BackendChoice::parse(b.as_str()),
+                Some(BackendChoice::Forced(b))
+            );
+        }
+        assert_eq!(ComputeBackend::parse("WIDE"), Some(ComputeBackend::Wide));
+        assert_eq!(ComputeBackend::parse("simd"), None);
+        assert_eq!(BackendChoice::parse("Auto"), Some(BackendChoice::Auto));
+        assert_eq!(BackendChoice::parse("none"), None);
+        assert_eq!(BackendChoice::Auto.to_string(), "auto");
+        assert_eq!(
+            BackendChoice::Forced(ComputeBackend::Wide).to_string(),
+            "wide"
+        );
+    }
+
+    #[test]
+    fn resolve_is_pure_and_thresholded() {
+        assert_eq!(
+            resolve_backend(BackendChoice::Auto, 0),
+            ComputeBackend::Scalar
+        );
+        assert_eq!(
+            resolve_backend(BackendChoice::Auto, WIDE_AUTO_THRESHOLD - 1),
+            ComputeBackend::Scalar
+        );
+        assert_eq!(
+            resolve_backend(BackendChoice::Auto, WIDE_AUTO_THRESHOLD),
+            ComputeBackend::Wide
+        );
+        for insts in [0, u64::MAX] {
+            assert_eq!(
+                resolve_backend(BackendChoice::Forced(ComputeBackend::Scalar), insts),
+                ComputeBackend::Scalar
+            );
+            assert_eq!(
+                resolve_backend(BackendChoice::Forced(ComputeBackend::Wide), insts),
+                ComputeBackend::Wide
+            );
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //!   only touch events with `ev.branch.is_some()`, so they stream the
 //!   (typically ~15%) branch subset as its own dense slice instead of
 //!   filtering the full block;
+//! * **SoA lanes** ([`EventBatch::lanes`], [`EventBatch::branch_lanes`]):
+//!   the same events again as separate dense same-typed slices — PCs,
+//!   lengths, packed flag bytes, and for the branch subset also targets
+//!   and kinds — which is what the wide
+//!   [`ComputeBackend`](crate::ComputeBackend) streams so predictor,
+//!   BTB, and I-cache loops touch 10 contiguous bytes per event instead
+//!   of chasing a ~40-byte struct;
 //! * **per-section instruction counts** ([`EventBatch::sections`]): a
 //!   tool that only needs its MPKI denominator adds two integers per
 //!   batch instead of one per event;
@@ -33,10 +40,15 @@
 //! N-tool fan-out performs `N × (events / capacity)` virtual transitions
 //! instead of `N × events`.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
+use rebalance_isa::{Addr, BranchKind, BranchTrajectory, InstClass, Outcome};
+
+use crate::backend::ComputeBackend;
 use crate::by_section::BySection;
-use crate::event::TraceEvent;
+use crate::event::{BranchEvent, TraceEvent};
 use crate::exec::RunSummary;
 use crate::observer::Pintool;
 use crate::section::Section;
@@ -58,18 +70,149 @@ pub const BATCH_ENV: &str = "REBALANCE_BATCH";
 /// `u32`, so capacities must stay indexable by one.
 pub const MAX_BATCH_CAPACITY: usize = u32::MAX as usize;
 
-/// The process-wide batch capacity: [`BATCH_ENV`] when set to an
-/// integer in `1..=`[`MAX_BATCH_CAPACITY`], otherwise
-/// [`DEFAULT_BATCH_CAPACITY`].
+static CAPACITY: OnceLock<usize> = OnceLock::new();
+
+/// Parses a [`BATCH_ENV`]-style capacity spelling: an integer in
+/// `1..=`[`MAX_BATCH_CAPACITY`]. Zero, out-of-range, and unparsable
+/// values yield `None` (the caller falls back to
+/// [`DEFAULT_BATCH_CAPACITY`]).
+pub fn parse_batch_capacity(value: &str) -> Option<usize> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| (1..=MAX_BATCH_CAPACITY).contains(&n))
+}
+
+/// The process-wide batch capacity: the value installed by
+/// [`set_batch_capacity`] if it ran before first use, else [`BATCH_ENV`]
+/// when set to an integer in `1..=`[`MAX_BATCH_CAPACITY`], otherwise
+/// [`DEFAULT_BATCH_CAPACITY`]. Latched on first call.
 pub fn batch_capacity() -> usize {
-    static CAPACITY: OnceLock<usize> = OnceLock::new();
     *CAPACITY.get_or_init(|| {
         std::env::var(BATCH_ENV)
             .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| (1..=MAX_BATCH_CAPACITY).contains(&n))
+            .as_deref()
+            .and_then(parse_batch_capacity)
             .unwrap_or(DEFAULT_BATCH_CAPACITY)
     })
+}
+
+/// Why [`set_batch_capacity`] refused a capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchCapacityError {
+    /// The requested capacity is outside `1..=`[`MAX_BATCH_CAPACITY`].
+    OutOfRange {
+        /// The rejected value.
+        requested: usize,
+    },
+    /// [`batch_capacity`] already latched a *different* value — some
+    /// code consumed the capacity before the caller configured it, the
+    /// exact silent disagreement this API exists to surface. (Setting
+    /// the already-latched value again is accepted.)
+    AlreadyLatched {
+        /// The value the caller asked for.
+        requested: usize,
+        /// The value the process is latched to.
+        latched: usize,
+    },
+}
+
+impl fmt::Display for BatchCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchCapacityError::OutOfRange { requested } => write!(
+                f,
+                "batch capacity must be in 1..={MAX_BATCH_CAPACITY}, got {requested}"
+            ),
+            BatchCapacityError::AlreadyLatched { requested, latched } => write!(
+                f,
+                "batch capacity already latched to {latched}; cannot change it to {requested} \
+                 (call set_batch_capacity before the first batch_capacity use)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchCapacityError {}
+
+/// Installs the process-wide batch capacity **before first use**,
+/// taking precedence over [`BATCH_ENV`]. This is how the CLI's
+/// `--batch-size` flag configures the capacity without racing the
+/// read-once env latch: an explicit set that arrives too late fails
+/// loudly instead of being silently ignored.
+///
+/// # Errors
+///
+/// [`BatchCapacityError::OutOfRange`] for a capacity outside
+/// `1..=`[`MAX_BATCH_CAPACITY`];
+/// [`BatchCapacityError::AlreadyLatched`] if [`batch_capacity`] already
+/// latched a different value.
+pub fn set_batch_capacity(capacity: usize) -> Result<(), BatchCapacityError> {
+    if !(1..=MAX_BATCH_CAPACITY).contains(&capacity) {
+        return Err(BatchCapacityError::OutOfRange {
+            requested: capacity,
+        });
+    }
+    match CAPACITY.set(capacity) {
+        Ok(()) => Ok(()),
+        Err(_) => {
+            let latched = *CAPACITY.get().expect("set failed, so the cell is full");
+            if latched == capacity {
+                Ok(())
+            } else {
+                Err(BatchCapacityError::AlreadyLatched {
+                    requested: capacity,
+                    latched,
+                })
+            }
+        }
+    }
+}
+
+/// Process-wide batch-delivery ledger: how many events (and how many of
+/// them branches) went through fan-out batch delivery, and under which
+/// backend. Written at the [`ToolSet`](crate::ToolSet) choke point every
+/// sweep replays through — two relaxed adds per ~[`batch_capacity`]
+/// events — and read by [`lane_fill`] / [`delivered_backend`] for the
+/// shared [`Report`](crate::Report). The same role the
+/// [`replay_count`](crate::replay_count) ledger plays for replays.
+static LEDGER_INSTS: AtomicU64 = AtomicU64::new(0);
+static LEDGER_BRANCHES: AtomicU64 = AtomicU64::new(0);
+static LEDGER_SCALAR_BATCHES: AtomicU64 = AtomicU64::new(0);
+static LEDGER_WIDE_BATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Tallies one delivered batch into the process-wide ledger.
+pub(crate) fn record_delivery(batch: &EventBatch) {
+    LEDGER_INSTS.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    LEDGER_BRANCHES.fetch_add(batch.summary().branches, Ordering::Relaxed);
+    let per_backend = match batch.backend() {
+        ComputeBackend::Scalar => &LEDGER_SCALAR_BATCHES,
+        ComputeBackend::Wide => &LEDGER_WIDE_BATCHES,
+    };
+    per_backend.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide SoA lane fill so far: events delivered through
+/// fan-out batches and the branch-lane share of them.
+pub fn lane_fill() -> crate::report::LaneFill {
+    crate::report::LaneFill {
+        instructions: LEDGER_INSTS.load(Ordering::Relaxed),
+        branches: LEDGER_BRANCHES.load(Ordering::Relaxed),
+    }
+}
+
+/// The backend every fan-out batch so far streamed with — `None` when
+/// none were delivered yet or the process mixed backends (e.g. an auto
+/// policy splitting small and large traces).
+pub fn delivered_backend() -> Option<ComputeBackend> {
+    let scalar = LEDGER_SCALAR_BATCHES.load(Ordering::Relaxed);
+    let wide = LEDGER_WIDE_BATCHES.load(Ordering::Relaxed);
+    match (scalar, wide) {
+        (0, 0) => None,
+        (_, 0) => Some(ComputeBackend::Scalar),
+        (0, _) => Some(ComputeBackend::Wide),
+        _ => None,
+    }
 }
 
 /// Where a producer's decode/interpret loop delivers events: directly
@@ -121,8 +264,196 @@ impl<T: Pintool + ?Sized> EventSink for BatchSink<'_, '_, T> {
     }
 }
 
+// --- lane flag encodings ---
+
+/// Full-event lane flag: the event executed in [`Section::Parallel`].
+pub const LANE_PARALLEL: u8 = 1 << 0;
+/// Full-event lane flag: the event is a branch (it occupies the next
+/// slot of the branch lane group).
+pub const LANE_BRANCH: u8 = 1 << 1;
+/// Full-event lane flag: the event is a *taken* branch.
+pub const LANE_TAKEN: u8 = 1 << 2;
+
+/// Branch-lane flag mask: bits 0..=2 hold the [`BranchKind`] index in
+/// [`BranchKind::ALL`] order.
+pub const BR_KIND_MASK: u8 = 0b111;
+/// Branch-lane flag: the branch was taken.
+pub const BR_TAKEN: u8 = 1 << 3;
+/// Branch-lane flag: the branch has a recorded target (everything but
+/// syscalls; the target lane slot is meaningful only when set).
+pub const BR_HAS_TARGET: u8 = 1 << 4;
+/// Branch-lane flag: the branch executed in [`Section::Parallel`].
+pub const BR_PARALLEL: u8 = 1 << 5;
+
+/// The [`BranchKind::ALL`] index of `kind` — the 3-bit code stored in
+/// the branch lane flags (and the paper's Figure 1 legend order).
+#[inline]
+pub const fn branch_kind_index(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Call => 0,
+        BranchKind::IndirectCall => 1,
+        BranchKind::CondDirect => 2,
+        BranchKind::UncondDirect => 3,
+        BranchKind::IndirectBranch => 4,
+        BranchKind::Syscall => 5,
+        BranchKind::Return => 6,
+    }
+}
+
+/// [`branch_kind_index`] for conditional direct branches — the one kind
+/// predictor loops compare against on every lane element.
+pub const BR_KIND_COND: u8 = branch_kind_index(BranchKind::CondDirect);
+
+/// Inverse of [`branch_kind_index`].
+///
+/// # Panics
+///
+/// Panics if `index` is not a valid kind code (0..=6).
+#[inline]
+pub fn branch_kind_from_index(index: u8) -> BranchKind {
+    BranchKind::ALL[usize::from(index)]
+}
+
+/// Dense SoA view of every buffered event: index `i` of each slice
+/// describes the `i`-th event of [`EventBatch::events`]. Branch events
+/// additionally occupy consecutive slots of the batch's
+/// [`BranchLanes`], in the same order — a walker keeps a running cursor
+/// into the branch lanes and advances it on every [`LANE_BRANCH`] flag.
+#[derive(Debug, Clone, Copy)]
+pub struct EventLanes<'a> {
+    /// Instruction addresses.
+    pub pcs: &'a [u64],
+    /// Encoded instruction lengths in bytes.
+    pub lens: &'a [u8],
+    /// Packed [`LANE_PARALLEL`] / [`LANE_BRANCH`] / [`LANE_TAKEN`]
+    /// bits.
+    pub flags: &'a [u8],
+}
+
+impl EventLanes<'_> {
+    /// Events in the view.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// `true` if the view holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The section of event `i`.
+    #[inline]
+    pub fn section(&self, i: usize) -> Section {
+        if self.flags[i] & LANE_PARALLEL != 0 {
+            Section::Parallel
+        } else {
+            Section::Serial
+        }
+    }
+}
+
+/// Dense SoA view of the branch subset, in delivery order. Slot `i`
+/// corresponds to `branch_events()[i]`; the target slot is meaningful
+/// only when [`BR_HAS_TARGET`] is set (syscalls carry none).
+#[derive(Debug, Clone, Copy)]
+pub struct BranchLanes<'a> {
+    /// Branch instruction addresses.
+    pub pcs: &'a [u64],
+    /// Branch target addresses (garbage where [`BR_HAS_TARGET`] is
+    /// clear).
+    pub targets: &'a [u64],
+    /// Encoded instruction lengths in bytes.
+    pub lens: &'a [u8],
+    /// Packed kind index ([`BR_KIND_MASK`]) plus [`BR_TAKEN`] /
+    /// [`BR_HAS_TARGET`] / [`BR_PARALLEL`] bits.
+    pub flags: &'a [u8],
+}
+
+impl BranchLanes<'_> {
+    /// Branches in the view.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// `true` if the view holds no branches.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The branch kind of slot `i`.
+    #[inline]
+    pub fn kind(&self, i: usize) -> BranchKind {
+        branch_kind_from_index(self.flags[i] & BR_KIND_MASK)
+    }
+
+    /// `true` if the branch in slot `i` was taken.
+    #[inline]
+    pub fn taken(&self, i: usize) -> bool {
+        self.flags[i] & BR_TAKEN != 0
+    }
+
+    /// The recorded target of slot `i` (`None` for syscalls).
+    #[inline]
+    pub fn target(&self, i: usize) -> Option<Addr> {
+        (self.flags[i] & BR_HAS_TARGET != 0).then(|| Addr::new(self.targets[i]))
+    }
+
+    /// The section of slot `i`.
+    #[inline]
+    pub fn section(&self, i: usize) -> Section {
+        if self.flags[i] & BR_PARALLEL != 0 {
+            Section::Parallel
+        } else {
+            Section::Serial
+        }
+    }
+
+    /// The fall-through address of slot `i`.
+    #[inline]
+    pub fn next_pc(&self, i: usize) -> Addr {
+        Addr::new(self.pcs[i].wrapping_add(u64::from(self.lens[i])))
+    }
+
+    /// The not-taken / taken-backward / taken-forward classification of
+    /// slot `i`, straight from the lanes (bit-identical to
+    /// [`BranchEvent::trajectory`]).
+    #[inline]
+    pub fn trajectory(&self, i: usize) -> BranchTrajectory {
+        let f = self.flags[i];
+        if f & BR_TAKEN == 0 {
+            BranchTrajectory::NotTaken
+        } else if f & BR_HAS_TARGET != 0 && self.targets[i] < self.pcs[i] {
+            BranchTrajectory::TakenBackward
+        } else {
+            BranchTrajectory::TakenForward
+        }
+    }
+
+    /// Reconstructs the full [`TraceEvent`] of slot `i` — the bridge
+    /// equivalence tests use to prove the lanes carry everything the
+    /// AoS slice does.
+    pub fn event(&self, i: usize) -> TraceEvent {
+        let kind = self.kind(i);
+        TraceEvent {
+            pc: Addr::new(self.pcs[i]),
+            len: self.lens[i],
+            class: InstClass::Branch(kind),
+            branch: Some(BranchEvent {
+                kind,
+                outcome: Outcome::from_taken(self.taken(i)),
+                target: self.target(i),
+            }),
+            section: self.section(i),
+        }
+    }
+}
+
 /// A fixed-capacity block of trace events with a dense branch slice,
-/// section counts, and interleaved section-start notifications.
+/// SoA lanes, section counts, and interleaved section-start
+/// notifications. The derived views (branch slice and lanes) are built
+/// right before delivery — inside [`Pintool::on_batch`] they are
+/// always consistent with [`EventBatch::events`], but between pushes
+/// they are empty.
 ///
 /// # Examples
 ///
@@ -162,28 +493,54 @@ pub struct EventBatch {
     events: Vec<TraceEvent>,
     /// The branch events again, densely packed — branch-only tools
     /// stream this contiguous ~15% instead of filtering `events` (one
-    /// extra copy at push time buys N tools a dense walk).
+    /// copy per block at flush time buys N tools a dense walk).
     branches: Vec<TraceEvent>,
     /// `(position, section)` pairs: the notification fires before the
     /// event at `position` (== `events.len()` for a trailing start).
     starts: Vec<(u32, Section)>,
+    // SoA lanes mirroring `events` / `branches` — what the wide
+    // backend streams. Built by `fill_derived` at flush time, and only
+    // when the batch's backend is wide.
+    pcs: Vec<u64>,
+    lens: Vec<u8>,
+    flags: Vec<u8>,
+    br_pcs: Vec<u64>,
+    br_targets: Vec<u64>,
+    br_lens: Vec<u8>,
+    br_flags: Vec<u8>,
     sections: BySection<u64>,
+    /// Branches buffered so far — maintained in `push` so
+    /// [`EventBatch::summary`] is exact even before the derived views
+    /// exist.
+    branch_count: u64,
     taken_branches: u64,
     capacity: usize,
+    backend: ComputeBackend,
 }
 
 impl Default for EventBatch {
-    /// An empty batch at the process-wide [`batch_capacity`]. Buffers
-    /// are not pre-allocated; they grow on first use and are retained
-    /// across [`EventBatch::clear`], so a reused batch allocates once.
+    /// An empty batch at the process-wide [`batch_capacity`] and the
+    /// scalar backend (producers that know their trace size override it
+    /// via [`EventBatch::set_backend`]). Buffers are not pre-allocated;
+    /// they grow on first use and are retained across
+    /// [`EventBatch::clear`], so a reused batch allocates once.
     fn default() -> Self {
         EventBatch {
             events: Vec::new(),
             branches: Vec::new(),
             starts: Vec::new(),
+            pcs: Vec::new(),
+            lens: Vec::new(),
+            flags: Vec::new(),
+            br_pcs: Vec::new(),
+            br_targets: Vec::new(),
+            br_lens: Vec::new(),
+            br_flags: Vec::new(),
             sections: BySection::default(),
+            branch_count: 0,
             taken_branches: 0,
             capacity: batch_capacity(),
+            backend: crate::backend::select_backend(0),
         }
     }
 }
@@ -209,12 +566,32 @@ impl EventBatch {
         );
         EventBatch {
             events: Vec::with_capacity(capacity),
-            branches: Vec::new(),
-            starts: Vec::new(),
-            sections: BySection::default(),
-            taken_branches: 0,
             capacity,
+            ..EventBatch::default()
         }
+    }
+
+    /// The batch with its backend replaced (builder form of
+    /// [`EventBatch::set_backend`]).
+    pub fn with_backend(mut self, backend: ComputeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects which representation consumers of this batch stream.
+    /// Producers call this once per replay with the
+    /// [`select_backend`](crate::select_backend) verdict for the
+    /// trace's size. Flipping the backend never changes results — only
+    /// the loop shape, and which derived views get built at flush time
+    /// (the SoA lanes are transposed only under the wide backend).
+    pub fn set_backend(&mut self, backend: ComputeBackend) {
+        self.backend = backend;
+    }
+
+    /// The backend consumers of this batch should stream with.
+    #[inline]
+    pub fn backend(&self) -> ComputeBackend {
+        self.backend
     }
 
     /// Maximum events the batch holds before it reports
@@ -246,9 +623,36 @@ impl EventBatch {
 
     /// The branch-payload events, densely packed in delivery order —
     /// the precomputed slice branch-only tools stream instead of
-    /// filtering the full block.
+    /// filtering the full block. Built at flush time: populated inside
+    /// [`Pintool::on_batch`], empty between pushes.
     pub fn branch_events(&self) -> &[TraceEvent] {
         &self.branches
+    }
+
+    /// The SoA view of every buffered event — what full-stream tools
+    /// walk under the wide backend. Built at flush time, and only when
+    /// [`EventBatch::backend`] is wide (scalar consumers never read
+    /// it, so scalar replays skip the transpose).
+    #[inline]
+    pub fn lanes(&self) -> EventLanes<'_> {
+        EventLanes {
+            pcs: &self.pcs,
+            lens: &self.lens,
+            flags: &self.flags,
+        }
+    }
+
+    /// The SoA view of the branch subset — what branch-only tools walk
+    /// under the wide backend. Like [`EventBatch::lanes`], built at
+    /// flush time and only under the wide backend.
+    #[inline]
+    pub fn branch_lanes(&self) -> BranchLanes<'_> {
+        BranchLanes {
+            pcs: &self.br_pcs,
+            targets: &self.br_targets,
+            lens: &self.br_lens,
+            flags: &self.br_flags,
+        }
     }
 
     /// Section-start notifications as `(position, section)`: the
@@ -268,12 +672,16 @@ impl EventBatch {
     pub fn summary(&self) -> RunSummary {
         RunSummary {
             instructions: self.events.len() as u64,
-            branches: self.branches.len() as u64,
+            branches: self.branch_count,
             taken_branches: self.taken_branches,
         }
     }
 
-    /// Appends an event, maintaining the branch index and counters.
+    /// Appends an event, maintaining the counters. The derived views
+    /// (dense branch slice, SoA lanes) are **not** built here — they
+    /// are transposed in one pass per block by [`EventBatch::flush_into`]
+    /// right before delivery, which keeps this producer-side hot loop
+    /// down to a single buffer append.
     ///
     /// Producers should check [`EventBatch::is_full`] (and flush) after
     /// each push; pushing past capacity only grows the block, it is not
@@ -281,7 +689,7 @@ impl EventBatch {
     #[inline]
     pub fn push(&mut self, ev: TraceEvent) {
         if let Some(branch) = &ev.branch {
-            self.branches.push(ev);
+            self.branch_count += 1;
             if branch.outcome.is_taken() {
                 self.taken_branches += 1;
             }
@@ -290,28 +698,142 @@ impl EventBatch {
         self.events.push(ev);
     }
 
+    /// Builds the derived views from the buffered events in one dense
+    /// transpose pass: the contiguous branch slice always (scalar
+    /// branch loops and the delivery ledger stream it), the SoA lanes
+    /// only under the wide backend (scalar consumers never touch them,
+    /// so a scalar replay skips the lane transpose entirely), and the
+    /// full-event lanes only when `event_lanes` says some consumer
+    /// actually streams them ([`Pintool::wants_event_lanes`]) — for
+    /// branch-only tool sets that skips ~90% of the lane traffic. Runs
+    /// once per delivered block from [`EventBatch::flush_into`];
+    /// deriving here instead of in [`EventBatch::push`] trades up to
+    /// eleven scattered per-event appends for one cache-warm sweep
+    /// over the block.
+    fn fill_derived(&mut self, event_lanes: bool) {
+        let EventBatch {
+            events,
+            branches,
+            pcs,
+            lens,
+            flags,
+            br_pcs,
+            br_targets,
+            br_lens,
+            br_flags,
+            branch_count,
+            backend,
+            ..
+        } = self;
+        // Rebuild from scratch: `clear` after delivery leaves these
+        // empty anyway, and rebuilding keeps the method idempotent.
+        branches.clear();
+        pcs.clear();
+        lens.clear();
+        flags.clear();
+        br_pcs.clear();
+        br_targets.clear();
+        br_lens.clear();
+        br_flags.clear();
+        branches.reserve(*branch_count as usize);
+        if *backend == ComputeBackend::Scalar {
+            branches.extend(events.iter().filter(|ev| ev.branch.is_some()));
+            return;
+        }
+        br_pcs.reserve(*branch_count as usize);
+        br_targets.reserve(*branch_count as usize);
+        br_lens.reserve(*branch_count as usize);
+        br_flags.reserve(*branch_count as usize);
+        // Appends one event's branch-lane slots; yields the taken bit
+        // so the full-lane loop below can flag it without re-matching.
+        let mut push_branch_lane = |ev: &TraceEvent| -> Option<bool> {
+            let branch = &ev.branch.as_ref()?;
+            let taken = branch.outcome.is_taken();
+            let mut bf = branch_kind_index(branch.kind);
+            if taken {
+                bf |= BR_TAKEN;
+            }
+            if matches!(ev.section, Section::Parallel) {
+                bf |= BR_PARALLEL;
+            }
+            let target = match branch.target {
+                Some(t) => {
+                    bf |= BR_HAS_TARGET;
+                    t.as_u64()
+                }
+                None => 0,
+            };
+            br_pcs.push(ev.pc.as_u64());
+            br_targets.push(target);
+            br_lens.push(ev.len);
+            br_flags.push(bf);
+            branches.push(*ev);
+            Some(taken)
+        };
+        if !event_lanes {
+            for ev in events.iter() {
+                push_branch_lane(ev);
+            }
+            return;
+        }
+        pcs.reserve(events.len());
+        lens.reserve(events.len());
+        flags.reserve(events.len());
+        for ev in events.iter() {
+            let mut lane = if matches!(ev.section, Section::Parallel) {
+                LANE_PARALLEL
+            } else {
+                0
+            };
+            if let Some(taken) = push_branch_lane(ev) {
+                lane |= LANE_BRANCH;
+                if taken {
+                    lane |= LANE_TAKEN;
+                }
+            }
+            pcs.push(ev.pc.as_u64());
+            lens.push(ev.len);
+            flags.push(lane);
+        }
+    }
+
     /// Records an `on_section_start` notification at the current
     /// position.
     pub fn push_section_start(&mut self, section: Section) {
         self.starts.push((self.events.len() as u32, section));
     }
 
-    /// Empties the batch, retaining buffer allocations for reuse.
+    /// Empties the batch, retaining buffer allocations for reuse (the
+    /// backend selection is retained too).
     pub fn clear(&mut self) {
         self.events.clear();
         self.branches.clear();
         self.starts.clear();
+        self.pcs.clear();
+        self.lens.clear();
+        self.flags.clear();
+        self.br_pcs.clear();
+        self.br_targets.clear();
+        self.br_lens.clear();
+        self.br_flags.clear();
         self.sections = BySection::default();
+        self.branch_count = 0;
         self.taken_branches = 0;
     }
 
     /// Delivers the batch to `tool` via
     /// [`Pintool::on_batch`](crate::Pintool::on_batch) and clears it.
-    /// A no-op on an empty batch.
+    /// A no-op on an empty batch. Builds the derived views first —
+    /// always the branch slice, plus the SoA lanes under the wide
+    /// backend (full-event lanes only when the tool declares it
+    /// streams them via [`Pintool::wants_event_lanes`]) — so consumers
+    /// always see the views they read populated.
     pub fn flush_into<T: Pintool + ?Sized>(&mut self, tool: &mut T) {
         if self.is_empty() {
             return;
         }
+        let event_lanes = self.backend == ComputeBackend::Wide && tool.wants_event_lanes();
+        self.fill_derived(event_lanes);
         tool.on_batch(self);
         self.clear();
     }
@@ -396,6 +918,7 @@ mod tests {
         b.push(branch(0x10A, false, Section::Parallel));
         b.push(other(0x110, Section::Parallel));
         assert_eq!(b.len(), 4);
+        b.fill_derived(true); // flush_into does this before delivery
         assert_eq!(b.branch_events().len(), 2);
         assert_eq!(
             b.branch_events()
@@ -413,6 +936,97 @@ mod tests {
             b.push(other(0x200 + i * 4, Section::Serial));
         }
         assert!(b.is_full());
+    }
+
+    #[test]
+    fn lanes_mirror_the_event_slices_exactly() {
+        let mut b = EventBatch::with_capacity(16).with_backend(ComputeBackend::Wide);
+        let syscall = TraceEvent {
+            pc: Addr::new(0x300),
+            len: 2,
+            class: InstClass::Branch(BranchKind::Syscall),
+            branch: Some(BranchEvent {
+                kind: BranchKind::Syscall,
+                outcome: Outcome::Taken,
+                target: None,
+            }),
+            section: Section::Serial,
+        };
+        b.push(other(0x100, Section::Serial));
+        b.push(branch(0x104, true, Section::Parallel));
+        b.push(syscall);
+        b.push(branch(0x302, false, Section::Serial));
+        b.push(other(0x308, Section::Parallel));
+        b.fill_derived(true); // flush_into does this before delivery
+
+        let lanes = b.lanes();
+        assert_eq!(lanes.len(), b.len());
+        for (i, ev) in b.events().iter().enumerate() {
+            assert_eq!(lanes.pcs[i], ev.pc.as_u64());
+            assert_eq!(lanes.lens[i], ev.len);
+            assert_eq!(lanes.section(i), ev.section);
+            assert_eq!(lanes.flags[i] & LANE_BRANCH != 0, ev.branch.is_some());
+            assert_eq!(lanes.flags[i] & LANE_TAKEN != 0, ev.is_taken_branch());
+        }
+
+        let bl = b.branch_lanes();
+        assert_eq!(bl.len(), b.branch_events().len());
+        assert!(!bl.is_empty());
+        for (i, ev) in b.branch_events().iter().enumerate() {
+            assert_eq!(
+                bl.event(i),
+                *ev,
+                "branch lane slot {i} reconstructs the AoS event"
+            );
+            let br = ev.branch.expect("branch slice holds branches");
+            assert_eq!(bl.trajectory(i), br.trajectory(ev.pc));
+            assert_eq!(bl.next_pc(i), ev.next_pc());
+        }
+        assert_eq!(bl.target(1), None, "syscall target stays None");
+    }
+
+    #[test]
+    fn scalar_fill_skips_the_lane_transpose() {
+        let mut b = EventBatch::with_capacity(4).with_backend(ComputeBackend::Scalar);
+        b.push(branch(0x100, true, Section::Serial));
+        b.push(other(0x104, Section::Parallel));
+        b.fill_derived(true);
+        assert_eq!(b.branch_events().len(), 1, "branch slice always built");
+        assert!(b.lanes().is_empty(), "lanes only built under wide");
+        assert!(b.branch_lanes().is_empty());
+        // Flipping to wide and refilling builds them — and the rebuild
+        // is idempotent (no duplicated branch slice).
+        b.set_backend(ComputeBackend::Wide);
+        b.fill_derived(true);
+        assert_eq!(b.lanes().len(), 2);
+        assert_eq!(b.branch_lanes().len(), 1);
+        assert_eq!(b.branch_events().len(), 1, "rebuild does not duplicate");
+        // A branch-only tool set (`wants_event_lanes` == false) gets
+        // the branch lanes but not the full-event transpose.
+        b.fill_derived(false);
+        assert!(b.lanes().is_empty(), "full lanes skipped when unwanted");
+        assert_eq!(b.branch_lanes().len(), 1);
+        assert_eq!(b.branch_events().len(), 1);
+    }
+
+    #[test]
+    fn kind_index_round_trips_in_all_order() {
+        for (i, kind) in BranchKind::ALL.iter().enumerate() {
+            assert_eq!(usize::from(branch_kind_index(*kind)), i);
+            assert_eq!(branch_kind_from_index(i as u8), *kind);
+        }
+        assert_eq!(BR_KIND_COND, branch_kind_index(BranchKind::CondDirect));
+    }
+
+    #[test]
+    fn backend_is_settable_and_survives_clear() {
+        let mut b = EventBatch::with_capacity(4).with_backend(ComputeBackend::Wide);
+        assert_eq!(b.backend(), ComputeBackend::Wide);
+        b.push(other(0x100, Section::Serial));
+        b.clear();
+        assert_eq!(b.backend(), ComputeBackend::Wide, "clear keeps the backend");
+        b.set_backend(ComputeBackend::Scalar);
+        assert_eq!(b.backend(), ComputeBackend::Scalar);
     }
 
     #[test]
@@ -464,6 +1078,8 @@ mod tests {
         assert_eq!(b.summary(), RunSummary::default());
         assert_eq!(b.sections(), BySection::default());
         assert_eq!(b.capacity(), 2);
+        assert!(b.lanes().is_empty());
+        assert!(b.branch_lanes().is_empty());
     }
 
     #[test]
@@ -476,5 +1092,48 @@ mod tests {
     fn default_capacity_is_positive() {
         assert!(batch_capacity() > 0);
         assert_eq!(EventBatch::new().capacity(), batch_capacity());
+    }
+
+    #[test]
+    fn capacity_parsing_edges() {
+        assert_eq!(parse_batch_capacity("0"), None, "zero is rejected");
+        assert_eq!(parse_batch_capacity("1"), Some(1));
+        assert_eq!(parse_batch_capacity("4096"), Some(4096));
+        assert_eq!(
+            parse_batch_capacity(&MAX_BATCH_CAPACITY.to_string()),
+            Some(MAX_BATCH_CAPACITY),
+            "the maximum itself is accepted"
+        );
+        assert_eq!(
+            parse_batch_capacity(&(MAX_BATCH_CAPACITY + 1).to_string()),
+            None,
+            "one past the maximum falls back"
+        );
+        assert_eq!(parse_batch_capacity("banana"), None);
+        assert_eq!(parse_batch_capacity(""), None);
+        assert_eq!(parse_batch_capacity("-1"), None);
+        assert_eq!(parse_batch_capacity("4096.0"), None);
+    }
+
+    #[test]
+    fn set_batch_capacity_rejects_out_of_range_without_latching() {
+        assert_eq!(
+            set_batch_capacity(0),
+            Err(BatchCapacityError::OutOfRange { requested: 0 })
+        );
+        assert_eq!(
+            set_batch_capacity(MAX_BATCH_CAPACITY + 1),
+            Err(BatchCapacityError::OutOfRange {
+                requested: MAX_BATCH_CAPACITY + 1
+            })
+        );
+        let msg = BatchCapacityError::OutOfRange { requested: 0 }.to_string();
+        assert!(msg.contains("must be in 1..="), "{msg}");
+        let msg = BatchCapacityError::AlreadyLatched {
+            requested: 7,
+            latched: 9,
+        }
+        .to_string();
+        assert!(msg.contains("latched to 9"), "{msg}");
     }
 }

@@ -9,8 +9,31 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::ComputeBackend;
 use crate::cache::{CacheStats, TraceCache};
 use crate::sweep::SweepEngine;
+
+/// How full the SoA lanes ran over one sweep: total events delivered
+/// and how many of them occupied the dense branch lane group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneFill {
+    /// Events pushed through batches (the full-event lane length).
+    pub instructions: u64,
+    /// Events that also landed in the branch lane group.
+    pub branches: u64,
+}
+
+impl LaneFill {
+    /// Fraction of events occupying the branch lanes (the data density
+    /// branch-only wide loops stream at).
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.instructions as f64
+        }
+    }
+}
 
 /// Replay and cache accounting for one sweep (or one whole process).
 ///
@@ -32,6 +55,11 @@ pub struct Report {
     pub replays: u64,
     /// Cache accounting, when a [`TraceCache`] mediated the replays.
     pub cache: Option<CacheStats>,
+    /// The compute backend the replays streamed with, when the caller
+    /// resolved one (`None` for mixed or backend-oblivious sweeps).
+    pub backend: Option<ComputeBackend>,
+    /// SoA lane fill over the sweep, when the caller tallied it.
+    pub lanes: Option<LaneFill>,
 }
 
 impl Report {
@@ -40,6 +68,8 @@ impl Report {
         Report {
             replays: engine.replays(),
             cache: None,
+            backend: None,
+            lanes: None,
         }
     }
 
@@ -53,6 +83,18 @@ impl Report {
     /// [`CacheStats::since`] delta).
     pub fn with_cache_stats(mut self, stats: CacheStats) -> Self {
         self.cache = Some(stats);
+        self
+    }
+
+    /// Attaches the resolved compute backend.
+    pub fn with_backend(mut self, backend: ComputeBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Attaches SoA lane fill counters.
+    pub fn with_lanes(mut self, lanes: LaneFill) -> Self {
+        self.lanes = Some(lanes);
         self
     }
 
@@ -77,6 +119,17 @@ impl fmt::Display for Report {
         if let Some(stats) = &self.cache {
             write!(f, " | cache: {stats}")?;
         }
+        if let Some(backend) = &self.backend {
+            write!(f, " | backend: {backend}")?;
+        }
+        if let Some(lanes) = &self.lanes {
+            write!(
+                f,
+                " | lanes: {} events, {:.1}% branch",
+                lanes.instructions,
+                100.0 * lanes.branch_fraction()
+            )?;
+        }
         Ok(())
     }
 }
@@ -99,7 +152,7 @@ mod tests {
     fn cached_report_uses_cache_generations() {
         let r = Report {
             replays: 41,
-            cache: None,
+            ..Report::default()
         };
         assert_eq!(r.generations(), 41);
         let r = r.with_cache_stats(CacheStats {

@@ -1,0 +1,43 @@
+//! Override-order regression for the process-wide batch capacity: an
+//! explicit [`set_batch_capacity`] before first use must win over a
+//! valid `REBALANCE_BATCH`, later agreeing sets must stay no-ops, and a
+//! later conflicting set must fail loudly instead of being silently
+//! ignored (the original `OnceLock` latch bug: a flag applied after the
+//! first replay simply vanished).
+//!
+//! The capacity latches once per process, so this file holds exactly
+//! one test — its sibling `integration_batch_env.rs` covers the
+//! env-fallback side in a separate process.
+
+use rebalance::trace::{
+    batch_capacity, set_batch_capacity, BatchCapacityError, BATCH_ENV, DEFAULT_BATCH_CAPACITY,
+};
+
+#[test]
+fn explicit_set_wins_over_env_and_later_conflicts_error() {
+    // A valid env value that must lose to the explicit setter.
+    std::env::set_var(BATCH_ENV, "123");
+
+    set_batch_capacity(77).expect("first set-before-use succeeds");
+    assert_eq!(
+        batch_capacity(),
+        77,
+        "explicit set_batch_capacity beats REBALANCE_BATCH"
+    );
+    assert_ne!(batch_capacity(), DEFAULT_BATCH_CAPACITY);
+
+    // Re-asserting the latched value is a no-op, not an error: two
+    // subcommand layers may both apply the same --batch-size.
+    set_batch_capacity(77).expect("agreeing re-set is fine");
+    assert_eq!(batch_capacity(), 77);
+
+    // A conflicting late set reports both values instead of silently
+    // keeping the old one.
+    match set_batch_capacity(88) {
+        Err(BatchCapacityError::AlreadyLatched { requested, latched }) => {
+            assert_eq!((requested, latched), (88, 77));
+        }
+        other => panic!("conflicting set must fail with AlreadyLatched, got {other:?}"),
+    }
+    assert_eq!(batch_capacity(), 77, "failed set leaves the latch alone");
+}
