@@ -39,6 +39,9 @@ pub struct Parsed {
     /// `--sample-k K` (number of phase clusters; implies `--sample`
     /// with the default interval count when given alone).
     pub sample_k: Option<usize>,
+    /// `--workers N` (shard the sweep across N worker subprocesses
+    /// sharing the on-disk trace cache).
+    pub workers: Option<usize>,
 }
 
 /// Parses `argv` into [`Parsed`].
@@ -121,6 +124,15 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                         .ok()
                         .filter(|&n: &usize| n >= 1)
                         .ok_or_else(|| format!("invalid cluster count `{v}` (expected >= 1)"))?,
+                );
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                parsed.workers = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| (1..=256).contains(&n))
+                        .ok_or_else(|| format!("invalid worker count `{v}` (expected 1..=256)"))?,
                 );
             }
             "--no-cache" => parsed.no_cache = true,
@@ -346,6 +358,17 @@ mod tests {
         assert!(parse(&argv(&["--sample"])).is_err());
         assert!(parse(&argv(&["--sample", "0"])).is_err());
         assert!(parse(&argv(&["--sample-k", "none"])).is_err());
+    }
+
+    #[test]
+    fn parses_workers() {
+        let p = parse(&argv(&["--workers", "4"])).unwrap();
+        assert_eq!(p.workers, Some(4));
+        assert_eq!(parse(&argv(&[])).unwrap().workers, None);
+        assert!(parse(&argv(&["--workers"])).is_err());
+        assert!(parse(&argv(&["--workers", "0"])).is_err());
+        assert!(parse(&argv(&["--workers", "257"])).is_err());
+        assert!(parse(&argv(&["--workers", "some"])).is_err());
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   subset, while per-event delivery pays three virtual calls on
 //!   every instruction,
 //! * **sampled sweep** — phase-sampled replay per backend, reported as
-//!   both delivered and effective (full-trace-equivalent) throughput.
+//!   both delivered and effective (full-trace-equivalent) throughput,
+//! * **sharded sweep** — the `--workers N` coordinator end to end
+//!   (spawn + shard replay + merge) at 1, 2, and 4 workers against a
+//!   warm scratch cache, so the subprocess fan-out's scaling is on
+//!   record next to the single-process numbers.
 //!
 //! Always writes `BENCH_replay.json` — into `--json DIR` when given,
 //! else the current directory.
@@ -62,6 +66,8 @@ struct BenchJson {
     pintools: Vec<ModeRow>,
     /// Phase-sampled replay per backend.
     sampled_sweep: Vec<SampledRow>,
+    /// `--workers N` coordinator end-to-end, warm scratch cache.
+    sharded_sweep: Vec<ShardedRow>,
 }
 
 /// Where the numbers came from.
@@ -90,6 +96,16 @@ struct SampledRow {
     delivered_fraction: f64,
     delivered_melem_per_s: f64,
     effective_melem_per_s: f64,
+}
+
+/// One worker count's end-to-end sharded-sweep throughput (subprocess
+/// spawn, shard replay against a warm scratch cache, and merge all
+/// included in the timed region).
+#[derive(Debug, Serialize)]
+struct ShardedRow {
+    workers: usize,
+    melem_per_s: f64,
+    speedup_vs_one: f64,
 }
 
 /// First `model name` from `/proc/cpuinfo`, or a placeholder off Linux.
@@ -183,6 +199,9 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         // participates.
         (parsed.cache_dir.is_some(), "--cache"),
         (parsed.no_cache, "--no-cache"),
+        // Sharding is measured by the bench itself (the sharded_sweep
+        // group), not applied to it.
+        (parsed.workers.is_some(), "--workers"),
     ])?;
     args::configure_replay(&parsed)?;
 
@@ -296,6 +315,39 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         .collect();
     set_compute_backend(saved_choice);
 
+    // Sharded sweep: the `--workers N` coordinator end to end — spawn,
+    // shard replay, merge — against a scratch cache warmed by one
+    // untimed cold pass (so timed passes measure warm, hit-served
+    // shards, matching the other warm groups).
+    let scratch =
+        std::env::temp_dir().join(format!("rebalance-bench-shard-{}", std::process::id()));
+    let shard_parsed = args::Parsed {
+        positional: names.clone(),
+        scale: parsed.scale,
+        cache_dir: Some(scratch.to_string_lossy().into_owned()),
+        batch_size: parsed.batch_size,
+        ..args::Parsed::default()
+    };
+    let mut sharded_sweep = Vec::new();
+    let mut one_worker_secs = 0.0;
+    for workers in [1usize, 2, 4] {
+        let run = || crate::shard::sweep_sharded(&shard_parsed, &workloads, workers);
+        // Untimed warm-up; its merged report tells how many events one
+        // sharded pass delivers to the tools.
+        let (_, report) = run()?;
+        let delivered = report.lanes.map_or(insts, |l| l.instructions);
+        let secs = measure(|| (), |_: &mut ()| drop(run().expect("warm sharded sweep")));
+        if workers == 1 {
+            one_worker_secs = secs;
+        }
+        sharded_sweep.push(ShardedRow {
+            workers,
+            melem_per_s: delivered as f64 / secs / 1e6,
+            speedup_vs_one: one_worker_secs / secs,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
     let json = BenchJson {
         host: host(),
         scale: parsed.scale.to_string(),
@@ -305,6 +357,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         warm_sweep,
         pintools,
         sampled_sweep,
+        sharded_sweep,
     };
     let dir = parsed.json_dir.as_deref().unwrap_or(".");
     crate::write_json(dir, "BENCH_replay", &json)?;
@@ -329,6 +382,14 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             format!("batched_{}", r.backend),
             f2(r.delivered_melem_per_s),
             format!("{} effective", f2(r.effective_melem_per_s)),
+        ]);
+    }
+    for r in &json.sharded_sweep {
+        t.row(vec![
+            "sharded_sweep".to_owned(),
+            format!("workers_{}", r.workers),
+            f2(r.melem_per_s),
+            format!("{}x vs workers_1", f2(r.speedup_vs_one)),
         ]);
     }
     crate::print_ignoring_pipe(&format!(

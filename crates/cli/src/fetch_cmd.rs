@@ -31,7 +31,20 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::configure_sampling(&parsed);
 
     let grid = fetchsim::default_grid();
-    let sweep = fetchsim::sweep_grid(workloads, parsed.scale, &grid);
+    let (sweep, report) = match parsed.workers {
+        Some(workers) => {
+            // Workers return their shards' rows; the grid (and thus the
+            // config labels) is deterministic, so rebuilding the sweep
+            // here reproduces `sweep_grid`'s output exactly.
+            let (rows, report) = crate::shard::fetch_sharded(&parsed, &workloads, workers)?;
+            let configs = grid.iter().map(|c| c.label()).collect();
+            (fetchsim::FetchsimSweep { configs, rows }, report)
+        }
+        None => (
+            fetchsim::sweep_grid(workloads, parsed.scale, &grid),
+            util::sweep_report(),
+        ),
+    };
 
     // Per design point: selection-mean bandwidth and stall breakdown.
     let mut designs = TextTable::new(vec![
@@ -86,15 +99,14 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
 
     if let Some(dir) = &parsed.json_dir {
         crate::write_json(dir, "fetch", &sweep)?;
-        crate::write_json(dir, "report", &util::sweep_report())?;
+        crate::write_json(dir, "report", &report)?;
     }
 
     crate::print_ignoring_pipe(&format!(
         "fetch timing: design-grid means over the selection (insts/cycle; stall cycles per kilo-inst)\n{}\n\
-         fetch timing: small-BTB bandwidth retention per workload ({SMALL_BTB} vs {BIG_BTB})\n{}{}\n",
+         fetch timing: small-BTB bandwidth retention per workload ({SMALL_BTB} vs {BIG_BTB})\n{}{report}\n",
         designs.render(),
         retention.render(),
-        util::sweep_report()
     ));
     Ok(ExitCode::SUCCESS)
 }

@@ -27,6 +27,7 @@ mod bench_cmd;
 mod fetch_cmd;
 mod paper_cmd;
 mod phases_cmd;
+mod shard;
 mod sweep_cmd;
 mod trace_cmd;
 mod workloads_cmd;
@@ -64,15 +65,15 @@ fn usage() -> ExitCode {
          \x20     print header/footer metadata of snapshot files\n\
          \x20 trace verify <FILE...> [--batch-size N]\n\
          \x20     fully validate snapshot files (framing, checksum, structure)\n\
-         \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--model M] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--model M] [--cache DIR] [--no-cache] [--batch-size N] [--workers N]\n\
          \x20     run the nine-predictor sweep, replays served from the cache\n\
-         \x20 fetch [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 fetch [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N] [--workers N]\n\
          \x20     sweep the decoupled front-end (FTQ + FDIP) design grid, one replay per workload\n\
          \x20 workloads list [--suite S]\n\
          \x20     list the registered roster (paper suites + kernel archetypes)\n\
          \x20 phases [--workloads A,B,...] [--suite S] [--scale S] [--sample N] [--sample-k K] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     print each workload's phase-cluster map and per-cluster weights\n\
-         \x20 paper [EXHIBIT...|all] [--suite S] [--scale S] [--model M] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
+         \x20 paper [EXHIBIT...|all] [--suite S] [--scale S] [--model M] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N] [--workers N]\n\
          \x20     regenerate the paper's figures/tables (see `repro`) through the cache\n\
          \x20 bench [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--cache DIR] [--no-cache] [--batch-size N]\n\
          \x20     measure replay throughput per compute backend, write BENCH_replay.json with --json\n\
@@ -83,7 +84,8 @@ fn usage() -> ExitCode {
          --sample N [--sample-k K]: phase-sample sweep/fetch/paper replays into N intervals,\n\
          \x20    K clusters, replaying one weighted representative per cluster (default 160/8)\n\
          --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)\n\
-         --backend B: replay compute backend, auto | scalar | wide (default auto; env REBALANCE_BACKEND)"
+         --backend B: replay compute backend, auto | scalar | wide (default auto; env REBALANCE_BACKEND)\n\
+         --workers N: shard sweep/fetch/paper across N worker subprocesses sharing the trace cache"
     );
     ExitCode::from(2)
 }
@@ -112,6 +114,8 @@ fn main() -> ExitCode {
             Some((sub, rest)) if sub == "list" => workloads_cmd::list(rest),
             _ => return usage(),
         },
+        // Internal: one shard of a `--workers N` run (request on stdin).
+        "__worker" => shard::worker(rest),
         "--help" | "-h" | "help" => return usage(),
         _ => return usage(),
     };

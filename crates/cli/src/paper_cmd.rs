@@ -29,6 +29,16 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     }
     let exhibits = driver::resolve_exhibits(&parsed.positional)?;
 
+    if let Some(workers) = parsed.workers {
+        // Shard the exhibits across worker subprocesses; each worker
+        // captures its exhibits' text (and writes its own `--json`
+        // dumps into the shared directory), and the coordinator prints
+        // the concatenation in exhibit order plus the merged report.
+        let (text, report) = crate::shard::paper_sharded(&parsed, &exhibits, workers)?;
+        crate::print_ignoring_pipe(&format!("{text}{report}\n"));
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let json_dir = parsed.json_dir.as_ref().map(PathBuf::from);
     let mut out = std::io::stdout().lock();
     if let Err(e) = driver::run_exhibits(&exhibits, parsed.scale, json_dir.as_deref(), &mut out) {

@@ -66,6 +66,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::forbid(&[
         (parsed.force, "--force"),
         (parsed.model.is_some(), "--model"),
+        (parsed.workers.is_some(), "--workers"),
     ])?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     args::configure_cache_env(&parsed);

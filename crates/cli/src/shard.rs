@@ -1,0 +1,609 @@
+//! Sharded multi-worker sweeps: a coordinator that splits a selection
+//! across worker subprocesses and merges their typed results.
+//!
+//! Protocol: for each shard the coordinator spawns `rebalance
+//! __worker`, writes one JSON request on the worker's stdin, and reads
+//! one JSON response from its stdout (stderr passes through for
+//! diagnostics). Workers replay their shard against the shared on-disk
+//! trace cache — safe under concurrent writers thanks to the cache's
+//! single-flight generation and atomic tmp→rename commits — and return
+//! plain data rows plus a per-shard [`Report`] delta scoped by
+//! [`util::report_baseline`].
+//!
+//! Merge rules: shards are *contiguous* slices of the selection, so
+//! concatenating shard rows in shard order reproduces selection order;
+//! reports fold with [`Report::merged`] (counters add, backends must
+//! agree). The coordinator then renders through the same code path as
+//! a single-process run, making the merged output bit-identical.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+
+use rebalance_experiments::fetchsim::{FetchSummary, FetchsimRow};
+use rebalance_experiments::{driver, util};
+use rebalance_trace::{CacheStats, ComputeBackend, LaneFill, Report};
+use rebalance_workloads::{Scale, Suite, Workload};
+use serde::{Serialize, Value};
+
+use crate::args::{self, Parsed};
+use crate::sweep_cmd::{CpiJsonRow, SweepJsonRow, SweepRows};
+
+/// One worker's marching orders: which task to run over which shard,
+/// plus every process-wide knob the equivalent single-process command
+/// would have latched before its first replay.
+#[derive(Debug, Serialize)]
+struct WorkerRequest {
+    /// `sweep`, `fetch`, or `paper`.
+    task: String,
+    /// Scale in `parse_scale` spelling (custom scales as bare factors).
+    scale: String,
+    /// Workload names (sweep/fetch) or exhibit names (paper), in
+    /// selection order.
+    items: Vec<String>,
+    /// Cache directory; `None` runs uncached (`--no-cache`).
+    cache: Option<String>,
+    batch_size: Option<u64>,
+    backend: Option<String>,
+    model: Option<String>,
+    sample: Option<u64>,
+    sample_k: Option<u64>,
+    /// Suite filter (paper only — sweep/fetch shards pre-resolved
+    /// workloads instead).
+    suite: Option<String>,
+    /// JSON dump directory (paper only: exhibits write their own
+    /// dumps; sweep/fetch dumps are written by the coordinator).
+    json_dir: Option<String>,
+}
+
+impl WorkerRequest {
+    fn new(parsed: &Parsed, task: &str, items: Vec<String>) -> WorkerRequest {
+        WorkerRequest {
+            task: task.to_owned(),
+            scale: scale_arg(parsed.scale),
+            items,
+            cache: (!parsed.no_cache).then(|| args::cache_dir(parsed)),
+            batch_size: parsed.batch_size.map(|n| n as u64),
+            backend: parsed.backend.map(|b| b.to_string()),
+            model: parsed.model.map(|m| m.to_string()),
+            sample: parsed.sample.map(|n| n as u64),
+            sample_k: parsed.sample_k.map(|n| n as u64),
+            suite: None,
+            json_dir: None,
+        }
+    }
+}
+
+/// `Scale` in the spelling `driver::parse_scale` accepts: the label for
+/// the named scales, the bare factor for custom ones (whose `Display`
+/// form `custom(x)` does not re-parse).
+fn scale_arg(scale: Scale) -> String {
+    let s = scale.to_string();
+    s.strip_prefix("custom(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .map(str::to_owned)
+        .unwrap_or(s)
+}
+
+/// Splits `items` into at most `workers` contiguous shards whose sizes
+/// differ by at most one; empty shards are dropped rather than spawned.
+fn shards<T: Clone>(items: &[T], workers: usize) -> Vec<Vec<T>> {
+    let n = workers.clamp(1, items.len().max(1));
+    let base = items.len() / n;
+    let extra = items.len() % n;
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        if len > 0 {
+            out.push(items[start..start + len].to_vec());
+        }
+        start += len;
+    }
+    out
+}
+
+/// Spawns one worker per request and collects their parsed responses,
+/// in request order.
+fn run_workers(requests: &[WorkerRequest]) -> Result<Vec<Value>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut children: Vec<Child> = Vec::new();
+    for request in requests {
+        let json = serde_json::to_string(request).map_err(|e| e.to_string())?;
+        let mut child = Command::new(&exe)
+            .arg("__worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        child
+            .stdin
+            .take()
+            .expect("stdin was piped")
+            .write_all(json.as_bytes())
+            .map_err(|e| format!("cannot send worker request: {e}"))?;
+        children.push(child);
+    }
+    children
+        .into_iter()
+        .enumerate()
+        .map(|(i, child)| {
+            let output = child
+                .wait_with_output()
+                .map_err(|e| format!("worker {i}: {e}"))?;
+            if !output.status.success() {
+                return Err(format!("worker {i} failed ({})", output.status));
+            }
+            let text = String::from_utf8(output.stdout)
+                .map_err(|_| format!("worker {i}: response is not UTF-8"))?;
+            serde_json::from_str(&text).map_err(|e| format!("worker {i}: malformed response: {e}"))
+        })
+        .collect()
+}
+
+/// Folds per-shard report deltas into the selection-wide report.
+fn merge_reports(reports: impl IntoIterator<Item = Report>) -> Report {
+    reports
+        .into_iter()
+        .fold(Report::default(), |acc, r| acc.merged(&r))
+}
+
+// ---------------------------------------------------------------------------
+// Coordinators (one per sharded subcommand)
+// ---------------------------------------------------------------------------
+
+/// Runs the predictor sweep (and optional CPI addendum) sharded across
+/// `workers` subprocesses; returns the merged rows and report.
+pub fn sweep_sharded(
+    parsed: &Parsed,
+    workloads: &[Workload],
+    workers: usize,
+) -> Result<(SweepRows, Report), String> {
+    let requests: Vec<WorkerRequest> = shards(workloads, workers)
+        .into_iter()
+        .map(|shard| {
+            WorkerRequest::new(
+                parsed,
+                "sweep",
+                shard.iter().map(|w| w.name().to_owned()).collect(),
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut cpi: Option<Vec<CpiJsonRow>> = None;
+    let mut reports = Vec::new();
+    for response in run_workers(&requests)? {
+        rows.extend(decode_sweep_rows(seq(&response, "rows")?)?);
+        match field(&response, "cpi")? {
+            Value::Null => {}
+            v => cpi
+                .get_or_insert_with(Vec::new)
+                .extend(decode_cpi_rows(as_seq(v, "cpi")?)?),
+        }
+        reports.push(decode_report(field(&response, "report")?)?);
+    }
+    Ok((SweepRows { rows, cpi }, merge_reports(reports)))
+}
+
+/// Runs the fetch design-grid sweep sharded across `workers`
+/// subprocesses; returns the merged grid rows and report.
+pub fn fetch_sharded(
+    parsed: &Parsed,
+    workloads: &[Workload],
+    workers: usize,
+) -> Result<(Vec<FetchsimRow>, Report), String> {
+    let requests: Vec<WorkerRequest> = shards(workloads, workers)
+        .into_iter()
+        .map(|shard| {
+            WorkerRequest::new(
+                parsed,
+                "fetch",
+                shard.iter().map(|w| w.name().to_owned()).collect(),
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for response in run_workers(&requests)? {
+        rows.extend(decode_fetch_rows(seq(&response, "rows")?)?);
+        reports.push(decode_report(field(&response, "report")?)?);
+    }
+    Ok((rows, merge_reports(reports)))
+}
+
+/// Regenerates paper exhibits sharded across `workers` subprocesses:
+/// each worker captures its exhibits' text (JSON dumps go straight to
+/// the shared `--json` directory); the coordinator returns the
+/// concatenated text in exhibit order plus the merged report.
+pub fn paper_sharded(
+    parsed: &Parsed,
+    exhibits: &[String],
+    workers: usize,
+) -> Result<(String, Report), String> {
+    let requests: Vec<WorkerRequest> = shards(exhibits, workers)
+        .into_iter()
+        .map(|shard| {
+            let mut request = WorkerRequest::new(parsed, "paper", shard);
+            request.suite = parsed.suite.map(|s| s.to_string());
+            request.json_dir = parsed.json_dir.clone();
+            request
+        })
+        .collect();
+    let mut text = String::new();
+    let mut reports = Vec::new();
+    for response in run_workers(&requests)? {
+        text.push_str(str_field(&response, "text")?);
+        reports.push(decode_report(field(&response, "report")?)?);
+    }
+    Ok((text, merge_reports(reports)))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// One worker shard's sweep payload.
+#[derive(Debug, Serialize)]
+struct SweepResponse {
+    rows: Vec<SweepJsonRow>,
+    cpi: Option<Vec<CpiJsonRow>>,
+    report: Report,
+}
+
+/// One worker shard's fetch payload.
+#[derive(Debug, Serialize)]
+struct FetchResponse {
+    rows: Vec<FetchsimRow>,
+    report: Report,
+}
+
+/// One worker shard's paper payload: the exhibits' captured text.
+#[derive(Debug, Serialize)]
+struct PaperResponse {
+    text: String,
+    report: Report,
+}
+
+/// The hidden `__worker` subcommand: reads one request from stdin,
+/// latches the process-wide knobs exactly as the equivalent
+/// single-process subcommand would, runs its shard, and writes one
+/// response to stdout.
+pub fn worker(argv: &[String]) -> Result<std::process::ExitCode, String> {
+    if !argv.is_empty() {
+        return Err("__worker reads its request from stdin and takes no arguments".into());
+    }
+    let mut input = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+        .map_err(|e| format!("cannot read worker request: {e}"))?;
+    let request = serde_json::from_str(&input).map_err(|e| format!("malformed request: {e}"))?;
+
+    match field(&request, "cache")? {
+        Value::Null => std::env::remove_var(util::TRACE_CACHE_ENV),
+        v => std::env::set_var(util::TRACE_CACHE_ENV, as_str(v, "cache")?),
+    }
+    if let Some(n) = opt_u64(&request, "batch_size")? {
+        rebalance_trace::set_batch_capacity(n as usize).map_err(|e| e.to_string())?;
+    }
+    if let Some(name) = opt_str(&request, "backend")? {
+        let choice = rebalance_trace::BackendChoice::parse(name)
+            .ok_or_else(|| format!("unknown backend `{name}`"))?;
+        rebalance_trace::set_compute_backend(choice);
+    }
+    let sample = opt_u64(&request, "sample")?;
+    let sample_k = opt_u64(&request, "sample_k")?;
+    if sample.is_some() || sample_k.is_some() {
+        let mut cfg = rebalance_trace::SamplingConfig::default();
+        if let Some(n) = sample {
+            cfg = cfg.with_intervals(n as usize);
+        }
+        if let Some(k) = sample_k {
+            cfg = cfg.with_k(k as usize);
+        }
+        util::set_sampling(Some(cfg));
+    }
+    let scale_spelling = str_field(&request, "scale")?;
+    let scale = driver::parse_scale(scale_spelling)
+        .ok_or_else(|| format!("invalid scale `{scale_spelling}`"))?;
+    let model = opt_str(&request, "model")?
+        .map(|name| {
+            rebalance_coresim::FetchModelKind::parse(name)
+                .ok_or_else(|| format!("unknown model `{name}`"))
+        })
+        .transpose()?;
+    let items: Vec<String> = seq(&request, "items")?
+        .iter()
+        .map(|v| as_str(v, "items").map(str::to_owned))
+        .collect::<Result<_, _>>()?;
+
+    // Scope the response's report to this shard's replays (nothing ran
+    // yet in this process, but the delta is the contract).
+    let baseline = util::report_baseline();
+    let response = match str_field(&request, "task")? {
+        "sweep" => {
+            let workloads = args::resolve_workloads(&items, false, None)?;
+            let data = crate::sweep_cmd::compute(&workloads, scale, model);
+            serde_json::to_string(&SweepResponse {
+                rows: data.rows,
+                cpi: data.cpi,
+                report: util::sweep_report_since(&baseline),
+            })
+        }
+        "fetch" => {
+            let workloads = args::resolve_workloads(&items, false, None)?;
+            let grid = rebalance_experiments::fetchsim::default_grid();
+            let sweep = rebalance_experiments::fetchsim::sweep_grid(workloads, scale, &grid);
+            serde_json::to_string(&FetchResponse {
+                rows: sweep.rows,
+                report: util::sweep_report_since(&baseline),
+            })
+        }
+        "paper" => {
+            if let Some(name) = opt_str(&request, "suite")? {
+                let suite = Suite::parse(name).ok_or_else(|| format!("unknown suite `{name}`"))?;
+                util::set_suite_filter(Some(suite));
+            }
+            if let Some(kind) = model {
+                rebalance_coresim::set_default_fetch_model(kind);
+            }
+            let json_dir = opt_str(&request, "json_dir")?.map(std::path::PathBuf::from);
+            let mut buffer = Vec::new();
+            driver::run_exhibits(&items, scale, json_dir.as_deref(), &mut buffer)
+                .map_err(|e| e.to_string())?;
+            serde_json::to_string(&PaperResponse {
+                text: String::from_utf8_lossy(&buffer).into_owned(),
+                report: util::sweep_report_since(&baseline),
+            })
+        }
+        other => return Err(format!("unknown worker task `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    crate::print_ignoring_pipe(&response);
+    Ok(std::process::ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// Wire decoding (the vendored serde deserializes to `Value` trees only)
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    v.as_str()
+        .ok_or_else(|| format!("`{what}` is not a string"))
+}
+
+fn as_seq<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+    v.as_seq()
+        .ok_or_else(|| format!("`{what}` is not an array"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    as_str(field(v, key)?, key)
+}
+
+fn seq<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    as_seq(field(v, key)?, key)
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    let v = field(v, key)?;
+    // The writer renders non-finite floats as `null`; round-trip them.
+    if v.is_null() {
+        return Ok(f64::NAN);
+    }
+    v.as_f64().ok_or_else(|| format!("`{key}` is not a number"))
+}
+
+fn opt_str<'a>(v: &'a Value, key: &str) -> Result<Option<&'a str>, String> {
+    match field(v, key)? {
+        Value::Null => Ok(None),
+        v => as_str(v, key).map(Some),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match field(v, key)? {
+        Value::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` is not an unsigned integer")),
+    }
+}
+
+fn f64_seq(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    as_seq(v, what)?
+        .iter()
+        .map(|x| {
+            if x.is_null() {
+                return Ok(f64::NAN);
+            }
+            x.as_f64()
+                .ok_or_else(|| format!("`{what}` holds a non-number"))
+        })
+        .collect()
+}
+
+/// The suite a workload name belongs to, via the (deterministic)
+/// registry — suites are not transported over the wire.
+fn suite_of(workload: &str) -> Result<Suite, String> {
+    rebalance_workloads::find(workload)
+        .map(|w| w.suite())
+        .ok_or_else(|| format!("worker returned unknown workload `{workload}`"))
+}
+
+fn decode_sweep_rows(rows: &[Value]) -> Result<Vec<SweepJsonRow>, String> {
+    rows.iter()
+        .map(|r| {
+            let workload = str_field(r, "workload")?.to_owned();
+            Ok(SweepJsonRow {
+                suite: suite_of(&workload)?,
+                mpki: f64_seq(field(r, "mpki")?, "mpki")?,
+                workload,
+            })
+        })
+        .collect()
+}
+
+fn decode_cpi_rows(rows: &[Value]) -> Result<Vec<CpiJsonRow>, String> {
+    rows.iter()
+        .map(|r| {
+            let workload = str_field(r, "workload")?.to_owned();
+            Ok(CpiJsonRow {
+                suite: suite_of(&workload)?,
+                section: str_field(r, "section")?.to_owned(),
+                baseline_cpi: f64_field(r, "baseline_cpi")?,
+                tailored_cpi: f64_field(r, "tailored_cpi")?,
+                workload,
+            })
+        })
+        .collect()
+}
+
+fn decode_fetch_rows(rows: &[Value]) -> Result<Vec<FetchsimRow>, String> {
+    rows.iter()
+        .map(|r| {
+            let workload = str_field(r, "workload")?.to_owned();
+            let summaries = seq(r, "summaries")?
+                .iter()
+                .map(|s| {
+                    Ok(FetchSummary {
+                        bandwidth: f64_field(s, "bandwidth")?,
+                        serial_bandwidth: f64_field(s, "serial_bandwidth")?,
+                        parallel_bandwidth: f64_field(s, "parallel_bandwidth")?,
+                        cycles: u64_field(s, "cycles")?,
+                        mispredict_cpk: f64_field(s, "mispredict_cpk")?,
+                        resteer_cpk: f64_field(s, "resteer_cpk")?,
+                        icache_cpk: f64_field(s, "icache_cpk")?,
+                        ftq_empty_cpk: f64_field(s, "ftq_empty_cpk")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(FetchsimRow {
+                suite: suite_of(&workload)?,
+                workload,
+                summaries,
+            })
+        })
+        .collect()
+}
+
+fn decode_cache_stats(v: &Value) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        hits: u64_field(v, "hits")?,
+        misses: u64_field(v, "misses")?,
+        generations: u64_field(v, "generations")?,
+        rejected: u64_field(v, "rejected")?,
+        write_failures: u64_field(v, "write_failures")?,
+        coalesced: u64_field(v, "coalesced")?,
+        tmp_swept: u64_field(v, "tmp_swept")?,
+        bytes_read: u64_field(v, "bytes_read")?,
+        bytes_written: u64_field(v, "bytes_written")?,
+    })
+}
+
+fn decode_report(v: &Value) -> Result<Report, String> {
+    let cache = match field(v, "cache")? {
+        Value::Null => None,
+        stats => Some(decode_cache_stats(stats)?),
+    };
+    let backend = match field(v, "backend")? {
+        Value::Null => None,
+        b => Some(
+            ComputeBackend::parse(as_str(b, "backend")?)
+                .ok_or_else(|| format!("unknown backend `{b:?}`"))?,
+        ),
+    };
+    let lanes = match field(v, "lanes")? {
+        Value::Null => None,
+        l => Some(LaneFill {
+            instructions: u64_field(l, "instructions")?,
+            branches: u64_field(l, "branches")?,
+        }),
+    };
+    Ok(Report {
+        replays: u64_field(v, "replays")?,
+        cache,
+        backend,
+        lanes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_contiguous_and_balanced() {
+        let items: Vec<u32> = (0..7).collect();
+        let chunks = shards(&items, 3);
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6]]);
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items, "concatenation preserves selection order");
+        // More workers than items: one singleton shard each, no empties.
+        assert_eq!(shards(&items[..2], 8), vec![vec![0], vec![1]]);
+        assert_eq!(shards(&items, 1), vec![items.clone()]);
+        assert!(shards(&[] as &[u32], 4).is_empty());
+    }
+
+    #[test]
+    fn scale_arg_round_trips_through_parse_scale() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Full, Scale::Custom(0.35)] {
+            let spelled = scale_arg(scale);
+            let parsed = driver::parse_scale(&spelled).expect("spelling must re-parse");
+            assert_eq!(parsed, scale, "{spelled}");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_over_the_wire() {
+        let report = Report {
+            replays: 47,
+            cache: Some(CacheStats {
+                hits: 40,
+                misses: 7,
+                generations: 7,
+                rejected: 1,
+                write_failures: 2,
+                coalesced: 3,
+                tmp_swept: 4,
+                bytes_read: 123_456,
+                bytes_written: 789,
+            }),
+            backend: Some(ComputeBackend::Wide),
+            lanes: Some(LaneFill {
+                instructions: 1_000_000,
+                branches: 150_000,
+            }),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let decoded = decode_report(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(decoded, report);
+        // Sparse reports (no cache, mixed backend) round-trip too.
+        let sparse = Report {
+            replays: 3,
+            ..Report::default()
+        };
+        let json = serde_json::to_string(&sparse).unwrap();
+        let decoded = decode_report(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(decoded, sparse);
+    }
+
+    #[test]
+    fn merge_reports_folds_shard_deltas() {
+        let shard = |replays| Report {
+            replays,
+            ..Report::default()
+        };
+        let merged = merge_reports([shard(3), shard(4), shard(5)]);
+        assert_eq!(merged.replays, 12);
+        assert_eq!(merge_reports([]), Report::default());
+    }
+}

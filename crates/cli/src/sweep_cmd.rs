@@ -1,5 +1,13 @@
 //! `rebalance sweep` — the nine-configuration predictor sweep, replays
 //! served from the trace cache.
+//!
+//! The command is split into a *compute* half (replay the selection,
+//! reduce to plain per-workload rows) and a *render* half (tables and
+//! JSON from those rows). A single-process run chains the two; with
+//! `--workers N` the compute half runs inside worker subprocesses over
+//! shards of the selection and the coordinator renders the merged rows
+//! through the very same render half, so both modes print bit-identical
+//! output.
 
 use std::process::ExitCode;
 
@@ -22,17 +30,52 @@ struct SweepJson {
 
 /// One workload's MPKI under every configuration.
 #[derive(Debug, Serialize)]
-struct SweepJsonRow {
-    workload: String,
-    suite: Suite,
-    mpki: Vec<f64>,
+pub(crate) struct SweepJsonRow {
+    pub(crate) workload: String,
+    pub(crate) suite: Suite,
+    pub(crate) mpki: Vec<f64>,
+}
+
+/// The reduced result of the sweep's compute half: everything the
+/// render half (or a shard coordinator) needs, with no live tools.
+#[derive(Debug, Serialize)]
+pub(crate) struct SweepRows {
+    pub(crate) rows: Vec<SweepJsonRow>,
+    pub(crate) cpi: Option<Vec<CpiJsonRow>>,
+}
+
+/// Replays the selection and reduces it to per-workload rows; with
+/// `model`, a second shared replay per workload measures both paper
+/// cores' CPI through the chosen timing backend.
+pub(crate) fn compute(
+    workloads: &[Workload],
+    scale: rebalance_workloads::Scale,
+    model: Option<FetchModelKind>,
+) -> SweepRows {
+    let configs = PredictorChoice::figure5_set();
+    let rows = util::sweep_weighted(workloads.to_vec(), scale, |_| {
+        PredictorChoice::build_sims(&configs)
+    })
+    .iter()
+    .map(|o| SweepJsonRow {
+        workload: o.item.name().to_owned(),
+        suite: o.item.suite(),
+        mpki: o.tools.iter().map(|s| s.report().total().mpki()).collect(),
+    })
+    .collect();
+    SweepRows {
+        rows,
+        cpi: model.map(|kind| measure_cpi(workloads, scale, kind)),
+    }
 }
 
 /// Runs the sweep and prints MPKI plus the shared replay/cache report:
 /// per-suite means over multi-suite selections, per-workload rows when
 /// a single suite is selected (`--suite kernels` reads best that way).
 /// With `--model {penalty,ftq}`, a per-workload CPI table measured
-/// through the chosen timing backend follows.
+/// through the chosen timing backend follows. With `--workers N` the
+/// selection is sharded across N worker subprocesses sharing the
+/// on-disk cache.
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     args::forbid(&[(parsed.force, "--force")])?;
@@ -46,13 +89,17 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::configure_sampling(&parsed);
 
     let configs = PredictorChoice::figure5_set();
-    let outcomes = util::sweep_weighted(workloads.clone(), parsed.scale, |_| {
-        PredictorChoice::build_sims(&configs)
-    });
+    let (data, report) = match parsed.workers {
+        Some(workers) => crate::shard::sweep_sharded(&parsed, &workloads, workers)?,
+        None => (
+            compute(&workloads, parsed.scale, parsed.model),
+            util::sweep_report(),
+        ),
+    };
 
     let suites: Vec<Suite> = Suite::ALL
         .into_iter()
-        .filter(|s| outcomes.iter().any(|o| o.item.suite() == *s))
+        .filter(|s| data.rows.iter().any(|r| r.suite == *s))
         .collect();
 
     let table = if suites.len() == 1 {
@@ -60,9 +107,9 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         let mut header = vec!["workload".to_owned()];
         header.extend(configs.iter().map(|c| c.label()));
         let mut t = TextTable::new(header);
-        for o in &outcomes {
-            let mut cells = vec![o.item.name().to_owned()];
-            cells.extend(o.tools.iter().map(|s| f2(s.report().total().mpki())));
+        for r in &data.rows {
+            let mut cells = vec![r.workload.clone()];
+            cells.extend(r.mpki.iter().map(|m| f2(*m)));
             t.row(cells);
         }
         t
@@ -75,10 +122,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             let mut cells = vec![config.label()];
             for suite in &suites {
                 let mpki = util::mean(
-                    outcomes
+                    data.rows
                         .iter()
-                        .filter(|o| o.item.suite() == *suite)
-                        .map(|o| o.tools[ci].report().total().mpki()),
+                        .filter(|r| r.suite == *suite)
+                        .map(|r| r.mpki[ci]),
                 );
                 cells.push(f2(mpki));
             }
@@ -92,22 +139,19 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "branch MPKI per predictor configuration (mean per suite)".to_owned()
     };
 
-    let cpi = parsed
-        .model
-        .map(|kind| measure_cpi(&workloads, parsed.scale, kind));
+    let cpi = data.cpi.map(|rows| CpiJson {
+        model: parsed
+            .model
+            .expect("CPI rows exist only with --model")
+            .to_string(),
+        rows,
+    });
 
     if let Some(dir) = &parsed.json_dir {
         let json = SweepJson {
             scale: parsed.scale.to_string(),
             configs: configs.iter().map(|c| c.label()).collect(),
-            rows: outcomes
-                .iter()
-                .map(|o| SweepJsonRow {
-                    workload: o.item.name().to_owned(),
-                    suite: o.item.suite(),
-                    mpki: o.tools.iter().map(|s| s.report().total().mpki()).collect(),
-                })
-                .collect(),
+            rows: data.rows,
         };
         crate::write_json(dir, "sweep", &json)?;
         // Everything `--model` adds to the terminal lands in the dump
@@ -115,14 +159,13 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         if let Some(cpi) = &cpi {
             crate::write_json(dir, "cpi", cpi)?;
         }
-        crate::write_json(dir, "report", &util::sweep_report())?;
+        crate::write_json(dir, "report", &report)?;
     }
 
     crate::print_ignoring_pipe(&format!(
-        "{heading}\n{}{}{}\n",
+        "{heading}\n{}{}{report}\n",
         table.render(),
         cpi.as_ref().map(render_cpi).unwrap_or_default(),
-        util::sweep_report()
     ));
     Ok(ExitCode::SUCCESS)
 }
@@ -138,12 +181,12 @@ struct CpiJson {
 
 /// One workload's CPI on its dominant section.
 #[derive(Debug, Serialize)]
-struct CpiJsonRow {
-    workload: String,
-    suite: Suite,
-    section: String,
-    baseline_cpi: f64,
-    tailored_cpi: f64,
+pub(crate) struct CpiJsonRow {
+    pub(crate) workload: String,
+    pub(crate) suite: Suite,
+    pub(crate) section: String,
+    pub(crate) baseline_cpi: f64,
+    pub(crate) tailored_cpi: f64,
 }
 
 /// Measures both paper cores over the selection through the chosen
@@ -153,12 +196,12 @@ fn measure_cpi(
     workloads: &[Workload],
     scale: rebalance_workloads::Scale,
     kind: FetchModelKind,
-) -> CpiJson {
+) -> Vec<CpiJsonRow> {
     let models = [
         CoreModel::new(CoreKind::Baseline).with_fetch_model(kind),
         CoreModel::new(CoreKind::Tailored).with_fetch_model(kind),
     ];
-    let rows = util::sweep_weighted(workloads.to_vec(), scale, |_| {
+    util::sweep_weighted(workloads.to_vec(), scale, |_| {
         models.iter().map(CoreModel::fetch_tools).collect()
     })
     .iter()
@@ -182,11 +225,7 @@ fn measure_cpi(
             tailored_cpi: cpis[1],
         }
     })
-    .collect();
-    CpiJson {
-        model: kind.to_string(),
-        rows,
-    }
+    .collect()
 }
 
 /// Renders the CPI addendum as a table.

@@ -19,6 +19,7 @@ fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
         (parsed.force, "--force"),
         (parsed.suite.is_some(), "--suite"),
         (parsed.model.is_some(), "--model"),
+        (parsed.workers.is_some(), "--workers"),
     ])?;
     args::forbid(&args::sampling_flags(parsed))
 }
@@ -88,6 +89,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         ),
         (parsed.json_dir.is_some(), "--json"),
         (parsed.model.is_some(), "--model"),
+        (parsed.workers.is_some(), "--workers"),
     ])?;
     args::forbid(&args::sampling_flags(&parsed))?;
     args::configure_replay(&parsed)?;

@@ -20,6 +20,7 @@ pub fn list(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.force, "--force"),
         (parsed.batch_size.is_some(), "--batch-size"),
         (parsed.model.is_some(), "--model"),
+        (parsed.workers.is_some(), "--workers"),
     ])?;
     args::forbid(&args::sampling_flags(&parsed))?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;

@@ -17,8 +17,8 @@ use rebalance_pintools::{
     characterization_from_tools, characterization_tools, BbvTool, Characterization,
 };
 use rebalance_trace::{
-    Pintool, Report, RunSummary, SampledOutcome, SamplingConfig, SweepEngine, SweepOutcome,
-    TraceCache,
+    CacheStats, DeliveryLedger, Pintool, Report, RunSummary, SampledOutcome, SamplingConfig,
+    SweepEngine, SweepOutcome, TraceCache,
 };
 use rebalance_workloads::{Scale, Suite, Workload};
 
@@ -151,6 +151,45 @@ pub fn sweep_report() -> Report {
     }
     match shared_cache() {
         Some(cache) => report.with_cache(cache),
+        None => report,
+    }
+}
+
+/// A point-in-time baseline of the process-wide accounting ledgers
+/// (replay count, batch delivery, cache counters — all cumulative over
+/// the process). Capture one before a sweep and render the sweep-scoped
+/// report with [`sweep_report_since`], so a second sweep in the same
+/// process does not inherit the first one's traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportBaseline {
+    replays: u64,
+    ledger: DeliveryLedger,
+    cache: CacheStats,
+}
+
+/// Snapshots the current process-wide ledgers as a baseline.
+pub fn report_baseline() -> ReportBaseline {
+    ReportBaseline {
+        replays: engine().replays(),
+        ledger: DeliveryLedger::snapshot(),
+        cache: shared_cache().map(TraceCache::stats).unwrap_or_default(),
+    }
+}
+
+/// Replay and cache accounting for everything run through [`engine`]
+/// since `base` — the per-sweep variant of [`sweep_report`].
+pub fn sweep_report_since(base: &ReportBaseline) -> Report {
+    let ledger = DeliveryLedger::snapshot().since(&base.ledger);
+    let mut report = Report {
+        replays: engine().replays() - base.replays,
+        ..Report::default()
+    }
+    .with_lanes(ledger.lane_fill());
+    if let Some(backend) = ledger.backend() {
+        report = report.with_backend(backend);
+    }
+    match shared_cache() {
+        Some(cache) => report.with_cache_stats(cache.stats().since(&base.cache)),
         None => report,
     }
 }

@@ -1,13 +1,15 @@
 //! Minimal, offline stand-in for `serde_json`: renders the vendored
-//! serde's [`serde::Value`] tree as JSON text (compact and
-//! pretty). Serialization is infallible; [`Error`] exists only to keep
-//! the familiar `Result` signatures.
+//! serde's [`serde::Value`] tree as JSON text (compact and pretty),
+//! and parses JSON text back into a [`serde::Value`] tree with
+//! [`from_str`]. Serialization is infallible; parsing reports
+//! malformed input through [`Error`].
 
 use std::fmt;
 
 use serde::{Serialize, Value};
 
-/// Serialization error (never produced; kept for API compatibility).
+/// JSON error: parse failures from [`from_str`] (serialization never
+/// produces one; its `Result` mirrors serde_json's signature).
 #[derive(Debug, Clone)]
 pub struct Error(String);
 
@@ -39,6 +41,235 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Numbers parse as `UInt` (no sign, no fraction/exponent), `Int`
+/// (leading `-`, no fraction/exponent), or `Float` (otherwise) — the
+/// same split the writer produces, so writer output round-trips
+/// variant-exactly. Trailing non-whitespace input is an error.
+///
+/// # Errors
+///
+/// Returns [`Error`] describing the first malformed construct.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so
+                    // char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let hi = self.parse_hex4()?;
+        // Surrogate pair: a leading surrogate must be followed by
+        // \uXXXX with a trailing surrogate.
+        if (0xD800..0xDC00).contains(&hi) {
+            self.eat_literal("\\u")
+                .map_err(|_| self.err("unpaired surrogate"))?;
+            let lo = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'+' | b'-' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if fractional {
+            let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Float(f))
+        } else if negative {
+            let i: i64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Int(i))
+        } else {
+            let u: u64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::UInt(u))
+        }
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
@@ -148,5 +379,71 @@ mod tests {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers_and_escapes() {
+        assert_eq!(
+            from_str(r#"[1, {"a": "x\ny", "b": []}]"#).unwrap(),
+            Value::Seq(vec![
+                Value::UInt(1),
+                Value::Map(vec![
+                    ("a".into(), Value::Str("x\ny".into())),
+                    ("b".into(), Value::Seq(vec![])),
+                ]),
+            ])
+        );
+        assert_eq!(from_str(r#""é""#).unwrap(), Value::Str("é".into()));
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "tru", "[1,", r#"{"a"}"#, r#""open"#, "1 2", "nan"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn writer_output_round_trips_variant_exactly() {
+        let tree = Value::Map(vec![
+            ("u".into(), Value::UInt(18_446_744_073_709_551_615)),
+            ("i".into(), Value::Int(-9)),
+            ("f".into(), Value::Float(0.1 + 0.2)),
+            ("tiny".into(), Value::Float(5e-324)),
+            ("s".into(), Value::Str("tab\t\"q\" \u{1}".into())),
+            ("n".into(), Value::Null),
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Bool(false), Value::Float(2.0)]),
+            ),
+        ]);
+        for rendered in [
+            to_string(&ValueWrap(&tree)).unwrap(),
+            to_string_pretty(&ValueWrap(&tree)).unwrap(),
+        ] {
+            assert_eq!(from_str(&rendered).unwrap(), tree);
+        }
+    }
+
+    // The writer takes `impl Serialize`; wrap a prebuilt tree.
+    struct ValueWrap<'a>(&'a Value);
+
+    impl Serialize for ValueWrap<'_> {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
     }
 }

@@ -192,27 +192,89 @@ pub(crate) fn record_delivery(batch: &EventBatch) {
     per_backend.fetch_add(1, Ordering::Relaxed);
 }
 
+/// A point-in-time copy of the process-wide batch-delivery ledger.
+///
+/// The underlying counters are cumulative over the process lifetime —
+/// a second sweep in the same process would otherwise fold the first
+/// sweep's traffic into its report. Take a snapshot before a sweep and
+/// diff with [`DeliveryLedger::since`] afterwards to scope lane-fill
+/// and backend attribution to exactly that sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DeliveryLedger {
+    /// Events delivered through fan-out batches.
+    pub instructions: u64,
+    /// Branch-lane share of the delivered events.
+    pub branches: u64,
+    /// Batches delivered by the scalar AoS loop.
+    pub scalar_batches: u64,
+    /// Batches delivered by the wide SoA-lane loop.
+    pub wide_batches: u64,
+}
+
+impl DeliveryLedger {
+    /// The ledger's current cumulative values.
+    pub fn snapshot() -> DeliveryLedger {
+        DeliveryLedger {
+            instructions: LEDGER_INSTS.load(Ordering::Relaxed),
+            branches: LEDGER_BRANCHES.load(Ordering::Relaxed),
+            scalar_batches: LEDGER_SCALAR_BATCHES.load(Ordering::Relaxed),
+            wide_batches: LEDGER_WIDE_BATCHES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter deltas relative to an earlier snapshot in the same
+    /// process.
+    pub fn since(&self, earlier: &DeliveryLedger) -> DeliveryLedger {
+        DeliveryLedger {
+            instructions: self.instructions - earlier.instructions,
+            branches: self.branches - earlier.branches,
+            scalar_batches: self.scalar_batches - earlier.scalar_batches,
+            wide_batches: self.wide_batches - earlier.wide_batches,
+        }
+    }
+
+    /// Counter sums across independent processes (shard merging).
+    pub fn merged(&self, other: &DeliveryLedger) -> DeliveryLedger {
+        DeliveryLedger {
+            instructions: self.instructions + other.instructions,
+            branches: self.branches + other.branches,
+            scalar_batches: self.scalar_batches + other.scalar_batches,
+            wide_batches: self.wide_batches + other.wide_batches,
+        }
+    }
+
+    /// The SoA lane fill this snapshot (or delta) describes.
+    pub fn lane_fill(&self) -> crate::report::LaneFill {
+        crate::report::LaneFill {
+            instructions: self.instructions,
+            branches: self.branches,
+        }
+    }
+
+    /// The backend every batch in this snapshot (or delta) streamed
+    /// with — `None` when none were delivered or backends were mixed
+    /// (e.g. an auto policy splitting small and large traces).
+    pub fn backend(&self) -> Option<ComputeBackend> {
+        match (self.scalar_batches, self.wide_batches) {
+            (0, 0) => None,
+            (_, 0) => Some(ComputeBackend::Scalar),
+            (0, _) => Some(ComputeBackend::Wide),
+            _ => None,
+        }
+    }
+}
+
 /// The process-wide SoA lane fill so far: events delivered through
 /// fan-out batches and the branch-lane share of them.
 pub fn lane_fill() -> crate::report::LaneFill {
-    crate::report::LaneFill {
-        instructions: LEDGER_INSTS.load(Ordering::Relaxed),
-        branches: LEDGER_BRANCHES.load(Ordering::Relaxed),
-    }
+    DeliveryLedger::snapshot().lane_fill()
 }
 
 /// The backend every fan-out batch so far streamed with — `None` when
 /// none were delivered yet or the process mixed backends (e.g. an auto
 /// policy splitting small and large traces).
 pub fn delivered_backend() -> Option<ComputeBackend> {
-    let scalar = LEDGER_SCALAR_BATCHES.load(Ordering::Relaxed);
-    let wide = LEDGER_WIDE_BATCHES.load(Ordering::Relaxed);
-    match (scalar, wide) {
-        (0, 0) => None,
-        (_, 0) => Some(ComputeBackend::Scalar),
-        (0, _) => Some(ComputeBackend::Wide),
-        _ => None,
-    }
+    DeliveryLedger::snapshot().backend()
 }
 
 /// Where a producer's decode/interpret loop delivers events: directly

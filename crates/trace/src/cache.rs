@@ -50,11 +50,14 @@
 //! # std::fs::remove_dir_all(cache.dir()).unwrap();
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::{self, BufWriter};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 use serde::{Deserialize, Serialize};
 
@@ -195,6 +198,12 @@ pub struct CacheStats {
     /// Misses whose snapshot could not be persisted (unwritable cache
     /// directory); the replay still ran live, just unrecorded.
     pub write_failures: u64,
+    /// Hits served after waiting out another in-flight generator of the
+    /// same key (single-flight coalescing; also counted in `hits`).
+    pub coalesced: u64,
+    /// Orphaned temporary files from dead runs removed when the cache
+    /// was opened.
+    pub tmp_swept: u64,
     /// Total snapshot bytes decoded on hits.
     pub bytes_read: u64,
     /// Total snapshot bytes recorded on misses.
@@ -211,8 +220,26 @@ impl CacheStats {
             generations: self.generations - earlier.generations,
             rejected: self.rejected - earlier.rejected,
             write_failures: self.write_failures - earlier.write_failures,
+            coalesced: self.coalesced - earlier.coalesced,
+            tmp_swept: self.tmp_swept - earlier.tmp_swept,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+
+    /// Counter sums across independent caches (or per-shard deltas) —
+    /// how a sweep coordinator folds worker stats into one report.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            generations: self.generations + other.generations,
+            rejected: self.rejected + other.rejected,
+            write_failures: self.write_failures + other.write_failures,
+            coalesced: self.coalesced + other.coalesced,
+            tmp_swept: self.tmp_swept + other.tmp_swept,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
         }
     }
 
@@ -243,7 +270,15 @@ impl fmt::Display for CacheStats {
             f,
             " | degraded: {} rejected, {} write failures",
             self.rejected, self.write_failures
-        )
+        )?;
+        if self.coalesced > 0 || self.tmp_swept > 0 {
+            write!(
+                f,
+                " | shared: {} coalesced, {} orphans swept",
+                self.coalesced, self.tmp_swept
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -311,6 +346,8 @@ struct Counters {
     generations: AtomicU64,
     rejected: AtomicU64,
     write_failures: AtomicU64,
+    coalesced: AtomicU64,
+    tmp_swept: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
@@ -318,9 +355,16 @@ struct Counters {
 /// A directory of content-addressed trace snapshots with hit/miss
 /// accounting.
 ///
-/// Thread-safe: concurrent misses on the same key each record to a
-/// private temporary file and atomically rename into place, so readers
-/// never observe partial snapshots.
+/// Safe under concurrent writers, in-process and across processes:
+///
+/// * recording goes through a private temporary file atomically renamed
+///   into place, so readers never observe partial snapshots;
+/// * generation is *single-flight* per key — concurrent misses on one
+///   key elect exactly one generator (per-key mutex within the process,
+///   `<snapshot>.lock` files across processes) while the others wait
+///   and then read the committed snapshot ([`CacheStats::coalesced`]);
+/// * opening the cache sweeps temporary files orphaned by dead runs
+///   ([`CacheStats::tmp_swept`]), leaving live runs' files alone.
 ///
 /// # Examples
 ///
@@ -338,10 +382,16 @@ struct Counters {
 pub struct TraceCache {
     dir: PathBuf,
     counters: Counters,
+    /// Per-key single-flight guards for generators in this process,
+    /// keyed by [`TraceKey::fingerprint`]. Bounded by the number of
+    /// distinct keys ever missed, which a sweep already enumerates.
+    inflight: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
 }
 
 impl TraceCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, sweeping
+    /// temporary files left behind by dead runs (see
+    /// [`CacheStats::tmp_swept`]).
     ///
     /// # Errors
     ///
@@ -349,10 +399,13 @@ impl TraceCache {
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(TraceCache {
+        let cache = TraceCache {
             dir,
             counters: Counters::default(),
-        })
+            inflight: Mutex::new(HashMap::new()),
+        };
+        cache.sweep_orphans();
+        Ok(cache)
     }
 
     /// A cache in a fresh unique directory under the system temp dir —
@@ -395,6 +448,8 @@ impl TraceCache {
             generations: self.counters.generations.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             write_failures: self.counters.write_failures.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            tmp_swept: self.counters.tmp_swept.load(Ordering::Relaxed),
             bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
         }
@@ -474,6 +529,31 @@ impl TraceCache {
             }
         }
 
+        // Single-flight: elect one generator per key; everyone else
+        // blocks here, then finds the committed snapshot on re-read.
+        let guard = self.key_guard(key.fingerprint());
+        let _guard = guard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _lock = KeyLock::acquire(self.lock_path(key));
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(snapshot) = Snapshot::parse(&bytes) {
+                let summary = snapshot.replay(tool)?;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                return Ok(CachedReplay {
+                    summary,
+                    sections: snapshot.info().sections,
+                    from_cache: true,
+                });
+            }
+            // Still unreadable: this thread won the election over a
+            // corrupt entry; the rejection was already counted above.
+        }
+
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let trace = generate().map_err(CacheError::Generate)?;
         self.counters.generations.fetch_add(1, Ordering::Relaxed);
@@ -546,6 +626,23 @@ impl TraceCache {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
         }
 
+        // Single-flight election, as in `replay_with`.
+        let guard = self.key_guard(key.fingerprint());
+        let _guard = guard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _lock = KeyLock::acquire(self.lock_path(key));
+        if let Ok(bytes) = fs::read(&path) {
+            if Snapshot::parse(&bytes).is_ok() {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                return Ok(bytes);
+            }
+        }
+
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let trace = generate().map_err(CacheError::Generate)?;
         self.counters.generations.fetch_add(1, Ordering::Relaxed);
@@ -577,6 +674,62 @@ impl TraceCache {
         Ok(bytes)
     }
 
+    /// The in-process single-flight guard for one key fingerprint.
+    fn key_guard(&self, fingerprint: u64) -> Arc<Mutex<()>> {
+        let mut map = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(fingerprint).or_default().clone()
+    }
+
+    /// The cross-process lock file guarding generation of `key`.
+    fn lock_path(&self, key: &TraceKey) -> PathBuf {
+        self.dir.join(format!("{}.lock", key.file_name()))
+    }
+
+    /// Removes temporary files (`*.tmp-<pid>-<n>`, `*.mem-<pid>-<n>`,
+    /// `*.lock`) whose owning process is gone. Files belonging to this
+    /// process or to a live process are kept; when liveness cannot be
+    /// determined the file is kept unless it is over an hour old.
+    fn sweep_orphans(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue;
+            };
+            let owner = if name.ends_with(".lock") {
+                // Lock files carry their owner's pid as content.
+                fs::read_to_string(entry.path())
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok())
+            } else if let Some(rest) = name
+                .split_once(".tmp-")
+                .or_else(|| name.split_once(".mem-"))
+                .map(|(_, rest)| rest)
+            {
+                // Temporary files carry it in the name: <pid>-<n>.
+                rest.split('-').next().and_then(|p| p.parse::<u32>().ok())
+            } else {
+                continue;
+            };
+            let stale = match owner {
+                Some(pid) if pid == std::process::id() => false,
+                Some(pid) => match pid_alive(pid) {
+                    Some(alive) => !alive,
+                    None => file_is_old(&entry.path()),
+                },
+                None => file_is_old(&entry.path()),
+            };
+            if stale && fs::remove_file(entry.path()).is_ok() {
+                self.counters.tmp_swept.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn start_recording(&self, key: &TraceKey) -> Result<Recording, CacheError> {
         static TMP_ID: AtomicU64 = AtomicU64::new(0);
         let tmp = self.dir.join(format!(
@@ -591,6 +744,97 @@ impl TraceCache {
             tmp,
             path: self.path_for(key),
         })
+    }
+}
+
+/// Whether the process `pid` is currently running, when the platform
+/// can tell (`/proc` on Linux); `None` when it cannot.
+fn pid_alive(pid: u32) -> Option<bool> {
+    if cfg!(target_os = "linux") {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+/// Age-based staleness fallback when pid liveness is unknowable: only
+/// files untouched for over an hour are considered abandoned.
+fn file_is_old(path: &Path) -> bool {
+    const STALE_AFTER: Duration = Duration::from_secs(3600);
+    fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+        .is_some_and(|age| age > STALE_AFTER)
+}
+
+/// A held (or degraded) cross-process generation lock.
+///
+/// Acquisition creates `<snapshot>.lock` exclusively with this
+/// process's pid as content; contenders poll until the holder releases
+/// (drops) it, breaking locks whose owner has died. An unwritable
+/// directory or a poll timeout degrades to lockless generation — the
+/// tmp+rename commit keeps that safe, merely duplicating work.
+struct KeyLock {
+    path: PathBuf,
+    held: bool,
+}
+
+impl KeyLock {
+    const POLL: Duration = Duration::from_millis(5);
+    const TIMEOUT: Duration = Duration::from_secs(300);
+
+    fn acquire(path: PathBuf) -> KeyLock {
+        let deadline = Instant::now() + Self::TIMEOUT;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return KeyLock { path, held: true };
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if Self::holder_is_dead(&path) {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return KeyLock { path, held: false };
+                    }
+                    std::thread::sleep(Self::POLL);
+                }
+                // Unwritable cache directory: generate locklessly; the
+                // caller's write path degrades the same way.
+                Err(_) => return KeyLock { path, held: false },
+            }
+        }
+    }
+
+    fn holder_is_dead(path: &Path) -> bool {
+        let owner = fs::read_to_string(path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok());
+        match owner {
+            Some(pid) if pid == std::process::id() => false,
+            Some(pid) => match pid_alive(pid) {
+                Some(alive) => !alive,
+                None => file_is_old(path),
+            },
+            // Content not written yet (the holder is between create and
+            // write) or unreadable: fall back to age.
+            None => file_is_old(path),
+        }
+    }
+}
+
+impl Drop for KeyLock {
+    fn drop(&mut self) {
+        if self.held {
+            let _ = fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -848,6 +1092,215 @@ mod tests {
             "degraded-mode accounting must be visible: {text}"
         );
         cleanup(cache);
+    }
+
+    #[test]
+    fn concurrent_misses_generate_exactly_once() {
+        let cache = std::sync::Arc::new(TraceCache::scratch().unwrap());
+        let key = TraceKey::new("w", "s", 21, 0);
+        let generated = std::sync::Arc::new(AtomicU64::new(0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let key = key.clone();
+            let generated = generated.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache
+                    .replay_with(
+                        &key,
+                        || {
+                            generated.fetch_add(1, Ordering::Relaxed);
+                            Ok(make_trace(21))
+                        },
+                        &mut NullTool,
+                    )
+                    .unwrap()
+            }));
+        }
+        let reps: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            generated.load(Ordering::Relaxed),
+            1,
+            "single-flight must elect exactly one generator"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.generations, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7, "every loser is served from the snapshot");
+        assert!(
+            stats.coalesced <= 7,
+            "coalesced hits are a subset of hits: {stats}"
+        );
+        assert_eq!(stats.rejected, 0, "waiters never see partial snapshots");
+        for rep in &reps {
+            assert_eq!(rep.summary, reps[0].summary, "all callers see one stream");
+        }
+        let cache = std::sync::Arc::into_inner(cache).unwrap();
+        cleanup(cache);
+    }
+
+    #[test]
+    fn waiter_parked_during_generation_is_coalesced() {
+        let cache = std::sync::Arc::new(TraceCache::scratch().unwrap());
+        let key = TraceKey::new("w", "s", 25, 0);
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let winner = {
+            let cache = cache.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache
+                    .replay_with(
+                        &key,
+                        move || {
+                            started_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            Ok(make_trace(25))
+                        },
+                        &mut NullTool,
+                    )
+                    .unwrap()
+            })
+        };
+        // Generation is in flight (and gated): no snapshot exists yet,
+        // so the waiter's fast path misses and it parks on the lock.
+        started_rx.recv().unwrap();
+        let waiter = {
+            let cache = cache.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache
+                    .replay_with(
+                        &key,
+                        || Err("waiter must not generate".into()),
+                        &mut NullTool,
+                    )
+                    .unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        release_tx.send(()).unwrap();
+        let won = winner.join().unwrap();
+        let waited = waiter.join().unwrap();
+        assert!(!won.from_cache);
+        assert!(waited.from_cache, "waiter reads the committed snapshot");
+        assert_eq!(won.summary, waited.summary);
+        let stats = cache.stats();
+        assert_eq!((stats.generations, stats.coalesced), (1, 1));
+        assert!(
+            stats.to_string().contains("1 coalesced"),
+            "coalescing must be visible in the report: {stats}"
+        );
+        let cache = std::sync::Arc::into_inner(cache).unwrap();
+        cleanup(cache);
+    }
+
+    #[test]
+    fn concurrent_snapshot_bytes_generate_exactly_once() {
+        let cache = std::sync::Arc::new(TraceCache::scratch().unwrap());
+        let key = TraceKey::new("w", "s", 23, 0);
+        let generated = std::sync::Arc::new(AtomicU64::new(0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let key = key.clone();
+                let generated = generated.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache
+                        .snapshot_bytes(&key, || {
+                            generated.fetch_add(1, Ordering::Relaxed);
+                            Ok(make_trace(23))
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let all: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(generated.load(Ordering::Relaxed), 1);
+        assert!(all.windows(2).all(|w| w[0] == w[1]), "identical bytes");
+        assert_eq!(cache.stats().generations, 1);
+        let cache = std::sync::Arc::into_inner(cache).unwrap();
+        cleanup(cache);
+    }
+
+    #[test]
+    fn open_sweeps_dead_orphans_and_keeps_live_ones() {
+        let cache = TraceCache::scratch().unwrap();
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+        // A pid far above any real pid_max stands in for a dead run; a
+        // current-pid file stands in for a concurrently live run.
+        let dead = [
+            dir.join("a.rbts.tmp-999999999-0"),
+            dir.join("b.rbts.mem-999999999-3"),
+        ];
+        let live = [
+            dir.join(format!("c.rbts.tmp-{}-0", std::process::id())),
+            dir.join(format!("d.rbts.mem-{}-1", std::process::id())),
+        ];
+        for path in dead.iter().chain(&live) {
+            fs::write(path, b"partial").unwrap();
+        }
+        let dead_lock = dir.join("e.rbts.lock");
+        fs::write(&dead_lock, "999999999").unwrap();
+        let live_lock = dir.join("f.rbts.lock");
+        fs::write(&live_lock, std::process::id().to_string()).unwrap();
+
+        let cache = TraceCache::new(&dir).unwrap();
+        assert_eq!(cache.stats().tmp_swept, 3, "two tmp files + one lock");
+        for path in &dead {
+            assert!(!path.exists(), "dead orphan kept: {}", path.display());
+        }
+        assert!(!dead_lock.exists());
+        for path in &live {
+            assert!(path.exists(), "live tmp swept: {}", path.display());
+        }
+        assert!(live_lock.exists());
+        cleanup(cache);
+    }
+
+    #[test]
+    fn dead_holders_lock_is_broken() {
+        let cache = TraceCache::scratch().unwrap();
+        let key = TraceKey::new("w", "s", 27, 0);
+        // Plant a lock owned by a dead pid *after* open (so GC cannot
+        // have removed it): acquisition must break it, not time out.
+        fs::write(cache.lock_path(&key), "999999999").unwrap();
+        let rep = cache
+            .replay_with(&key, || Ok(make_trace(27)), &mut NullTool)
+            .unwrap();
+        assert!(!rep.from_cache);
+        assert_eq!(cache.stats().generations, 1);
+        assert!(
+            !cache.lock_path(&key).exists(),
+            "lock must be released after generation"
+        );
+        cleanup(cache);
+    }
+
+    #[test]
+    fn stats_merge_sums_all_counters() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            generations: 3,
+            rejected: 4,
+            write_failures: 5,
+            coalesced: 6,
+            tmp_swept: 7,
+            bytes_read: 8,
+            bytes_written: 9,
+        };
+        let merged = a.merged(&a);
+        assert_eq!(merged.since(&a), a, "merge then delta round-trips");
+        assert_eq!(merged.hits, 2);
+        assert_eq!(merged.tmp_swept, 14);
     }
 
     #[test]

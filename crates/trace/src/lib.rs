@@ -106,9 +106,9 @@ pub use backend::{
 };
 pub use batch::{
     batch_capacity, branch_kind_from_index, branch_kind_index, delivered_backend, lane_fill,
-    parse_batch_capacity, set_batch_capacity, BatchCapacityError, BranchLanes, EventBatch,
-    EventLanes, BATCH_ENV, BR_HAS_TARGET, BR_KIND_COND, BR_KIND_MASK, BR_PARALLEL, BR_TAKEN,
-    DEFAULT_BATCH_CAPACITY, LANE_BRANCH, LANE_PARALLEL, LANE_TAKEN, MAX_BATCH_CAPACITY,
+    parse_batch_capacity, set_batch_capacity, BatchCapacityError, BranchLanes, DeliveryLedger,
+    EventBatch, EventLanes, BATCH_ENV, BR_HAS_TARGET, BR_KIND_COND, BR_KIND_MASK, BR_PARALLEL,
+    BR_TAKEN, DEFAULT_BATCH_CAPACITY, LANE_BRANCH, LANE_PARALLEL, LANE_TAKEN, MAX_BATCH_CAPACITY,
 };
 pub use builder::ProgramBuilder;
 pub use by_section::BySection;

@@ -33,6 +33,14 @@ impl LaneFill {
             self.branches as f64 / self.instructions as f64
         }
     }
+
+    /// Lane-fill sums across independent sweeps (shard merging).
+    pub fn merged(&self, other: &LaneFill) -> LaneFill {
+        LaneFill {
+            instructions: self.instructions + other.instructions,
+            branches: self.branches + other.branches,
+        }
+    }
 }
 
 /// Replay and cache accounting for one sweep (or one whole process).
@@ -106,6 +114,33 @@ impl Report {
             None => self.replays,
         }
     }
+
+    /// Folds another report (typically a worker shard's delta) into
+    /// this one: replays, cache counters, and lane fill add; backends
+    /// agree or collapse to `None` (an empty report is neutral and
+    /// never erases the other side's backend).
+    pub fn merged(&self, other: &Report) -> Report {
+        let cache = match (self.cache, other.cache) {
+            (Some(a), Some(b)) => Some(a.merged(&b)),
+            (a, b) => a.or(b),
+        };
+        let backend = match (self.backend, other.backend) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            (a, None) if other.replays == 0 => a,
+            (None, b) if self.replays == 0 => b,
+            _ => None,
+        };
+        let lanes = match (self.lanes, other.lanes) {
+            (Some(a), Some(b)) => Some(a.merged(&b)),
+            (a, b) => a.or(b),
+        };
+        Report {
+            replays: self.replays + other.replays,
+            cache,
+            backend,
+            lanes,
+        }
+    }
 }
 
 impl fmt::Display for Report {
@@ -165,6 +200,37 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("replays: 41"), "{text}");
         assert!(text.contains("38 hits"), "{text}");
+    }
+
+    #[test]
+    fn merged_sums_shards_and_reconciles_backends() {
+        let shard = |replays, backend| Report {
+            replays,
+            cache: Some(CacheStats {
+                hits: replays,
+                ..CacheStats::default()
+            }),
+            backend,
+            lanes: Some(LaneFill {
+                instructions: 100 * replays,
+                branches: 10 * replays,
+            }),
+        };
+        let a = shard(3, Some(ComputeBackend::Wide));
+        let b = shard(4, Some(ComputeBackend::Wide));
+        let merged = a.merged(&b);
+        assert_eq!(merged.replays, 7);
+        assert_eq!(merged.cache.unwrap().hits, 7);
+        assert_eq!(merged.backend, Some(ComputeBackend::Wide));
+        assert_eq!(merged.lanes.unwrap().instructions, 700);
+
+        // Disagreeing backends collapse to mixed.
+        let c = shard(1, Some(ComputeBackend::Scalar));
+        assert_eq!(merged.merged(&c).backend, None);
+
+        // The empty report is a neutral fold seed.
+        assert_eq!(Report::default().merged(&merged), merged);
+        assert_eq!(merged.merged(&Report::default()), merged);
     }
 
     #[test]

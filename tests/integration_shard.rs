@@ -1,0 +1,191 @@
+//! Concurrency guarantees behind `--workers N`:
+//!
+//! 1. the **torture test**: many threads hammer one shared on-disk
+//!    [`TraceCache`] with overlapping rosters — nothing corrupts,
+//!    nothing is rejected, every distinct key is generated exactly
+//!    once (single-flight), and the merged analysis results are
+//!    byte-identical to a single-threaded pass;
+//! 2. the **ledger regression**: two sweeps in one process each get a
+//!    report scoped to their own replays via
+//!    [`util::report_baseline`]/[`util::sweep_report_since`], instead
+//!    of the second inheriting the first's cumulative traffic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier, Mutex};
+
+use rebalance_trace::{Pintool, TraceCache, TraceEvent};
+use rebalance_workloads::Scale;
+
+/// The six-workload bench roster: distinct suites, distinct trace
+/// shapes, and small enough that 8 threads x 2 rounds stays fast.
+const ROSTER: [&str; 6] = ["CG", "FT", "MG", "gcc", "CoMD", "swim"];
+
+/// Both tests below touch process-wide ledgers (batch delivery counts
+/// tick on every replay), so they serialize on this lock.
+static PROCESS_LEDGERS: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rebalance-shard-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic digest of everything a tool observes — equal digests
+/// mean the replays delivered identical event streams.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Digest {
+    instructions: u64,
+    branches: u64,
+    taken: u64,
+    pc_sum: u64,
+}
+
+impl Pintool for Digest {
+    fn on_inst(&mut self, ev: &TraceEvent) {
+        self.instructions += 1;
+        self.pc_sum = self.pc_sum.wrapping_add(ev.pc.as_u64());
+        if ev.branch.is_some() {
+            self.branches += 1;
+            self.taken += u64::from(ev.is_taken_branch());
+        }
+    }
+}
+
+/// Replays one workload through `cache`, returning its digest.
+fn replay(cache: &TraceCache, name: &str) -> Digest {
+    let w = rebalance_workloads::find(name).expect("roster workload");
+    let mut digest = Digest::default();
+    cache
+        .replay_with(
+            &w.trace_key(Scale::Smoke),
+            || w.trace(Scale::Smoke),
+            &mut digest,
+        )
+        .expect("cached replay");
+    digest
+}
+
+#[test]
+fn concurrent_torture_matches_single_process_byte_for_byte() {
+    let _guard = PROCESS_LEDGERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+    // Single-process reference: one sequential pass over the roster.
+    let ref_dir = scratch_dir("ref");
+    let reference_cache = TraceCache::new(&ref_dir).expect("temp dir");
+    let reference: BTreeMap<&str, Digest> = ROSTER
+        .iter()
+        .map(|name| (*name, replay(&reference_cache, name)))
+        .collect();
+
+    // Torture: 8 threads x 2 rounds over rotated (fully overlapping)
+    // rosters against one shared cache, all released together.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 2;
+    let dir = scratch_dir("torture");
+    let cache = Arc::new(TraceCache::new(&dir).expect("temp dir"));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut out = Vec::new();
+                for round in 0..ROUNDS {
+                    for i in 0..ROSTER.len() {
+                        let name = ROSTER[(i + t + round) % ROSTER.len()];
+                        out.push((name, replay(&cache, name)));
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let mut merged: BTreeMap<&str, Digest> = BTreeMap::new();
+    let mut replays = 0u64;
+    for handle in handles {
+        for (name, digest) in handle.join().expect("torture thread") {
+            replays += 1;
+            let prev = merged.insert(name, digest);
+            if let Some(prev) = prev {
+                assert_eq!(prev, digest, "{name}: replays disagreed across threads");
+            }
+        }
+    }
+
+    // Nothing corrupted, nothing rejected, every key generated once.
+    let stats = cache.stats();
+    assert_eq!(replays, (THREADS * ROUNDS * ROSTER.len()) as u64);
+    assert_eq!(stats.rejected, 0, "no corrupt snapshots under contention");
+    assert_eq!(stats.write_failures, 0);
+    assert_eq!(
+        stats.generations,
+        ROSTER.len() as u64,
+        "single-flight: one generation per distinct key"
+    );
+    assert_eq!(stats.misses, ROSTER.len() as u64);
+    assert_eq!(stats.hits, replays - ROSTER.len() as u64);
+    let snapshots = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "rbts"))
+        })
+        .count();
+    assert_eq!(snapshots, ROSTER.len(), "one snapshot file per key");
+
+    // The merged results are byte-identical to the single-process pass.
+    assert_eq!(format!("{merged:?}"), format!("{reference:?}"));
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_sweep_report_covers_only_its_own_replays() {
+    use rebalance_experiments::util;
+
+    let _guard = PROCESS_LEDGERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+    let one = |name: &str| vec![rebalance_workloads::find(name).expect("roster workload")];
+    let tools = |_: &rebalance_workloads::Workload| vec![Digest::default()];
+
+    // First sweep: one workload.
+    let base0 = util::report_baseline();
+    let a = util::sweep(one("CG"), Scale::Smoke, tools);
+    let first = util::sweep_report_since(&base0);
+    assert_eq!(first.replays, 1);
+    let first_insts = first.lanes.map_or(0, |l| l.instructions);
+
+    // Second sweep, same process: two workloads. Its report must cover
+    // exactly its own replays — the pre-fix cumulative ledgers made it
+    // inherit the first sweep's traffic too.
+    let base1 = util::report_baseline();
+    let mut b = util::sweep(one("FT"), Scale::Smoke, tools);
+    b.extend(util::sweep(one("MG"), Scale::Smoke, tools));
+    let second = util::sweep_report_since(&base1);
+    assert_eq!(second.replays, 2, "second report counts only its sweep");
+    let second_insts = second.lanes.map_or(0, |l| l.instructions);
+    let delivered: u64 = b.iter().map(|o| o.tools[0].instructions).sum();
+    if second_insts > 0 {
+        assert_eq!(
+            second_insts, delivered,
+            "second report's lanes cover exactly its own deliveries"
+        );
+    }
+
+    // And the two scoped reports add up to the span since the start.
+    let cumulative = util::sweep_report_since(&base0);
+    assert_eq!(cumulative.replays, 3);
+    assert_eq!(
+        cumulative.lanes.map_or(0, |l| l.instructions),
+        first_insts + second_insts
+    );
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].tools[0].instructions, a[0].summary.instructions);
+}
