@@ -42,6 +42,19 @@ pub struct Parsed {
     /// `--workers N` (shard the sweep across N worker subprocesses
     /// sharing the on-disk trace cache).
     pub workers: Option<usize>,
+    /// `--metrics [text|json[=PATH]]` (collect and emit the telemetry
+    /// snapshot after the report; bare `--metrics` means `text`).
+    pub metrics: Option<MetricsMode>,
+}
+
+/// How `--metrics` renders the telemetry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Span tree plus top counters after the report.
+    Text,
+    /// Versioned `metrics.json`; `Some(path)` overrides the default
+    /// location (`--json` dir if given, else the working directory).
+    Json(Option<String>),
 }
 
 /// Parses `argv` into [`Parsed`].
@@ -54,7 +67,7 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
         scale: Scale::Smoke,
         ..Parsed::default()
     };
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
@@ -135,6 +148,30 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
                         .ok_or_else(|| format!("invalid worker count `{v}` (expected 1..=256)"))?,
                 );
             }
+            "--metrics" => {
+                // The value is optional: consume the next argument only
+                // when it names a mode, so `--metrics CG` still treats
+                // `CG` as a positional workload.
+                parsed.metrics = Some(match it.peek().map(|s| s.as_str()) {
+                    Some("text") => {
+                        it.next();
+                        MetricsMode::Text
+                    }
+                    Some("json") => {
+                        it.next();
+                        MetricsMode::Json(None)
+                    }
+                    Some(v) if v.starts_with("json=") => {
+                        let path = v["json=".len()..].to_owned();
+                        if path.is_empty() {
+                            return Err("--metrics json= needs a file path".into());
+                        }
+                        it.next();
+                        MetricsMode::Json(Some(path))
+                    }
+                    _ => MetricsMode::Text,
+                });
+            }
             "--no-cache" => parsed.no_cache = true,
             "--all" => parsed.all = true,
             "--force" => parsed.force = true,
@@ -170,6 +207,22 @@ pub fn sampling_flags(parsed: &Parsed) -> [(bool, &'static str); 2] {
         (parsed.sample.is_some(), "--sample"),
         (parsed.sample_k.is_some(), "--sample-k"),
     ]
+}
+
+/// The `--metrics` flag as a [`forbid`] entry, for subcommands without
+/// a telemetry surface.
+pub fn metrics_flag(parsed: &Parsed) -> [(bool, &'static str); 1] {
+    [(parsed.metrics.is_some(), "--metrics")]
+}
+
+/// Turns telemetry collection on when `--metrics` was given. The
+/// `REBALANCE_METRICS` env latch is honored independently by the
+/// telemetry crate, so this only ever widens. Must run before the
+/// first replay so every stage is covered.
+pub fn configure_metrics(parsed: &Parsed) {
+    if parsed.metrics.is_some() {
+        rebalance_telemetry::set_enabled(true);
+    }
 }
 
 /// The cache directory to use: explicit `--cache`, or the default.
@@ -369,6 +422,27 @@ mod tests {
         assert!(parse(&argv(&["--workers", "0"])).is_err());
         assert!(parse(&argv(&["--workers", "257"])).is_err());
         assert!(parse(&argv(&["--workers", "some"])).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_modes() {
+        assert_eq!(parse(&argv(&[])).unwrap().metrics, None);
+        let p = parse(&argv(&["--metrics"])).unwrap();
+        assert_eq!(p.metrics, Some(MetricsMode::Text));
+        let p = parse(&argv(&["--metrics", "text"])).unwrap();
+        assert_eq!(p.metrics, Some(MetricsMode::Text));
+        let p = parse(&argv(&["--metrics", "json"])).unwrap();
+        assert_eq!(p.metrics, Some(MetricsMode::Json(None)));
+        let p = parse(&argv(&["--metrics", "json=out/m.json"])).unwrap();
+        assert_eq!(
+            p.metrics,
+            Some(MetricsMode::Json(Some("out/m.json".to_owned())))
+        );
+        assert!(parse(&argv(&["--metrics", "json="])).is_err());
+        // A non-mode word after the flag stays positional.
+        let p = parse(&argv(&["--metrics", "CG"])).unwrap();
+        assert_eq!(p.metrics, Some(MetricsMode::Text));
+        assert_eq!(p.positional, vec!["CG"]);
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //! * **sharded sweep** — the `--workers N` coordinator end to end
 //!   (spawn + shard replay + merge) at 1, 2, and 4 workers against a
 //!   warm scratch cache, so the subprocess fan-out's scaling is on
-//!   record next to the single-process numbers.
+//!   record next to the single-process numbers,
+//! * **telemetry** — the warm batched sweep timed with telemetry
+//!   collection off and on (min-of-passes), the measured overhead
+//!   percentage, and the per-stage span breakdown from the enabled
+//!   passes. The bench *fails* if enabled-mode overhead exceeds
+//!   [`TELEMETRY_OVERHEAD_BUDGET_PCT`], which bounds disabled-mode
+//!   overhead too (disabled spans are strictly cheaper: one atomic
+//!   load, no clock read).
 //!
 //! Always writes `BENCH_replay.json` — into `--json DIR` when given,
 //! else the current directory.
@@ -32,6 +39,7 @@ use rebalance_experiments::util::{f2, TextTable};
 use rebalance_frontend::predictor::{DirectionPredictor, PredictorSim};
 use rebalance_frontend::PredictorChoice;
 use rebalance_pintools::{BbvTool, BranchBiasTool, BranchMixTool, DirectionTool};
+use rebalance_telemetry::{self as telemetry, SpanNode};
 use rebalance_trace::{
     batch_capacity, compute_backend_choice, set_compute_backend, snapshot, BackendChoice,
     ComputeBackend, NullTool, Pintool, SamplePlan, Snapshot, ToolSet,
@@ -51,6 +59,10 @@ const MIN_MEASURE: Duration = Duration::from_millis(300);
 /// Iteration cap so tiny traces do not spin for thousands of passes.
 const MAX_ITERS: u32 = 200;
 
+/// Hard ceiling on the telemetry group's measured enabled-mode
+/// overhead; the bench errors beyond it.
+const TELEMETRY_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
 /// The whole dump, `BENCH_replay.json`.
 #[derive(Debug, Serialize)]
 struct BenchJson {
@@ -68,6 +80,8 @@ struct BenchJson {
     sampled_sweep: Vec<SampledRow>,
     /// `--workers N` coordinator end-to-end, warm scratch cache.
     sharded_sweep: Vec<ShardedRow>,
+    /// Telemetry on/off timing plus the per-stage span breakdown.
+    telemetry: TelemetryJson,
 }
 
 /// Where the numbers came from.
@@ -106,6 +120,56 @@ struct ShardedRow {
     workers: usize,
     melem_per_s: f64,
     speedup_vs_one: f64,
+}
+
+/// The telemetry group: the warm batched nine-predictor sweep timed
+/// with collection off and on, and where the enabled passes' time
+/// went, stage by stage.
+#[derive(Debug, Serialize)]
+struct TelemetryJson {
+    /// Compute backend the timed passes used (the auto choice for the
+    /// selection's size).
+    backend: String,
+    /// Min seconds per pass, collection off.
+    disabled_secs: f64,
+    /// Min seconds per pass, collection on.
+    enabled_secs: f64,
+    /// `(enabled/disabled - 1) * 100`; negative values are measurement
+    /// noise. Must stay within [`TELEMETRY_OVERHEAD_BUDGET_PCT`].
+    overhead_pct: f64,
+    /// Every span path recorded by the enabled passes, depth-first.
+    breakdown: Vec<BreakdownRow>,
+}
+
+/// One span path of the telemetry breakdown.
+#[derive(Debug, Serialize)]
+struct BreakdownRow {
+    /// Dot-joined path from the root, e.g. `decode.batch.wide.tools`.
+    span: String,
+    /// Inclusive milliseconds across all passes.
+    total_ms: f64,
+    /// Inclusive minus children: this stage's own code.
+    self_ms: f64,
+    /// Completed spans at this path.
+    count: u64,
+}
+
+/// Flattens a span tree into dot-joined-path rows, depth-first.
+fn flatten_spans(node: &SpanNode, prefix: &str, out: &mut Vec<BreakdownRow>) {
+    for (name, child) in &node.children {
+        let span = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{prefix}.{name}")
+        };
+        out.push(BreakdownRow {
+            total_ms: child.total_ns as f64 / 1e6,
+            self_ms: child.self_ns() as f64 / 1e6,
+            count: child.count,
+            span: span.clone(),
+        });
+        flatten_spans(child, &span, out);
+    }
 }
 
 /// First `model name` from `/proc/cpuinfo`, or a placeholder off Linux.
@@ -147,6 +211,27 @@ fn measure<T>(mut setup: impl FnMut() -> T, mut routine: impl FnMut(&mut T)) -> 
         iters += 1;
     }
     total.as_secs_f64() / f64::from(iters)
+}
+
+/// Like [`measure`], but returns the *minimum* pass time: the right
+/// statistic for an A/B overhead comparison, where any single pass's
+/// slowdown is scheduler noise, not the code under test.
+fn measure_min<T>(mut setup: impl FnMut() -> T, mut routine: impl FnMut(&mut T)) -> f64 {
+    let mut warm = setup();
+    routine(&mut warm);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u32;
+    let mut best = f64::INFINITY;
+    while (total < MIN_MEASURE || iters < 5) && iters < MAX_ITERS {
+        let mut input = setup();
+        let start = Instant::now();
+        routine(&mut input);
+        let elapsed = start.elapsed();
+        best = best.min(elapsed.as_secs_f64());
+        total += elapsed;
+        iters += 1;
+    }
+    best
 }
 
 /// Replays every snapshot into `tool` under one delivery mode:
@@ -204,6 +289,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.workers.is_some(), "--workers"),
     ])?;
     args::configure_replay(&parsed)?;
+    args::configure_metrics(&parsed);
 
     let workloads = if parsed.positional.is_empty() && !parsed.all && parsed.suite.is_none() {
         let names: Vec<String> = DEFAULT_ROSTER.iter().map(|s| (*s).to_owned()).collect();
@@ -348,6 +434,39 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     }
     let _ = std::fs::remove_dir_all(&scratch);
 
+    // Telemetry overhead: the same warm batched sweep with collection
+    // off, then on, min-of-passes so the delta is instrumentation
+    // cost rather than scheduler noise. The enabled passes also feed
+    // the per-stage breakdown below.
+    let bench_backend = rebalance_trace::select_backend(insts);
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(false);
+    let disabled_secs = measure_min(fresh_sims, |sims| {
+        replay_all(&snaps, sims, Some(bench_backend))
+    });
+    telemetry::set_enabled(true);
+    let enabled_secs = measure_min(fresh_sims, |sims| {
+        replay_all(&snaps, sims, Some(bench_backend))
+    });
+    let mut breakdown = Vec::new();
+    flatten_spans(&telemetry::snapshot().spans, "", &mut breakdown);
+    telemetry::set_enabled(was_enabled);
+    let overhead_pct = (enabled_secs / disabled_secs - 1.0) * 100.0;
+    if overhead_pct > TELEMETRY_OVERHEAD_BUDGET_PCT {
+        return Err(format!(
+            "telemetry overhead {overhead_pct:.2}% exceeds the \
+             {TELEMETRY_OVERHEAD_BUDGET_PCT}% budget \
+             (disabled {disabled_secs:.4}s vs enabled {enabled_secs:.4}s per pass)"
+        ));
+    }
+    let telemetry_group = TelemetryJson {
+        backend: bench_backend.to_string(),
+        disabled_secs,
+        enabled_secs,
+        overhead_pct,
+        breakdown,
+    };
+
     let json = BenchJson {
         host: host(),
         scale: parsed.scale.to_string(),
@@ -358,6 +477,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         pintools,
         sampled_sweep,
         sharded_sweep,
+        telemetry: telemetry_group,
     };
     let dir = parsed.json_dir.as_deref().unwrap_or(".");
     crate::write_json(dir, "BENCH_replay", &json)?;
@@ -392,6 +512,18 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             format!("{}x vs workers_1", f2(r.speedup_vs_one)),
         ]);
     }
+    t.row(vec![
+        "telemetry".to_owned(),
+        "disabled".to_owned(),
+        f2(insts as f64 / json.telemetry.disabled_secs / 1e6),
+        "baseline".to_owned(),
+    ]);
+    t.row(vec![
+        "telemetry".to_owned(),
+        "enabled".to_owned(),
+        f2(insts as f64 / json.telemetry.enabled_secs / 1e6),
+        format!("{:+.2}% overhead", json.telemetry.overhead_pct),
+    ]);
     crate::print_ignoring_pipe(&format!(
         "replay throughput ({} events over {} workload(s), scale {}, batch {})\n{}wrote {}/BENCH_replay.json\n",
         insts,
@@ -401,5 +533,6 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         t.render(),
         dir,
     ));
+    crate::metrics::emit(&parsed)?;
     Ok(ExitCode::SUCCESS)
 }

@@ -25,6 +25,7 @@ use std::process::ExitCode;
 mod args;
 mod bench_cmd;
 mod fetch_cmd;
+mod metrics;
 mod paper_cmd;
 mod phases_cmd;
 mod shard;
@@ -61,8 +62,8 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 trace record [WORKLOAD...] [--all] [--scale S] [--cache DIR] [--force] [--batch-size N]\n\
          \x20     synthesize workloads once and store their snapshots in the cache\n\
-         \x20 trace info <FILE...>\n\
-         \x20     print header/footer metadata of snapshot files\n\
+         \x20 trace info <FILE...> [--json DIR]\n\
+         \x20     print header/footer metadata of snapshot files (--json writes trace_info.json)\n\
          \x20 trace verify <FILE...> [--batch-size N]\n\
          \x20     fully validate snapshot files (framing, checksum, structure)\n\
          \x20 sweep [--workloads A,B,...] [--suite S] [--scale S] [--json DIR] [--model M] [--cache DIR] [--no-cache] [--batch-size N] [--workers N]\n\
@@ -85,7 +86,10 @@ fn usage() -> ExitCode {
          \x20    K clusters, replaying one weighted representative per cluster (default 160/8)\n\
          --batch-size N: events per delivery block (default 4096; env REBALANCE_BATCH)\n\
          --backend B: replay compute backend, auto | scalar | wide (default auto; env REBALANCE_BACKEND)\n\
-         --workers N: shard sweep/fetch/paper across N worker subprocesses sharing the trace cache"
+         --workers N: shard sweep/fetch/paper across N worker subprocesses sharing the trace cache\n\
+         --metrics [text|json[=PATH]]: emit the telemetry snapshot after the report (sweep/fetch/paper/bench;\n\
+         \x20    text prints the span tree + top counters, json writes metrics.json; env REBALANCE_METRICS=1\n\
+         \x20    turns collection on without emitting)"
     );
     ExitCode::from(2)
 }

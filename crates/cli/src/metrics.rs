@@ -1,0 +1,49 @@
+//! Shared `--metrics` emission: after a subcommand prints its report,
+//! this renders or writes the process-wide telemetry snapshot
+//! (including anything absorbed from `__worker` shards).
+
+use rebalance_telemetry as telemetry;
+
+use crate::args::{MetricsMode, Parsed};
+
+/// Emits the telemetry snapshot according to `--metrics`: `text`
+/// prints the span tree and top counters to stdout, `json` writes a
+/// versioned `metrics.json` (into the `--json` directory when one was
+/// given, the working directory otherwise, or an explicit
+/// `json=PATH`). A no-op without the flag — the `REBALANCE_METRICS`
+/// env latch alone collects but does not emit, so worker subprocesses
+/// and scripted runs stay quiet.
+///
+/// # Errors
+///
+/// The JSON file could not be created or written.
+pub fn emit(parsed: &Parsed) -> Result<(), String> {
+    let Some(mode) = &parsed.metrics else {
+        return Ok(());
+    };
+    let snap = telemetry::snapshot();
+    match mode {
+        MetricsMode::Text => {
+            crate::print_ignoring_pipe(&format!("{}\n", snap.render_text()));
+        }
+        MetricsMode::Json(path) => {
+            let path = match path {
+                Some(p) => std::path::PathBuf::from(p),
+                None => match &parsed.json_dir {
+                    Some(dir) => std::path::Path::new(dir).join("metrics.json"),
+                    None => std::path::PathBuf::from("metrics.json"),
+                },
+            };
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(&path, snap.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            crate::print_ignoring_pipe(&format!("metrics written to {}\n", path.display()));
+        }
+    }
+    Ok(())
+}

@@ -21,6 +21,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::configure_cache_env(&parsed);
     args::configure_replay(&parsed)?;
     args::configure_sampling(&parsed);
+    args::configure_metrics(&parsed);
     // Both knobs latch process-wide state the exhibits consult; set
     // them before the first exhibit computes anything.
     rebalance_experiments::util::set_suite_filter(parsed.suite);
@@ -34,22 +35,30 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         // captures its exhibits' text (and writes its own `--json`
         // dumps into the shared directory), and the coordinator prints
         // the concatenation in exhibit order plus the merged report.
-        let (text, report) = crate::shard::paper_sharded(&parsed, &exhibits, workers)?;
+        let (text, report) = {
+            let _paper_span = rebalance_telemetry::span("paper");
+            crate::shard::paper_sharded(&parsed, &exhibits, workers)?
+        };
         crate::print_ignoring_pipe(&format!("{text}{report}\n"));
+        crate::metrics::emit(&parsed)?;
         return Ok(ExitCode::SUCCESS);
     }
 
     let json_dir = parsed.json_dir.as_ref().map(PathBuf::from);
-    let mut out = std::io::stdout().lock();
-    if let Err(e) = driver::run_exhibits(&exhibits, parsed.scale, json_dir.as_deref(), &mut out) {
-        // A closed pipe (`rebalance paper ... | head`) is a normal way
-        // to stop reading, not a failure.
-        if e.kind() == std::io::ErrorKind::BrokenPipe {
-            return Ok(ExitCode::SUCCESS);
+    {
+        let _paper_span = rebalance_telemetry::span("paper");
+        let mut out = std::io::stdout().lock();
+        if let Err(e) = driver::run_exhibits(&exhibits, parsed.scale, json_dir.as_deref(), &mut out)
+        {
+            // A closed pipe (`rebalance paper ... | head`) is a normal way
+            // to stop reading, not a failure.
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                return Ok(ExitCode::SUCCESS);
+            }
+            return Err(e.to_string());
         }
-        return Err(e.to_string());
     }
-    drop(out);
     crate::print_ignoring_pipe(&format!("{}\n", util::sweep_report()));
+    crate::metrics::emit(&parsed)?;
     Ok(ExitCode::SUCCESS)
 }

@@ -68,6 +68,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.model.is_some(), "--model"),
         (parsed.workers.is_some(), "--workers"),
     ])?;
+    args::forbid(&args::metrics_flag(&parsed))?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     args::configure_cache_env(&parsed);
     args::configure_replay(&parsed)?;

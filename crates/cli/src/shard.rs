@@ -21,6 +21,7 @@ use std::process::{Child, Command, Stdio};
 
 use rebalance_experiments::fetchsim::{FetchSummary, FetchsimRow};
 use rebalance_experiments::{driver, util};
+use rebalance_telemetry::{self as telemetry, HistogramSnapshot, MetricsSnapshot, SpanNode};
 use rebalance_trace::{CacheStats, ComputeBackend, LaneFill, Report};
 use rebalance_workloads::{Scale, Suite, Workload};
 use serde::{Serialize, Value};
@@ -53,6 +54,10 @@ struct WorkerRequest {
     /// JSON dump directory (paper only: exhibits write their own
     /// dumps; sweep/fetch dumps are written by the coordinator).
     json_dir: Option<String>,
+    /// `true` when the coordinator collects telemetry: the worker
+    /// enables its own collection and ships a metrics snapshot in the
+    /// response.
+    metrics: bool,
 }
 
 impl WorkerRequest {
@@ -69,6 +74,7 @@ impl WorkerRequest {
             sample_k: parsed.sample_k.map(|n| n as u64),
             suite: None,
             json_dir: None,
+            metrics: telemetry::enabled(),
         }
     }
 }
@@ -107,22 +113,26 @@ fn shards<T: Clone>(items: &[T], workers: usize) -> Vec<Vec<T>> {
 fn run_workers(requests: &[WorkerRequest]) -> Result<Vec<Value>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let mut children: Vec<Child> = Vec::new();
-    for request in requests {
-        let json = serde_json::to_string(request).map_err(|e| e.to_string())?;
-        let mut child = Command::new(&exe)
-            .arg("__worker")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| format!("cannot spawn worker: {e}"))?;
-        child
-            .stdin
-            .take()
-            .expect("stdin was piped")
-            .write_all(json.as_bytes())
-            .map_err(|e| format!("cannot send worker request: {e}"))?;
-        children.push(child);
+    {
+        let _spawn_span = telemetry::span("shard.spawn");
+        for request in requests {
+            let json = serde_json::to_string(request).map_err(|e| e.to_string())?;
+            let mut child = Command::new(&exe)
+                .arg("__worker")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("cannot spawn worker: {e}"))?;
+            child
+                .stdin
+                .take()
+                .expect("stdin was piped")
+                .write_all(json.as_bytes())
+                .map_err(|e| format!("cannot send worker request: {e}"))?;
+            children.push(child);
+        }
     }
+    let _gather_span = telemetry::span("shard.gather");
     children
         .into_iter()
         .enumerate()
@@ -138,6 +148,21 @@ fn run_workers(requests: &[WorkerRequest]) -> Result<Vec<Value>, String> {
             serde_json::from_str(&text).map_err(|e| format!("worker {i}: malformed response: {e}"))
         })
         .collect()
+}
+
+/// Decodes the optional metrics snapshot a worker attached to its
+/// response and folds it into this process's absorbed telemetry — the
+/// same associative merge [`Report::merged`] applies to cache stats,
+/// so coordinator metrics stay bit-stable against a single-process
+/// run for every machine-independent metric.
+fn absorb_worker_metrics(response: &Value) -> Result<(), String> {
+    let Some(text) = response.get("metrics").and_then(Value::as_str) else {
+        return Ok(());
+    };
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| format!("worker metrics snapshot is malformed: {e}"))?;
+    telemetry::absorb(&decode_metrics(&value)?);
+    Ok(())
 }
 
 /// Folds per-shard report deltas into the selection-wide report.
@@ -168,10 +193,12 @@ pub fn sweep_sharded(
             )
         })
         .collect();
+    let responses = run_workers(&requests)?;
+    let _merge_span = telemetry::span("shard.merge");
     let mut rows = Vec::new();
     let mut cpi: Option<Vec<CpiJsonRow>> = None;
     let mut reports = Vec::new();
-    for response in run_workers(&requests)? {
+    for response in responses {
         rows.extend(decode_sweep_rows(seq(&response, "rows")?)?);
         match field(&response, "cpi")? {
             Value::Null => {}
@@ -180,6 +207,7 @@ pub fn sweep_sharded(
                 .extend(decode_cpi_rows(as_seq(v, "cpi")?)?),
         }
         reports.push(decode_report(field(&response, "report")?)?);
+        absorb_worker_metrics(&response)?;
     }
     Ok((SweepRows { rows, cpi }, merge_reports(reports)))
 }
@@ -201,11 +229,14 @@ pub fn fetch_sharded(
             )
         })
         .collect();
+    let responses = run_workers(&requests)?;
+    let _merge_span = telemetry::span("shard.merge");
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    for response in run_workers(&requests)? {
+    for response in responses {
         rows.extend(decode_fetch_rows(seq(&response, "rows")?)?);
         reports.push(decode_report(field(&response, "report")?)?);
+        absorb_worker_metrics(&response)?;
     }
     Ok((rows, merge_reports(reports)))
 }
@@ -228,11 +259,14 @@ pub fn paper_sharded(
             request
         })
         .collect();
+    let responses = run_workers(&requests)?;
+    let _merge_span = telemetry::span("shard.merge");
     let mut text = String::new();
     let mut reports = Vec::new();
-    for response in run_workers(&requests)? {
+    for response in responses {
         text.push_str(str_field(&response, "text")?);
         reports.push(decode_report(field(&response, "report")?)?);
+        absorb_worker_metrics(&response)?;
     }
     Ok((text, merge_reports(reports)))
 }
@@ -247,6 +281,9 @@ struct SweepResponse {
     rows: Vec<SweepJsonRow>,
     cpi: Option<Vec<CpiJsonRow>>,
     report: Report,
+    /// The shard's metrics snapshot as embedded snapshot JSON
+    /// (`None` when telemetry is off).
+    metrics: Option<String>,
 }
 
 /// One worker shard's fetch payload.
@@ -254,6 +291,8 @@ struct SweepResponse {
 struct FetchResponse {
     rows: Vec<FetchsimRow>,
     report: Report,
+    /// The shard's metrics snapshot (see [`SweepResponse::metrics`]).
+    metrics: Option<String>,
 }
 
 /// One worker shard's paper payload: the exhibits' captured text.
@@ -261,6 +300,17 @@ struct FetchResponse {
 struct PaperResponse {
     text: String,
     report: Report,
+    /// The shard's metrics snapshot (see [`SweepResponse::metrics`]).
+    metrics: Option<String>,
+}
+
+/// The intermediate result of one worker task, before the response —
+/// split out so the `worker` span can close before the snapshot is
+/// taken.
+enum TaskData {
+    Sweep(SweepRows),
+    Fetch(Vec<FetchsimRow>),
+    Paper(String),
 }
 
 /// The hidden `__worker` subcommand: reads one request from stdin,
@@ -314,46 +364,68 @@ pub fn worker(argv: &[String]) -> Result<std::process::ExitCode, String> {
         .map(|v| as_str(v, "items").map(str::to_owned))
         .collect::<Result<_, _>>()?;
 
+    // The coordinator's --metrics (or its env latch) propagates to
+    // every shard, so worker-side stages are instrumented too.
+    if field(&request, "metrics")?.as_bool().unwrap_or(false) {
+        telemetry::set_enabled(true);
+    }
+
     // Scope the response's report to this shard's replays (nothing ran
     // yet in this process, but the delta is the contract).
     let baseline = util::report_baseline();
-    let response = match str_field(&request, "task")? {
-        "sweep" => {
-            let workloads = args::resolve_workloads(&items, false, None)?;
-            let data = crate::sweep_cmd::compute(&workloads, scale, model);
-            serde_json::to_string(&SweepResponse {
-                rows: data.rows,
-                cpi: data.cpi,
-                report: util::sweep_report_since(&baseline),
-            })
-        }
-        "fetch" => {
-            let workloads = args::resolve_workloads(&items, false, None)?;
-            let grid = rebalance_experiments::fetchsim::default_grid();
-            let sweep = rebalance_experiments::fetchsim::sweep_grid(workloads, scale, &grid);
-            serde_json::to_string(&FetchResponse {
-                rows: sweep.rows,
-                report: util::sweep_report_since(&baseline),
-            })
-        }
-        "paper" => {
-            if let Some(name) = opt_str(&request, "suite")? {
-                let suite = Suite::parse(name).ok_or_else(|| format!("unknown suite `{name}`"))?;
-                util::set_suite_filter(Some(suite));
+    let data = {
+        // Every stage this shard runs nests under one `worker` span,
+        // closed before the snapshot so the snapshot sees it.
+        let _worker_span = telemetry::span("worker");
+        match str_field(&request, "task")? {
+            "sweep" => {
+                let workloads = args::resolve_workloads(&items, false, None)?;
+                TaskData::Sweep(crate::sweep_cmd::compute(&workloads, scale, model))
             }
-            if let Some(kind) = model {
-                rebalance_coresim::set_default_fetch_model(kind);
+            "fetch" => {
+                let workloads = args::resolve_workloads(&items, false, None)?;
+                let grid = rebalance_experiments::fetchsim::default_grid();
+                TaskData::Fetch(
+                    rebalance_experiments::fetchsim::sweep_grid(workloads, scale, &grid).rows,
+                )
             }
-            let json_dir = opt_str(&request, "json_dir")?.map(std::path::PathBuf::from);
-            let mut buffer = Vec::new();
-            driver::run_exhibits(&items, scale, json_dir.as_deref(), &mut buffer)
-                .map_err(|e| e.to_string())?;
-            serde_json::to_string(&PaperResponse {
-                text: String::from_utf8_lossy(&buffer).into_owned(),
-                report: util::sweep_report_since(&baseline),
-            })
+            "paper" => {
+                if let Some(name) = opt_str(&request, "suite")? {
+                    let suite =
+                        Suite::parse(name).ok_or_else(|| format!("unknown suite `{name}`"))?;
+                    util::set_suite_filter(Some(suite));
+                }
+                if let Some(kind) = model {
+                    rebalance_coresim::set_default_fetch_model(kind);
+                }
+                let json_dir = opt_str(&request, "json_dir")?.map(std::path::PathBuf::from);
+                let mut buffer = Vec::new();
+                driver::run_exhibits(&items, scale, json_dir.as_deref(), &mut buffer)
+                    .map_err(|e| e.to_string())?;
+                TaskData::Paper(String::from_utf8_lossy(&buffer).into_owned())
+            }
+            other => return Err(format!("unknown worker task `{other}`")),
         }
-        other => return Err(format!("unknown worker task `{other}`")),
+    };
+    let report = util::sweep_report_since(&baseline);
+    let metrics = telemetry::enabled().then(|| telemetry::snapshot().to_json());
+    let response = match data {
+        TaskData::Sweep(data) => serde_json::to_string(&SweepResponse {
+            rows: data.rows,
+            cpi: data.cpi,
+            report,
+            metrics,
+        }),
+        TaskData::Fetch(rows) => serde_json::to_string(&FetchResponse {
+            rows,
+            report,
+            metrics,
+        }),
+        TaskData::Paper(text) => serde_json::to_string(&PaperResponse {
+            text,
+            report,
+            metrics,
+        }),
     }
     .map_err(|e| e.to_string())?;
     crate::print_ignoring_pipe(&response);
@@ -506,6 +578,7 @@ fn decode_cache_stats(v: &Value) -> Result<CacheStats, String> {
         tmp_swept: u64_field(v, "tmp_swept")?,
         bytes_read: u64_field(v, "bytes_read")?,
         bytes_written: u64_field(v, "bytes_written")?,
+        lock_wait_ns: u64_field(v, "lock_wait_ns")?,
     })
 }
 
@@ -534,6 +607,76 @@ fn decode_report(v: &Value) -> Result<Report, String> {
         backend,
         lanes,
     })
+}
+
+/// Decodes a worker's `metrics.json`-shaped snapshot back into a
+/// [`MetricsSnapshot`] (the vendored serde deserializes to `Value`
+/// trees only, so this is hand-rolled like the report decoders).
+fn decode_metrics(v: &Value) -> Result<MetricsSnapshot, String> {
+    let version = u64_field(v, "version")?;
+    if version != u64::from(telemetry::SNAPSHOT_VERSION) {
+        return Err(format!("unsupported metrics snapshot version {version}"));
+    }
+    let mut snap = MetricsSnapshot::default();
+    for (name, value) in map(v, "counters")? {
+        snap.counters.insert(
+            name.clone(),
+            value
+                .as_u64()
+                .ok_or_else(|| format!("counter `{name}` is not an unsigned integer"))?,
+        );
+    }
+    for (name, value) in map(v, "gauges")? {
+        snap.gauges.insert(
+            name.clone(),
+            value
+                .as_i64()
+                .ok_or_else(|| format!("gauge `{name}` is not an integer"))?,
+        );
+    }
+    for (name, value) in map(v, "histograms")? {
+        let buckets = as_seq(field(value, "buckets")?, "buckets")?
+            .iter()
+            .map(|b| {
+                b.as_u64()
+                    .ok_or_else(|| format!("histogram `{name}` holds a non-integer bucket"))
+            })
+            .collect::<Result<_, _>>()?;
+        snap.histograms.insert(
+            name.clone(),
+            HistogramSnapshot {
+                count: u64_field(value, "count")?,
+                sum: u64_field(value, "sum")?,
+                buckets,
+            },
+        );
+    }
+    snap.spans = decode_span(field(v, "spans")?)?;
+    Ok(snap)
+}
+
+fn decode_span(v: &Value) -> Result<SpanNode, String> {
+    let mut node = SpanNode {
+        total_ns: u64_field(v, "total_ns")?,
+        count: u64_field(v, "count")?,
+        ..SpanNode::default()
+    };
+    // Leaf nodes omit the `children` key entirely.
+    if let Some(children) = v.get("children") {
+        for (name, child) in children
+            .as_map()
+            .ok_or_else(|| "`children` is not an object".to_owned())?
+        {
+            node.children.insert(name.clone(), decode_span(child)?);
+        }
+    }
+    Ok(node)
+}
+
+fn map<'a>(v: &'a Value, key: &str) -> Result<&'a [(String, Value)], String> {
+    field(v, key)?
+        .as_map()
+        .ok_or_else(|| format!("`{key}` is not an object"))
 }
 
 #[cfg(test)]
@@ -576,6 +719,7 @@ mod tests {
                 tmp_swept: 4,
                 bytes_read: 123_456,
                 bytes_written: 789,
+                lock_wait_ns: 5_000_000,
             }),
             backend: Some(ComputeBackend::Wide),
             lanes: Some(LaneFill {
@@ -594,6 +738,44 @@ mod tests {
         let json = serde_json::to_string(&sparse).unwrap();
         let decoded = decode_report(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(decoded, sparse);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_over_the_wire() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("cache.hits".into(), 12);
+        snap.counters.insert("replay.events".into(), 40_000);
+        snap.gauges.insert("workers".into(), 2);
+        let mut hist = HistogramSnapshot {
+            count: 2,
+            sum: 1030,
+            buckets: vec![0; telemetry::HIST_BUCKETS],
+        };
+        hist.buckets[10] = 1;
+        hist.buckets[4] = 1;
+        snap.histograms.insert("cache.generation_ns".into(), hist);
+        let mut replay = SpanNode {
+            total_ns: 900,
+            count: 3,
+            ..SpanNode::default()
+        };
+        replay.children.insert(
+            "decode".into(),
+            SpanNode {
+                total_ns: 400,
+                count: 3,
+                ..SpanNode::default()
+            },
+        );
+        snap.spans.children.insert("replay".into(), replay);
+
+        let json = snap.to_json();
+        let decoded = decode_metrics(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(decoded, snap);
+
+        // An unknown version is a clean error, not a misread.
+        let bumped = json.replacen("\"version\":1", "\"version\":999", 1);
+        assert!(decode_metrics(&serde_json::from_str(&bumped).unwrap()).is_err());
     }
 
     #[test]

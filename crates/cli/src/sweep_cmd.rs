@@ -53,8 +53,16 @@ pub(crate) fn compute(
     model: Option<FetchModelKind>,
 ) -> SweepRows {
     let configs = PredictorChoice::figure5_set();
+    // Each predictor sim is wrapped in `Timed`, so with telemetry on,
+    // every config's `on_batch` time lands on its own
+    // `tool.<label>.on_batch_ns` counter. `Timed` derefs to the sim,
+    // so `.report()` below is unchanged.
     let rows = util::sweep_weighted(workloads.to_vec(), scale, |_| {
         PredictorChoice::build_sims(&configs)
+            .into_iter()
+            .zip(&configs)
+            .map(|(sim, choice)| rebalance_trace::Timed::new(&choice.label(), sim))
+            .collect()
     })
     .iter()
     .map(|o| SweepJsonRow {
@@ -87,14 +95,20 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     args::configure_cache_env(&parsed);
     args::configure_replay(&parsed)?;
     args::configure_sampling(&parsed);
+    args::configure_metrics(&parsed);
 
     let configs = PredictorChoice::figure5_set();
-    let (data, report) = match parsed.workers {
-        Some(workers) => crate::shard::sweep_sharded(&parsed, &workloads, workers)?,
-        None => (
-            compute(&workloads, parsed.scale, parsed.model),
-            util::sweep_report(),
-        ),
+    let (data, report) = {
+        // The whole compute half nests under one `sweep` span, closed
+        // before the snapshot `metrics::emit` takes below.
+        let _sweep_span = rebalance_telemetry::span("sweep");
+        match parsed.workers {
+            Some(workers) => crate::shard::sweep_sharded(&parsed, &workloads, workers)?,
+            None => (
+                compute(&workloads, parsed.scale, parsed.model),
+                util::sweep_report(),
+            ),
+        }
     };
 
     let suites: Vec<Suite> = Suite::ALL
@@ -167,6 +181,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         table.render(),
         cpi.as_ref().map(render_cpi).unwrap_or_default(),
     ));
+    crate::metrics::emit(&parsed)?;
     Ok(ExitCode::SUCCESS)
 }
 

@@ -5,23 +5,26 @@ use std::process::ExitCode;
 
 use rebalance_experiments::util::TextTable;
 use rebalance_trace::{select_backend, snapshot, SnapshotInfo, TraceCache};
+use serde::Serialize;
 
 use crate::args;
 
 /// `trace info`/`trace verify` operate on explicit snapshot files, so
-/// every workload/cache/scale option is inapplicable.
+/// every workload/cache/scale option is inapplicable (`trace info`
+/// accepts `--json` for its machine-readable dump and checks it
+/// separately).
 fn forbid_file_subcommand_flags(parsed: &args::Parsed) -> Result<(), String> {
     args::forbid(&[
         (parsed.no_cache, "--no-cache"),
         (parsed.cache_dir.is_some(), "--cache"),
-        (parsed.json_dir.is_some(), "--json"),
         (parsed.all, "--all"),
         (parsed.force, "--force"),
         (parsed.suite.is_some(), "--suite"),
         (parsed.model.is_some(), "--model"),
         (parsed.workers.is_some(), "--workers"),
     ])?;
-    args::forbid(&args::sampling_flags(parsed))
+    args::forbid(&args::sampling_flags(parsed))?;
+    args::forbid(&args::metrics_flag(parsed))
 }
 
 /// Per-file info rows plus the aggregate `bytes_per_event` across all
@@ -92,6 +95,7 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.workers.is_some(), "--workers"),
     ])?;
     args::forbid(&args::sampling_flags(&parsed))?;
+    args::forbid(&args::metrics_flag(&parsed))?;
     args::configure_replay(&parsed)?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
     let cache = TraceCache::new(args::cache_dir(&parsed)).map_err(|e| e.to_string())?;
@@ -126,7 +130,86 @@ pub fn record(argv: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `rebalance trace info`: print header/footer metadata per file.
+/// Machine-readable mirror of `trace info` (`--json DIR` writes it as
+/// `trace_info.json`): per-snapshot rows plus the aggregate footer.
+#[derive(Debug, Serialize)]
+struct TraceInfoJson {
+    snapshots: Vec<TraceInfoRow>,
+    total: TraceInfoTotals,
+}
+
+/// One snapshot file's metadata.
+#[derive(Debug, Serialize)]
+struct TraceInfoRow {
+    file: String,
+    instructions: u64,
+    branches: u64,
+    serial: u64,
+    parallel: u64,
+    bytes: u64,
+    bytes_per_event: f64,
+    /// Compute backend an auto-selected replay of this snapshot would
+    /// use (size-based; env/CLI overrides still win).
+    backend: String,
+    /// Content fingerprint, in the same hex spelling the table prints.
+    fingerprint: String,
+}
+
+/// The aggregate footer over every listed snapshot.
+#[derive(Debug, Serialize)]
+struct TraceInfoTotals {
+    snapshots: usize,
+    events: u64,
+    branches: u64,
+    bytes: u64,
+    bytes_per_event: f64,
+    branch_fill_pct: f64,
+    auto_backend: String,
+}
+
+fn trace_info_json(files: &[String], infos: &[SnapshotInfo]) -> TraceInfoJson {
+    let events: u64 = infos.iter().map(|i| i.summary.instructions).sum();
+    let branches: u64 = infos.iter().map(|i| i.summary.branches).sum();
+    let bytes: u64 = infos.iter().map(|i| i.total_bytes).sum();
+    TraceInfoJson {
+        snapshots: files
+            .iter()
+            .zip(infos)
+            .map(|(file, info)| TraceInfoRow {
+                file: file.clone(),
+                instructions: info.summary.instructions,
+                branches: info.summary.branches,
+                serial: info.sections.serial,
+                parallel: info.sections.parallel,
+                bytes: info.total_bytes,
+                bytes_per_event: info.bytes_per_event(),
+                backend: select_backend(info.summary.instructions).to_string(),
+                fingerprint: format!("{:016x}", info.fingerprint),
+            })
+            .collect(),
+        total: TraceInfoTotals {
+            snapshots: infos.len(),
+            events,
+            branches,
+            bytes,
+            bytes_per_event: if events == 0 {
+                0.0
+            } else {
+                bytes as f64 / events as f64
+            },
+            branch_fill_pct: if events == 0 {
+                0.0
+            } else {
+                100.0 * branches as f64 / events as f64
+            },
+            auto_backend: select_backend(events).to_string(),
+        },
+    }
+}
+
+/// `rebalance trace info`: print header/footer metadata per file;
+/// `--json DIR` additionally writes the same rows as
+/// `trace_info.json`.
 pub fn info(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     forbid_file_subcommand_flags(&parsed)?;
@@ -142,6 +225,10 @@ pub fn info(argv: &[String]) -> Result<ExitCode, String> {
         info_row(&mut table, file, &info);
         infos.push(info);
     }
+    if let Some(dir) = &parsed.json_dir {
+        let json = trace_info_json(&parsed.positional, &infos);
+        crate::write_json(dir, "trace_info", &json)?;
+    }
     print!("{}", table.render());
     print!("{}", render_info_footer(&infos));
     Ok(ExitCode::SUCCESS)
@@ -152,6 +239,8 @@ pub fn info(argv: &[String]) -> Result<ExitCode, String> {
 pub fn verify(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = args::parse(argv)?;
     forbid_file_subcommand_flags(&parsed)?;
+    // Verification prints pass/fail per file; there is no dump for it.
+    args::forbid(&[(parsed.json_dir.is_some(), "--json")])?;
     // Verification decodes through the batched path; `--batch-size`
     // picks the block size it validates with.
     args::configure_replay(&parsed)?;

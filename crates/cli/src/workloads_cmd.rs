@@ -23,6 +23,7 @@ pub fn list(argv: &[String]) -> Result<ExitCode, String> {
         (parsed.workers.is_some(), "--workers"),
     ])?;
     args::forbid(&args::sampling_flags(&parsed))?;
+    args::forbid(&args::metrics_flag(&parsed))?;
     let workloads = args::resolve_workloads(&parsed.positional, parsed.all, parsed.suite)?;
 
     let mut t = TextTable::new(vec![

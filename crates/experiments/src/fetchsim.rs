@@ -122,6 +122,7 @@ impl FetchsimSweep {
 /// latch (`--sample`): when set, each replay covers only weighted
 /// representative intervals.
 pub fn sweep_grid(workloads: Vec<Workload>, scale: Scale, grid: &[FetchConfig]) -> FetchsimSweep {
+    let _fetchsim_span = rebalance_telemetry::span("fetchsim");
     let rows = util::sweep_weighted(workloads, scale, |_| {
         grid.iter().copied().map(FetchSim::new).collect()
     })

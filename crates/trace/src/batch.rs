@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use rebalance_isa::{Addr, BranchKind, BranchTrajectory, InstClass, Outcome};
+use rebalance_telemetry as telemetry;
 
 use crate::backend::ComputeBackend;
 use crate::by_section::BySection;
@@ -180,6 +181,26 @@ static LEDGER_INSTS: AtomicU64 = AtomicU64::new(0);
 static LEDGER_BRANCHES: AtomicU64 = AtomicU64::new(0);
 static LEDGER_SCALAR_BATCHES: AtomicU64 = AtomicU64::new(0);
 static LEDGER_WIDE_BATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Cached telemetry counter for flushed batches, per backend
+/// (`replay.batches.scalar` / `replay.batches.wide`).
+fn flush_tele(backend: ComputeBackend) -> &'static telemetry::Counter {
+    static SCALAR: OnceLock<telemetry::Counter> = OnceLock::new();
+    static WIDE: OnceLock<telemetry::Counter> = OnceLock::new();
+    match backend {
+        ComputeBackend::Scalar => {
+            SCALAR.get_or_init(|| telemetry::counter("replay.batches.scalar"))
+        }
+        ComputeBackend::Wide => WIDE.get_or_init(|| telemetry::counter("replay.batches.wide")),
+    }
+}
+
+/// Cached telemetry counter for events delivered through batch flushes
+/// (`replay.events`).
+fn flush_events_tele() -> &'static telemetry::Counter {
+    static EVENTS: OnceLock<telemetry::Counter> = OnceLock::new();
+    EVENTS.get_or_init(|| telemetry::counter("replay.events"))
+}
 
 /// Tallies one delivered batch into the process-wide ledger.
 pub(crate) fn record_delivery(batch: &EventBatch) {
@@ -894,9 +915,21 @@ impl EventBatch {
         if self.is_empty() {
             return;
         }
+        let _batch_span = telemetry::span(match self.backend {
+            ComputeBackend::Scalar => "batch.scalar",
+            ComputeBackend::Wide => "batch.wide",
+        });
+        flush_tele(self.backend).incr();
+        flush_events_tele().add(self.events.len() as u64);
         let event_lanes = self.backend == ComputeBackend::Wide && tool.wants_event_lanes();
-        self.fill_derived(event_lanes);
-        tool.on_batch(self);
+        {
+            let _lanes_span = telemetry::span("lanes.fill");
+            self.fill_derived(event_lanes);
+        }
+        {
+            let _tools_span = telemetry::span("tools");
+            tool.on_batch(self);
+        }
         self.clear();
     }
 

@@ -56,9 +56,10 @@ use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
 
+use rebalance_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::by_section::BySection;
@@ -208,6 +209,11 @@ pub struct CacheStats {
     pub bytes_read: u64,
     /// Total snapshot bytes recorded on misses.
     pub bytes_written: u64,
+    /// Nanoseconds spent blocked on another process's `.lock` file
+    /// before generating (0 unless cross-process contention actually
+    /// happened — a stuck lock is visible here long before the
+    /// staleness break fires).
+    pub lock_wait_ns: u64,
 }
 
 impl CacheStats {
@@ -224,6 +230,7 @@ impl CacheStats {
             tmp_swept: self.tmp_swept - earlier.tmp_swept,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            lock_wait_ns: self.lock_wait_ns - earlier.lock_wait_ns,
         }
     }
 
@@ -240,6 +247,7 @@ impl CacheStats {
             tmp_swept: self.tmp_swept + other.tmp_swept,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            lock_wait_ns: self.lock_wait_ns + other.lock_wait_ns,
         }
     }
 
@@ -277,6 +285,9 @@ impl fmt::Display for CacheStats {
                 " | shared: {} coalesced, {} orphans swept",
                 self.coalesced, self.tmp_swept
             )?;
+        }
+        if self.lock_wait_ns > 0 {
+            write!(f, " | lock wait: {:.1} ms", self.lock_wait_ns as f64 / 1e6)?;
         }
         Ok(())
     }
@@ -350,6 +361,45 @@ struct Counters {
     tmp_swept: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    lock_wait_ns: AtomicU64,
+}
+
+/// Process-global telemetry handles mirroring the cache counters
+/// (`cache.*` in the registry naming scheme), cached once so the hot
+/// path never touches the registry lock. Shared across all
+/// [`TraceCache`] instances in the process — telemetry names are
+/// process-wide by design.
+struct CacheTele {
+    hits: telemetry::Counter,
+    misses: telemetry::Counter,
+    generations: telemetry::Counter,
+    rejected: telemetry::Counter,
+    write_failures: telemetry::Counter,
+    coalesced: telemetry::Counter,
+    tmp_swept: telemetry::Counter,
+    bytes_read: telemetry::Counter,
+    bytes_written: telemetry::Counter,
+    lock_wait_ns: telemetry::Counter,
+    lock_wait_hist: telemetry::Histogram,
+    generation_hist: telemetry::Histogram,
+}
+
+fn tele() -> &'static CacheTele {
+    static TELE: OnceLock<CacheTele> = OnceLock::new();
+    TELE.get_or_init(|| CacheTele {
+        hits: telemetry::counter("cache.hits"),
+        misses: telemetry::counter("cache.misses"),
+        generations: telemetry::counter("cache.generations"),
+        rejected: telemetry::counter("cache.rejected"),
+        write_failures: telemetry::counter("cache.write_failures"),
+        coalesced: telemetry::counter("cache.coalesced"),
+        tmp_swept: telemetry::counter("cache.tmp_swept"),
+        bytes_read: telemetry::counter("cache.bytes_read"),
+        bytes_written: telemetry::counter("cache.bytes_written"),
+        lock_wait_ns: telemetry::counter("cache.lock_wait_ns"),
+        lock_wait_hist: telemetry::histogram("cache.lock_wait_ns"),
+        generation_hist: telemetry::histogram("cache.generation_ns"),
+    })
 }
 
 /// A directory of content-addressed trace snapshots with hit/miss
@@ -452,7 +502,20 @@ impl TraceCache {
             tmp_swept: self.counters.tmp_swept.load(Ordering::Relaxed),
             bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            lock_wait_ns: self.counters.lock_wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Books time spent blocked on a cross-process `.lock` file into
+    /// the counters and the `cache.lock_wait_ns` histogram.
+    fn note_lock_wait(&self, waited: Duration) {
+        if waited.is_zero() {
+            return;
+        }
+        let ns = waited.as_nanos() as u64;
+        self.counters.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        tele().lock_wait_ns.add(ns);
+        tele().lock_wait_hist.observe(ns);
     }
 
     /// Unconditionally records `trace` under `key`, replacing any
@@ -517,6 +580,8 @@ impl TraceCache {
                     self.counters
                         .bytes_read
                         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    tele().hits.incr();
+                    tele().bytes_read.add(bytes.len() as u64);
                     return Ok(CachedReplay {
                         summary,
                         sections: snapshot.info().sections,
@@ -525,6 +590,7 @@ impl TraceCache {
                 }
                 Err(_) => {
                     self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    tele().rejected.incr();
                 }
             }
         }
@@ -535,7 +601,8 @@ impl TraceCache {
         let _guard = guard
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _lock = KeyLock::acquire(self.lock_path(key));
+        let lock = KeyLock::acquire(self.lock_path(key));
+        self.note_lock_wait(lock.waited);
         if let Ok(bytes) = fs::read(&path) {
             if let Ok(snapshot) = Snapshot::parse(&bytes) {
                 let summary = snapshot.replay(tool)?;
@@ -544,6 +611,9 @@ impl TraceCache {
                 self.counters
                     .bytes_read
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                tele().hits.incr();
+                tele().coalesced.incr();
+                tele().bytes_read.add(bytes.len() as u64);
                 return Ok(CachedReplay {
                     summary,
                     sections: snapshot.info().sections,
@@ -555,8 +625,12 @@ impl TraceCache {
         }
 
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        tele().misses.incr();
+        let _generate_span = telemetry::span("generate");
+        let generate_start = Instant::now();
         let trace = generate().map_err(CacheError::Generate)?;
         self.counters.generations.fetch_add(1, Ordering::Relaxed);
+        tele().generations.incr();
         let sections = BySection::new(
             trace
                 .schedule()
@@ -571,7 +645,11 @@ impl TraceCache {
             Err(_) => {
                 // Unwritable cache: replay live without recording.
                 self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+                tele().write_failures.incr();
                 let summary = trace.replay(tool);
+                tele()
+                    .generation_hist
+                    .observe(generate_start.elapsed().as_nanos() as u64);
                 return Ok(CachedReplay {
                     summary,
                     sections,
@@ -587,7 +665,11 @@ impl TraceCache {
             // The tool already observed the full live stream; only the
             // persistence failed.
             self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+            tele().write_failures.incr();
         }
+        tele()
+            .generation_hist
+            .observe(generate_start.elapsed().as_nanos() as u64);
         Ok(CachedReplay {
             summary,
             sections,
@@ -621,9 +703,12 @@ impl TraceCache {
                 self.counters
                     .bytes_read
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                tele().hits.incr();
+                tele().bytes_read.add(bytes.len() as u64);
                 return Ok(bytes);
             }
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            tele().rejected.incr();
         }
 
         // Single-flight election, as in `replay_with`.
@@ -631,7 +716,8 @@ impl TraceCache {
         let _guard = guard
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _lock = KeyLock::acquire(self.lock_path(key));
+        let lock = KeyLock::acquire(self.lock_path(key));
+        self.note_lock_wait(lock.waited);
         if let Ok(bytes) = fs::read(&path) {
             if Snapshot::parse(&bytes).is_ok() {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -639,13 +725,20 @@ impl TraceCache {
                 self.counters
                     .bytes_read
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                tele().hits.incr();
+                tele().coalesced.incr();
+                tele().bytes_read.add(bytes.len() as u64);
                 return Ok(bytes);
             }
         }
 
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        tele().misses.incr();
+        let _generate_span = telemetry::span("generate");
+        let generate_start = Instant::now();
         let trace = generate().map_err(CacheError::Generate)?;
         self.counters.generations.fetch_add(1, Ordering::Relaxed);
+        tele().generations.incr();
         let (bytes, info) = {
             let mut writer = SnapshotWriter::new(Vec::new(), key.seed(), key.fingerprint());
             trace.replay(&mut writer);
@@ -665,12 +758,17 @@ impl TraceCache {
                 self.counters
                     .bytes_written
                     .fetch_add(info.total_bytes, Ordering::Relaxed);
+                tele().bytes_written.add(info.total_bytes);
             }
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
                 self.counters.write_failures.fetch_add(1, Ordering::Relaxed);
+                tele().write_failures.incr();
             }
         }
+        tele()
+            .generation_hist
+            .observe(generate_start.elapsed().as_nanos() as u64);
         Ok(bytes)
     }
 
@@ -726,6 +824,7 @@ impl TraceCache {
             };
             if stale && fs::remove_file(entry.path()).is_ok() {
                 self.counters.tmp_swept.fetch_add(1, Ordering::Relaxed);
+                tele().tmp_swept.incr();
             }
         }
     }
@@ -778,6 +877,9 @@ fn file_is_old(path: &Path) -> bool {
 struct KeyLock {
     path: PathBuf,
     held: bool,
+    /// How long acquisition blocked behind another process's live lock
+    /// (zero when the lock was free or the directory unwritable).
+    waited: Duration,
 }
 
 impl KeyLock {
@@ -785,7 +887,16 @@ impl KeyLock {
     const TIMEOUT: Duration = Duration::from_secs(300);
 
     fn acquire(path: PathBuf) -> KeyLock {
-        let deadline = Instant::now() + Self::TIMEOUT;
+        let start = Instant::now();
+        let deadline = start + Self::TIMEOUT;
+        let mut contended = false;
+        let waited = |contended: bool, start: Instant| {
+            if contended {
+                start.elapsed()
+            } else {
+                Duration::ZERO
+            }
+        };
         loop {
             match fs::OpenOptions::new()
                 .write(true)
@@ -794,21 +905,36 @@ impl KeyLock {
             {
                 Ok(mut file) => {
                     let _ = write!(file, "{}", std::process::id());
-                    return KeyLock { path, held: true };
+                    return KeyLock {
+                        held: true,
+                        waited: waited(contended, start),
+                        path,
+                    };
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    contended = true;
                     if Self::holder_is_dead(&path) {
                         let _ = fs::remove_file(&path);
                         continue;
                     }
                     if Instant::now() >= deadline {
-                        return KeyLock { path, held: false };
+                        return KeyLock {
+                            held: false,
+                            waited: waited(contended, start),
+                            path,
+                        };
                     }
                     std::thread::sleep(Self::POLL);
                 }
                 // Unwritable cache directory: generate locklessly; the
                 // caller's write path degrades the same way.
-                Err(_) => return KeyLock { path, held: false },
+                Err(_) => {
+                    return KeyLock {
+                        held: false,
+                        waited: waited(contended, start),
+                        path,
+                    }
+                }
             }
         }
     }
@@ -864,6 +990,7 @@ impl Recording {
             .counters
             .bytes_written
             .fetch_add(info.total_bytes, Ordering::Relaxed);
+        tele().bytes_written.add(info.total_bytes);
         Ok(info)
     }
 }
@@ -1296,11 +1423,84 @@ mod tests {
             tmp_swept: 7,
             bytes_read: 8,
             bytes_written: 9,
+            lock_wait_ns: 10,
         };
         let merged = a.merged(&a);
         assert_eq!(merged.since(&a), a, "merge then delta round-trips");
         assert_eq!(merged.hits, 2);
         assert_eq!(merged.tmp_swept, 14);
+        assert_eq!(merged.lock_wait_ns, 20);
+    }
+
+    #[test]
+    fn lock_wait_shows_in_display_only_when_nonzero() {
+        let quiet = CacheStats::default();
+        assert!(!quiet.to_string().contains("lock wait"));
+        let contended = CacheStats {
+            lock_wait_ns: 2_500_000,
+            ..CacheStats::default()
+        };
+        let text = contended.to_string();
+        assert!(text.contains("lock wait: 2.5 ms"), "{text}");
+    }
+
+    #[test]
+    fn cross_process_lock_wait_is_counted() {
+        // Two caches over one directory model two processes: each has
+        // its own in-process guard, so the loser really parks on the
+        // winner's `.lock` file.
+        let cache_a = std::sync::Arc::new(TraceCache::scratch().unwrap());
+        let cache_b = std::sync::Arc::new(TraceCache::new(cache_a.dir()).unwrap());
+        let key = TraceKey::new("w", "s", 29, 0);
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let winner = {
+            let cache = cache_a.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache
+                    .replay_with(
+                        &key,
+                        move || {
+                            started_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                            Ok(make_trace(29))
+                        },
+                        &mut NullTool,
+                    )
+                    .unwrap()
+            })
+        };
+        started_rx.recv().unwrap();
+        let waiter = {
+            let cache = cache_b.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache
+                    .replay_with(
+                        &key,
+                        || Err("loser must not generate".into()),
+                        &mut NullTool,
+                    )
+                    .unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        release_tx.send(()).unwrap();
+        let won = winner.join().unwrap();
+        let waited = waiter.join().unwrap();
+        assert!(!won.from_cache);
+        assert!(waited.from_cache);
+        assert_eq!(cache_a.stats().lock_wait_ns, 0, "winner never waited");
+        let stats = cache_b.stats();
+        assert!(
+            stats.lock_wait_ns > 0,
+            "loser's file-lock wait must be counted: {stats:?}"
+        );
+        assert!(stats.to_string().contains("lock wait"), "{stats}");
+        let cache_a = std::sync::Arc::into_inner(cache_a).unwrap();
+        drop(cache_b);
+        cleanup(cache_a);
     }
 
     #[test]

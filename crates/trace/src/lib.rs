@@ -98,6 +98,7 @@ mod section;
 pub mod snapshot;
 pub mod stats;
 mod sweep;
+mod timed;
 mod toolset;
 
 pub use backend::{
@@ -127,4 +128,5 @@ pub use schedule::{replay_count, Phase, Schedule, SyntheticTrace};
 pub use section::Section;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotInfo, SnapshotWriter};
 pub use sweep::{SampledOutcome, SweepEngine, SweepOutcome};
+pub use timed::Timed;
 pub use toolset::ToolSet;

@@ -645,6 +645,9 @@ impl<'a> Snapshot<'a> {
         capacity: usize,
         backend: crate::backend::ComputeBackend,
     ) -> Result<RunSummary, SnapshotError> {
+        // Batch spans nest under this one, so decode self-time is the
+        // tree's record-walk remainder.
+        let _decode_span = rebalance_telemetry::span("decode");
         let mut batch = EventBatch::with_capacity(capacity).with_backend(backend);
         let result = self.decode_into(&mut BatchSink {
             batch: &mut batch,

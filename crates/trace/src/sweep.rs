@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use rebalance_telemetry as telemetry;
+
 use crate::cache::{CacheError, CachedReplay, TraceCache, TraceKey};
 use crate::exec::RunSummary;
 use crate::executor::Executor;
@@ -156,6 +158,7 @@ impl SweepEngine {
         trace: &SyntheticTrace,
         tools: Vec<T>,
     ) -> (Vec<T>, RunSummary) {
+        let _replay_span = telemetry::span("replay");
         let mut set = ToolSet::from_tools(tools);
         let summary = trace.replay(&mut set);
         self.replays.fetch_add(1, Ordering::Relaxed);
@@ -211,6 +214,7 @@ impl SweepEngine {
         make_trace: impl FnOnce() -> Result<SyntheticTrace, String>,
         tools: Vec<T>,
     ) -> Result<(Vec<T>, CachedReplay), CacheError> {
+        let _replay_span = telemetry::span("replay");
         let mut set = ToolSet::from_tools(tools);
         let replay = cache.replay_with(key, make_trace, &mut set)?;
         self.replays.fetch_add(1, Ordering::Relaxed);
@@ -278,6 +282,7 @@ impl SweepEngine {
         }
         // Built outside the lock: a concurrent duplicate build is
         // deterministic, so last-writer-wins is harmless.
+        let _plan_span = telemetry::span("sampling.plan");
         let mut fp = fingerprinter();
         let plan = Arc::new(SamplePlan::from_snapshot(snapshot, &mut fp, config)?);
         self.plans
@@ -319,6 +324,7 @@ impl SweepEngine {
         FpFn: Fn() -> FP + Sync,
     {
         let measured = self.executor.map(&items, |item| {
+            let _replay_span = telemetry::span("replay");
             let key = key_of(item);
             let bytes = cache.snapshot_bytes(&key, || trace_of(item))?;
             let snapshot = Snapshot::parse(&bytes)?;

@@ -126,6 +126,7 @@ impl Workload {
         if !(factor.is_finite() && factor > 0.0) {
             return Err(format!("invalid scale factor {factor}"));
         }
+        let _synth_span = rebalance_telemetry::span("synth");
         let trace = synthesize(self.name, &self.profile)?;
         Ok(if (factor - 1.0).abs() < f64::EPSILON {
             trace
